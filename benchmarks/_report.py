@@ -1,0 +1,24 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each benchmark regenerates one of the paper's artefacts (Table 1, a
+boxed example, or an ablation) and records the produced table under
+``benchmarks/results/`` so the numbers survive the pytest run.  The
+report is also echoed to stdout (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, title: str, body: str) -> Path:
+    """Persist one benchmark's output table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = f"{title}\n{'=' * len(title)}\n\n{body}\n"
+    path.write_text(text)
+    print()
+    print(text)
+    return path

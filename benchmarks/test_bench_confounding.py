@@ -1,0 +1,40 @@
+"""Experiment E1 — the confounding box (cellular reliability, SIGCOMM'21).
+
+Regenerates the boxed example's anomaly: the naive signal-strength ->
+failure association has the *wrong sign* because deployment density
+confounds both; backdoor adjustment recovers the (mildly protective)
+structural effect.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import write_report
+
+from repro.studies import TRUE_SIGNAL_EFFECT, run_confounding_experiment
+
+
+def _run():
+    return run_confounding_experiment(n_samples=40_000, seed=0)
+
+
+def test_confounding_box(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    body = "\n".join(
+        [
+            out.format_report(),
+            "",
+            f"naive bias:    {out.naive.effect - out.true_effect:+.3f}",
+            f"adjusted bias: {out.adjusted.effect - out.true_effect:+.3f}",
+        ]
+    )
+    write_report(
+        "E1_confounding",
+        "E1: confounded signal-strength vs failure (naive sign flip)",
+        body,
+    )
+    assert out.true_effect == TRUE_SIGNAL_EFFECT
+    assert out.naive_sign_wrong
+    assert abs(out.adjusted.effect - out.true_effect) < 0.02

@@ -1,0 +1,55 @@
+"""Experiment E4 — counterfactuals: exposure vs impact (the Xaminer box).
+
+Regenerates the exposure/impact gap: the exposure map lists every
+source AS whose path crosses the failed link; the BGP-reconvergence
+counterfactual shows most reroute at a bounded penalty and only the
+truly cut-off lose connectivity.  Also reports the §3 video-call
+counterfactual on a batch of degraded calls.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import write_report
+
+from repro.studies import (
+    run_reroute_experiment,
+    video_call_model,
+    would_quality_have_been_better,
+)
+
+
+def _run():
+    impact = run_reroute_experiment()
+    model = video_call_model()
+    calls = model.sample(200, rng=0)
+    caused = 0
+    rerouted_calls = 0
+    for row in calls.iter_rows():
+        if row["rerouted"] > 1.0:  # clearly rerouted calls
+            rerouted_calls += 1
+            result = would_quality_have_been_better(row)
+            if result.effect_on("quality") > 0.5:
+                caused += 1
+    return impact, rerouted_calls, caused
+
+
+def test_counterfactual_box(benchmark):
+    impact, rerouted_calls, caused = benchmark.pedantic(_run, rounds=1, iterations=1)
+    body = "\n".join(
+        [
+            impact.format_report(),
+            "",
+            f"video-call counterfactuals over {rerouted_calls} rerouted calls:",
+            f"  calls where undoing the reroute improves quality by > 0.5: {caused}",
+        ]
+    )
+    write_report("E4_counterfactual", "E4: exposure vs impact", body)
+
+    assert impact.n_exposed > 0
+    assert impact.n_disconnected < impact.n_exposed
+    assert impact.mean_penalty_ms > 0
+    assert rerouted_calls > 0
+    assert caused > rerouted_calls * 0.5  # the reroute genuinely hurts

@@ -1,0 +1,85 @@
+"""Experiment A2 — ablation: donor-pool size and pre-period length.
+
+Sweeps the two design knobs the case study depends on: how many donors
+the pool holds and how long the pre-change window is, measuring (a) the
+placebo p-value achievable for a real +4 ms effect (small pools floor
+the p-value: with J placebos the best possible p is 1/(J+1)) and (b)
+the absolute estimation error.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import write_report
+
+from repro.synthcontrol import placebo_test
+
+TRUE_EFFECT = 4.0
+POST = 20
+
+
+def _world(n_donors: int, pre: int, seed: int):
+    rng = np.random.default_rng(seed)
+    t = pre + POST
+    factors = rng.normal(0, 1, (t, 2)).cumsum(axis=0) * 0.2 + 45.0
+    donors = np.column_stack(
+        [
+            factors @ rng.normal(0.5, 0.15, 2) + rng.normal(0, 0.5, t)
+            for _ in range(n_donors)
+        ]
+    )
+    treated = factors @ np.array([0.5, 0.5]) + rng.normal(0, 0.5, t)
+    treated[pre:] += TRUE_EFFECT
+    return treated, donors
+
+
+def _sweep():
+    rows = []
+    for n_donors in (5, 10, 20, 40):
+        for pre in (7, 20, 45):
+            p_values, errors = [], []
+            for seed in range(6):
+                treated, donors = _world(n_donors, pre, seed)
+                summary = placebo_test(treated, donors, pre)
+                p_values.append(summary.p_value)
+                errors.append(abs(summary.fit.effect - TRUE_EFFECT))
+            rows.append(
+                {
+                    "donors": n_donors,
+                    "pre_days": pre,
+                    "median_p": float(np.median(p_values)),
+                    "mae": float(np.mean(errors)),
+                    "p_floor": 1.0 / (n_donors + 1),
+                }
+            )
+    return rows
+
+
+def test_donor_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'donors':>6}  {'pre days':>8}  {'median p':>9}  {'MAE (ms)':>9}  {'p floor':>8}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['donors']:>6}  {r['pre_days']:>8}  {r['median_p']:>9.3f}  "
+            f"{r['mae']:>9.3f}  {r['p_floor']:>8.3f}"
+        )
+    write_report(
+        "A2_donor_sweep",
+        "A2: donor-pool size / pre-period length vs placebo power",
+        "\n".join(lines),
+    )
+
+    by_key = {(r["donors"], r["pre_days"]): r for r in rows}
+    # Bigger donor pools lower the achievable p for a real effect.
+    assert by_key[(40, 45)]["median_p"] < by_key[(5, 45)]["median_p"]
+    # p can never beat its combinatorial floor.
+    for r in rows:
+        assert r["median_p"] >= r["p_floor"] - 1e-9
+    # Longer pre-periods do not hurt estimation accuracy at scale.
+    assert by_key[(40, 45)]["mae"] <= by_key[(40, 7)]["mae"] + 0.5

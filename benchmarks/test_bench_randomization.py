@@ -1,0 +1,32 @@
+"""Experiment E5 — randomization: the M-Lab load balancer (§3).
+
+Regenerates the "gold standard" demonstration: random site assignment
+recovers the true causal site difference; self-selected assignment is
+biased; adjusting the self-selected data for the (here fully observed)
+congestion confounder recovers truth again.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import write_report
+
+from repro.studies import run_randomization_experiment
+
+
+def _run():
+    return run_randomization_experiment(n_tests=60_000, seed=0)
+
+
+def test_randomization_box(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_report(
+        "E5_randomization",
+        "E5: randomized load balancing vs self-selection",
+        out.format_report(),
+    )
+    assert abs(out.randomized_contrast - out.true_effect) < 0.25
+    assert abs(out.selection_bias) > 1.0
+    assert abs(out.adjusted_self_selected - out.true_effect) < 0.25

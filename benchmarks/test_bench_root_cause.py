@@ -1,0 +1,32 @@
+"""Experiment E6 — PoiRoot-style root-cause attribution (§2).
+
+Regenerates the related-work claim made concrete: for a staged route
+change (an upstream silently loses the CDN route), passive before/after
+observation leaves multiple on-path suspects, while active BGP
+poisoning probes identify the responsible AS exactly.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import write_report
+
+from repro.studies import run_root_cause_experiment
+
+
+def _run():
+    return run_root_cause_experiment()
+
+
+def test_root_cause_attribution(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_report(
+        "E6_root_cause",
+        "E6: passive observation vs active poisoning (PoiRoot)",
+        out.format_report(),
+    )
+    assert out.attribution_correct
+    assert len(out.passive_candidates) >= 2
+    assert len(out.verdict.probes) == len(out.passive_candidates)

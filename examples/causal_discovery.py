@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""What data can and cannot tell you about a DAG (the PC algorithm).
+
+The paper insists DAGs "are not learned from data alone; they require
+domain insight, protocol knowledge, and operational experience".  This
+example makes that statement precise:
+
+1. generate data from a known routing world;
+2. run constraint-based discovery (PC): it recovers the skeleton and
+   every v-structure — and leaves the rest *provably* undirected,
+   because observationally equivalent DAGs exist;
+3. show the consistency check a study should run: is my hand-drawn DAG
+   inside the data's equivalence class?  A wrong orientation passes no
+   data test; a wrong adjacency fails one;
+4. run a power-analysis teaser: what effect size could this study even
+   detect with its donor pool? (§4's planning-before-probing.)
+
+Run:  python examples/causal_discovery.py
+"""
+
+from repro.design import design_feasibility, placebo_power
+from repro.graph import CausalDag, cpdag_consistent_with, pc_algorithm
+from repro.scm import GaussianNoise, LinearMechanism, StructuralCausalModel
+
+
+def routing_world() -> StructuralCausalModel:
+    """demand -> load -> latency, route_change -> latency, load -> route_change."""
+    return StructuralCausalModel(
+        {
+            "demand": (LinearMechanism({}), GaussianNoise(1.0)),
+            "load": (LinearMechanism({"demand": 1.2}), GaussianNoise(0.4)),
+            "route_change": (LinearMechanism({"load": 0.8}), GaussianNoise(0.5)),
+            "latency": (
+                LinearMechanism({"load": 5.0, "route_change": 3.0}),
+                GaussianNoise(1.0),
+            ),
+        }
+    )
+
+
+def main() -> None:
+    model = routing_world()
+    data = model.sample(8000, rng=0)
+
+    print("running PC discovery on 8000 observational samples...")
+    result = pc_algorithm(data)
+    print(f"({result.n_tests} conditional-independence tests)")
+    print()
+    print("recovered equivalence class (CPDAG):")
+    print(result.cpdag.edge_summary())
+    undirected = len(result.cpdag.undirected)
+    print()
+    if undirected:
+        print(
+            f"{undirected} edge(s) remain undirected: the data cannot "
+            "orient them — that orientation is exactly the 'domain insight' "
+            "the paper says a DAG encodes beyond what measurement provides."
+        )
+    print()
+
+    print("consistency check, true DAG:")
+    conflicts = cpdag_consistent_with(result, model.dag)
+    print("  " + ("no conflicts — inside the equivalence class" if not conflicts
+                  else "\n  ".join(conflicts)))
+    print()
+
+    wrong = CausalDag(
+        [
+            ("demand", "load"),
+            ("load", "route_change"),
+            ("route_change", "latency"),
+            # wrong claims: demand hits latency directly, and the
+            # load -> latency mechanism is omitted.
+            ("demand", "latency"),
+        ]
+    )
+    print("consistency check, a DAG with the wrong adjacencies:")
+    for conflict in cpdag_consistent_with(result, wrong):
+        print(f"  {conflict}")
+    print()
+
+    print("design feasibility for the follow-up IXP study (§4 planning):")
+    for donors in (5, 20):
+        feasible, why = design_feasibility(donors, alpha=0.10)
+        print(f"  {donors} donors: {why}")
+    estimate = placebo_power(4.0, n_donors=20, n_simulations=20, rng=1)
+    print(f"  {estimate}")
+
+
+if __name__ == "__main__":
+    main()

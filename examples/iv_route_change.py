@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Natural experiments: valid vs invalid instruments (§3).
+
+Three acts:
+
+1. A **scheduled maintenance window** — timing fixed in advance,
+   touching latency only through the route — is a valid instrument; the
+   Wald estimate recovers the true route effect that naive OLS misses.
+2. An **operator policy change** that also shifts upstream congestion
+   violates the exclusion restriction; the IV estimate is biased even
+   with a strong first stage.  The graphical criterion catches it
+   *before* any data is touched.
+3. A **platform knob (§4.3)**: the simulated platform randomly toggles a
+   client off its IXP peering per test; 2SLS on the toggle measures the
+   IXP-vs-transit RTT difference — exogenous variation by design.
+
+Run:  python examples/iv_route_change.py
+"""
+
+from repro.studies import (
+    run_instrument_experiment,
+    run_platform_knob_experiment,
+)
+
+
+def main() -> None:
+    out = run_instrument_experiment(n_samples=30_000, seed=0)
+    print(out.format_report())
+    print()
+    print("graphical verdicts (computed from the DAG alone):")
+    for name, explanation in out.explanations.items():
+        print(f"  {name}: {explanation}")
+        print()
+
+    print("platform knob experiment (§4.3):")
+    knob = run_platform_knob_experiment(n_tests=3_000, seed=0)
+    print(
+        f"  2SLS estimate of (transit - IXP) RTT difference: "
+        f"{knob['iv_estimate_ms']:+.2f} ms"
+    )
+    print(
+        f"  simulator's expected contrast:                   "
+        f"{knob['expected_contrast_ms']:+.2f} ms"
+    )
+    print(f"  first-stage F: {knob['first_stage_f']:.0f}")
+
+
+if __name__ == "__main__":
+    main()

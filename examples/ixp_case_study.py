@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The paper's case study: does joining an IXP reduce latency? (Table 1)
+
+Runs the full pipeline twice:
+
+- **Table-1 world** — access networks already route regionally, so the
+  exchange removes one transit hop at most.  Robust synthetic control
+  per treated ⟨ASN, city⟩ shows small, inconsistent, mostly
+  insignificant RTT changes: the operational folk claim is not
+  supported, exactly the paper's finding.
+- **Trombone world** — the belief-confirming contrast: pre-IXP paths
+  hairpin through Europe, and the same method finds the large drop.
+
+Because the data comes from a simulator, each estimated delta is
+printed next to the *true* effect of the join, something the paper
+could never observe.
+
+Run:  python examples/ixp_case_study.py        (about a minute)
+      python examples/ixp_case_study.py --fast (smaller world, seconds)
+"""
+
+import sys
+
+from repro.design import format_checklist, selection_bias_checklist, sutva_checklist
+from repro.mplatform import measurements_to_frame, run_speed_tests
+from repro.netsim import build_trombone_scenario
+from repro.pipeline import run_ixp_study
+from repro.studies import run_table1_experiment
+
+
+def main(fast: bool = False) -> None:
+    if fast:
+        scale = {"n_donor_ases": 15, "duration_days": 24, "join_day": 12}
+    else:
+        scale = {"n_donor_ases": 30, "duration_days": 60, "join_day": 30}
+
+    print("=" * 64)
+    print("Table-1 world: regional routes, IXP shaves one transit hop")
+    print("=" * 64)
+    output = run_table1_experiment(seed=0, measurement_seed=1, **scale)
+    print(output.format_report())
+    print()
+
+    print("assumption checklists (§3 caveats, §4 tags):")
+    print(
+        format_checklist(
+            sutva_checklist(
+                n_treated_units=len(output.result.rows),
+                donor_units=output.result.rows[0].n_donors
+                if output.result.rows
+                else 0,
+                shared_infrastructure=True,
+            )
+        )
+    )
+    print(format_checklist(selection_bias_checklist(output.measurements)))
+    print()
+
+    print("=" * 64)
+    print("Trombone world: pre-IXP paths hairpin through London")
+    print("=" * 64)
+    scenario = build_trombone_scenario(
+        n_access=8, duration_days=20 if fast else 30, join_day=10 if fast else 15
+    )
+    frame = measurements_to_frame(run_speed_tests(scenario, rng=2))
+    result = run_ixp_study(frame, scenario.ixp_name)
+    print(result.format_table())
+    print()
+    for row in result.rows:
+        true = scenario.true_effect(row.asn, row.city)
+        print(f"  {row.unit:<24} true effect {true:+8.1f} ms")
+    print()
+    print(
+        "same method, same code path: when the mechanism is real "
+        "(tromboning removed), the effect is large and unambiguous; "
+        "when it is not, no amount of measurement repetition makes it so."
+    )
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Attacking your own estimate: the full robustness battery (§4).
+
+The paper asks studies to "validate assumptions and report uncertainty
+in causal estimates".  This example runs every attack the library
+provides against one analysis — first a healthy adjusted estimate, then
+a deliberately broken one — so the reader sees both what passing and
+failing look like:
+
+1. DoWhy-style refuters: placebo treatment, random common cause,
+   subset stability, dummy outcome;
+2. Cinelli-Hazlett sensitivity: how strong must an *unmeasured*
+   confounder be to kill the conclusion?
+3. synthetic-control robustness on a Table-1 unit: leave-one-donor-out
+   and the in-time placebo.
+
+Run:  python examples/robustness_audit.py
+"""
+
+import numpy as np
+
+from repro.estimators import (
+    naive_difference,
+    refute_all,
+    regression_adjustment,
+    sensitivity_report,
+)
+from repro.pipeline import rtt_panel
+from repro.scm import (
+    BernoulliMechanism,
+    GaussianNoise,
+    LinearMechanism,
+    StructuralCausalModel,
+    UniformNoise,
+)
+from repro.studies import run_table1_experiment
+from repro.synthcontrol import robustness_summary, select_donors
+
+
+def confounded_world():
+    return StructuralCausalModel(
+        {
+            "congestion": (LinearMechanism({}), GaussianNoise(1.0)),
+            "rerouted": (BernoulliMechanism({"congestion": 1.4}), UniformNoise()),
+            "latency": (
+                LinearMechanism({"congestion": 6.0, "rerouted": 9.0}, intercept=45.0),
+                GaussianNoise(2.0),
+            ),
+        }
+    )
+
+
+def adjusted(data, t, y, adj):
+    return regression_adjustment(data, t, y, list(adj))
+
+
+def naive(data, t, y, adj):
+    return naive_difference(data, t, y)
+
+
+def main() -> None:
+    data = confounded_world().sample(6000, rng=0)
+
+    print("== refutation battery, adjusted estimator (should PASS) ==")
+    for check in refute_all(data, "rerouted", "latency", ["congestion"], adjusted, rng=0):
+        print(f"  {check}")
+    print()
+
+    print("== the same battery, naive (confounded) estimator ==")
+    for check in refute_all(data, "rerouted", "latency", [], naive, rng=0):
+        print(f"  {check}")
+    naive_est = naive_difference(data, "rerouted", "latency")
+    adj_est = regression_adjustment(data, "rerouted", "latency", ["congestion"])
+    print(
+        f"  NOTE: every check passes, yet the naive estimate "
+        f"({naive_est.effect:+.1f}) and the adjusted one ({adj_est.effect:+.1f}) "
+        "cannot both be right."
+    )
+    print(
+        "  refuters catch procedural instability, not confounding — a stably "
+        "wrong analysis sails through. Only the DAG (and sensitivity "
+        "analysis) address omitted-variable bias."
+    )
+    print()
+
+    print("== a spurious 'effect' (noise treatment) — the battery catches this ==")
+    rng = np.random.default_rng(7)
+    spurious = data.with_column(
+        "rerouted", (rng.random(data.num_rows) < 0.5).astype(float)
+    )
+    for check in refute_all(
+        spurious, "rerouted", "latency", ["congestion"], adjusted, rng=0
+    ):
+        print(f"  {check}")
+    print()
+
+    print("== sensitivity to unobserved confounding ==")
+    report = sensitivity_report(data, "rerouted", "latency", ["congestion"])
+    print("  " + report.format_report().replace("\n", "\n  "))
+    print()
+
+    print("== synthetic-control robustness for one Table-1 unit ==")
+    output = run_table1_experiment(
+        n_donor_ases=15, duration_days=24, join_day=12, seed=2
+    )
+    panel = rtt_panel(output.measurements)
+    row = output.result.rows[0]
+    treated_labels = [f"AS{a}/{c}" for a, c in output.scenario.treated_units]
+    first_day = int(
+        output.result.assignment.first_crossing_hour[row.unit] // 24
+    )
+    pre = sum(1 for t in panel.times if float(t) < first_day)
+    donors = select_donors(panel, row.unit, excluded=treated_labels, pre_periods=pre)
+    matrix = np.column_stack([panel.series(d) for d in donors])
+    summary = robustness_summary(
+        panel.series(row.unit), matrix, pre, donor_names=donors
+    )
+    print(f"  unit: {row.unit}")
+    print("  " + summary.format_report().replace("\n", "\n  "))
+
+
+if __name__ == "__main__":
+    main()

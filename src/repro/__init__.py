@@ -1,0 +1,58 @@
+"""repro — causal inference for Internet measurement.
+
+A full reproduction of "The Internet as Sisyphus: Repeating
+Measurements, Missing Causes" (HotNets '25): the causal-inference
+toolkit the paper advocates (DAGs, backdoor/frontdoor adjustment,
+instrumental variables, synthetic controls, counterfactual SCMs), the
+measurement-design machinery of its §4 (causal protocols, planners,
+intent tags, conditional triggers, exogenous knobs), and a simulated
+Internet + M-Lab-style platform standing in for the live data so that
+Table 1 and every boxed example run offline with checkable ground
+truth.
+
+Subpackages
+-----------
+``repro.frames``
+    Columnar data substrate (the pandas stand-in).
+``repro.graph``
+    Causal DAGs, d-separation, identification criteria.
+``repro.scm``
+    Structural causal models: sampling, do(), counterfactuals.
+``repro.estimators``
+    Adjustment, IPW, matching, IV, DiD, bootstrap.
+``repro.synthcontrol``
+    Classic and robust synthetic control with placebo inference.
+``repro.netsim``
+    The simulated Internet: topology, BGP, congestion, latency, events.
+``repro.mplatform``
+    Measurement platforms: speed tests, probes, load balancer, §4 knobs.
+``repro.pipeline``
+    Measurements -> Table 1 (crossing detection, panels, study runner).
+``repro.studies``
+    The paper's experiments, runnable.
+``repro.design``
+    Causal protocols, measurement planning, assumption checklists.
+"""
+
+from repro.errors import (
+    EstimationError,
+    FrameError,
+    GraphError,
+    IdentificationError,
+    PlatformError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimationError",
+    "FrameError",
+    "GraphError",
+    "IdentificationError",
+    "PlatformError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Run the paper's case study end to end and print the table (with
+    simulator ground truth alongside).
+``studies``
+    Run every boxed-example experiment and print each report.
+``import``
+    Normalise a measurement CSV and run the IXP study on it
+    (``--ixp`` names the exchange; ``--prefix`` may repeat to supply
+    its peering-LAN prefixes for hop-IP matching).
+``validate``
+    Parse a DAG file (dagitty-like text) and report identification
+    strategies for ``--treatment``/``--outcome``.
+``power``
+    Placebo-test power analysis for a synthetic-control design: can
+    this many donors over this window detect the effect you care about?
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.studies import run_table1_experiment
+
+    output = run_table1_experiment(
+        n_donor_ases=args.donors,
+        duration_days=args.days,
+        join_day=args.days // 2,
+        seed=args.seed,
+    )
+    print(output.format_report())
+    return 0
+
+
+def _cmd_studies(args: argparse.Namespace) -> int:
+    from repro.studies import (
+        run_collider_experiment,
+        run_confounding_experiment,
+        run_edge_selection_experiment,
+        run_instrument_experiment,
+        run_randomization_experiment,
+        run_reroute_experiment,
+        run_root_cause_experiment,
+    )
+
+    sections = [
+        ("E1 confounding (cellular reliability box)", run_confounding_experiment),
+        ("E2 collider (speed-test box)", run_collider_experiment),
+        ("E3 instruments (natural-experiment box)", run_instrument_experiment),
+        ("E4 counterfactual (Xaminer box)", run_reroute_experiment),
+        ("E5 randomization (M-Lab load balancer)", run_randomization_experiment),
+        ("E6 root cause (PoiRoot poisoning)", run_root_cause_experiment),
+        ("E7 edge selection (resolver rotation)", run_edge_selection_experiment),
+    ]
+    for title, runner in sections:
+        print("=" * 64)
+        print(title)
+        print("=" * 64)
+        print(runner().format_report())
+        print()
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from repro.netsim.ids import Prefix
+    from repro.pipeline import import_csv, run_ixp_study
+
+    prefixes = None
+    if args.prefix:
+        prefixes = {args.ixp: [Prefix.parse(p) for p in args.prefix]}
+    frame = import_csv(args.csv, prefixes)
+    print(f"imported {frame.num_rows} measurements from {args.csv}")
+    result = run_ixp_study(frame, args.ixp)
+    print(result.format_table())
+    if result.skipped:
+        print()
+        for unit, reason in result.skipped:
+            print(f"skipped {unit}: {reason}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.design import CausalProtocol
+    from repro.graph import parse_dag
+
+    with open(args.dag_file) as f:
+        dag = parse_dag(f.read())
+    protocol = CausalProtocol(
+        question=f"effect of {args.treatment} on {args.outcome}",
+        dag=dag,
+        treatment=args.treatment,
+        outcome=args.outcome,
+    )
+    print(protocol.preregistration())
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.design import design_feasibility, placebo_power
+
+    feasible, why = design_feasibility(args.donors, alpha=args.alpha)
+    print(why)
+    if not feasible:
+        return 1
+    estimate = placebo_power(
+        args.effect,
+        n_donors=args.donors,
+        pre_periods=args.pre,
+        post_periods=args.post,
+        noise_std=args.noise,
+        alpha=args.alpha,
+        n_simulations=args.simulations,
+    )
+    print(estimate)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Causal inference for Internet measurement "
+        "(reproduction of 'The Internet as Sisyphus', HotNets '25)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="run the IXP/latency case study")
+    p_table1.add_argument("--days", type=int, default=40, help="window length")
+    p_table1.add_argument("--donors", type=int, default=25, help="donor ASes")
+    p_table1.add_argument("--seed", type=int, default=2, help="world seed")
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_studies = sub.add_parser("studies", help="run every boxed-example experiment")
+    p_studies.set_defaults(func=_cmd_studies)
+
+    p_import = sub.add_parser("import", help="run the study on a measurement CSV")
+    p_import.add_argument("csv", help="measurement CSV path")
+    p_import.add_argument("--ixp", required=True, help="exchange name to analyse")
+    p_import.add_argument(
+        "--prefix",
+        action="append",
+        help="peering-LAN prefix (repeatable) for hop-IP matching",
+    )
+    p_import.set_defaults(func=_cmd_import)
+
+    p_validate = sub.add_parser("validate", help="identify a DAG's strategies")
+    p_validate.add_argument("dag_file", help="dagitty-like DAG text file")
+    p_validate.add_argument("--treatment", required=True)
+    p_validate.add_argument("--outcome", required=True)
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_power = sub.add_parser("power", help="placebo-test power analysis")
+    p_power.add_argument("effect", type=float, help="true effect size (ms)")
+    p_power.add_argument("--donors", type=int, default=20)
+    p_power.add_argument("--pre", type=int, default=30, help="pre-periods")
+    p_power.add_argument("--post", type=int, default=15, help="post-periods")
+    p_power.add_argument("--noise", type=float, default=1.0, help="unit noise std")
+    p_power.add_argument("--alpha", type=float, default=0.10)
+    p_power.add_argument("--simulations", type=int, default=30)
+    p_power.set_defaults(func=_cmd_power)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,48 @@
+"""Measurement design for causal analysis (§4 of the paper).
+
+- :class:`CausalProtocol` — question + DAG + identification report, the
+  "causal protocol" the paper asks studies to pre-register;
+- :func:`plan_measurements` — which additional variables would buy
+  identification (measurement as a design problem);
+- checklists — SUTVA, selection-bias (via intent tags), and pre-trend
+  checks that make assumptions explicit and partly machine-checkable.
+"""
+
+from repro.design.checklist import (
+    CheckItem,
+    CheckStatus,
+    format_checklist,
+    pre_trend_checklist,
+    selection_bias_checklist,
+    sutva_checklist,
+)
+from repro.design.planner import MeasurementPlan, plan_measurements
+from repro.design.power import (
+    PowerEstimate,
+    design_feasibility,
+    minimum_detectable_effect,
+    placebo_power,
+)
+from repro.design.protocol import (
+    CausalProtocol,
+    IdentificationReport,
+    IdentificationStrategy,
+)
+
+__all__ = [
+    "CausalProtocol",
+    "CheckItem",
+    "CheckStatus",
+    "IdentificationReport",
+    "IdentificationStrategy",
+    "MeasurementPlan",
+    "PowerEstimate",
+    "design_feasibility",
+    "format_checklist",
+    "minimum_detectable_effect",
+    "placebo_power",
+    "plan_measurements",
+    "pre_trend_checklist",
+    "selection_bias_checklist",
+    "sutva_checklist",
+]

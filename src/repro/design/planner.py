@@ -1,0 +1,124 @@
+"""Measurement planning: which measurements buy causal identification.
+
+The paper's core design claim: "the value of a measurement lies in
+whether it helps resolve causal ambiguity."  Given a protocol and the
+set of variables a platform currently observes, the planner reports
+whether the effect is already identifiable, and if not, which *minimal
+additional* variables would make it so — turning "collect more data"
+into "collect exactly these".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.design.protocol import CausalProtocol
+from repro.errors import IdentificationError
+from repro.graph.backdoor import satisfies_backdoor
+from repro.graph.instruments import is_instrument
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """The planner's verdict for one protocol and one observed set.
+
+    Attributes
+    ----------
+    already_identifiable:
+        True when some strategy works with the observed variables alone.
+    usable_now:
+        Strategy notes that work with current observations.
+    additions:
+        Minimal sets of extra variables, each sufficient to unlock at
+        least one strategy, cheapest (smallest) first.
+    """
+
+    already_identifiable: bool
+    usable_now: tuple[str, ...]
+    additions: tuple[tuple[str, ...], ...]
+
+    def summary(self) -> str:
+        """Readable plan."""
+        if self.already_identifiable:
+            return "identifiable with current measurements: " + "; ".join(
+                self.usable_now
+            )
+        if not self.additions:
+            return (
+                "not identifiable with current measurements, and no set of "
+                "additional observed variables fixes it (latent confounding "
+                "without usable instruments/mediators)"
+            )
+        options = " OR ".join("{" + ", ".join(a) + "}" for a in self.additions)
+        return f"not yet identifiable; additionally measure {options}"
+
+
+def plan_measurements(
+    protocol: CausalProtocol,
+    observed_now: set[str],
+    max_additions: int = 3,
+) -> MeasurementPlan:
+    """Decide what (else) to measure for the protocol's effect.
+
+    *observed_now* is what the platform already records; treatment and
+    outcome must be in it (measuring the effect requires seeing both).
+    Candidate additions are drawn from the DAG's observable (non-latent)
+    variables not yet collected.
+    """
+    dag = protocol.dag
+    t, y = protocol.treatment, protocol.outcome
+    if t not in observed_now or y not in observed_now:
+        raise IdentificationError(
+            "the observed set must contain the treatment and the outcome"
+        )
+
+    def strategies_with(available: set[str]) -> list[str]:
+        found: list[str] = []
+        pool = sorted((available & dag.observed) - {t, y})
+        # Backdoor sets drawn from available variables.
+        for size in range(0, len(pool) + 1):
+            for combo in combinations(pool, size):
+                if satisfies_backdoor(dag, t, y, set(combo)):
+                    found.append(f"backdoor via {sorted(combo) or '{}'}")
+                    break
+            if found:
+                break
+        # Instruments among available variables.
+        for cand in pool:
+            others = [p for p in pool if p != cand]
+            for size in range(0, min(2, len(others)) + 1):
+                hit = False
+                for combo in combinations(others, size):
+                    if is_instrument(dag, cand, t, y, set(combo)):
+                        found.append(
+                            f"instrument {cand}"
+                            + (f" | {sorted(combo)}" if combo else "")
+                        )
+                        hit = True
+                        break
+                if hit:
+                    break
+        return found
+
+    usable = strategies_with(set(observed_now))
+    if usable:
+        return MeasurementPlan(
+            already_identifiable=True,
+            usable_now=tuple(usable),
+            additions=(),
+        )
+
+    candidates = sorted(dag.observed - set(observed_now))
+    additions: list[tuple[str, ...]] = []
+    for size in range(1, min(max_additions, len(candidates)) + 1):
+        for combo in combinations(candidates, size):
+            if any(set(prev) <= set(combo) for prev in additions):
+                continue
+            if strategies_with(set(observed_now) | set(combo)):
+                additions.append(combo)
+    return MeasurementPlan(
+        already_identifiable=False,
+        usable_now=(),
+        additions=tuple(additions),
+    )

@@ -1,0 +1,210 @@
+"""The causal measurement protocol (§4).
+
+The paper envisions studies that *start* from a causal question and a
+DAG, check identifiability before collecting data, and report
+assumptions alongside estimates.  :class:`CausalProtocol` is that
+workflow as an object: question, graph, treatment/outcome, and an
+:meth:`identify` step that reports every identification strategy the
+graph supports (backdoor, frontdoor, instruments) together with the
+variables each one requires measuring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IdentificationError
+from repro.graph.backdoor import (
+    is_confounded,
+    minimal_adjustment_sets,
+    proper_causal_effect_exists,
+)
+from repro.graph.colliders import collider_nodes
+from repro.graph.dag import CausalDag
+from repro.graph.frontdoor import find_frontdoor_set
+from repro.graph.instruments import find_instruments
+
+
+@dataclass(frozen=True)
+class IdentificationStrategy:
+    """One way to identify the target effect.
+
+    Attributes
+    ----------
+    kind:
+        ``"randomization"``, ``"backdoor"``, ``"frontdoor"``, or
+        ``"instrument"``.
+    requires:
+        Variables that must be measured (beyond treatment and outcome).
+    estimator_hint:
+        Name of the library estimator that implements it.
+    note:
+        Human-readable detail (which set, which instrument).
+    """
+
+    kind: str
+    requires: tuple[str, ...]
+    estimator_hint: str
+    note: str
+
+    def __str__(self) -> str:
+        req = ", ".join(self.requires) if self.requires else "nothing extra"
+        return f"[{self.kind}] measure {req} -> {self.estimator_hint} ({self.note})"
+
+
+@dataclass(frozen=True)
+class IdentificationReport:
+    """Everything :meth:`CausalProtocol.identify` learned from the graph."""
+
+    effect_exists: bool
+    confounded: bool
+    strategies: tuple[IdentificationStrategy, ...]
+    colliders: tuple[str, ...]
+    warnings: tuple[str, ...]
+
+    @property
+    def identifiable(self) -> bool:
+        """Whether at least one strategy identifies the effect."""
+        return bool(self.strategies)
+
+    def summary(self) -> str:
+        """Multi-line report for inclusion in a study's methods section."""
+        lines = []
+        lines.append(
+            "causal effect exists in the graph"
+            if self.effect_exists
+            else "NO directed path from treatment to outcome: nothing to estimate"
+        )
+        lines.append(
+            "treatment-outcome relationship is confounded"
+            if self.confounded
+            else "no open backdoor paths: association is causal as-is"
+        )
+        if self.strategies:
+            lines.append("identification strategies:")
+            lines.extend(f"  - {s}" for s in self.strategies)
+        else:
+            lines.append("effect is NOT identifiable from observed variables")
+        if self.colliders:
+            lines.append(
+                "colliders (do NOT condition on these or their descendants): "
+                + ", ".join(self.colliders)
+            )
+        for w in self.warnings:
+            lines.append(f"warning: {w}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CausalProtocol:
+    """A pre-registered causal analysis plan.
+
+    Attributes
+    ----------
+    question:
+        The causal question in prose ("does joining an IXP reduce RTT?").
+    dag:
+        The structural assumptions.
+    treatment, outcome:
+        The effect under study.
+    assumptions:
+        Free-form list of assumptions outside the graph (SUTVA notes,
+        no-anticipation, etc.) — stated up front, as §4 prescribes.
+    """
+
+    question: str
+    dag: CausalDag
+    treatment: str
+    outcome: str
+    assumptions: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for node in (self.treatment, self.outcome):
+            if not self.dag.has_node(node):
+                raise IdentificationError(
+                    f"{node!r} is not a node of the protocol's DAG"
+                )
+
+    def identify(self, max_instrument_conditioning: int = 2) -> IdentificationReport:
+        """Enumerate identification strategies the DAG supports."""
+        exists = proper_causal_effect_exists(self.dag, self.treatment, self.outcome)
+        confounded = is_confounded(self.dag, self.treatment, self.outcome)
+        strategies: list[IdentificationStrategy] = []
+        warnings: list[str] = []
+
+        if exists and not confounded:
+            strategies.append(
+                IdentificationStrategy(
+                    kind="randomization",
+                    requires=(),
+                    estimator_hint="estimators.naive_difference",
+                    note="no open backdoor path; the raw contrast is causal",
+                )
+            )
+        if exists and confounded:
+            for adj in minimal_adjustment_sets(self.dag, self.treatment, self.outcome):
+                strategies.append(
+                    IdentificationStrategy(
+                        kind="backdoor",
+                        requires=tuple(sorted(adj)),
+                        estimator_hint="estimators.regression_adjustment / ipw / matching",
+                        note=f"adjust for {sorted(adj)}",
+                    )
+                )
+            for inst, cond in find_instruments(
+                self.dag,
+                self.treatment,
+                self.outcome,
+                max_conditioning=max_instrument_conditioning,
+            ):
+                strategies.append(
+                    IdentificationStrategy(
+                        kind="instrument",
+                        requires=tuple(sorted({inst, *cond})),
+                        estimator_hint="estimators.wald_estimate / two_stage_least_squares",
+                        note=f"instrument {inst}"
+                        + (f" conditioning on {sorted(cond)}" if cond else ""),
+                    )
+                )
+            try:
+                mediators = find_frontdoor_set(self.dag, self.treatment, self.outcome)
+                strategies.append(
+                    IdentificationStrategy(
+                        kind="frontdoor",
+                        requires=tuple(sorted(mediators)),
+                        estimator_hint="scm-based frontdoor formula",
+                        note=f"mediators {sorted(mediators)}",
+                    )
+                )
+            except IdentificationError:
+                pass
+        if not exists:
+            warnings.append(
+                "the DAG contains no directed path from treatment to outcome"
+            )
+        cols = tuple(collider_nodes(self.dag))
+        return IdentificationReport(
+            effect_exists=exists,
+            confounded=confounded,
+            strategies=tuple(strategies),
+            colliders=cols,
+            warnings=tuple(warnings),
+        )
+
+    def preregistration(self) -> str:
+        """Render the full protocol as a pre-registration document."""
+        report = self.identify()
+        lines = [
+            f"CAUSAL PROTOCOL: {self.question}",
+            f"treatment: {self.treatment}    outcome: {self.outcome}",
+            f"graph: {len(self.dag.nodes())} variables, "
+            f"{len(self.dag.edges())} assumed causal links, "
+            f"latent: {sorted(self.dag.unobserved) or 'none'}",
+            "",
+        ]
+        if self.assumptions:
+            lines.append("stated assumptions:")
+            lines.extend(f"  * {a}" for a in self.assumptions)
+            lines.append("")
+        lines.append(report.summary())
+        return "\n".join(lines)

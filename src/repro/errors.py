@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: frame errors, graph errors, identification errors, estimation
+errors, and simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class FrameError(ReproError):
+    """Raised for malformed or inconsistent columnar-frame operations."""
+
+
+class ColumnMismatchError(FrameError):
+    """Raised when columns of unequal length or missing names are combined."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed causal graphs (cycles, unknown nodes, ...)."""
+
+
+class CycleError(GraphError):
+    """Raised when an edge set that must be acyclic contains a cycle."""
+
+
+class ParseError(GraphError):
+    """Raised when a textual graph specification cannot be parsed."""
+
+
+class IdentificationError(ReproError):
+    """Raised when a causal effect is not identifiable from the given DAG."""
+
+
+class EstimationError(ReproError):
+    """Raised when an estimator cannot produce an estimate."""
+
+
+class InsufficientDataError(EstimationError):
+    """Raised when there are too few observations to fit an estimator."""
+
+
+class DonorPoolError(EstimationError):
+    """Raised when a synthetic-control donor pool is empty or degenerate."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistent simulator configuration or state."""
+
+
+class RoutingError(SimulationError):
+    """Raised when no route exists between two ASes or routing state is bad."""
+
+
+class PlatformError(ReproError):
+    """Raised for measurement-platform misuse (unknown probe, bad tag...)."""

@@ -1,0 +1,101 @@
+"""Treatment-effect estimators.
+
+Rung-1 baselines and rung-2 estimators usable once identification has
+been established graphically (:mod:`repro.graph`):
+
+- :func:`naive_difference` — the unadjusted contrast (for comparison);
+- :func:`stratified_adjustment`, :func:`regression_adjustment`,
+  :func:`ipw_estimate`, :func:`matching_estimate` — backdoor adjustment;
+- :func:`wald_estimate`, :func:`two_stage_least_squares` — instrumental
+  variables with weak-instrument diagnostics;
+- :func:`did_estimate` — difference-in-differences with a
+  parallel-trends check;
+- :func:`bootstrap` / :func:`permutation_p_value` — resampling inference.
+"""
+
+from repro.estimators.adjustment import (
+    regression_adjustment,
+    resolve_adjustment_set,
+    stratified_adjustment,
+)
+from repro.estimators.base import (
+    EffectEstimate,
+    naive_difference,
+    require_binary,
+)
+from repro.estimators.bootstrap import (
+    BootstrapResult,
+    bootstrap,
+    permutation_p_value,
+)
+from repro.estimators.did import did_estimate, parallel_trends_check
+from repro.estimators.frontdoor import frontdoor_estimate, frontdoor_estimate_multi
+from repro.estimators.ipw import fit_logistic, ipw_estimate, propensity_scores
+from repro.estimators.matching import matching_estimate
+from repro.estimators.iv import (
+    WEAK_INSTRUMENT_F,
+    first_stage_f,
+    two_stage_least_squares,
+    wald_estimate,
+)
+from repro.estimators.ols import OlsFit, fit_ols
+from repro.estimators.panel import (
+    EventStudyResult,
+    event_study,
+    fixed_effects_estimate,
+)
+from repro.estimators.sensitivity import (
+    SensitivityReport,
+    bias_bound,
+    partial_r2,
+    robustness_value,
+    sensitivity_report,
+)
+from repro.estimators.refute import (
+    RefutationResult,
+    dummy_outcome_refuter,
+    placebo_treatment_refuter,
+    random_common_cause_refuter,
+    refute_all,
+    subset_refuter,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "EffectEstimate",
+    "EventStudyResult",
+    "OlsFit",
+    "RefutationResult",
+    "SensitivityReport",
+    "WEAK_INSTRUMENT_F",
+    "bias_bound",
+    "bootstrap",
+    "did_estimate",
+    "dummy_outcome_refuter",
+    "event_study",
+    "first_stage_f",
+    "fixed_effects_estimate",
+    "fit_logistic",
+    "fit_ols",
+    "frontdoor_estimate",
+    "frontdoor_estimate_multi",
+    "ipw_estimate",
+    "matching_estimate",
+    "naive_difference",
+    "parallel_trends_check",
+    "partial_r2",
+    "permutation_p_value",
+    "placebo_treatment_refuter",
+    "propensity_scores",
+    "random_common_cause_refuter",
+    "refute_all",
+    "regression_adjustment",
+    "robustness_value",
+    "require_binary",
+    "resolve_adjustment_set",
+    "sensitivity_report",
+    "stratified_adjustment",
+    "subset_refuter",
+    "two_stage_least_squares",
+    "wald_estimate",
+]

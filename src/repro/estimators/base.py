@@ -1,0 +1,105 @@
+"""Shared result type and helpers for treatment-effect estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError, InsufficientDataError
+from repro.frames.frame import Frame
+
+
+@dataclass(frozen=True)
+class EffectEstimate:
+    """A point estimate of a (usually average) treatment effect.
+
+    Attributes
+    ----------
+    effect:
+        The point estimate.
+    standard_error:
+        Estimated standard error (NaN when the method provides none).
+    ci_low, ci_high:
+        95% confidence bounds (NaN when unavailable).
+    method:
+        Human-readable estimator name (e.g. ``"backdoor.regression"``).
+    n_treated, n_control:
+        Sample sizes entering the comparison.
+    details:
+        Free-form extras (first-stage F, weights, strata counts, ...).
+    """
+
+    effect: float
+    standard_error: float
+    ci_low: float
+    ci_high: float
+    method: str
+    n_treated: int
+    n_control: int
+    details: dict[str, object] | None = None
+
+    def __str__(self) -> str:
+        ci = (
+            f" [95% CI {self.ci_low:+.4g}, {self.ci_high:+.4g}]"
+            if np.isfinite(self.ci_low)
+            else ""
+        )
+        return (
+            f"{self.method}: effect={self.effect:+.4g}"
+            f" (se={self.standard_error:.4g}){ci}"
+            f" n_treated={self.n_treated} n_control={self.n_control}"
+        )
+
+    @property
+    def significant(self) -> bool:
+        """Whether the 95% CI excludes zero (False when CI unavailable)."""
+        if not (np.isfinite(self.ci_low) and np.isfinite(self.ci_high)):
+            return False
+        return self.ci_low > 0 or self.ci_high < 0
+
+
+def extract_treatment_outcome(
+    data: Frame, treatment: str, outcome: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pull (treatment, outcome) as float arrays, dropping missing rows."""
+    sub = data.drop_missing([treatment, outcome])
+    if sub.num_rows == 0:
+        raise InsufficientDataError("no complete rows for treatment/outcome")
+    return sub.numeric(treatment), sub.numeric(outcome)
+
+
+def require_binary(values: np.ndarray, name: str) -> np.ndarray:
+    """Validate that an array is 0/1-coded and return it as booleans."""
+    uniq = set(np.unique(values).tolist())
+    if not uniq <= {0.0, 1.0}:
+        raise EstimationError(
+            f"{name} must be binary 0/1 for this estimator, saw values {sorted(uniq)[:6]}"
+        )
+    return values.astype(bool)
+
+
+def naive_difference(data: Frame, treatment: str, outcome: str) -> EffectEstimate:
+    """The unadjusted difference in means — the rung-1 contrast.
+
+    Deliberately exposed so studies can report "what a naive analysis
+    would have concluded" next to the adjusted estimate.
+    """
+    t, y = extract_treatment_outcome(data, treatment, outcome)
+    mask = require_binary(t, treatment)
+    treated = y[mask]
+    control = y[~mask]
+    if len(treated) == 0 or len(control) == 0:
+        raise InsufficientDataError("need both treated and control rows")
+    diff = float(treated.mean() - control.mean())
+    var = treated.var(ddof=1) / len(treated) + control.var(ddof=1) / len(control)
+    se = float(np.sqrt(var)) if len(treated) > 1 and len(control) > 1 else float("nan")
+    return EffectEstimate(
+        effect=diff,
+        standard_error=se,
+        ci_low=diff - 1.96 * se,
+        ci_high=diff + 1.96 * se,
+        method="naive.difference_in_means",
+        n_treated=int(mask.sum()),
+        n_control=int((~mask).sum()),
+    )

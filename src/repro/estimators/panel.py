@@ -1,0 +1,203 @@
+"""Panel estimators: two-way fixed effects and event studies.
+
+Complements :mod:`repro.estimators.did` and the synthetic-control stack
+for long-format unit x time data:
+
+- :func:`fixed_effects_estimate` — the two-way-fixed-effects (TWFE)
+  within estimator: demean outcome and treatment by unit and by period,
+  regress the residuals.  Absorbs *any* time-constant unit heterogeneity
+  and *any* common shock (e.g. the scenario's regional congestion shock).
+- :func:`event_study` — per-relative-period effects around each unit's
+  own treatment time, the standard "is there a pre-trend?" picture: the
+  paper's parallel-pre-fit requirement, estimated rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError, InsufficientDataError
+from repro.frames.frame import Frame
+from repro.estimators.base import EffectEstimate
+from repro.estimators.ols import fit_ols
+
+
+def _group_demean(values: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Subtract each group's mean from its members."""
+    out = values.astype(float).copy()
+    for key in np.unique(keys):
+        mask = keys == key
+        out[mask] -= out[mask].mean()
+    return out
+
+
+def fixed_effects_estimate(
+    data: Frame,
+    unit: str,
+    time: str,
+    treatment: str,
+    outcome: str,
+) -> EffectEstimate:
+    """Two-way-fixed-effects estimate of a binary (or continuous) treatment.
+
+    Demeans outcome and treatment within unit and within period
+    (one sweep each — exact for balanced panels, the standard
+    approximation otherwise) and regresses residual on residual.
+    """
+    sub = data.drop_missing([unit, time, treatment, outcome])
+    if sub.num_rows < 8:
+        raise InsufficientDataError(f"only {sub.num_rows} complete panel rows")
+    units = np.array([str(v) for v in sub.column(unit).values])
+    times = np.array([str(v) for v in sub.column(time).values])
+    if len(np.unique(units)) < 2 or len(np.unique(times)) < 2:
+        raise InsufficientDataError("need >= 2 units and >= 2 periods")
+    y = sub.numeric(outcome)
+    t = sub.numeric(treatment)
+
+    y_dm = _group_demean(_group_demean(y, units), times)
+    t_dm = _group_demean(_group_demean(t, units), times)
+    if float(np.std(t_dm)) < 1e-12:
+        raise EstimationError(
+            "treatment has no within-unit-within-period variation; "
+            "fixed effects absorb it entirely"
+        )
+    fit = fit_ols(y_dm, {"treatment": t_dm}, add_intercept=False, robust=True)
+    effect = fit.coefficient("treatment")
+    se = fit.standard_error("treatment")
+    return EffectEstimate(
+        effect=effect,
+        standard_error=se,
+        ci_low=effect - 1.96 * se,
+        ci_high=effect + 1.96 * se,
+        method="panel.two_way_fixed_effects",
+        n_treated=int((t > 0).sum()),
+        n_control=int((t == 0).sum()),
+        details={
+            "n_units": int(len(np.unique(units))),
+            "n_periods": int(len(np.unique(times))),
+        },
+    )
+
+
+@dataclass(frozen=True)
+class EventStudyResult:
+    """Per-relative-period effects around the treatment event.
+
+    Attributes
+    ----------
+    relative_periods:
+        Sorted offsets from each unit's treatment time (0 = first
+        treated period; negative = leads, positive = lags).
+    effects, standard_errors:
+        Estimated effect and SE per offset, relative to the baseline
+        period (-1), which is normalised to zero.
+    """
+
+    relative_periods: tuple[int, ...]
+    effects: tuple[float, ...]
+    standard_errors: tuple[float, ...]
+
+    def effect_at(self, offset: int) -> float:
+        """The estimated effect at a relative period."""
+        return self.effects[self.relative_periods.index(offset)]
+
+    def pre_trend_flat(self, z_bar: float = 2.5) -> bool:
+        """Whether every lead (offset < -1) is statistically null."""
+        for offset, eff, se in zip(
+            self.relative_periods, self.effects, self.standard_errors
+        ):
+            if offset < -1 and se > 0 and abs(eff) / se > z_bar:
+                return False
+        return True
+
+    def average_post_effect(self) -> float:
+        """Mean effect over offsets >= 0."""
+        post = [
+            e for o, e in zip(self.relative_periods, self.effects) if o >= 0
+        ]
+        if not post:
+            raise EstimationError("no post-treatment periods in the event study")
+        return float(np.mean(post))
+
+    def format_table(self) -> str:
+        """Aligned offset/effect/se table."""
+        lines = [f"{'offset':>6}  {'effect':>9}  {'se':>8}"]
+        for o, e, s in zip(
+            self.relative_periods, self.effects, self.standard_errors
+        ):
+            lines.append(f"{o:>+6d}  {e:>+9.3f}  {s:>8.3f}")
+        return "\n".join(lines)
+
+
+def event_study(
+    data: Frame,
+    unit: str,
+    time: str,
+    outcome: str,
+    treatment_time: dict[str, float],
+    max_lead: int = 5,
+    max_lag: int = 10,
+) -> EventStudyResult:
+    """Estimate dynamic effects around each unit's treatment time.
+
+    Parameters
+    ----------
+    data:
+        Long panel with *unit*, *time* (numeric), *outcome* columns.
+    treatment_time:
+        ``{unit_label: first treated period}``; units absent from the
+        mapping are never-treated controls (they anchor period effects).
+    max_lead, max_lag:
+        Window of relative periods to estimate; observations outside it
+        are binned into the window's endpoints.
+
+    Implements the standard TWFE event-study regression: outcome on
+    unit dummies, period dummies, and relative-period indicators with
+    offset -1 omitted as the baseline.
+    """
+    sub = data.drop_missing([unit, time, outcome])
+    units = np.array([str(v) for v in sub.column(unit).values])
+    times = sub.numeric(time)
+    y = sub.numeric(outcome)
+    if len(np.unique(units)) < 2:
+        raise InsufficientDataError("need >= 2 units")
+    if not treatment_time:
+        raise EstimationError("treatment_time is empty: nothing to study")
+
+    # Relative period per row (None for never-treated rows).
+    offsets = np.full(len(y), np.nan)
+    for i in range(len(y)):
+        t0 = treatment_time.get(units[i])
+        if t0 is not None:
+            rel = int(np.floor(times[i] - t0))
+            rel = max(-max_lead, min(max_lag, rel))
+            offsets[i] = rel
+
+    present = sorted(
+        {int(o) for o in offsets[np.isfinite(offsets)]} - {-1}
+    )
+    if not present:
+        raise InsufficientDataError("no relative periods other than the baseline")
+
+    # Demean by unit and period (absorbing both fixed effects), then
+    # regress on the relative-period indicators.
+    y_dm = _group_demean(_group_demean(y, units), times.astype(np.int64))
+    regs: dict[str, np.ndarray] = {}
+    for o in present:
+        indicator = (offsets == o).astype(float)
+        regs[f"rel_{o}"] = _group_demean(
+            _group_demean(indicator, units), times.astype(np.int64)
+        )
+    fit = fit_ols(y_dm, regs, add_intercept=False, robust=True)
+
+    rel_periods = [-1] + present
+    effects = [0.0] + [fit.coefficient(f"rel_{o}") for o in present]
+    ses = [0.0] + [fit.standard_error(f"rel_{o}") for o in present]
+    order = np.argsort(rel_periods)
+    return EventStudyResult(
+        relative_periods=tuple(int(rel_periods[i]) for i in order),
+        effects=tuple(float(effects[i]) for i in order),
+        standard_errors=tuple(float(ses[i]) for i in order),
+    )

@@ -1,0 +1,254 @@
+"""Refutation tests for causal estimates (DoWhy-style, cited in §4).
+
+An estimate that survives estimation is not yet trustworthy; the paper
+asks studies to "validate assumptions and report uncertainty".  Each
+refuter here perturbs the analysis in a way that *should* have a known
+consequence, and flags the estimate when it does not:
+
+- :func:`placebo_treatment_refuter` — replace the treatment with random
+  noise; the effect must collapse to ~0.
+- :func:`random_common_cause_refuter` — add an irrelevant random
+  covariate to the adjustment set; the estimate must not move.
+- :func:`subset_refuter` — re-estimate on random row subsets; the
+  estimate must be stable beyond sampling noise.
+- :func:`dummy_outcome_refuter` — replace the outcome with noise; the
+  effect must collapse to ~0.
+
+Each returns a :class:`RefutationResult` with a pass/fail verdict and
+the refutation distribution, and :func:`refute_all` runs the battery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.frames.frame import Frame
+from repro.estimators.base import EffectEstimate
+
+#: An estimator callable: (data, treatment, outcome, adjustment) -> estimate.
+EstimatorFn = Callable[[Frame, str, str, Sequence[str]], EffectEstimate]
+
+
+@dataclass(frozen=True)
+class RefutationResult:
+    """Outcome of one refutation test.
+
+    Attributes
+    ----------
+    name:
+        Refuter name.
+    original_effect:
+        The estimate under scrutiny.
+    refuted_effects:
+        Effects measured under the perturbations.
+    passed:
+        True when the estimate behaved as a causal effect should.
+    detail:
+        Human-readable explanation of the verdict.
+    """
+
+    name: str
+    original_effect: float
+    refuted_effects: tuple[float, ...]
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"[{verdict}] {self.name}: {self.detail}"
+
+
+def _rng(seed: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def placebo_treatment_refuter(
+    data: Frame,
+    treatment: str,
+    outcome: str,
+    adjustment: Sequence[str],
+    estimator: EstimatorFn,
+    n_trials: int = 10,
+    rng: np.random.Generator | int | None = 0,
+) -> RefutationResult:
+    """Shuffle the treatment column; effects must collapse toward zero.
+
+    The pass bar: the original effect's absolute value must exceed the
+    95th percentile of |placebo effects| (otherwise the 'effect' is
+    indistinguishable from what a random treatment produces).
+    """
+    generator = _rng(rng)
+    original = estimator(data, treatment, outcome, adjustment)
+    t = data.numeric(treatment)
+    effects = []
+    for _ in range(n_trials):
+        shuffled = generator.permutation(t)
+        placebo = data.with_column(treatment, shuffled)
+        effects.append(estimator(placebo, treatment, outcome, adjustment).effect)
+    bar = float(np.quantile(np.abs(effects), 0.95))
+    passed = abs(original.effect) > bar
+    return RefutationResult(
+        name="placebo_treatment",
+        original_effect=original.effect,
+        refuted_effects=tuple(effects),
+        passed=passed,
+        detail=(
+            f"original {original.effect:+.4g} vs placebo 95th pct {bar:.4g} "
+            f"({'clears' if passed else 'does NOT clear'} the placebo bar)"
+        ),
+    )
+
+
+def random_common_cause_refuter(
+    data: Frame,
+    treatment: str,
+    outcome: str,
+    adjustment: Sequence[str],
+    estimator: EstimatorFn,
+    n_trials: int = 10,
+    tolerance: float = 0.2,
+    rng: np.random.Generator | int | None = 0,
+) -> RefutationResult:
+    """Add a pure-noise covariate to the adjustment; estimate must not move.
+
+    *tolerance* is the allowed relative drift of the mean perturbed
+    estimate (absolute drift of 10% of a standard error is also
+    accepted for near-zero effects).
+    """
+    generator = _rng(rng)
+    original = estimator(data, treatment, outcome, adjustment)
+    effects = []
+    for i in range(n_trials):
+        noise = generator.normal(0, 1, data.num_rows)
+        augmented = data.with_column("_random_cause", noise)
+        effects.append(
+            estimator(
+                augmented, treatment, outcome, [*adjustment, "_random_cause"]
+            ).effect
+        )
+    mean_shift = abs(float(np.mean(effects)) - original.effect)
+    scale = max(abs(original.effect), original.standard_error, 1e-12)
+    passed = mean_shift <= tolerance * scale
+    return RefutationResult(
+        name="random_common_cause",
+        original_effect=original.effect,
+        refuted_effects=tuple(effects),
+        passed=passed,
+        detail=(
+            f"mean shift {mean_shift:.4g} vs tolerance {tolerance * scale:.4g} "
+            f"({'stable' if passed else 'UNSTABLE'} under an irrelevant covariate)"
+        ),
+    )
+
+
+def subset_refuter(
+    data: Frame,
+    treatment: str,
+    outcome: str,
+    adjustment: Sequence[str],
+    estimator: EstimatorFn,
+    n_trials: int = 10,
+    fraction: float = 0.7,
+    z_bar: float = 3.0,
+    rng: np.random.Generator | int | None = 0,
+) -> RefutationResult:
+    """Re-estimate on random subsets; drift beyond sampling noise fails.
+
+    The pass bar: |original - mean(subset estimates)| within *z_bar*
+    subset standard deviations.
+    """
+    if not 0 < fraction < 1:
+        raise EstimationError("fraction must be in (0, 1)")
+    generator = _rng(rng)
+    original = estimator(data, treatment, outcome, adjustment)
+    n = data.num_rows
+    k = max(int(n * fraction), 10)
+    effects = []
+    for _ in range(n_trials):
+        idx = generator.choice(n, size=k, replace=False)
+        effects.append(
+            estimator(data.take(idx), treatment, outcome, adjustment).effect
+        )
+    spread = float(np.std(effects, ddof=1)) if len(effects) > 1 else float("inf")
+    drift = abs(float(np.mean(effects)) - original.effect)
+    passed = drift <= z_bar * max(spread, 1e-12)
+    return RefutationResult(
+        name="subset",
+        original_effect=original.effect,
+        refuted_effects=tuple(effects),
+        passed=passed,
+        detail=(
+            f"drift {drift:.4g} vs {z_bar} x subset sd {spread:.4g} "
+            f"({'stable' if passed else 'UNSTABLE'} across subsets)"
+        ),
+    )
+
+
+def dummy_outcome_refuter(
+    data: Frame,
+    treatment: str,
+    outcome: str,
+    adjustment: Sequence[str],
+    estimator: EstimatorFn,
+    n_trials: int = 10,
+    rng: np.random.Generator | int | None = 0,
+) -> RefutationResult:
+    """Replace the outcome with noise; any recovered 'effect' is spurious.
+
+    Pass bar: every dummy-outcome effect must be statistically null —
+    we use |effect| < 4 x the dummy fits' own spread as a generous bar.
+    """
+    generator = _rng(rng)
+    original = estimator(data, treatment, outcome, adjustment)
+    effects = []
+    for _ in range(n_trials):
+        noise = generator.normal(0, 1, data.num_rows)
+        dummy = data.with_column(outcome, noise)
+        effects.append(estimator(dummy, treatment, outcome, adjustment).effect)
+    spread = float(np.std(effects, ddof=1)) if len(effects) > 1 else 0.0
+    worst = float(np.max(np.abs(effects)))
+    passed = worst <= max(4 * spread, 1e-6)
+    return RefutationResult(
+        name="dummy_outcome",
+        original_effect=original.effect,
+        refuted_effects=tuple(effects),
+        passed=passed,
+        detail=(
+            f"max |dummy effect| {worst:.4g} "
+            f"({'consistent with zero' if passed else 'NOT consistent with zero: estimator is biased'})"
+        ),
+    )
+
+
+def refute_all(
+    data: Frame,
+    treatment: str,
+    outcome: str,
+    adjustment: Sequence[str],
+    estimator: EstimatorFn,
+    n_trials: int = 10,
+    rng: np.random.Generator | int | None = 0,
+) -> list[RefutationResult]:
+    """Run the full refutation battery, deterministically seeded."""
+    generator = _rng(rng)
+    seeds = generator.integers(0, 2**31, size=4)
+    return [
+        placebo_treatment_refuter(
+            data, treatment, outcome, adjustment, estimator, n_trials, int(seeds[0])
+        ),
+        random_common_cause_refuter(
+            data, treatment, outcome, adjustment, estimator, n_trials, rng=int(seeds[1])
+        ),
+        subset_refuter(
+            data, treatment, outcome, adjustment, estimator, n_trials, rng=int(seeds[2])
+        ),
+        dummy_outcome_refuter(
+            data, treatment, outcome, adjustment, estimator, n_trials, int(seeds[3])
+        ),
+    ]

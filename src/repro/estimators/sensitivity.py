@@ -1,0 +1,199 @@
+"""Sensitivity to unobserved confounding (Cinelli & Hazlett style).
+
+Backdoor adjustment is only as good as the adjustment set; the paper's
+§4 asks studies to "report uncertainty in causal estimates", which for
+observational designs means quantifying how strong an *unmeasured*
+confounder would have to be to overturn the conclusion.  This module
+implements the partial-R² sensitivity framework:
+
+- :func:`robustness_value` — the share of residual variance an omitted
+  confounder must explain of **both** treatment and outcome to drive
+  the estimate to zero (RV ≈ 0 means fragile, RV ≈ 1 means unassailable);
+- :func:`partial_r2` — the treatment's own partial R², an upper bound
+  benchmark for "could a confounder plausibly be this strong?";
+- :func:`bias_bound` — the maximum bias a hypothesised confounder with
+  given partial-R² strengths could induce (the adjusted-estimate bound);
+- :func:`sensitivity_report` — everything above in one readable object.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.frames.frame import Frame
+from repro.estimators.ols import OlsFit, fit_ols
+
+
+def _fit_for(
+    data: Frame, treatment: str, outcome: str, adjustment: Sequence[str]
+) -> OlsFit:
+    sub = data.drop_missing([treatment, outcome, *adjustment])
+    regs = {treatment: sub.numeric(treatment)}
+    for name in adjustment:
+        regs[name] = sub.numeric(name)
+    return fit_ols(sub.numeric(outcome), regs)
+
+
+def partial_r2(fit: OlsFit, term: str) -> float:
+    """Partial R² of one regressor, from its t statistic.
+
+    ``R²_partial = t² / (t² + dof)`` — the share of residual outcome
+    variance that regressor uniquely explains.
+    """
+    t = float(fit.t_values[fit.names.index(term)])
+    return t * t / (t * t + fit.dof)
+
+
+def robustness_value(
+    fit: OlsFit, term: str, q: float = 1.0, alpha: float | None = None
+) -> float:
+    """The Cinelli-Hazlett robustness value RV_q.
+
+    The minimum partial R² an unobserved confounder needs **with both**
+    the treatment and the outcome to reduce the estimate by a fraction
+    *q* (q=1: to zero).  With *alpha* set, computes RV_{q,alpha}: the
+    strength needed to make the estimate statistically insignificant at
+    that level rather than zero.
+    """
+    if q <= 0:
+        raise EstimationError("q must be positive")
+    t = float(fit.t_values[fit.names.index(term)])
+    dof = fit.dof
+    if alpha is not None:
+        from scipy import stats
+
+        t_crit = float(stats.t.ppf(1 - alpha / 2, dof - 1))
+        f = max(abs(t) / math.sqrt(dof) * q - t_crit / math.sqrt(dof - 1), 0.0)
+    else:
+        f = abs(t) / math.sqrt(dof) * q
+    if f == 0.0:
+        return 0.0
+    rv = 0.5 * (math.sqrt(f**4 + 4 * f * f) - f * f)
+    return float(min(max(rv, 0.0), 1.0))
+
+
+def bias_bound(
+    fit: OlsFit,
+    term: str,
+    r2_confounder_treatment: float,
+    r2_confounder_outcome: float,
+) -> float:
+    """Maximum |bias| a confounder of given strength could induce.
+
+    ``|bias| <= se * sqrt(R²_yu * R²_tu / (1 - R²_tu)) * sqrt(dof)``
+    where the R² are the confounder's partial R² with outcome and
+    treatment respectively.
+    """
+    for name, value in (
+        ("r2_confounder_treatment", r2_confounder_treatment),
+        ("r2_confounder_outcome", r2_confounder_outcome),
+    ):
+        if not 0 <= value < 1:
+            raise EstimationError(f"{name} must be in [0, 1), got {value}")
+    se = float(fit.standard_errors[fit.names.index(term)])
+    return float(
+        se
+        * math.sqrt(
+            r2_confounder_outcome
+            * r2_confounder_treatment
+            / (1 - r2_confounder_treatment)
+        )
+        * math.sqrt(fit.dof)
+    )
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Sensitivity summary for one adjusted estimate.
+
+    Attributes
+    ----------
+    effect, standard_error:
+        The adjusted point estimate under scrutiny.
+    rv:
+        Robustness value for driving the effect to zero.
+    rv_significant:
+        Robustness value for merely destroying 5% significance.
+    treatment_partial_r2:
+        The treatment's own explanatory strength (a plausibility
+        yardstick for hypothetical confounders).
+    benchmark_bounds:
+        ``{covariate: bias if a confounder were as strong as it}`` for
+        each observed adjustment covariate.
+    """
+
+    effect: float
+    standard_error: float
+    rv: float
+    rv_significant: float
+    treatment_partial_r2: float
+    benchmark_bounds: dict[str, float]
+
+    def verdict(self) -> str:
+        """Prose robustness verdict."""
+        if self.rv >= 0.2:
+            strength = "strong"
+        elif self.rv >= 0.05:
+            strength = "moderate"
+        else:
+            strength = "fragile"
+        return (
+            f"estimate {self.effect:+.4g}: a confounder explaining "
+            f"{self.rv:.1%} of residual variance in both treatment and "
+            f"outcome would drive it to zero ({strength}); "
+            f"{self.rv_significant:.1%} would already destroy 5% significance"
+        )
+
+    def format_report(self) -> str:
+        """Multi-line report including observed-covariate benchmarks."""
+        lines = [self.verdict()]
+        if self.benchmark_bounds:
+            lines.append("bias if a hidden confounder matched an observed one:")
+            for name, bound in sorted(self.benchmark_bounds.items()):
+                lines.append(
+                    f"  as strong as {name!r}: |bias| <= {bound:.4g} "
+                    f"({'could' if bound >= abs(self.effect) else 'could NOT'} "
+                    "explain the whole effect)"
+                )
+        return "\n".join(lines)
+
+
+def sensitivity_report(
+    data: Frame,
+    treatment: str,
+    outcome: str,
+    adjustment: Sequence[str],
+) -> SensitivityReport:
+    """Full sensitivity analysis of a regression-adjusted estimate.
+
+    Benchmarks: for each observed adjustment covariate, the bias an
+    unobserved confounder *as strong as that covariate* (in partial-R²
+    terms, on both equations) could induce.
+    """
+    fit = _fit_for(data, treatment, outcome, adjustment)
+    sub = data.drop_missing([treatment, outcome, *adjustment])
+
+    benchmarks: dict[str, float] = {}
+    for name in adjustment:
+        r2_yu = partial_r2(fit, name)
+        # Strength with the treatment: partial R2 of the covariate in a
+        # regression of the treatment on the full adjustment set.
+        t_regs = {c: sub.numeric(c) for c in adjustment}
+        t_fit = fit_ols(sub.numeric(treatment), t_regs)
+        r2_tu = partial_r2(t_fit, name)
+        r2_tu = min(r2_tu, 0.99)
+        benchmarks[name] = bias_bound(fit, treatment, r2_tu, r2_yu)
+
+    return SensitivityReport(
+        effect=fit.coefficient(treatment),
+        standard_error=fit.standard_error(treatment),
+        rv=robustness_value(fit, treatment),
+        rv_significant=robustness_value(fit, treatment, alpha=0.05),
+        treatment_partial_r2=partial_r2(fit, treatment),
+        benchmark_bounds=benchmarks,
+    )

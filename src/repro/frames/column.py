@@ -1,0 +1,249 @@
+"""Typed columns backing :class:`repro.frames.Frame`.
+
+A column is a named, homogeneous 1-D array.  Numeric columns are stored as
+``numpy.float64`` (with NaN as the missing marker), integer columns as
+``numpy.int64``, boolean columns as ``numpy.bool_``, and everything else as
+a numpy object array of Python values (with ``None`` as the missing
+marker).  The class is intentionally small: it exists so that
+:class:`~repro.frames.frame.Frame` can reason about dtypes and missing
+values uniformly without pulling in pandas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ColumnMismatchError, FrameError
+
+#: Canonical dtype kinds a column may carry.
+KIND_FLOAT = "float"
+KIND_INT = "int"
+KIND_BOOL = "bool"
+KIND_OBJECT = "object"
+
+_VALID_KINDS = (KIND_FLOAT, KIND_INT, KIND_BOOL, KIND_OBJECT)
+
+
+def infer_kind(values: Sequence[Any] | np.ndarray) -> str:
+    """Infer the column kind for a sequence of raw Python/numpy values.
+
+    Floats (or the presence of ``None``/NaN among numbers) infer ``float``;
+    pure ints infer ``int``; pure bools infer ``bool``; anything else is
+    ``object``.  An empty sequence infers ``object``.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype.kind == "f":
+            return KIND_FLOAT
+        if values.dtype.kind in "iu":
+            return KIND_INT
+        if values.dtype.kind == "b":
+            return KIND_BOOL
+        return KIND_OBJECT
+
+    saw_float = False
+    saw_int = False
+    saw_bool = False
+    saw_none = False
+    for v in values:
+        if v is None:
+            saw_none = True
+        elif isinstance(v, bool) or isinstance(v, np.bool_):
+            saw_bool = True
+        elif isinstance(v, (int, np.integer)):
+            saw_int = True
+        elif isinstance(v, (float, np.floating)):
+            saw_float = True
+        else:
+            return KIND_OBJECT
+    if saw_bool and not (saw_float or saw_int):
+        return KIND_OBJECT if saw_none else KIND_BOOL
+    if saw_float or (saw_none and saw_int):
+        return KIND_FLOAT
+    if saw_int:
+        return KIND_INT
+    return KIND_OBJECT
+
+
+def _coerce(values: Sequence[Any] | np.ndarray, kind: str) -> np.ndarray:
+    """Coerce raw values into the canonical numpy array for *kind*."""
+    if kind == KIND_FLOAT:
+        if isinstance(values, np.ndarray) and values.dtype == np.float64:
+            return values
+        out = np.empty(len(values), dtype=np.float64)
+        for i, v in enumerate(values):
+            out[i] = np.nan if v is None else float(v)
+        return out
+    if kind == KIND_INT:
+        return np.asarray(values, dtype=np.int64)
+    if kind == KIND_BOOL:
+        return np.asarray(values, dtype=np.bool_)
+    arr = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        arr[i] = v
+    return arr
+
+
+class Column:
+    """A named, typed, immutable-by-convention 1-D array.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a non-empty string.
+    values:
+        Raw values; coerced according to *kind*.
+    kind:
+        One of ``float``, ``int``, ``bool``, ``object``.  Inferred from the
+        values when omitted.
+    """
+
+    __slots__ = ("name", "kind", "values")
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[Any] | np.ndarray,
+        kind: str | None = None,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise FrameError(f"column name must be a non-empty string, got {name!r}")
+        if kind is None:
+            kind = infer_kind(values)
+        if kind not in _VALID_KINDS:
+            raise FrameError(f"unknown column kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.values = _coerce(values, kind)
+        if self.values.ndim != 1:
+            raise FrameError(f"column {name!r} must be 1-D, got shape {self.values.shape}")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterable[Any]:
+        return iter(self.values)
+
+    def __getitem__(self, idx: Any) -> Any:
+        return self.values[idx]
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, kind={self.kind}, n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.name != other.name or self.kind != other.kind:
+            return False
+        if len(self) != len(other):
+            return False
+        if self.kind == KIND_FLOAT:
+            return bool(
+                np.array_equal(self.values, other.values, equal_nan=True)
+            )
+        return bool(np.array_equal(self.values, other.values))
+
+    def __hash__(self) -> int:  # columns are not hashable (mutable array)
+        raise TypeError("Column is not hashable")
+
+    # -- missing values -----------------------------------------------------
+
+    def is_missing(self) -> np.ndarray:
+        """Return a boolean mask that is True where the value is missing."""
+        if self.kind == KIND_FLOAT:
+            return np.isnan(self.values)
+        if self.kind == KIND_OBJECT:
+            return np.array([v is None for v in self.values], dtype=bool)
+        return np.zeros(len(self), dtype=bool)
+
+    def count_missing(self) -> int:
+        """Number of missing entries."""
+        return int(self.is_missing().sum())
+
+    # -- transforms ----------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column with rows reordered/selected by *indices*."""
+        return Column(self.name, self.values[indices], kind=self.kind)
+
+    def mask(self, keep: np.ndarray) -> "Column":
+        """Return a new column keeping rows where *keep* is True."""
+        keep = np.asarray(keep, dtype=bool)
+        if len(keep) != len(self):
+            raise ColumnMismatchError(
+                f"mask length {len(keep)} != column length {len(self)}"
+            )
+        return Column(self.name, self.values[keep], kind=self.kind)
+
+    def rename(self, name: str) -> "Column":
+        """Return the same data under a different name."""
+        return Column(name, self.values, kind=self.kind)
+
+    def astype(self, kind: str) -> "Column":
+        """Return a copy converted to another kind.
+
+        Conversions go through Python scalars, so ``object -> float`` works
+        for columns of numeric strings as well as numbers.
+        """
+        if kind == self.kind:
+            return Column(self.name, self.values.copy(), kind=kind)
+        if kind == KIND_FLOAT:
+            vals = [None if m else float(v) for v, m in zip(self.values, self.is_missing())]
+            return Column(self.name, vals, kind=KIND_FLOAT)
+        if kind == KIND_INT:
+            if self.count_missing():
+                raise FrameError(
+                    f"cannot convert column {self.name!r} with missing values to int"
+                )
+            return Column(self.name, [int(v) for v in self.values], kind=KIND_INT)
+        if kind == KIND_BOOL:
+            if self.count_missing():
+                raise FrameError(
+                    f"cannot convert column {self.name!r} with missing values to bool"
+                )
+            return Column(self.name, [bool(v) for v in self.values], kind=KIND_BOOL)
+        if kind == KIND_OBJECT:
+            return Column(self.name, list(self.values), kind=KIND_OBJECT)
+        raise FrameError(f"unknown column kind {kind!r}")
+
+    def concat(self, other: "Column") -> "Column":
+        """Concatenate two columns of the same name, unifying kinds."""
+        if other.name != self.name:
+            raise ColumnMismatchError(
+                f"cannot concat column {other.name!r} onto {self.name!r}"
+            )
+        if self.kind == other.kind:
+            return Column(
+                self.name, np.concatenate([self.values, other.values]), kind=self.kind
+            )
+        # Unify: int+float -> float, anything else -> object.
+        numeric = {KIND_INT, KIND_FLOAT, KIND_BOOL}
+        if self.kind in numeric and other.kind in numeric:
+            a = self.astype(KIND_FLOAT)
+            b = other.astype(KIND_FLOAT)
+            return Column(self.name, np.concatenate([a.values, b.values]), kind=KIND_FLOAT)
+        a = self.astype(KIND_OBJECT)
+        b = other.astype(KIND_OBJECT)
+        return Column(self.name, np.concatenate([a.values, b.values]), kind=KIND_OBJECT)
+
+    def to_list(self) -> list[Any]:
+        """Return the values as a plain Python list (NaN/None preserved)."""
+        return list(self.values)
+
+    def unique(self) -> list[Any]:
+        """Distinct values in first-appearance order (missing included once)."""
+        seen: set[Any] = set()
+        out: list[Any] = []
+        saw_nan = False
+        for v in self.values:
+            if isinstance(v, float) and np.isnan(v):
+                if not saw_nan:
+                    saw_nan = True
+                    out.append(v)
+                continue
+            if v not in seen:
+                seen.add(v)
+                out.append(v)
+        return out

@@ -1,0 +1,396 @@
+"""A small columnar frame: the library's tabular workhorse.
+
+:class:`Frame` holds an ordered set of equal-length :class:`Column` objects
+and supports the handful of relational verbs the analysis pipeline needs —
+filter, sort, select, derive, group-by, and join.  It deliberately favours
+explicitness over pandas-style magic: row predicates are plain callables or
+boolean masks, and every transform returns a new frame.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ColumnMismatchError, FrameError
+from repro.frames.column import KIND_FLOAT, KIND_OBJECT, Column
+
+
+class Frame:
+    """An immutable-by-convention columnar table.
+
+    Parameters
+    ----------
+    columns:
+        Columns in display order.  All must have the same length and
+        distinct names.
+    """
+
+    __slots__ = ("_columns", "_order")
+
+    def __init__(self, columns: Sequence[Column] = ()) -> None:
+        self._columns: dict[str, Column] = {}
+        self._order: list[str] = []
+        n = None
+        for col in columns:
+            if col.name in self._columns:
+                raise FrameError(f"duplicate column name {col.name!r}")
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise ColumnMismatchError(
+                    f"column {col.name!r} has length {len(col)}, expected {n}"
+                )
+            self._columns[col.name] = col
+            self._order.append(col.name)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[Any] | np.ndarray]) -> "Frame":
+        """Build a frame from ``{name: values}`` (ordered as given)."""
+        return cls([Column(name, values) for name, values in data.items()])
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "Frame":
+        """Build a frame from an iterable of row dicts.
+
+        Column order follows *columns* when given, otherwise the key order
+        of the first record.  Keys missing from a record become missing
+        values.
+        """
+        rows = list(records)
+        if columns is None:
+            if not rows:
+                return cls()
+            columns = list(rows[0].keys())
+        data: dict[str, list[Any]] = {c: [] for c in columns}
+        for row in rows:
+            for c in columns:
+                data[c].append(row.get(c))
+        return cls.from_dict(data)
+
+    # -- basic introspection ----------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (0 for an empty frame)."""
+        if not self._order:
+            return 0
+        return len(self._columns[self._order[0]])
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self._order)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in display order."""
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the raw value array of column *name*."""
+        return self.column(name).values
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` object named *name*."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise FrameError(
+                f"no column {name!r}; available: {self._order}"
+            ) from None
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row *index* as a dict (supports negative indices)."""
+        n = self.num_rows
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise FrameError(f"row index {index} out of range for {n} rows")
+        return {name: self._columns[name].values[index] for name in self._order}
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        """Yield each row as a dict.  Convenient, not fast."""
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Return ``{name: list-of-values}`` preserving column order."""
+        return {name: self._columns[name].to_list() for name in self._order}
+
+    def __repr__(self) -> str:
+        return f"Frame({self.num_rows} rows x {self.num_columns} cols: {self._order})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self._order != other._order:
+            return False
+        return all(self._columns[n] == other._columns[n] for n in self._order)
+
+    def __hash__(self) -> int:
+        raise TypeError("Frame is not hashable")
+
+    def head(self, n: int = 5) -> "Frame":
+        """Return the first *n* rows."""
+        idx = np.arange(min(n, self.num_rows))
+        return self.take(idx)
+
+    def to_text(self, max_rows: int = 20, float_fmt: str = "{:.4g}") -> str:
+        """Render an aligned plain-text table (for examples and logs)."""
+        names = self._order
+        if not names:
+            return "(empty frame)"
+        shown = min(self.num_rows, max_rows)
+
+        def fmt(v: Any) -> str:
+            if v is None:
+                return ""
+            if isinstance(v, (float, np.floating)):
+                return "" if np.isnan(v) else float_fmt.format(float(v))
+            return str(v)
+
+        cells = [[fmt(self._columns[n].values[i]) for n in names] for i in range(shown)]
+        widths = [
+            max(len(n), *(len(r[j]) for r in cells)) if cells else len(n)
+            for j, n in enumerate(names)
+        ]
+        lines = ["  ".join(n.ljust(w) for n, w in zip(names, widths))]
+        lines.append("  ".join("-" * w for w in widths))
+        for r in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        if shown < self.num_rows:
+            lines.append(f"... ({self.num_rows - shown} more rows)")
+        return "\n".join(lines)
+
+    # -- column-level transforms --------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Return a frame with only *names*, in the given order."""
+        return Frame([self.column(n) for n in names])
+
+    def drop(self, names: Sequence[str] | str) -> "Frame":
+        """Return a frame without the given column(s)."""
+        if isinstance(names, str):
+            names = [names]
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise FrameError(f"cannot drop unknown columns {missing}")
+        keep = [n for n in self._order if n not in set(names)]
+        return self.select(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        """Return a frame with columns renamed per *mapping*."""
+        for old in mapping:
+            if old not in self._columns:
+                raise FrameError(f"cannot rename unknown column {old!r}")
+        cols = [
+            self._columns[n].rename(mapping.get(n, n)) for n in self._order
+        ]
+        return Frame(cols)
+
+    def with_column(self, name: str, values: Sequence[Any] | np.ndarray) -> "Frame":
+        """Return a frame with column *name* added or replaced."""
+        col = Column(name, values)
+        if self._order and len(col) != self.num_rows:
+            raise ColumnMismatchError(
+                f"new column {name!r} has length {len(col)}, expected {self.num_rows}"
+            )
+        cols = [self._columns[n] for n in self._order if n != name]
+        cols.append(col)
+        return Frame(cols)
+
+    def derive(self, name: str, fn: Callable[[dict[str, Any]], Any]) -> "Frame":
+        """Return a frame with a new column computed per-row by *fn*."""
+        values = [fn(row) for row in self.iter_rows()]
+        return self.with_column(name, values)
+
+    # -- row-level transforms ------------------------------------------------------
+
+    def take(self, indices: np.ndarray | Sequence[int]) -> "Frame":
+        """Return rows selected/reordered by integer *indices*."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return Frame([self._columns[n].take(idx) for n in self._order])
+
+    def filter(
+        self, predicate: Callable[[dict[str, Any]], bool] | np.ndarray
+    ) -> "Frame":
+        """Return rows matching a boolean mask or per-row predicate."""
+        if callable(predicate):
+            mask = np.array(
+                [bool(predicate(row)) for row in self.iter_rows()], dtype=bool
+            )
+        else:
+            mask = np.asarray(predicate, dtype=bool)
+            if len(mask) != self.num_rows:
+                raise ColumnMismatchError(
+                    f"mask length {len(mask)} != row count {self.num_rows}"
+                )
+        return Frame([self._columns[n].mask(mask) for n in self._order])
+
+    def where_equal(self, **conditions: Any) -> "Frame":
+        """Return rows where each named column equals the given value."""
+        mask = np.ones(self.num_rows, dtype=bool)
+        for name, value in conditions.items():
+            col = self.column(name)
+            mask &= np.array([v == value for v in col.values], dtype=bool)
+        return self.filter(mask)
+
+    def drop_missing(self, names: Sequence[str] | None = None) -> "Frame":
+        """Drop rows with a missing value in any of *names* (default: all)."""
+        names = list(names) if names is not None else self._order
+        mask = np.ones(self.num_rows, dtype=bool)
+        for n in names:
+            mask &= ~self.column(n).is_missing()
+        return self.filter(mask)
+
+    def sort_by(self, names: Sequence[str] | str, descending: bool = False) -> "Frame":
+        """Return rows sorted by the given column(s), stably."""
+        if isinstance(names, str):
+            names = [names]
+        if not names:
+            return self
+        order = np.arange(self.num_rows)
+        # numpy.lexsort sorts by the last key first; apply keys in reverse.
+        keys = []
+        for n in reversed(names):
+            col = self.column(n)
+            if col.kind == KIND_OBJECT:
+                vals = np.array([str(v) for v in col.values])
+            else:
+                vals = col.values
+            keys.append(vals)
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def concat(self, other: "Frame") -> "Frame":
+        """Append *other*'s rows.  Column sets must match (order-insensitive)."""
+        if set(self._order) != set(other._order):
+            raise ColumnMismatchError(
+                f"cannot concat frames with columns {self._order} and {other._order}"
+            )
+        if not self._order:
+            return other
+        return Frame(
+            [self._columns[n].concat(other._columns[n]) for n in self._order]
+        )
+
+    # -- joins -------------------------------------------------------------------
+
+    def join(
+        self,
+        other: "Frame",
+        on: Sequence[str] | str,
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "Frame":
+        """Hash join with *other* on the given key column(s).
+
+        Supports ``inner`` and ``left`` joins.  Non-key columns of *other*
+        that collide with a column of *self* are renamed with *suffix*.
+        """
+        if isinstance(on, str):
+            on = [on]
+        if how not in ("inner", "left"):
+            raise FrameError(f"unsupported join type {how!r}")
+        for k in on:
+            self.column(k)
+            other.column(k)
+
+        right_index: dict[tuple[Any, ...], list[int]] = {}
+        right_key_cols = [other.column(k).values for k in on]
+        for i in range(other.num_rows):
+            key = tuple(c[i] for c in right_key_cols)
+            right_index.setdefault(key, []).append(i)
+
+        left_idx: list[int] = []
+        right_idx: list[int] = []  # -1 means "no match" (left join)
+        left_key_cols = [self.column(k).values for k in on]
+        for i in range(self.num_rows):
+            key = tuple(c[i] for c in left_key_cols)
+            matches = right_index.get(key)
+            if matches:
+                for j in matches:
+                    left_idx.append(i)
+                    right_idx.append(j)
+            elif how == "left":
+                left_idx.append(i)
+                right_idx.append(-1)
+
+        left_part = self.take(np.asarray(left_idx, dtype=np.int64))
+        out_cols = [left_part.column(n) for n in left_part.column_names]
+        taken = set(self._order)
+        for n in other.column_names:
+            if n in on:
+                continue
+            col = other.column(n)
+            name = n + suffix if n in taken else n
+            values: list[Any] = []
+            for j in right_idx:
+                values.append(None if j < 0 else col.values[j])
+            out_cols.append(Column(name, values))
+        return Frame(out_cols)
+
+    # -- aggregation helpers (full group-by lives in groupby.py) -------------------
+
+    def group_indices(self, names: Sequence[str] | str) -> dict[tuple[Any, ...], np.ndarray]:
+        """Map each distinct key tuple to the row indices holding it."""
+        if isinstance(names, str):
+            names = [names]
+        cols = [self.column(n).values for n in names]
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        for i in range(self.num_rows):
+            key = tuple(c[i] for c in cols)
+            groups.setdefault(key, []).append(i)
+        return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+
+    def describe(self) -> "Frame":
+        """Summary statistics for every numeric column.
+
+        Returns a frame with one row per numeric column: count, number
+        missing, mean, std, min, median, max.
+        """
+        records = []
+        for name in self._order:
+            col = self._columns[name]
+            if col.kind == KIND_OBJECT:
+                continue
+            values = col.astype(KIND_FLOAT).values
+            finite = values[~np.isnan(values)]
+            records.append(
+                {
+                    "column": name,
+                    "count": int(len(finite)),
+                    "missing": int(len(values) - len(finite)),
+                    "mean": float(finite.mean()) if len(finite) else None,
+                    "std": float(finite.std(ddof=1)) if len(finite) > 1 else None,
+                    "min": float(finite.min()) if len(finite) else None,
+                    "median": float(np.median(finite)) if len(finite) else None,
+                    "max": float(finite.max()) if len(finite) else None,
+                }
+            )
+        return Frame.from_records(
+            records,
+            columns=["column", "count", "missing", "mean", "std", "min", "median", "max"],
+        )
+
+    def numeric(self, name: str) -> np.ndarray:
+        """Return column *name* as float64 (raising if non-numeric)."""
+        col = self.column(name)
+        if col.kind == KIND_OBJECT:
+            raise FrameError(f"column {name!r} is not numeric")
+        return col.astype(KIND_FLOAT).values

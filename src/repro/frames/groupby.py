@@ -1,0 +1,166 @@
+"""Group-by aggregation for :class:`repro.frames.Frame`.
+
+The entry point is :func:`group_by`, which returns a :class:`GroupedFrame`
+supporting named aggregations::
+
+    out = group_by(frame, ["asn", "city"]).aggregate(
+        rtt_median=("rtt_ms", "median"),
+        n=("rtt_ms", "count"),
+    )
+
+Built-in aggregations: ``count``, ``sum``, ``mean``, ``median``, ``min``,
+``max``, ``std``, ``var``, ``first``, ``last``, ``nunique``, plus any
+callable taking a numpy array.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frames.column import Column
+from repro.frames.frame import Frame
+
+_AggSpec = tuple[str, "str | Callable[[np.ndarray], Any]"]
+
+
+def _nan_safe(values: np.ndarray) -> np.ndarray:
+    """Drop NaN entries from a float array (pass others through)."""
+    if values.dtype.kind == "f":
+        return values[~np.isnan(values)]
+    return values
+
+
+_BUILTINS: dict[str, Callable[[np.ndarray], Any]] = {
+    "count": lambda v: len(v),
+    "sum": lambda v: float(np.sum(_nan_safe(v))) if len(_nan_safe(v)) else 0.0,
+    "mean": lambda v: float(np.mean(_nan_safe(v))) if len(_nan_safe(v)) else None,
+    "median": lambda v: float(np.median(_nan_safe(v))) if len(_nan_safe(v)) else None,
+    "min": lambda v: _nan_safe(v).min() if len(_nan_safe(v)) else None,
+    "max": lambda v: _nan_safe(v).max() if len(_nan_safe(v)) else None,
+    "std": lambda v: float(np.std(_nan_safe(v), ddof=1)) if len(_nan_safe(v)) > 1 else None,
+    "var": lambda v: float(np.var(_nan_safe(v), ddof=1)) if len(_nan_safe(v)) > 1 else None,
+    "first": lambda v: v[0] if len(v) else None,
+    "last": lambda v: v[-1] if len(v) else None,
+    "nunique": lambda v: len({str(x) for x in v}),
+}
+
+
+class GroupedFrame:
+    """A frame partitioned by one or more key columns."""
+
+    def __init__(self, frame: Frame, keys: Sequence[str]) -> None:
+        self._frame = frame
+        self._keys = list(keys)
+        self._groups = frame.group_indices(self._keys)
+
+    @property
+    def keys(self) -> list[str]:
+        """The grouping column names."""
+        return list(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def groups(self) -> dict[tuple[Any, ...], Frame]:
+        """Return each group's rows as its own frame."""
+        return {k: self._frame.take(idx) for k, idx in self._groups.items()}
+
+    def aggregate(self, **specs: _AggSpec) -> Frame:
+        """Aggregate each group into one output row.
+
+        Each keyword is an output column named by the keyword, whose value
+        is ``(source_column, agg)`` where ``agg`` is a built-in name or a
+        callable over the group's raw value array.
+        """
+        if not specs:
+            raise FrameError("aggregate() needs at least one aggregation spec")
+        resolved: list[tuple[str, str, Callable[[np.ndarray], Any]]] = []
+        for out_name, (src, agg) in specs.items():
+            self._frame.column(src)  # validate early
+            if callable(agg):
+                fn = agg
+            else:
+                try:
+                    fn = _BUILTINS[agg]
+                except KeyError:
+                    raise FrameError(
+                        f"unknown aggregation {agg!r}; "
+                        f"available: {sorted(_BUILTINS)}"
+                    ) from None
+            resolved.append((out_name, src, fn))
+
+        key_values: dict[str, list[Any]] = {k: [] for k in self._keys}
+        out_values: dict[str, list[Any]] = {name: [] for name, _, _ in resolved}
+        for key, idx in self._groups.items():
+            for kname, kval in zip(self._keys, key):
+                key_values[kname].append(kval)
+            for out_name, src, fn in resolved:
+                vals = self._frame.column(src).values[idx]
+                out_values[out_name].append(fn(vals))
+
+        cols = [Column(k, v) for k, v in key_values.items()]
+        cols.extend(Column(name, vals) for name, vals in out_values.items())
+        return Frame(cols)
+
+    def apply(self, fn: Callable[[tuple[Any, ...], Frame], dict[str, Any]]) -> Frame:
+        """Map each ``(key, group_frame)`` to an output record."""
+        records = [fn(key, self._frame.take(idx)) for key, idx in self._groups.items()]
+        return Frame.from_records(records)
+
+
+def group_by(frame: Frame, keys: Sequence[str] | str) -> GroupedFrame:
+    """Partition *frame* by one or more key columns."""
+    if isinstance(keys, str):
+        keys = [keys]
+    for k in keys:
+        frame.column(k)
+    return GroupedFrame(frame, keys)
+
+
+def pivot(
+    frame: Frame,
+    index: str,
+    columns: str,
+    values: str,
+    agg: str = "mean",
+) -> tuple[Frame, list[Any]]:
+    """Spread *values* into one output column per distinct *columns* value.
+
+    Returns ``(wide_frame, column_keys)`` where ``wide_frame`` has the
+    *index* column plus one float column per key (named ``str(key)``), and
+    ``column_keys`` preserves the original key objects in column order.
+    Missing cells are NaN.
+    """
+    frame.column(index)
+    frame.column(columns)
+    frame.column(values)
+    agg_fn = _BUILTINS.get(agg)
+    if agg_fn is None:
+        raise FrameError(f"unknown aggregation {agg!r}")
+
+    col_keys = frame.column(columns).unique()
+    row_keys = frame.column(index).unique()
+    row_pos = {k: i for i, k in enumerate(row_keys)}
+    col_pos = {k: j for j, k in enumerate(col_keys)}
+
+    cells: dict[tuple[int, int], list[float]] = {}
+    idx_vals = frame.column(index).values
+    col_vals = frame.column(columns).values
+    val_vals = frame.numeric(values)
+    for i in range(frame.num_rows):
+        key = (row_pos[idx_vals[i]], col_pos[col_vals[i]])
+        cells.setdefault(key, []).append(val_vals[i])
+
+    grid = np.full((len(row_keys), len(col_keys)), np.nan)
+    for (r, c), vals in cells.items():
+        agged = agg_fn(np.asarray(vals, dtype=float))
+        grid[r, c] = np.nan if agged is None else float(agged)
+
+    cols = [Column(index, row_keys)]
+    for j, key in enumerate(col_keys):
+        cols.append(Column(str(key), grid[:, j]))
+    return Frame(cols), col_keys

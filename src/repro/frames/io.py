@@ -1,0 +1,89 @@
+"""CSV reading and writing for frames.
+
+The format is plain RFC-4180-ish CSV via the stdlib ``csv`` module.  On
+read, columns are type-inferred: values parse as int, then float, then
+bool literals (``true``/``false``), falling back to strings; empty cells
+are missing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.frames.frame import Frame
+
+
+def _parse_cell(text: str) -> Any:
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    low = text.lower()
+    if low == "true":
+        return True
+    if low == "false":
+        return False
+    return text
+
+
+def read_csv(path: str | Path) -> Frame:
+    """Read a CSV file with a header row into a frame."""
+    with open(path, newline="") as f:
+        return read_csv_text(f.read())
+
+
+def read_csv_text(text: str) -> Frame:
+    """Parse CSV content (header row required) into a frame."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        return Frame()
+    header = rows[0]
+    data: dict[str, list[Any]] = {name: [] for name in header}
+    for row in rows[1:]:
+        if not row:
+            continue
+        for name, cell in zip(header, row):
+            data[name].append(_parse_cell(cell))
+        for name in header[len(row):]:
+            data[name].append(None)
+    return Frame.from_dict(data)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return ""
+        return repr(float(value))
+    if isinstance(value, (bool, np.bool_)):
+        return "true" if value else "false"
+    return str(value)
+
+
+def write_csv(frame: Frame, path: str | Path) -> None:
+    """Write *frame* to a CSV file with a header row."""
+    with open(path, "w", newline="") as f:
+        f.write(to_csv_text(frame))
+
+
+def to_csv_text(frame: Frame) -> str:
+    """Render *frame* as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(frame.column_names)
+    for row in frame.iter_rows():
+        writer.writerow([_format_cell(row[name]) for name in frame.column_names])
+    return buf.getvalue()

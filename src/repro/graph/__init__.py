@@ -1,0 +1,100 @@
+"""Causal graphical models: DAGs, d-separation, and identification criteria.
+
+This package provides the formal language the paper recommends building
+measurement studies around:
+
+- :class:`CausalDag` plus :func:`parse_dag` for a dagitty-like text format;
+- :func:`d_separated` and path-level blocking diagnostics;
+- the backdoor criterion with adjustment-set search;
+- the frontdoor criterion;
+- graphical instrumental-variable discovery with prose explanations;
+- collider enumeration and selection-bias warnings;
+- testable implications (:func:`implied_independencies`) with
+  data-validation via partial correlation.
+"""
+
+from repro.graph.backdoor import (
+    backdoor_paths,
+    find_adjustment_set,
+    is_confounded,
+    minimal_adjustment_sets,
+    proper_causal_effect_exists,
+    satisfies_backdoor,
+)
+from repro.graph.colliders import (
+    collider_nodes,
+    colliders,
+    conditioning_opens_path,
+    selection_bias_warning,
+)
+from repro.graph.dag import CausalDag
+from repro.graph.discovery import (
+    DiscoveryResult,
+    PartiallyDirectedGraph,
+    cpdag_consistent_with,
+    pc_algorithm,
+)
+from repro.graph.dsep import (
+    blocking_status,
+    d_connected,
+    d_separated,
+    open_paths,
+    path_is_blocked,
+)
+from repro.graph.frontdoor import find_frontdoor_set, satisfies_frontdoor
+from repro.graph.independence import (
+    Independence,
+    IndependenceTestResult,
+    implied_independencies,
+    partial_correlation,
+    validate_against_data,
+)
+from repro.graph.instruments import explain_instrument, find_instruments, is_instrument
+from repro.graph.optimal import (
+    causal_nodes,
+    compare_adjustment_variance,
+    optimal_adjustment_set,
+)
+from repro.graph.parse import format_dag, parse_dag
+from repro.graph.render import cpdag_to_dot, to_ascii, to_dot
+
+__all__ = [
+    "CausalDag",
+    "DiscoveryResult",
+    "Independence",
+    "IndependenceTestResult",
+    "backdoor_paths",
+    "blocking_status",
+    "causal_nodes",
+    "collider_nodes",
+    "colliders",
+    "compare_adjustment_variance",
+    "conditioning_opens_path",
+    "cpdag_to_dot",
+    "d_connected",
+    "d_separated",
+    "explain_instrument",
+    "find_adjustment_set",
+    "find_frontdoor_set",
+    "find_instruments",
+    "format_dag",
+    "implied_independencies",
+    "is_confounded",
+    "is_instrument",
+    "minimal_adjustment_sets",
+    "open_paths",
+    "optimal_adjustment_set",
+    "PartiallyDirectedGraph",
+    "cpdag_consistent_with",
+    "parse_dag",
+    "partial_correlation",
+    "pc_algorithm",
+    "path_is_blocked",
+    "proper_causal_effect_exists",
+    "satisfies_backdoor",
+    "satisfies_frontdoor",
+    "selection_bias_warning",
+    "to_ascii",
+    "to_dot",
+    "validate_against_data",
+]

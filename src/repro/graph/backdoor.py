@@ -1,0 +1,135 @@
+"""Backdoor criterion and adjustment-set search.
+
+A set Z satisfies the backdoor criterion relative to (treatment, outcome)
+if no member of Z is a descendant of the treatment and Z blocks every
+path from treatment to outcome that starts with an edge *into* the
+treatment.  Valid sets license the adjustment formula
+
+    P(Y | do(X)) = sum_z P(Y | X, Z=z) P(Z=z).
+
+The search enumerates candidate subsets of observed variables, smallest
+first, so :func:`minimal_adjustment_sets` returns all inclusion-minimal
+valid sets and :func:`find_adjustment_set` a smallest one.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable
+
+from repro.errors import GraphError, IdentificationError
+from repro.graph.dag import CausalDag
+from repro.graph.dsep import d_separated
+
+
+def backdoor_paths(dag: CausalDag, treatment: str, outcome: str) -> list[list[str]]:
+    """All simple paths treatment--outcome beginning with an edge into treatment."""
+    for n in (treatment, outcome):
+        if not dag.has_node(n):
+            raise GraphError(f"unknown node {n!r}")
+    out = []
+    for path in dag.all_paths(treatment, outcome):
+        if len(path) >= 2 and dag.has_edge(path[1], path[0]):
+            out.append(path)
+    return out
+
+
+def satisfies_backdoor(
+    dag: CausalDag,
+    treatment: str,
+    outcome: str,
+    adjustment: Iterable[str] | str | None = None,
+) -> bool:
+    """Check the backdoor criterion for a candidate adjustment set.
+
+    Implemented via graph surgery: remove every edge out of the
+    treatment, then Z must d-separate treatment from outcome in the
+    resulting graph, and Z must contain no descendant of the treatment
+    (in the original graph).
+    """
+    if isinstance(adjustment, str):
+        adjustment = {adjustment}
+    z = set(adjustment or ())
+    if treatment in z or outcome in z:
+        return False
+    if z & dag.descendants(treatment):
+        return False
+    pruned = dag.copy()
+    for child in dag.children(treatment):
+        pruned.remove_edge(treatment, child)
+    if outcome not in pruned.nodes():
+        return True
+    # With outgoing edges removed, any remaining open path is a backdoor path.
+    return d_separated(pruned, treatment, outcome, z) if _connected(pruned, treatment, outcome) else True
+
+
+def _connected(dag: CausalDag, a: str, b: str) -> bool:
+    """Undirected reachability (cheap pre-check before d-separation)."""
+    adj = {n: dag.children(n) | dag.parents(n) for n in dag.nodes()}
+    seen = {a}
+    stack = [a]
+    while stack:
+        cur = stack.pop()
+        if cur == b:
+            return True
+        for nxt in adj[cur]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+def _candidates(dag: CausalDag, treatment: str, outcome: str) -> list[str]:
+    """Observed variables eligible to appear in an adjustment set."""
+    banned = dag.descendants(treatment, include_self=True) | {outcome}
+    return sorted(dag.observed - banned)
+
+
+def minimal_adjustment_sets(
+    dag: CausalDag,
+    treatment: str,
+    outcome: str,
+    max_size: int | None = None,
+) -> list[set[str]]:
+    """All inclusion-minimal observed backdoor adjustment sets.
+
+    Exhaustive subset search, smallest first; suitable for the expert-sized
+    DAGs this library targets (tens of nodes).
+    """
+    pool = _candidates(dag, treatment, outcome)
+    limit = len(pool) if max_size is None else min(max_size, len(pool))
+    found: list[set[str]] = []
+    for size in range(limit + 1):
+        for combo in combinations(pool, size):
+            z = set(combo)
+            if any(prev <= z for prev in found):
+                continue
+            if satisfies_backdoor(dag, treatment, outcome, z):
+                found.append(z)
+    return found
+
+
+def find_adjustment_set(dag: CausalDag, treatment: str, outcome: str) -> set[str]:
+    """Return a smallest valid observed adjustment set.
+
+    Raises :class:`IdentificationError` when no observed set exists (e.g.
+    the confounder is latent) — the caller should then consider
+    instrumental variables or the frontdoor criterion.
+    """
+    sets = minimal_adjustment_sets(dag, treatment, outcome)
+    if not sets:
+        raise IdentificationError(
+            f"no observed backdoor adjustment set for {treatment!r} -> {outcome!r}; "
+            "consider an instrument or the frontdoor criterion"
+        )
+    return min(sets, key=lambda s: (len(s), sorted(s)))
+
+
+def is_confounded(dag: CausalDag, treatment: str, outcome: str) -> bool:
+    """Whether any backdoor path is open absent adjustment."""
+    return not satisfies_backdoor(dag, treatment, outcome, set())
+
+
+def proper_causal_effect_exists(dag: CausalDag, treatment: str, outcome: str) -> bool:
+    """Whether there is any directed path treatment -> ... -> outcome."""
+    return outcome in dag.descendants(treatment)

@@ -1,0 +1,78 @@
+"""Collider enumeration and selection-bias warnings.
+
+The paper's speed-test example: both a route change and poor performance
+make a user more likely to run a test, so "test was run" is a collider;
+analysing only collected tests conditions on it and manufactures a
+spurious association.  These helpers find colliders structurally and
+flag conditioning sets that open collider paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.dag import CausalDag
+from repro.graph.dsep import path_is_blocked
+
+
+def colliders(dag: CausalDag) -> list[tuple[str, str, str]]:
+    """All collider triples ``(a, c, b)`` with a -> c <- b, a < b sorted."""
+    out: list[tuple[str, str, str]] = []
+    for node in dag.nodes():
+        parents = sorted(dag.parents(node))
+        for i, a in enumerate(parents):
+            for b in parents[i + 1:]:
+                out.append((a, node, b))
+    return out
+
+
+def collider_nodes(dag: CausalDag) -> list[str]:
+    """Nodes with at least two parents, sorted."""
+    return sorted({c for _, c, _ in colliders(dag)})
+
+
+def conditioning_opens_path(
+    dag: CausalDag,
+    x: str,
+    y: str,
+    conditioning: Iterable[str] | str,
+) -> list[list[str]]:
+    """Paths x--y that conditioning *opens* (blocked empty, open given Z).
+
+    These are exactly the selection-bias pathways: each returned path was
+    inert until the analyst conditioned on a collider (or its
+    descendant) lying on it.
+    """
+    if isinstance(conditioning, str):
+        conditioning = {conditioning}
+    z = set(conditioning)
+    opened = []
+    for path in dag.all_paths(x, y):
+        if path_is_blocked(dag, path, set()) and not path_is_blocked(dag, path, z):
+            opened.append(path)
+    return opened
+
+
+def selection_bias_warning(
+    dag: CausalDag,
+    treatment: str,
+    outcome: str,
+    conditioning: Iterable[str] | str,
+) -> str | None:
+    """Return a warning string if the conditioning set induces selection bias.
+
+    None is returned when the conditioning opens no new treatment-outcome
+    path.
+    """
+    opened = conditioning_opens_path(dag, treatment, outcome, conditioning)
+    if not opened:
+        return None
+    if isinstance(conditioning, str):
+        conditioning = {conditioning}
+    pretty = ", ".join(" - ".join(p) for p in opened)
+    return (
+        f"conditioning on {sorted(set(conditioning))} opens "
+        f"{len(opened)} collider path(s) between {treatment} and {outcome}: "
+        f"{pretty}. Estimates computed on this selected subset are subject "
+        "to selection (collider) bias."
+    )

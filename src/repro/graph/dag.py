@@ -1,0 +1,332 @@
+"""Causal directed acyclic graphs.
+
+:class:`CausalDag` is the structural backbone of the library: nodes are
+variable names, directed edges mean "directly causes".  Nodes may be
+marked *unobserved* (latent), which matters for identification — backdoor
+adjustment sets must consist of observed variables only.
+
+The class is a plain adjacency-dict implementation with the reachability
+queries causal inference needs (parents/children/ancestors/descendants,
+topological order) and structural editing that preserves acyclicity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import CycleError, GraphError
+
+Edge = tuple[str, str]
+
+
+class CausalDag:
+    """A directed acyclic graph over named variables.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(cause, effect)`` pairs.
+    nodes:
+        Extra isolated nodes (optional; edge endpoints are added
+        automatically).
+    unobserved:
+        Names of latent variables.  They participate in paths but are not
+        eligible for adjustment.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] = (),
+        nodes: Iterable[str] = (),
+        unobserved: Iterable[str] = (),
+    ) -> None:
+        self._children: dict[str, set[str]] = {}
+        self._parents: dict[str, set[str]] = {}
+        for node in nodes:
+            self._ensure_node(node)
+        for cause, effect in edges:
+            self.add_edge(cause, effect)
+        self._unobserved: set[str] = set()
+        for name in unobserved:
+            if name not in self._children:
+                raise GraphError(f"unobserved variable {name!r} is not in the graph")
+            self._unobserved.add(name)
+
+    # -- construction ----------------------------------------------------------
+
+    def _ensure_node(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise GraphError(f"node name must be a non-empty string, got {name!r}")
+        if name not in self._children:
+            self._children[name] = set()
+            self._parents[name] = set()
+
+    def add_node(self, name: str, unobserved: bool = False) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._ensure_node(name)
+        if unobserved:
+            self._unobserved.add(name)
+
+    def add_edge(self, cause: str, effect: str) -> None:
+        """Add ``cause -> effect``, refusing self-loops and cycles."""
+        if cause == effect:
+            raise CycleError(f"self-loop on {cause!r}")
+        self._ensure_node(cause)
+        self._ensure_node(effect)
+        if cause in self._descendants_from(effect):
+            raise CycleError(f"adding {cause!r} -> {effect!r} would create a cycle")
+        self._children[cause].add(effect)
+        self._parents[effect].add(cause)
+
+    def remove_edge(self, cause: str, effect: str) -> None:
+        """Remove ``cause -> effect`` (raising if absent)."""
+        if effect not in self._children.get(cause, set()):
+            raise GraphError(f"no edge {cause!r} -> {effect!r}")
+        self._children[cause].discard(effect)
+        self._parents[effect].discard(cause)
+
+    def mark_unobserved(self, *names: str) -> None:
+        """Mark variables as latent."""
+        for name in names:
+            if name not in self._children:
+                raise GraphError(f"unknown node {name!r}")
+            self._unobserved.add(name)
+
+    def copy(self) -> "CausalDag":
+        """Return an independent copy."""
+        return CausalDag(self.edges(), nodes=self.nodes(), unobserved=self._unobserved)
+
+    # -- basic queries -----------------------------------------------------------
+
+    def nodes(self) -> list[str]:
+        """All node names, sorted."""
+        return sorted(self._children)
+
+    def edges(self) -> list[Edge]:
+        """All edges as sorted ``(cause, effect)`` pairs."""
+        return sorted(
+            (c, e) for c, kids in self._children.items() for e in kids
+        )
+
+    def has_node(self, name: str) -> bool:
+        """Whether *name* is a node."""
+        return name in self._children
+
+    def has_edge(self, cause: str, effect: str) -> bool:
+        """Whether ``cause -> effect`` exists."""
+        return effect in self._children.get(cause, set())
+
+    def is_observed(self, name: str) -> bool:
+        """Whether *name* is an observed (non-latent) variable."""
+        self._require(name)
+        return name not in self._unobserved
+
+    @property
+    def unobserved(self) -> set[str]:
+        """The set of latent variable names."""
+        return set(self._unobserved)
+
+    @property
+    def observed(self) -> set[str]:
+        """The set of observed variable names."""
+        return {n for n in self._children if n not in self._unobserved}
+
+    def _require(self, *names: str) -> None:
+        for name in names:
+            if name not in self._children:
+                raise GraphError(f"unknown node {name!r}; nodes: {self.nodes()}")
+
+    def parents(self, name: str) -> set[str]:
+        """Direct causes of *name*."""
+        self._require(name)
+        return set(self._parents[name])
+
+    def children(self, name: str) -> set[str]:
+        """Direct effects of *name*."""
+        self._require(name)
+        return set(self._children[name])
+
+    def _descendants_from(self, name: str) -> set[str]:
+        out: set[str] = set()
+        stack = [name]
+        while stack:
+            cur = stack.pop()
+            for child in self._children.get(cur, ()):
+                if child not in out:
+                    out.add(child)
+                    stack.append(child)
+        return out
+
+    def descendants(self, name: str, include_self: bool = False) -> set[str]:
+        """All nodes reachable by directed paths from *name*."""
+        self._require(name)
+        out = self._descendants_from(name)
+        if include_self:
+            out.add(name)
+        return out
+
+    def ancestors(self, name: str, include_self: bool = False) -> set[str]:
+        """All nodes with a directed path into *name*."""
+        self._require(name)
+        out: set[str] = set()
+        stack = [name]
+        while stack:
+            cur = stack.pop()
+            for parent in self._parents[cur]:
+                if parent not in out:
+                    out.add(parent)
+                    stack.append(parent)
+        if include_self:
+            out.add(name)
+        return out
+
+    def ancestors_of_set(self, names: Iterable[str], include_self: bool = True) -> set[str]:
+        """Union of ancestors over *names* (optionally including them)."""
+        out: set[str] = set()
+        for n in names:
+            out |= self.ancestors(n, include_self=include_self)
+        return out
+
+    def roots(self) -> list[str]:
+        """Nodes with no parents (exogenous variables), sorted."""
+        return sorted(n for n in self._children if not self._parents[n])
+
+    def leaves(self) -> list[str]:
+        """Nodes with no children, sorted."""
+        return sorted(n for n in self._children if not self._children[n])
+
+    def topological_order(self) -> list[str]:
+        """Nodes in an order where every cause precedes its effects.
+
+        Deterministic: ties are broken alphabetically (Kahn's algorithm
+        with a sorted frontier).
+        """
+        in_deg = {n: len(self._parents[n]) for n in self._children}
+        frontier = sorted(n for n, d in in_deg.items() if d == 0)
+        order: list[str] = []
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            changed = False
+            for child in sorted(self._children[node]):
+                in_deg[child] -= 1
+                if in_deg[child] == 0:
+                    frontier.append(child)
+                    changed = True
+            if changed:
+                frontier.sort()
+        if len(order) != len(self._children):
+            raise CycleError("graph contains a cycle")  # defensive; add_edge prevents it
+        return order
+
+    # -- path enumeration ----------------------------------------------------------
+
+    def all_paths(self, source: str, target: str, max_length: int | None = None) -> list[list[str]]:
+        """All simple *undirected* paths between two nodes.
+
+        Paths traverse edges in either direction (the relevant notion for
+        d-separation and backdoor analysis).  Returned as node lists, in
+        deterministic (lexicographic) order.  *max_length* bounds the
+        number of edges in a path.
+        """
+        self._require(source, target)
+        neighbours = {
+            n: sorted(self._children[n] | self._parents[n]) for n in self._children
+        }
+        paths: list[list[str]] = []
+
+        def walk(path: list[str], seen: set[str]) -> None:
+            cur = path[-1]
+            if cur == target:
+                paths.append(list(path))
+                return
+            if max_length is not None and len(path) > max_length:
+                return
+            for nxt in neighbours[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    path.append(nxt)
+                    walk(path, seen)
+                    path.pop()
+                    seen.discard(nxt)
+
+        walk([source], {source})
+        return paths
+
+    def directed_paths(self, source: str, target: str) -> list[list[str]]:
+        """All simple directed paths from *source* to *target*."""
+        self._require(source, target)
+        paths: list[list[str]] = []
+
+        def walk(path: list[str], seen: set[str]) -> None:
+            cur = path[-1]
+            if cur == target:
+                paths.append(list(path))
+                return
+            for nxt in sorted(self._children[cur]):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    path.append(nxt)
+                    walk(path, seen)
+                    path.pop()
+                    seen.discard(nxt)
+
+        walk([source], {source})
+        return paths
+
+    # -- surgery ---------------------------------------------------------------------
+
+    def do(self, *interventions: str) -> "CausalDag":
+        """Graph surgery for ``do(X)``: cut all edges into each intervened node."""
+        out = self.copy()
+        for name in interventions:
+            out._require(name)
+            for parent in list(out._parents[name]):
+                out.remove_edge(parent, name)
+        return out
+
+    def subgraph(self, keep: Sequence[str]) -> "CausalDag":
+        """Induced subgraph on *keep* (edges among kept nodes only)."""
+        keep_set = set(keep)
+        for n in keep_set:
+            self._require(n)
+        edges = [(c, e) for c, e in self.edges() if c in keep_set and e in keep_set]
+        unobs = self._unobserved & keep_set
+        return CausalDag(edges, nodes=keep_set, unobserved=unobs)
+
+    def moralize(self) -> dict[str, set[str]]:
+        """Return the moral graph as an undirected adjacency dict.
+
+        Parents of a common child are married; edge directions dropped.
+        Used by the ancestral-moral d-separation algorithm.
+        """
+        adj: dict[str, set[str]] = {n: set() for n in self._children}
+        for cause, effect in self.edges():
+            adj[cause].add(effect)
+            adj[effect].add(cause)
+        for node in self._children:
+            parents = sorted(self._parents[node])
+            for i, a in enumerate(parents):
+                for b in parents[i + 1:]:
+                    adj[a].add(b)
+                    adj[b].add(a)
+        return adj
+
+    def __repr__(self) -> str:
+        return (
+            f"CausalDag({len(self._children)} nodes, {len(self.edges())} edges"
+            + (f", latent={sorted(self._unobserved)}" if self._unobserved else "")
+            + ")"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CausalDag):
+            return NotImplemented
+        return (
+            self.nodes() == other.nodes()
+            and self.edges() == other.edges()
+            and self._unobserved == other._unobserved
+        )
+
+    def __hash__(self) -> int:
+        raise TypeError("CausalDag is not hashable")

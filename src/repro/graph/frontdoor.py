@@ -1,0 +1,83 @@
+"""Frontdoor criterion.
+
+When confounding between treatment X and outcome Y is latent (so no
+observed backdoor set exists), a mediator set M satisfying the frontdoor
+criterion still identifies the effect:
+
+1. M intercepts every directed path from X to Y;
+2. there is no unblocked backdoor path from X to M;
+3. every backdoor path from M to Y is blocked by X.
+
+The identification formula is then
+``P(y | do(x)) = sum_m P(m | x) sum_x' P(y | x', m) P(x')``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable
+
+from repro.errors import GraphError, IdentificationError
+from repro.graph.backdoor import satisfies_backdoor
+from repro.graph.dag import CausalDag
+from repro.graph.dsep import path_is_blocked
+
+
+def intercepts_all_directed_paths(
+    dag: CausalDag, treatment: str, outcome: str, mediators: Iterable[str]
+) -> bool:
+    """Whether every directed path X -> ... -> Y passes through *mediators*."""
+    m = set(mediators)
+    paths = dag.directed_paths(treatment, outcome)
+    if not paths:
+        return False
+    return all(set(p[1:-1]) & m for p in paths)
+
+
+def satisfies_frontdoor(
+    dag: CausalDag, treatment: str, outcome: str, mediators: Iterable[str] | str
+) -> bool:
+    """Check the three frontdoor conditions for a candidate mediator set."""
+    if isinstance(mediators, str):
+        mediators = {mediators}
+    m = set(mediators)
+    for n in (treatment, outcome, *m):
+        if not dag.has_node(n):
+            raise GraphError(f"unknown node {n!r}")
+    if treatment in m or outcome in m:
+        return False
+    if not all(dag.is_observed(v) for v in m):
+        return False
+    if not intercepts_all_directed_paths(dag, treatment, outcome, m):
+        return False
+    # (2) no unblocked backdoor path X -> any mediator.
+    for med in m:
+        if not satisfies_backdoor(dag, treatment, med, set()):
+            return False
+    # (3) X blocks every backdoor path from each mediator to Y.
+    for med in m:
+        for path in dag.all_paths(med, outcome):
+            if len(path) >= 2 and dag.has_edge(path[1], path[0]):
+                if not path_is_blocked(dag, path, {treatment}):
+                    return False
+    return True
+
+
+def find_frontdoor_set(
+    dag: CausalDag, treatment: str, outcome: str, max_size: int = 3
+) -> set[str]:
+    """Search for a smallest observed frontdoor mediator set.
+
+    Raises :class:`IdentificationError` when none exists up to *max_size*.
+    """
+    pool = sorted(
+        (dag.observed & dag.descendants(treatment)) - {outcome}
+    )
+    for size in range(1, min(max_size, len(pool)) + 1):
+        for combo in combinations(pool, size):
+            if satisfies_frontdoor(dag, treatment, outcome, set(combo)):
+                return set(combo)
+    raise IdentificationError(
+        f"no frontdoor mediator set of size <= {max_size} "
+        f"for {treatment!r} -> {outcome!r}"
+    )

@@ -1,0 +1,133 @@
+"""Instrumental-variable discovery on a causal DAG.
+
+A variable I is an instrument for the effect of treatment X on outcome Y
+(possibly conditional on an observed set W) when:
+
+1. *relevance*: I is d-connected to X given W;
+2. *exclusion*: I is d-separated from Y given W in the graph with the
+   edge(s) X -> ... removed (i.e. I affects Y only through X);
+3. W contains no descendant of X, and I is not a descendant of X.
+
+This is the graphical (conditional) instrument criterion used by tools
+like DAGitty.  The paper's §3 stresses that instruments "do not arrive
+with clean labels"; :func:`explain_instrument` produces a human-readable
+justification or refutation for a candidate.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable
+
+from repro.errors import GraphError
+from repro.graph.dag import CausalDag
+from repro.graph.dsep import d_connected, d_separated
+
+
+def _cut_treatment_outgoing(dag: CausalDag, treatment: str) -> CausalDag:
+    pruned = dag.copy()
+    for child in dag.children(treatment):
+        pruned.remove_edge(treatment, child)
+    return pruned
+
+
+def is_instrument(
+    dag: CausalDag,
+    candidate: str,
+    treatment: str,
+    outcome: str,
+    conditioning: Iterable[str] | str | None = None,
+) -> bool:
+    """Check the graphical instrument criterion for *candidate*."""
+    if isinstance(conditioning, str):
+        conditioning = {conditioning}
+    w = set(conditioning or ())
+    for n in (candidate, treatment, outcome, *w):
+        if not dag.has_node(n):
+            raise GraphError(f"unknown node {n!r}")
+    if candidate in (treatment, outcome) or candidate in w:
+        return False
+    tx_desc = dag.descendants(treatment, include_self=True)
+    if candidate in tx_desc or w & tx_desc:
+        return False
+    if not d_connected(dag, candidate, treatment, w):
+        return False  # irrelevant instrument
+    pruned = _cut_treatment_outgoing(dag, treatment)
+    return d_separated(pruned, candidate, outcome, w)
+
+
+def find_instruments(
+    dag: CausalDag,
+    treatment: str,
+    outcome: str,
+    max_conditioning: int = 2,
+) -> list[tuple[str, set[str]]]:
+    """Enumerate observed (instrument, conditioning-set) pairs.
+
+    For each observed candidate, the smallest observed conditioning set
+    (up to *max_conditioning*) making it a valid conditional instrument is
+    reported.  Results are sorted by instrument name.
+    """
+    results: list[tuple[str, set[str]]] = []
+    banned = dag.descendants(treatment, include_self=True) | {outcome}
+    candidates = sorted(dag.observed - banned)
+    pool = sorted(dag.observed - banned)
+    for cand in candidates:
+        others = [p for p in pool if p != cand]
+        found: set[str] | None = None
+        for size in range(0, min(max_conditioning, len(others)) + 1):
+            for combo in combinations(others, size):
+                if is_instrument(dag, cand, treatment, outcome, set(combo)):
+                    found = set(combo)
+                    break
+            if found is not None:
+                break
+        if found is not None:
+            results.append((cand, found))
+    return results
+
+
+def explain_instrument(
+    dag: CausalDag,
+    candidate: str,
+    treatment: str,
+    outcome: str,
+    conditioning: Iterable[str] | str | None = None,
+) -> str:
+    """Return a prose explanation of why a candidate is or is not a valid IV."""
+    if isinstance(conditioning, str):
+        conditioning = {conditioning}
+    w = set(conditioning or ())
+    parts: list[str] = []
+    tx_desc = dag.descendants(treatment, include_self=True)
+    if candidate in tx_desc:
+        parts.append(
+            f"{candidate} is a descendant of the treatment {treatment}, so its "
+            "variation is not exogenous to the treatment mechanism."
+        )
+    relevant = d_connected(dag, candidate, treatment, w)
+    if relevant:
+        parts.append(f"relevance holds: {candidate} is d-connected to {treatment}" +
+                     (f" given {sorted(w)}" if w else "") + ".")
+    else:
+        parts.append(f"relevance FAILS: {candidate} is d-separated from {treatment}" +
+                     (f" given {sorted(w)}" if w else "") + ".")
+    pruned = _cut_treatment_outgoing(dag, treatment)
+    excluded = d_separated(pruned, candidate, outcome, w)
+    if excluded:
+        parts.append(
+            f"exclusion holds: with {treatment}'s causal edges cut, {candidate} is "
+            f"d-separated from {outcome}; it affects the outcome only through the treatment."
+        )
+    else:
+        parts.append(
+            f"exclusion FAILS: {candidate} reaches {outcome} through a path that does "
+            f"not pass through {treatment}'s causal effect (a violated exclusion restriction)."
+        )
+    verdict = is_instrument(dag, candidate, treatment, outcome, w)
+    parts.insert(0, (
+        f"{candidate} IS a valid instrument for {treatment} -> {outcome}"
+        if verdict else
+        f"{candidate} is NOT a valid instrument for {treatment} -> {outcome}"
+    ) + (f" conditional on {sorted(w)}." if w else "."))
+    return " ".join(parts)

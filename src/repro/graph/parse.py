@@ -1,0 +1,101 @@
+"""A dagitty-like textual format for causal DAGs.
+
+Grammar (one statement per line or separated by ``;``)::
+
+    dag {
+        congestion -> route
+        congestion -> latency
+        route -> latency
+        demand [unobserved]
+        demand -> congestion
+    }
+
+- ``a -> b`` adds an edge; chains ``a -> b -> c`` are allowed.
+- ``a <- b`` is the reversed edge; mixed chains work (``a <- b -> c``).
+- ``name`` alone declares an isolated node.
+- ``name [unobserved]`` (or ``[latent]``) declares a latent variable.
+- ``#`` starts a comment.  The ``dag { ... }`` wrapper is optional.
+
+Node names are ``[A-Za-z_][A-Za-z0-9_.]*``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.graph.dag import CausalDag
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_.]*"
+_NAME_RE = re.compile(rf"^{_NAME}$")
+_TOKEN_RE = re.compile(
+    rf"({_NAME}|->|<-|\[unobserved\]|\[latent\]|\[observed\])"
+)
+
+
+def parse_dag(text: str) -> CausalDag:
+    """Parse the textual format into a :class:`CausalDag`."""
+    body = text.strip()
+    wrapper = re.match(r"^dag\s*\{(.*)\}\s*$", body, flags=re.S)
+    if wrapper:
+        body = wrapper.group(1)
+
+    dag = CausalDag()
+    statements: list[str] = []
+    for raw_line in body.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        statements.extend(s.strip() for s in line.split(";") if s.strip())
+
+    for stmt in statements:
+        tokens = _TOKEN_RE.findall(stmt)
+        consumed = "".join(tokens).replace(" ", "")
+        if consumed != stmt.replace(" ", "").replace("\t", ""):
+            raise ParseError(f"cannot parse statement: {stmt!r}")
+        _apply_statement(dag, tokens, stmt)
+    return dag
+
+
+def _apply_statement(dag: CausalDag, tokens: list[str], stmt: str) -> None:
+    if not tokens:
+        return
+    # Node declaration: NAME [modifier]*
+    if len(tokens) >= 1 and _NAME_RE.match(tokens[0]) and all(
+        t.startswith("[") for t in tokens[1:]
+    ):
+        name = tokens[0]
+        unobserved = any(t in ("[unobserved]", "[latent]") for t in tokens[1:])
+        dag.add_node(name, unobserved=unobserved)
+        return
+    # Edge chain: NAME (ARROW NAME)+
+    if len(tokens) < 3 or len(tokens) % 2 == 0:
+        raise ParseError(f"malformed statement: {stmt!r}")
+    for i in range(0, len(tokens) - 2, 2):
+        left, arrow, right = tokens[i], tokens[i + 1], tokens[i + 2]
+        if not (_NAME_RE.match(left) and _NAME_RE.match(right)):
+            raise ParseError(f"expected node names around {arrow!r} in {stmt!r}")
+        if arrow == "->":
+            dag.add_edge(left, right)
+        elif arrow == "<-":
+            dag.add_edge(right, left)
+        else:
+            raise ParseError(f"expected an arrow, got {arrow!r} in {stmt!r}")
+
+
+def format_dag(dag: CausalDag) -> str:
+    """Render a DAG back into the textual format (parse round-trips)."""
+    lines = ["dag {"]
+    edged = set()
+    for cause, effect in dag.edges():
+        lines.append(f"    {cause} -> {effect}")
+        edged.add(cause)
+        edged.add(effect)
+    for node in dag.nodes():
+        marker = " [unobserved]" if not dag.is_observed(node) else ""
+        if node not in edged:
+            lines.append(f"    {node}{marker}")
+        elif marker:
+            lines.append(f"    {node}{marker}")
+    lines.append("}")
+    return "\n".join(lines)

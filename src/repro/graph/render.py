@@ -1,0 +1,69 @@
+"""Rendering causal graphs: Graphviz DOT export and terminal sketches.
+
+Covers both fully directed :class:`CausalDag` objects and the partially
+directed CPDAGs produced by causal discovery (undirected edges render
+without arrowheads).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.graph.dag import CausalDag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.graph.discovery import PartiallyDirectedGraph
+
+
+def to_dot(dag: CausalDag, name: str = "causal", highlight: set[str] | None = None) -> str:
+    """Render the DAG in Graphviz DOT.
+
+    Latent variables are drawn dashed; nodes in *highlight* are filled.
+    """
+    highlight = highlight or set()
+    lines = [f"digraph {name} {{", "    rankdir=LR;"]
+    for node in dag.nodes():
+        attrs = []
+        if not dag.is_observed(node):
+            attrs.append('style="dashed"')
+        if node in highlight:
+            attrs.append('style="filled"')
+            attrs.append('fillcolor="lightgrey"')
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'    "{node}"{attr_text};')
+    for cause, effect in dag.edges():
+        lines.append(f'    "{cause}" -> "{effect}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(dag: CausalDag) -> str:
+    """A one-edge-per-line terminal sketch in topological order."""
+    order = {n: i for i, n in enumerate(dag.topological_order())}
+    lines = []
+    for cause, effect in sorted(dag.edges(), key=lambda e: (order[e[0]], order[e[1]])):
+        latent = " (latent)" if not dag.is_observed(cause) else ""
+        lines.append(f"{cause}{latent} --> {effect}")
+    for node in dag.nodes():
+        if not dag.parents(node) and not dag.children(node):
+            latent = " (latent)" if not dag.is_observed(node) else ""
+            lines.append(f"{node}{latent}")
+    return "\n".join(lines)
+
+
+def cpdag_to_dot(cpdag: "PartiallyDirectedGraph", name: str = "cpdag") -> str:
+    """Render a discovery result's CPDAG in Graphviz DOT.
+
+    Directed edges get arrowheads; unresolved (undirected) edges render
+    with ``dir=none`` so the ambiguity is visible on the drawing.
+    """
+    lines = [f"digraph {name} {{", "    rankdir=LR;"]
+    for node in cpdag.nodes:
+        lines.append(f'    "{node}";')
+    for a, b in sorted(cpdag.directed):
+        lines.append(f'    "{a}" -> "{b}";')
+    for pair in sorted(cpdag.undirected, key=sorted):
+        a, b = sorted(pair)
+        lines.append(f'    "{a}" -> "{b}" [dir=none, style=dashed];')
+    lines.append("}")
+    return "\n".join(lines)

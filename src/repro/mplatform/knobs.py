@@ -1,0 +1,126 @@
+"""Exogenous intervention knobs (§4.3).
+
+The paper proposes platform APIs that let researchers *induce* routing
+variation — toggling IPv4/IPv6, rotating resolvers, PEERING-style
+announcement control — acting as instrumental variables.  The simulator
+realises this as a :class:`RouteToggle`: per test, a coin flip decides
+whether the client's traffic uses its normal best route or a forced
+alternative (the best route with one adjacency disabled).  Because the
+flip is random, it is a valid instrument for "which route was used" by
+construction, and the generated frame feeds directly into
+:func:`repro.estimators.wald_estimate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlatformError, RoutingError
+from repro.netsim.bgp import Route, compute_routes
+from repro.netsim.scenario import Scenario
+from repro.frames.frame import Frame
+
+
+@dataclass(frozen=True)
+class ToggleArm:
+    """One arm of a route toggle: a label plus the route it produces."""
+
+    label: str
+    route: Route
+
+
+class RouteToggle:
+    """A randomized A/B toggle between two routes from one client AS.
+
+    Parameters
+    ----------
+    scenario:
+        The world to measure in.
+    client_asn:
+        The AS whose egress is being toggled.
+    disable_link:
+        Unordered ASN pair whose adjacency is suppressed in the B arm
+        (e.g. the client's IXP peering session, so arm B rides transit).
+    hour:
+        Simulation hour the experiment runs at (the toggle holds the
+        routing state fixed; only the arm varies).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        client_asn: int,
+        disable_link: tuple[int, int],
+        hour: float = 0.0,
+    ) -> None:
+        self.scenario = scenario
+        self.client_asn = client_asn
+        self.hour = hour
+        state = scenario.timeline.state_at(hour)
+        self._topology = state.topology
+        key = (min(disable_link), max(disable_link))
+        if self._topology.link_between(*key) is None:
+            raise PlatformError(
+                f"cannot toggle: no link between AS{key[0]} and AS{key[1]} at t={hour}"
+            )
+        base_routes = compute_routes(
+            self._topology, scenario.content_asn, set(state.dead_links)
+        )
+        alt_routes = compute_routes(
+            self._topology, scenario.content_asn, set(state.dead_links) | {key}
+        )
+        if client_asn not in base_routes or client_asn not in alt_routes:
+            raise RoutingError(f"AS{client_asn} cannot reach the target in both arms")
+        self.arm_a = ToggleArm("normal", base_routes[client_asn])
+        self.arm_b = ToggleArm("forced_alternative", alt_routes[client_asn])
+        if self.arm_a.route.path == self.arm_b.route.path:
+            raise PlatformError(
+                "toggle is vacuous: disabling the link does not change the route"
+            )
+
+    def run_experiment(
+        self,
+        n_tests: int,
+        rng: np.random.Generator | int | None = 0,
+        p_toggle: float = 0.5,
+    ) -> Frame:
+        """Run *n_tests* randomized tests.
+
+        Returns a frame with ``z`` (1 if the knob forced the alternative),
+        ``on_alt_route`` (route actually used — equal to ``z`` here, but
+        kept separate so downstream code mirrors fuzzy-compliance
+        settings), and ``rtt_ms``.
+        """
+        if n_tests <= 0:
+            raise PlatformError("n_tests must be positive")
+        if not 0 < p_toggle < 1:
+            raise PlatformError("p_toggle must be in (0, 1)")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        z = (rng.random(n_tests) < p_toggle).astype(int)
+        rtts = np.empty(n_tests)
+        for i in range(n_tests):
+            arm = self.arm_b if z[i] else self.arm_a
+            sample = self.scenario.latency.sample_rtt(
+                arm.route,
+                self.hour + float(rng.uniform(0, 1)),
+                rng,
+                topology=self._topology,
+            )
+            rtts[i] = sample.total_ms
+        return Frame.from_dict(
+            {
+                "z": z,
+                "on_alt_route": z.astype(float),
+                "rtt_ms": rtts,
+            }
+        )
+
+    def describe(self) -> str:
+        """One-line description of the two arms."""
+        return (
+            f"AS{self.client_asn} toggle: normal={self.arm_a.route.path} "
+            f"vs alternative={self.arm_b.route.path}"
+        )

@@ -1,0 +1,124 @@
+"""The M-Lab load balancer: randomization as the gold standard (§3).
+
+M-Lab assigns each speed test to one of several same-metro server sites
+at random; different sites sit behind different AS paths, so the
+assignment is a randomized experiment on routing.  This module builds a
+two-site micro-world and generates tests under two assignment policies:
+
+- ``randomized`` — uniform site choice (valid causal contrast);
+- ``self_selected`` — clients under congestion prefer the site whose
+  name they've heard performs well, entangling assignment with
+  conditions (the confounded observational analogue).
+
+Experiment E5 contrasts the two: the randomized difference recovers the
+true routing penalty, the self-selected one does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.frames.frame import Frame
+
+
+@dataclass(frozen=True)
+class ServerSite:
+    """One measurement server site behind a specific route.
+
+    Attributes
+    ----------
+    name:
+        Site label, e.g. ``"jnb01"``.
+    base_rtt_ms:
+        Condition-free RTT of the path to this site.
+    congestion_coupling:
+        How strongly ambient congestion inflates this path's RTT.
+    """
+
+    name: str
+    base_rtt_ms: float
+    congestion_coupling: float
+
+    def rtt(self, congestion: float, noise: float) -> float:
+        """RTT of one test under ambient *congestion* plus noise."""
+        return self.base_rtt_ms + self.congestion_coupling * congestion + noise
+
+
+@dataclass(frozen=True)
+class LoadBalancerWorld:
+    """Two sites in one metro, and how clients are assigned to them."""
+
+    site_a: ServerSite
+    site_b: ServerSite
+
+    @property
+    def true_site_effect(self) -> float:
+        """Ground-truth causal RTT difference (B minus A) at zero congestion."""
+        return self.site_b.base_rtt_ms - self.site_a.base_rtt_ms
+
+
+def default_world() -> LoadBalancerWorld:
+    """A metro with one clean site and one behind a longer path."""
+    return LoadBalancerWorld(
+        site_a=ServerSite("metro01", base_rtt_ms=22.0, congestion_coupling=8.0),
+        site_b=ServerSite("metro02", base_rtt_ms=30.0, congestion_coupling=8.0),
+    )
+
+
+def generate_tests(
+    world: LoadBalancerWorld,
+    n_tests: int,
+    policy: str = "randomized",
+    rng: np.random.Generator | int | None = 0,
+    noise_std: float = 3.0,
+) -> Frame:
+    """Simulate *n_tests* speed tests under an assignment policy.
+
+    Columns: ``congestion`` (ambient client-side load at test time),
+    ``site`` (0 for A, 1 for B), ``rtt_ms``.
+
+    Under ``self_selected``, congested clients are *more* likely to pick
+    site A (word of mouth says it is faster), so site B's sample is
+    skewed toward calm periods and naively looks better than it is.
+    """
+    if policy not in ("randomized", "self_selected"):
+        raise PlatformError(f"unknown assignment policy {policy!r}")
+    if n_tests <= 0:
+        raise PlatformError("n_tests must be positive")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    congestion = rng.gamma(shape=2.0, scale=0.5, size=n_tests)
+    if policy == "randomized":
+        pick_b = rng.random(n_tests) < 0.5
+    else:
+        # Congested clients flock to the reputed-fast site A.
+        p_b = 1.0 / (1.0 + np.exp(1.5 * (congestion - 1.0)))
+        pick_b = rng.random(n_tests) < p_b
+    noise = rng.normal(0.0, noise_std, size=n_tests)
+    rtt = np.where(
+        pick_b,
+        [world.site_b.rtt(c, e) for c, e in zip(congestion, noise)],
+        [world.site_a.rtt(c, e) for c, e in zip(congestion, noise)],
+    )
+    return Frame.from_dict(
+        {
+            "congestion": congestion,
+            "site": pick_b.astype(int),
+            "rtt_ms": rtt,
+        }
+    )
+
+
+def site_contrast(tests: Frame) -> float:
+    """Mean RTT difference between site B and site A in a test frame."""
+    site = tests.numeric("site")
+    rtt = tests.numeric("rtt_ms")
+    b = rtt[site == 1]
+    a = rtt[site == 0]
+    if len(a) == 0 or len(b) == 0:
+        raise PlatformError("need tests at both sites")
+    return float(b.mean() - a.mean())

@@ -1,0 +1,129 @@
+"""Scheduled probing (the RIPE-Atlas-style platform).
+
+Fixed-interval probes from chosen vantage units, independent of network
+conditions — the exogenous-sampling baseline the paper contrasts with
+user-initiated tests.  Because the schedule is condition-independent,
+frames produced here are free of the speed-test collider by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.netsim.geo import propagation_delay_ms
+from repro.netsim.scenario import Scenario
+from repro.netsim.traceroute import detect_ixp_crossings, synthesize_traceroute
+from repro.mplatform.records import Measurement, Trigger
+
+
+@dataclass(frozen=True)
+class ProbeSchedule:
+    """A fixed-interval probing plan.
+
+    Attributes
+    ----------
+    interval_hours:
+        Gap between consecutive probes from the same vantage.
+    offset_hours:
+        Phase of the first probe.
+    probes_per_round:
+        Measurements taken per vantage per firing (averaging reduces
+        noise without changing bias properties).
+    """
+
+    interval_hours: float = 1.0
+    offset_hours: float = 0.0
+    probes_per_round: int = 1
+
+    def __post_init__(self) -> None:
+        if self.interval_hours <= 0:
+            raise PlatformError("interval must be positive")
+        if self.probes_per_round < 1:
+            raise PlatformError("probes_per_round must be >= 1")
+
+    def firing_times(self, duration_hours: float) -> list[float]:
+        """All probe times inside the window."""
+        times = []
+        t = self.offset_hours
+        while t < duration_hours:
+            times.append(t)
+            t += self.interval_hours
+        return times
+
+
+class ProbePlatform:
+    """Runs scheduled probes from selected units of a scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        vantages: list[tuple[int, str]] | None = None,
+    ) -> None:
+        self.scenario = scenario
+        if vantages is None:
+            vantages = [g.unit for g in scenario.user_groups]
+        for asn, city in vantages:
+            scenario.group_for(asn, city)  # validates
+        self.vantages = list(vantages)
+
+    def run(
+        self,
+        schedule: ProbeSchedule,
+        rng: np.random.Generator | int | None = 0,
+        trigger: Trigger = Trigger.BASELINE,
+    ) -> list[Measurement]:
+        """Execute the schedule and return all probe measurements."""
+        return self.probe_at_times(
+            schedule.firing_times(self.scenario.duration_hours),
+            rng,
+            trigger,
+            probes_per_round=schedule.probes_per_round,
+        )
+
+    def probe_at_times(
+        self,
+        times: list[float],
+        rng: np.random.Generator | int | None = 0,
+        trigger: Trigger = Trigger.BASELINE,
+        probes_per_round: int = 1,
+    ) -> list[Measurement]:
+        """Probe every vantage at each of the given times."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        scenario = self.scenario
+        out: list[Measurement] = []
+        for t in times:
+            routes = scenario.timeline.routes_at(t, scenario.content_asn)
+            state = scenario.timeline.state_at(t)
+            for asn, city in self.vantages:
+                route = routes.get(asn)
+                if route is None:
+                    continue
+                group = scenario.group_for(asn, city)
+                home = scenario.topology.get_as(asn).city
+                backhaul = 2.0 * propagation_delay_ms(
+                    scenario.cities.get(city),
+                    scenario.cities.get(group.backhaul_city or home),
+                )
+                trace = synthesize_traceroute(state.topology, state.ixps, route)
+                crossings = tuple(detect_ixp_crossings(trace, state.ixps))
+                for _ in range(probes_per_round):
+                    sample = scenario.latency.sample_rtt(
+                        route, t, rng, topology=state.topology
+                    )
+                    out.append(
+                        Measurement(
+                            asn=asn,
+                            city=city,
+                            time_hour=t,
+                            rtt_ms=sample.total_ms + backhaul,
+                            as_path=route.path,
+                            ixps_crossed=crossings,
+                            trigger=trigger,
+                        )
+                    )
+        return out

@@ -1,0 +1,117 @@
+"""Measurement records and their frame representation.
+
+A :class:`Measurement` is one speed test (or probe) with its metadata:
+the measuring unit, timing, RTT, the AS path taken, which IXPs the
+post-test traceroute crossed, and — per the paper's §4.2 proposal — an
+*intent tag* recording why the measurement was launched.  Analysts who
+ignore the tag and pool everything are conditioning on the collider;
+the tag is what lets them not do that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.frames.frame import Frame
+
+
+class Trigger(Enum):
+    """Why a measurement happened (the §4.2 intent tag)."""
+
+    BASELINE = "baseline"  # spontaneous / scheduled background
+    PERFORMANCE = "performance"  # user reacted to bad experience
+    ROUTE_CHANGE = "route_change"  # user reacted to a (perceived) change
+    CONDITIONAL = "conditional"  # platform trigger fired (§4.1)
+    EXPERIMENT = "experiment"  # exogenous knob experiment (§4.3)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One completed measurement.
+
+    Attributes
+    ----------
+    asn, city:
+        The measuring ⟨ASN, city⟩ unit.
+    time_hour:
+        Simulation time of the test.
+    rtt_ms:
+        Measured round-trip time to the target.
+    as_path:
+        AS path the test traffic took (source first).
+    ixps_crossed:
+        Exchange names detected in the post-test traceroute via
+        hop-IP prefix matching.
+    trigger:
+        Intent tag (why this test ran).
+    server_site:
+        Measurement server identifier (used by load-balancer studies).
+    download_mbps:
+        NDT-style download rate (NaN when the platform measured RTT only).
+    """
+
+    asn: int
+    city: str
+    time_hour: float
+    rtt_ms: float
+    as_path: tuple[int, ...]
+    ixps_crossed: tuple[str, ...]
+    trigger: Trigger
+    server_site: str = "default"
+    download_mbps: float = float("nan")
+
+    @property
+    def day(self) -> int:
+        """Zero-based simulation day."""
+        return int(self.time_hour // 24)
+
+    @property
+    def unit_label(self) -> str:
+        """The ⟨ASN, city⟩ label used throughout the pipeline."""
+        return f"AS{self.asn}/{self.city}"
+
+    def crosses(self, ixp_name: str) -> bool:
+        """Whether the traceroute crossed the named exchange."""
+        return ixp_name in self.ixps_crossed
+
+
+def measurements_to_frame(measurements: list[Measurement]) -> Frame:
+    """Flatten measurement records into an analysis frame.
+
+    Columns: ``asn, city, unit, time_hour, day, rtt_ms, as_path,
+    crosses_ixp (any), ixps, trigger, server_site``.
+    """
+    return Frame.from_records(
+        [
+            {
+                "asn": m.asn,
+                "city": m.city,
+                "unit": m.unit_label,
+                "time_hour": m.time_hour,
+                "day": m.day,
+                "rtt_ms": m.rtt_ms,
+                "as_path": "-".join(str(a) for a in m.as_path),
+                "crosses_ixp": len(m.ixps_crossed) > 0,
+                "ixps": ",".join(m.ixps_crossed),
+                "trigger": m.trigger.value,
+                "server_site": m.server_site,
+                "download_mbps": m.download_mbps,
+            }
+            for m in measurements
+        ],
+        columns=[
+            "asn",
+            "city",
+            "unit",
+            "time_hour",
+            "day",
+            "rtt_ms",
+            "as_path",
+            "crosses_ixp",
+            "ixps",
+            "trigger",
+            "server_site",
+            "download_mbps",
+        ],
+    )

@@ -1,0 +1,206 @@
+"""User-initiated speed tests over a scenario (the M-Lab stand-in).
+
+The generator walks the scenario hour by hour.  Each user group's test
+count is Poisson with an *endogenous* rate: users test more when the
+ambient RTT is bad and right after their route changes — the precise
+mechanism that makes "a test was run" a collider between route changes
+and performance (§3).  Every test is tagged with why it fired, so the
+collider can be conditioned on (to reproduce the bias) or avoided.
+
+Set ``endogenous=False`` to generate the counterfactual platform whose
+sampling is condition-independent; the contrast between the two is
+experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.netsim.geo import propagation_delay_ms
+from repro.netsim.scenario import Scenario
+from repro.netsim.throughput import ThroughputModel
+from repro.netsim.traceroute import detect_ixp_crossings, synthesize_traceroute
+from repro.mplatform.records import Measurement, Trigger
+
+
+@dataclass(frozen=True)
+class SpeedTestConfig:
+    """Knobs for the speed-test generator.
+
+    Attributes
+    ----------
+    endogenous:
+        When True (default), test rates respond to RTT and route churn;
+        when False every group tests at its base rate regardless of
+        conditions (an idealised unbiased platform).
+    change_window_hours:
+        How long after a route change the curiosity burst lasts.
+    max_tests_per_group_hour:
+        Safety cap on the Poisson draw.
+    """
+
+    endogenous: bool = True
+    change_window_hours: float = 24.0
+    max_tests_per_group_hour: int = 200
+
+
+class SpeedTestGenerator:
+    """Generates measurements for every user group in a scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: SpeedTestConfig | None = None,
+        throughput: ThroughputModel | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or SpeedTestConfig()
+        self.throughput = (
+            throughput
+            if throughput is not None
+            else ThroughputModel(scenario.latency)
+        )
+        self._backhaul_cache: dict[tuple[int, str], float] = {}
+        self._trace_cache: dict[tuple[int, int, frozenset], tuple[str, ...]] = {}
+
+    def _backhaul_ms(self, asn: int, city: str, backhaul_city: str | None) -> float:
+        key = (asn, city)
+        if key not in self._backhaul_cache:
+            home = self.scenario.topology.get_as(asn).city
+            target = backhaul_city or home
+            self._backhaul_cache[key] = 2.0 * propagation_delay_ms(
+                self.scenario.cities.get(city), self.scenario.cities.get(target)
+            )
+        return self._backhaul_cache[key]
+
+    def _crossings(self, asn: int, hour: float) -> tuple[str, ...]:
+        """IXPs crossed by *asn*'s current route (cached per routing state)."""
+        state = self.scenario.timeline.state_at(hour)
+        key = (asn, state.epoch, state.dead_links)
+        if key not in self._trace_cache:
+            routes = self.scenario.timeline.routes_at(hour, self.scenario.content_asn)
+            route = routes.get(asn)
+            if route is None:
+                raise PlatformError(f"AS{asn} cannot reach the measurement target")
+            trace = synthesize_traceroute(state.topology, state.ixps, route)
+            self._trace_cache[key] = tuple(detect_ixp_crossings(trace, state.ixps))
+        return self._trace_cache[key]
+
+    def generate(self, rng: np.random.Generator | int | None = 0) -> list[Measurement]:
+        """Run the whole window and return every measurement taken."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        scenario = self.scenario
+        config = self.config
+        hours = int(scenario.duration_hours)
+        out: list[Measurement] = []
+        last_path: dict[int, tuple[int, ...]] = {}
+        last_change: dict[int, float] = {}
+
+        for hour in range(hours):
+            t = float(hour)
+            routes = scenario.timeline.routes_at(t, scenario.content_asn)
+            state = scenario.timeline.state_at(t)
+            for group in scenario.user_groups:
+                route = routes.get(group.asn)
+                if route is None:
+                    continue
+                if last_path.get(group.asn) not in (None, route.path):
+                    last_change[group.asn] = t
+                last_path[group.asn] = route.path
+
+                ambient = scenario.latency.expected_rtt(
+                    route, t, topology=state.topology
+                ) + self._backhaul_ms(group.asn, group.city, group.backhaul_city)
+                since_change = (
+                    t - last_change[group.asn] if group.asn in last_change else None
+                )
+                if config.endogenous:
+                    rate = group.test_rate(
+                        ambient, since_change, config.change_window_hours
+                    )
+                else:
+                    rate = group.base_rate_per_hour
+                n_tests = int(
+                    min(
+                        rng.poisson(rate * group.n_users),
+                        config.max_tests_per_group_hour,
+                    )
+                )
+                if n_tests == 0:
+                    continue
+                crossings = self._crossings(group.asn, t)
+                backhaul = self._backhaul_ms(group.asn, group.city, group.backhaul_city)
+                recently_changed = (
+                    since_change is not None
+                    and since_change < config.change_window_hours
+                )
+                for _ in range(n_tests):
+                    test_hour = t + float(rng.uniform(0, 1))
+                    sample = scenario.latency.sample_rtt(
+                        route, test_hour, rng, topology=state.topology
+                    )
+                    rtt = sample.total_ms + backhaul
+                    tput = self.throughput.sample(
+                        route, rtt, test_hour, rng, topology=state.topology
+                    )
+                    trigger = self._classify_trigger(
+                        group, ambient, recently_changed, rng
+                    )
+                    out.append(
+                        Measurement(
+                            asn=group.asn,
+                            city=group.city,
+                            time_hour=t + float(rng.uniform(0, 1)),
+                            rtt_ms=rtt,
+                            as_path=route.path,
+                            ixps_crossed=crossings,
+                            trigger=trigger,
+                            download_mbps=tput.download_mbps,
+                        )
+                    )
+        return out
+
+    def _classify_trigger(
+        self,
+        group,
+        ambient_rtt: float,
+        recently_changed: bool,
+        rng: np.random.Generator,
+    ) -> Trigger:
+        """Attribute one test to its (probabilistic) cause for tagging.
+
+        The attribution shares the rate model's structure: the excess
+        rate over baseline is split between the performance and
+        route-change channels proportionally to their multipliers.
+        """
+        if not self.config.endogenous:
+            return Trigger.BASELINE
+        perf_mult = 1.0
+        if ambient_rtt > group.rtt_reference_ms:
+            perf_mult += group.perf_sensitivity * (
+                ambient_rtt - group.rtt_reference_ms
+            ) / 100.0
+        change_mult = 1.0 + (group.change_sensitivity if recently_changed else 0.0)
+        total = perf_mult * change_mult
+        draw = rng.uniform(0, total)
+        if draw < 1.0:
+            return Trigger.BASELINE
+        if draw < perf_mult:
+            return Trigger.PERFORMANCE
+        return Trigger.ROUTE_CHANGE
+
+
+def run_speed_tests(
+    scenario: Scenario,
+    rng: np.random.Generator | int | None = 0,
+    endogenous: bool = True,
+) -> list[Measurement]:
+    """Convenience wrapper: generate all speed tests for a scenario."""
+    generator = SpeedTestGenerator(
+        scenario, SpeedTestConfig(endogenous=endogenous)
+    )
+    return generator.generate(rng)

@@ -1,0 +1,118 @@
+"""Conditional measurement activation (§4.1).
+
+The paper proposes platforms that fire measurement bursts when external
+signals arrive — BGP changes, scheduled maintenance windows, IXP outage
+notifications — so that routing/availability changes get dense coverage
+exactly around the natural experiment.  :class:`ConditionalTrigger`
+watches a scenario's timeline and emits probe bursts bracketing each
+matching event; the resulting measurements carry the ``CONDITIONAL``
+intent tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlatformError
+from repro.netsim.events import (
+    IxpJoinEvent,
+    LinkFailureEvent,
+    MaintenanceWindowEvent,
+    NetworkEvent,
+)
+from repro.netsim.scenario import Scenario
+from repro.mplatform.probes import ProbePlatform
+from repro.mplatform.records import Measurement, Trigger
+
+#: Signal names a trigger can subscribe to.
+SIGNALS = ("ixp_join", "link_failure", "maintenance", "any")
+
+
+def _matches(event: NetworkEvent, signal: str) -> bool:
+    if signal == "any":
+        return True
+    if signal == "ixp_join":
+        return isinstance(event, IxpJoinEvent)
+    if signal == "maintenance":
+        return isinstance(event, MaintenanceWindowEvent)
+    if signal == "link_failure":
+        return isinstance(event, LinkFailureEvent) and not isinstance(
+            event, MaintenanceWindowEvent
+        )
+    raise PlatformError(f"unknown signal {signal!r}; choose from {SIGNALS}")
+
+
+@dataclass(frozen=True)
+class BurstPlan:
+    """Shape of the measurement burst around a triggering event.
+
+    Attributes
+    ----------
+    lead_hours:
+        How far before the event the burst starts (captures the
+        pre-event baseline).
+    trail_hours:
+        How far after it extends.
+    interval_hours:
+        Probe spacing inside the burst (denser than background).
+    """
+
+    lead_hours: float = 24.0
+    trail_hours: float = 48.0
+    interval_hours: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lead_hours < 0 or self.trail_hours <= 0:
+            raise PlatformError("burst must extend after the event")
+        if self.interval_hours <= 0:
+            raise PlatformError("interval must be positive")
+
+    def times_around(self, event_hour: float, duration_hours: float) -> list[float]:
+        """Probe times of the burst, clipped to the simulation window."""
+        t = max(event_hour - self.lead_hours, 0.0)
+        end = min(event_hour + self.trail_hours, duration_hours)
+        times = []
+        while t < end:
+            times.append(t)
+            t += self.interval_hours
+        return times
+
+
+class ConditionalTrigger:
+    """Fires probe bursts around timeline events matching a signal."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        signal: str = "any",
+        plan: BurstPlan | None = None,
+        vantages: list[tuple[int, str]] | None = None,
+    ) -> None:
+        if signal not in SIGNALS:
+            raise PlatformError(f"unknown signal {signal!r}; choose from {SIGNALS}")
+        self.scenario = scenario
+        self.signal = signal
+        self.plan = plan or BurstPlan()
+        self.platform = ProbePlatform(scenario, vantages)
+
+    def matching_events(self) -> list[NetworkEvent]:
+        """Timeline events this trigger would fire on."""
+        return [e for e in self.scenario.timeline.events if _matches(e, self.signal)]
+
+    def run(self, rng: np.random.Generator | int | None = 0) -> list[Measurement]:
+        """Execute every burst; measurements are tagged CONDITIONAL."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        out: list[Measurement] = []
+        for event in self.matching_events():
+            times = self.plan.times_around(
+                event.time_hour, self.scenario.duration_hours
+            )
+            if not times:
+                continue
+            out.extend(
+                self.platform.probe_at_times(times, rng, trigger=Trigger.CONDITIONAL)
+            )
+        return out

@@ -1,0 +1,153 @@
+"""The simulated Internet: topology, BGP, latency, congestion, events.
+
+This package is the substrate substitution for the paper's live M-Lab
+measurements: a deterministic-by-seed world whose data-generating
+process contains the real confounders (diurnal load, regional shocks,
+route churn) and whose ground truth is queryable, so causal estimators
+can be validated, not just run.
+
+Key entry points:
+
+- :func:`build_table1_scenario` / :func:`build_trombone_scenario` —
+  pre-wired worlds for the case study;
+- :class:`Topology` + :func:`compute_routes` — Gao-Rexford BGP;
+- :class:`Timeline` — event scheduling and epoch-cached routing;
+- :class:`LatencyModel` + :class:`CongestionModel` — RTT synthesis;
+- :func:`synthesize_traceroute` + :class:`IxpRegistry` — hop-IP evidence.
+"""
+
+from repro.netsim.bgp import (
+    Route,
+    RouteKind,
+    affected_sources,
+    compute_routes,
+    is_valley_free,
+    route_between,
+)
+from repro.netsim.cdn import (
+    CdnDeployment,
+    CdnEdge,
+    edge_selection_contrast,
+    run_resolver_experiment,
+)
+from repro.netsim.congestion import (
+    CongestionModel,
+    DiurnalProfile,
+    RegionalShock,
+)
+from repro.netsim.events import (
+    DepeeringEvent,
+    IxpJoinEvent,
+    LinkFailureEvent,
+    MaintenanceWindowEvent,
+    NetworkEvent,
+    NetworkState,
+    NewLinkEvent,
+    Timeline,
+)
+from repro.netsim.geo import (
+    City,
+    CityCatalog,
+    default_catalog,
+    haversine_km,
+    propagation_delay_ms,
+)
+from repro.netsim.ids import AsnAllocator, Prefix, PrefixAllocator, int_to_ip, ip_to_int
+from repro.netsim.ixp import Ixp, IxpRegistry, connect_member
+from repro.netsim.latency import LatencyBreakdown, LatencyModel
+from repro.netsim.poisoning import (
+    PoisoningExperiment,
+    PoisonProbe,
+    RootCauseVerdict,
+    compute_routes_with_poison,
+)
+from repro.netsim.scenario import (
+    Scenario,
+    TABLE1_TREATED_UNITS,
+    build_table1_scenario,
+    build_trombone_scenario,
+    counterfactual_true_effect,
+)
+from repro.netsim.topology import (
+    AsKind,
+    AutonomousSystem,
+    Link,
+    Relationship,
+    Topology,
+)
+from repro.netsim.throughput import ThroughputModel, ThroughputSample
+from repro.netsim.traffic import (
+    apply_traffic_loads,
+    compute_link_loads,
+    load_utilization_bias,
+)
+from repro.netsim.traceroute import (
+    Hop,
+    TracerouteResult,
+    detect_ixp_crossings,
+    synthesize_traceroute,
+)
+from repro.netsim.users import UserGroup
+
+__all__ = [
+    "AsKind",
+    "AsnAllocator",
+    "AutonomousSystem",
+    "CdnDeployment",
+    "CdnEdge",
+    "City",
+    "CityCatalog",
+    "CongestionModel",
+    "DepeeringEvent",
+    "DiurnalProfile",
+    "Hop",
+    "Ixp",
+    "IxpJoinEvent",
+    "IxpRegistry",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "Link",
+    "LinkFailureEvent",
+    "MaintenanceWindowEvent",
+    "NetworkEvent",
+    "NetworkState",
+    "NewLinkEvent",
+    "PoisonProbe",
+    "PoisoningExperiment",
+    "Prefix",
+    "PrefixAllocator",
+    "RegionalShock",
+    "Relationship",
+    "RootCauseVerdict",
+    "Route",
+    "RouteKind",
+    "Scenario",
+    "TABLE1_TREATED_UNITS",
+    "ThroughputModel",
+    "ThroughputSample",
+    "Timeline",
+    "Topology",
+    "TracerouteResult",
+    "UserGroup",
+    "affected_sources",
+    "apply_traffic_loads",
+    "build_table1_scenario",
+    "build_trombone_scenario",
+    "compute_link_loads",
+    "compute_routes",
+    "compute_routes_with_poison",
+    "connect_member",
+    "counterfactual_true_effect",
+    "default_catalog",
+    "detect_ixp_crossings",
+    "edge_selection_contrast",
+    "haversine_km",
+    "int_to_ip",
+    "ip_to_int",
+    "is_valley_free",
+    "load_utilization_bias",
+    "propagation_delay_ms",
+    "route_between",
+    "run_resolver_experiment",
+    "synthesize_traceroute",
+]

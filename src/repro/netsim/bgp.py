@@ -1,0 +1,224 @@
+"""Gao-Rexford BGP route computation.
+
+Computes, for one destination AS, the route every other AS selects under
+the standard valley-free policy model:
+
+- **export**: routes learned from customers are exported to everyone;
+  routes learned from peers or providers are exported to customers only;
+- **selection**: prefer customer routes over peer routes over provider
+  routes (local-preference by relationship), then shortest AS path, then
+  lowest next-hop ASN (deterministic tie-break).
+
+The implementation runs three relaxation stages (customer routes bubble
+up provider chains; peer routes hop one peering edge; provider routes
+cascade down customer cones), each a Dijkstra-style pass so shortest
+paths and deterministic ties come out naturally.  Link failures and
+maintenance are modelled by passing the set of dead link keys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import RoutingError
+from repro.netsim.topology import Relationship, Topology
+
+
+class RouteKind(IntEnum):
+    """Gao-Rexford route class, ordered by preference (lower is better)."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Route:
+    """A selected route from one AS to the destination.
+
+    Attributes
+    ----------
+    source:
+        The AS holding the route.
+    path:
+        AS path from source to destination, inclusive on both ends.
+    kind:
+        Relationship class of the route's first hop (selection class).
+    """
+
+    source: int
+    path: tuple[int, ...]
+    kind: RouteKind
+
+    @property
+    def length(self) -> int:
+        """AS-path length in hops (edges)."""
+        return len(self.path) - 1
+
+    @property
+    def next_hop(self) -> int | None:
+        """First AS after the source (None for the origin itself)."""
+        return self.path[1] if len(self.path) > 1 else None
+
+    def crosses_link(self, a: int, b: int) -> bool:
+        """Whether the path traverses the (a, b) adjacency."""
+        for i in range(len(self.path) - 1):
+            pair = {self.path[i], self.path[i + 1]}
+            if pair == {a, b}:
+                return True
+        return False
+
+
+LinkKey = tuple[int, int]
+
+
+def compute_routes(
+    topology: Topology,
+    destination: int,
+    dead_links: set[LinkKey] | None = None,
+) -> dict[int, Route]:
+    """Best route from every AS to *destination* under Gao-Rexford policy.
+
+    ASes with no valley-free route are absent from the result.  *dead_links*
+    are unordered ASN pairs (link keys) treated as down.
+    """
+    topology.get_as(destination)
+    dead = dead_links or set()
+
+    providers_of: dict[int, list[int]] = {}
+    customers_of: dict[int, list[int]] = {}
+    peers_of: dict[int, list[int]] = {}
+    for asn in topology.ases:
+        providers_of[asn] = []
+        customers_of[asn] = []
+        peers_of[asn] = []
+    for key, link in topology.links.items():
+        if key in dead:
+            continue
+        if link.relationship is Relationship.CUSTOMER_PROVIDER:
+            providers_of[link.a_asn].append(link.b_asn)
+            customers_of[link.b_asn].append(link.a_asn)
+        else:
+            peers_of[link.a_asn].append(link.b_asn)
+            peers_of[link.b_asn].append(link.a_asn)
+
+    best: dict[int, Route] = {
+        destination: Route(destination, (destination,), RouteKind.ORIGIN)
+    }
+
+    # Stage 1 — customer routes: propagate from the destination up
+    # provider chains (a provider learns the route from its customer).
+    heap: list[tuple[int, int, tuple[int, ...]]] = []
+    heapq.heappush(heap, (0, destination, (destination,)))
+    settled: set[int] = set()
+    while heap:
+        dist, asn, path = heapq.heappop(heap)
+        if asn in settled:
+            continue
+        settled.add(asn)
+        if asn != destination:
+            best[asn] = Route(asn, path, RouteKind.CUSTOMER)
+        for provider in sorted(providers_of[asn]):
+            if provider not in settled:
+                heapq.heappush(heap, (dist + 1, provider, (provider,) + path))
+
+    customer_route_holders = dict(best)  # origin + customer routes
+
+    # Stage 2 — peer routes: one peering edge, then a customer route.
+    # An AS only exports customer/origin routes to peers.
+    for asn in sorted(topology.ases):
+        if asn in best:
+            continue  # customer routes always win
+        candidates: list[tuple[int, int, tuple[int, ...]]] = []
+        for peer in sorted(peers_of[asn]):
+            route = customer_route_holders.get(peer)
+            if route is not None:
+                candidates.append((route.length + 1, peer, (asn,) + route.path))
+        if candidates:
+            _, _, path = min(candidates)
+            best[asn] = Route(asn, path, RouteKind.PEER)
+
+    # Stage 3 — provider routes: each AS exports its selected route to
+    # its customers; cascades down customer cones (Dijkstra on length).
+    heap2: list[tuple[int, int, tuple[int, ...]]] = []
+    for asn, route in best.items():
+        for customer in sorted(customers_of[asn]):
+            if customer not in best:
+                heapq.heappush(
+                    heap2, (route.length + 1, customer, (customer,) + route.path)
+                )
+    settled2: set[int] = set(best)
+    while heap2:
+        dist, asn, path = heapq.heappop(heap2)
+        if asn in settled2:
+            continue
+        settled2.add(asn)
+        best[asn] = Route(asn, path, RouteKind.PROVIDER)
+        for customer in sorted(customers_of[asn]):
+            if customer not in settled2:
+                heapq.heappush(heap2, (dist + 1, customer, (customer,) + path))
+
+    return best
+
+
+def route_between(
+    topology: Topology,
+    source: int,
+    destination: int,
+    dead_links: set[LinkKey] | None = None,
+) -> Route:
+    """The route *source* selects toward *destination*.
+
+    Raises :class:`RoutingError` when no valley-free route exists.
+    """
+    routes = compute_routes(topology, destination, dead_links)
+    route = routes.get(source)
+    if route is None:
+        raise RoutingError(
+            f"AS{source} has no valley-free route to AS{destination}"
+        )
+    return route
+
+
+def is_valley_free(topology: Topology, path: tuple[int, ...]) -> bool:
+    """Validate the valley-free property of an AS path.
+
+    A valid path is zero or more customer->provider steps, at most one
+    peer step, then zero or more provider->customer steps.
+    """
+    if len(path) < 2:
+        return True
+    phase = "up"
+    for i in range(len(path) - 1):
+        a, b = path[i], path[i + 1]
+        link = topology.link_between(a, b)
+        if link is None:
+            return False
+        if link.relationship is Relationship.PEER_PEER:
+            step = "peer"
+        elif link.a_asn == a:  # a is customer: going up to provider
+            step = "up"
+        else:
+            step = "down"
+        if step == "up" and phase != "up":
+            return False
+        if step == "peer":
+            if phase != "up":
+                return False
+            phase = "down"
+        if step == "down":
+            phase = "down"
+    return True
+
+
+def affected_sources(
+    routes: dict[int, Route], link: LinkKey
+) -> list[int]:
+    """Sources whose selected route crosses the given link, sorted."""
+    a, b = link
+    return sorted(
+        asn for asn, route in routes.items() if route.crosses_link(a, b)
+    )

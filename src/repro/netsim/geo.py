@@ -1,0 +1,138 @@
+"""Geography: cities, great-circle distance, propagation delay.
+
+Latency floors in the simulator come from physics: great-circle distance
+over the speed of light in fibre (~2e8 m/s) with a routing-indirectness
+fudge factor.  A small catalogue of real cities is included — the South
+African cities of the paper's Table 1 plus the overseas transit hubs
+that produce the tromboning the case study is about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+EARTH_RADIUS_KM = 6371.0
+#: Speed of light in fibre, km per millisecond.
+FIBRE_KM_PER_MS = 200.0
+#: Cable paths are longer than great circles; standard inflation factor.
+PATH_INFLATION = 1.6
+
+
+@dataclass(frozen=True)
+class City:
+    """A named location with WGS84 coordinates.
+
+    Attributes
+    ----------
+    name:
+        Human-readable city name (unique key in a :class:`CityCatalog`).
+    country:
+        ISO-ish country label, used to group units by region.
+    lat, lon:
+        Degrees; latitude in [-90, 90], longitude in [-180, 180].
+    """
+
+    name: str
+    country: str
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90 <= self.lat <= 90:
+            raise SimulationError(f"latitude {self.lat} out of range for {self.name!r}")
+        if not -180 <= self.lon <= 180:
+            raise SimulationError(f"longitude {self.lon} out of range for {self.name!r}")
+
+
+def haversine_km(a: City, b: City) -> float:
+    """Great-circle distance between two cities in kilometres."""
+    lat1, lon1, lat2, lon2 = map(math.radians, (a.lat, a.lon, b.lat, b.lon))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def propagation_delay_ms(a: City, b: City, inflation: float = PATH_INFLATION) -> float:
+    """One-way propagation delay between cities in milliseconds."""
+    if inflation < 1.0:
+        raise SimulationError(f"path inflation must be >= 1, got {inflation}")
+    return haversine_km(a, b) * inflation / FIBRE_KM_PER_MS
+
+
+class CityCatalog:
+    """A registry of cities keyed by name."""
+
+    def __init__(self, cities: list[City] | None = None) -> None:
+        self._cities: dict[str, City] = {}
+        for city in cities or []:
+            self.add(city)
+
+    def add(self, city: City) -> None:
+        """Register a city (name must be new)."""
+        if city.name in self._cities:
+            raise SimulationError(f"duplicate city {city.name!r}")
+        self._cities[city.name] = city
+
+    def get(self, name: str) -> City:
+        """Look up a city by name."""
+        try:
+            return self._cities[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown city {name!r}; known: {sorted(self._cities)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """All registered city names, sorted."""
+        return sorted(self._cities)
+
+    def in_country(self, country: str) -> list[City]:
+        """All cities in a country, name-sorted."""
+        return sorted(
+            (c for c in self._cities.values() if c.country == country),
+            key=lambda c: c.name,
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cities
+
+    def __len__(self) -> int:
+        return len(self._cities)
+
+
+def default_catalog() -> CityCatalog:
+    """Cities used by the Table-1 scenario.
+
+    South African eyeball cities (the paper's ⟨ASN, city⟩ units), the
+    NAPAfrica-JNB location, and the remote transit hubs (London,
+    Marseille, Frankfurt) through which pre-IXP routes trombone.
+    """
+    return CityCatalog(
+        [
+            City("Johannesburg", "ZA", -26.2041, 28.0473),
+            City("Cape Town", "ZA", -33.9249, 18.4241),
+            City("Durban", "ZA", -29.8587, 31.0218),
+            City("East London", "ZA", -33.0153, 27.9116),
+            City("Edenvale", "ZA", -26.1411, 28.1528),
+            City("Polokwane", "ZA", -23.9045, 29.4689),
+            City("eMuziwezinto", "ZA", -30.1648, 30.6583),
+            City("Pretoria", "ZA", -25.7479, 28.2293),
+            City("Bloemfontein", "ZA", -29.0852, 26.1596),
+            City("Gqeberha", "ZA", -33.9608, 25.6022),
+            City("Nelspruit", "ZA", -25.4753, 30.9694),
+            City("Kimberley", "ZA", -28.7282, 24.7499),
+            City("Pietermaritzburg", "ZA", -29.6006, 30.3794),
+            City("George", "ZA", -33.9648, 22.4590),
+            City("Rustenburg", "ZA", -25.6545, 27.2559),
+            City("London", "GB", 51.5074, -0.1278),
+            City("Marseille", "FR", 43.2965, 5.3698),
+            City("Frankfurt", "DE", 50.1109, 8.6821),
+            City("Lisbon", "PT", 38.7223, -9.1393),
+            City("Nairobi", "KE", -1.2921, 36.8219),
+            City("Lagos", "NG", 6.5244, 3.3792),
+        ]
+    )

@@ -1,0 +1,162 @@
+"""Internet exchange points.
+
+An IXP is a layer-2 fabric with a peering LAN: every member gets a port
+address inside the LAN prefix.  Crossing the IXP shows up in a
+traceroute as a hop whose IP falls inside that prefix — exactly the
+signal the paper matches against PeeringDB data to detect NAPAfrica
+crossings.  :meth:`Ixp.peeringdb_record` emits a PeeringDB-shaped dict
+so the pipeline's matching code reads like the real one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.netsim.ids import Prefix
+from repro.netsim.topology import Topology
+
+
+@dataclass
+class Ixp:
+    """An exchange point with a peering LAN and member ports.
+
+    Attributes
+    ----------
+    name:
+        Exchange name, e.g. ``"NAPAfrica-JNB"``.
+    city:
+        Location of the fabric (peering there implies presence there).
+    peering_lan:
+        The LAN prefix; member port IPs are allocated from it.
+    members:
+        ``{asn: port_ip}`` for current members.
+    """
+
+    name: str
+    city: str
+    peering_lan: Prefix
+    members: dict[int, str] = field(default_factory=dict)
+    _next_port: int = 1
+
+    def add_member(self, asn: int) -> str:
+        """Allocate a port IP for a new member and return it."""
+        if asn in self.members:
+            raise SimulationError(f"AS{asn} is already a member of {self.name}")
+        if self._next_port >= self.peering_lan.num_addresses - 1:
+            raise SimulationError(f"peering LAN of {self.name} is full")
+        ip = self.peering_lan.address(self._next_port)
+        self._next_port += 1
+        self.members[asn] = ip
+        return ip
+
+    def remove_member(self, asn: int) -> None:
+        """Drop a member (its port address is retired, not reused)."""
+        if asn not in self.members:
+            raise SimulationError(f"AS{asn} is not a member of {self.name}")
+        del self.members[asn]
+
+    def port_ip(self, asn: int) -> str:
+        """The member's port address on the fabric."""
+        try:
+            return self.members[asn]
+        except KeyError:
+            raise SimulationError(f"AS{asn} is not a member of {self.name}") from None
+
+    def contains_ip(self, address: str) -> bool:
+        """Whether an address lies in this exchange's peering LAN."""
+        return self.peering_lan.contains(address)
+
+    def peeringdb_record(self) -> dict[str, object]:
+        """A PeeringDB-shaped description of the exchange."""
+        return {
+            "name": self.name,
+            "city": self.city,
+            "prefixes": [str(self.peering_lan)],
+            "net_count": len(self.members),
+            "members": sorted(self.members),
+        }
+
+    def __repr__(self) -> str:
+        return f"Ixp({self.name!r}, {self.city!r}, lan={self.peering_lan}, members={len(self.members)})"
+
+
+def connect_member(
+    topology: Topology,
+    ixp: Ixp,
+    asn: int,
+    peer_with: list[int] | None = None,
+    port_bias: float = 0.0,
+) -> list[int]:
+    """Join *asn* to *ixp* and establish p2p sessions over the fabric.
+
+    By default the new member peers with every existing member (the
+    route-server open-policy common at large African exchanges); pass
+    *peer_with* to restrict to a subset.  *port_bias* sets the new
+    sessions' congestion bias (a congested member port makes the IXP
+    path worse, not better).  Returns the ASNs actually peered with
+    (pairs that already had a direct link are skipped).
+    """
+    existing = sorted(ixp.members)
+    ixp.add_member(asn)
+    targets = existing if peer_with is None else [t for t in peer_with if t in ixp.members and t != asn]
+    peered: list[int] = []
+    for other in targets:
+        if topology.link_between(asn, other) is not None:
+            continue
+        # Endpoint cities are the members' home PoPs; the latency model
+        # routes the hop through the exchange's city (see LatencyModel).
+        topology.add_p2p(
+            asn,
+            other,
+            a_city=topology.get_as(asn).city,
+            b_city=topology.get_as(other).city,
+            ixp=ixp.name,
+            congestion_bias=port_bias,
+        )
+        peered.append(other)
+    return peered
+
+
+class IxpRegistry:
+    """All exchanges in a scenario, with reverse IP lookup."""
+
+    def __init__(self, ixps: list[Ixp] | None = None) -> None:
+        self._ixps: dict[str, Ixp] = {}
+        for ixp in ixps or []:
+            self.add(ixp)
+
+    def add(self, ixp: Ixp) -> None:
+        """Register an exchange (name must be new)."""
+        if ixp.name in self._ixps:
+            raise SimulationError(f"duplicate IXP {ixp.name!r}")
+        for existing in self._ixps.values():
+            if existing.peering_lan == ixp.peering_lan:
+                raise SimulationError(
+                    f"IXP {ixp.name!r} reuses the peering LAN of {existing.name!r}"
+                )
+        self._ixps[ixp.name] = ixp
+
+    def get(self, name: str) -> Ixp:
+        """Look up an exchange by name."""
+        try:
+            return self._ixps[name]
+        except KeyError:
+            raise SimulationError(f"unknown IXP {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All exchange names, sorted."""
+        return sorted(self._ixps)
+
+    def ixp_for_ip(self, address: str) -> Ixp | None:
+        """The exchange whose peering LAN contains *address*, if any."""
+        for ixp in self._ixps.values():
+            if ixp.contains_ip(address):
+                return ixp
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ixps
+
+    def __len__(self) -> int:
+        return len(self._ixps)

@@ -1,0 +1,157 @@
+"""BGP poisoning: steering routes as a controlled intervention (PoiRoot).
+
+The paper's related work highlights PoiRoot (Javed et al.), which uses
+BGP poisoning as an *instrumental variable* to identify root causes of
+path changes: by prepending a target AS to its own announcement, an
+origin makes that AS's loop-prevention drop the route, forcibly
+steering traffic around it — an intervention whose timing the
+experimenter controls, hence exogenous.
+
+:func:`compute_routes_with_poison` re-runs Gao-Rexford route selection
+with a poisoned AS excluded from carrying the destination's routes, and
+:class:`PoisoningExperiment` packages the PoiRoot recipe: poison each
+candidate AS on the old path, observe which poison reproduces the
+performance change, and attribute the root cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RoutingError, SimulationError
+from repro.netsim.bgp import LinkKey, Route, compute_routes
+from repro.netsim.latency import LatencyModel
+from repro.netsim.topology import Topology
+
+
+def compute_routes_with_poison(
+    topology: Topology,
+    destination: int,
+    poisoned: int,
+    dead_links: set[LinkKey] | None = None,
+) -> dict[int, Route]:
+    """Routes to *destination* when *poisoned* refuses to carry them.
+
+    Loop prevention makes the poisoned AS drop the announcement, which
+    is equivalent to removing every adjacency of that AS from the
+    propagation graph for this destination (other destinations are
+    unaffected — hence the per-destination computation).
+    """
+    topology.get_as(poisoned)
+    if poisoned == destination:
+        raise SimulationError("cannot poison the destination itself")
+    dead = set(dead_links or ())
+    for key, link in topology.links.items():
+        if poisoned in (link.a_asn, link.b_asn):
+            dead.add(key)
+    return compute_routes(topology, destination, dead)
+
+
+@dataclass(frozen=True)
+class PoisonProbe:
+    """One poisoning trial: which AS was poisoned, what route resulted."""
+
+    poisoned_asn: int
+    route: Route | None  # None = destination unreachable under this poison
+    rtt_ms: float | None
+
+    @property
+    def reachable(self) -> bool:
+        """Whether the source still reached the destination."""
+        return self.route is not None
+
+
+@dataclass(frozen=True)
+class RootCauseVerdict:
+    """PoiRoot-style attribution for an observed path/performance change.
+
+    Attributes
+    ----------
+    suspect_asn:
+        The AS whose removal reproduces the new path (None when no
+        single on-path AS explains the change).
+    probes:
+        All poisoning trials performed.
+    explanation:
+        Prose justification.
+    """
+
+    suspect_asn: int | None
+    probes: tuple[PoisonProbe, ...]
+    explanation: str
+
+
+class PoisoningExperiment:
+    """Identify which on-path AS caused an observed route change.
+
+    Given a source, destination, the *old* path (before the change) and
+    the *new* path (after), poison each intermediate AS of the old path
+    in turn; the AS whose poisoning steers the source onto the new path
+    is the one whose withdrawal/failure best explains the change.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        latency: LatencyModel | None = None,
+        hour: float = 12.0,
+    ) -> None:
+        self.topology = topology
+        self.latency = latency
+        self.hour = hour
+
+    def probe(self, source: int, destination: int, poisoned: int) -> PoisonProbe:
+        """Poison one AS and record the source's resulting route and RTT."""
+        routes = compute_routes_with_poison(self.topology, destination, poisoned)
+        route = routes.get(source)
+        rtt = None
+        if route is not None and self.latency is not None:
+            rtt = self.latency.expected_rtt(route, self.hour, topology=self.topology)
+        return PoisonProbe(poisoned_asn=poisoned, route=route, rtt_ms=rtt)
+
+    def attribute_change(
+        self,
+        source: int,
+        destination: int,
+        old_path: tuple[int, ...],
+        new_path: tuple[int, ...],
+    ) -> RootCauseVerdict:
+        """Run the PoiRoot recipe over the old path's intermediate ASes."""
+        if len(old_path) < 3:
+            raise RoutingError("old path has no intermediate AS to poison")
+        if old_path[0] != source or old_path[-1] != destination:
+            raise RoutingError("old path endpoints must match source/destination")
+        candidates = [a for a in old_path[1:-1]]
+        probes: list[PoisonProbe] = []
+        matches: list[int] = []
+        for asn in candidates:
+            probe = self.probe(source, destination, asn)
+            probes.append(probe)
+            if probe.route is not None and probe.route.path == new_path:
+                matches.append(asn)
+        if len(matches) == 1:
+            suspect = matches[0]
+            explanation = (
+                f"poisoning AS{suspect} steers AS{source} onto exactly the "
+                f"observed new path {new_path}; the change is consistent with "
+                f"AS{suspect} withdrawing or losing the destination's route."
+            )
+        elif not matches:
+            suspect = None
+            explanation = (
+                "no single on-path poison reproduces the new path; the change "
+                "likely originated off-path (policy further upstream) or from "
+                "multiple simultaneous events."
+            )
+        else:
+            suspect = None
+            explanation = (
+                f"poisons of {sorted(matches)} all reproduce the new path; the "
+                "experiment cannot distinguish them (they share the relevant "
+                "route segment) — poison combinations would be needed."
+            )
+        return RootCauseVerdict(
+            suspect_asn=suspect,
+            probes=tuple(probes),
+            explanation=explanation,
+        )

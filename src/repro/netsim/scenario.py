@@ -1,0 +1,490 @@
+"""Scenario builders: pre-wired worlds for the paper's experiments.
+
+:func:`build_table1_scenario` constructs the South-Africa-like region of
+the case study: a content CDN and a populated NAPAfrica-JNB exchange,
+regional and intercontinental transit, and a few dozen access networks
+— eight ⟨ASN, city⟩ units of which (the paper's exact ASNs and cities)
+begin crossing the IXP mid-window.  Ground truth is available through
+:meth:`Table1Scenario.true_effect`, so estimator output can be checked
+against what the simulator actually did.
+
+:func:`build_trombone_scenario` is the contrast case the operational
+belief is really about: access ISPs whose only pre-IXP path tromboned
+through Europe, for which joining the local exchange *does* cause a
+large RTT drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netsim.congestion import CongestionModel, DiurnalProfile, RegionalShock
+from repro.netsim.events import (
+    DepeeringEvent,
+    IxpJoinEvent,
+    NewLinkEvent,
+    Timeline,
+)
+from repro.netsim.geo import CityCatalog, default_catalog
+from repro.netsim.ids import AsnAllocator, Prefix, PrefixAllocator
+from repro.netsim.ixp import Ixp, IxpRegistry
+from repro.netsim.latency import LatencyModel
+from repro.netsim.topology import AsKind, AutonomousSystem, Topology
+from repro.netsim.users import UserGroup
+
+#: The paper's treated units: (ASN, city), all in South Africa.
+TABLE1_TREATED_UNITS: tuple[tuple[int, str], ...] = (
+    (3741, "East London"),
+    (3741, "Johannesburg"),
+    (37053, "Cape Town"),
+    (37611, "Edenvale"),
+    (37680, "Durban"),
+    (327966, "Polokwane"),
+    (328622, "eMuziwezinto"),
+    (328745, "Johannesburg"),
+)
+
+#: Home PoP city of each treated ASN.
+_TREATED_AS_HOMES: dict[int, str] = {
+    3741: "East London",
+    37053: "Cape Town",
+    37611: "Edenvale",
+    37680: "Durban",
+    327966: "Polokwane",
+    328622: "eMuziwezinto",
+    328745: "Johannesburg",
+}
+
+_DONOR_CITIES: tuple[str, ...] = (
+    "Johannesburg",
+    "Cape Town",
+    "Durban",
+    "Pretoria",
+    "Bloemfontein",
+    "Gqeberha",
+    "Nelspruit",
+    "Kimberley",
+    "Pietermaritzburg",
+    "George",
+    "Rustenburg",
+    "East London",
+    "Polokwane",
+)
+
+
+@dataclass
+class Scenario:
+    """A fully wired simulation world.
+
+    Attributes
+    ----------
+    topology, cities, ixps, congestion, latency, timeline:
+        The substrate objects (timeline owns the event schedule).
+    content_asn:
+        Destination AS all speed tests measure against.
+    ixp_name:
+        The exchange whose crossings are under study.
+    user_groups:
+        All ⟨ASN, city⟩ populations generating measurements.
+    treated_units:
+        Units whose AS joins the exchange during the window.
+    join_hours:
+        ``{asn: hour}`` for scheduled IXP joins.
+    duration_hours:
+        Length of the measurement window.
+    """
+
+    topology: Topology
+    cities: CityCatalog
+    ixps: IxpRegistry
+    congestion: CongestionModel
+    latency: LatencyModel
+    timeline: Timeline
+    content_asn: int
+    ixp_name: str
+    user_groups: list[UserGroup]
+    treated_units: list[tuple[int, str]]
+    join_hours: dict[int, float]
+    duration_hours: float
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def group_for(self, asn: int, city: str) -> UserGroup:
+        """The user group of one ⟨ASN, city⟩ unit."""
+        for group in self.user_groups:
+            if group.unit == (asn, city):
+                return group
+        raise SimulationError(f"no user group for AS{asn}/{city}")
+
+    def true_effect(self, asn: int, city: str) -> float:
+        """Ground-truth expected daily-median RTT change for one unit.
+
+        Mirrors the pipeline's outcome definition: the median over 24
+        hourly noise-free RTT probes on the day after the AS's join
+        event minus the same median on the day before.  Diurnal terms
+        cancel across the two full days; what remains is the structural
+        route change, including its hour-dependent queueing consequences.
+        """
+        if asn not in self.join_hours:
+            return 0.0
+        join = self.join_hours[asn]
+        group = self.group_for(asn, city)
+        pre = float(
+            np.median(
+                [self._expected_unit_rtt(group, join - 24.0 + h) for h in range(24)]
+            )
+        )
+        post = float(
+            np.median([self._expected_unit_rtt(group, join + h) for h in range(24)])
+        )
+        return post - pre
+
+    def _expected_unit_rtt(self, group: UserGroup, hour: float) -> float:
+        from repro.netsim.geo import propagation_delay_ms
+
+        state = self.timeline.state_at(hour)
+        routes = self.timeline.routes_at(hour, self.content_asn)
+        route = routes[group.asn]
+        base = self.latency.expected_rtt(route, hour, topology=state.topology)
+        home = self.topology.get_as(group.asn).city
+        backhaul_city = group.backhaul_city or home
+        backhaul = 2.0 * propagation_delay_ms(
+            self.cities.get(group.city), self.cities.get(backhaul_city)
+        )
+        return base + backhaul
+
+
+def _make_as(
+    topo: Topology,
+    asn: int,
+    name: str,
+    kind: AsKind,
+    city: str,
+    prefixes: PrefixAllocator,
+) -> AutonomousSystem:
+    asys = AutonomousSystem(
+        asn=asn, name=name, kind=kind, city=city, router_prefix=prefixes.allocate()
+    )
+    topo.add_as(asys)
+    return asys
+
+
+def build_table1_scenario(
+    n_donor_ases: int = 30,
+    duration_days: int = 60,
+    join_day: int = 30,
+    seed: int = 0,
+    with_regional_shock: bool = True,
+    churn_probability: float = 0.2,
+    suppress_joins: frozenset[int] | set[int] = frozenset(),
+) -> Scenario:
+    """The Table-1 world: treated ASes join NAPAfrica-JNB mid-window.
+
+    Access networks already reach the content CDN through regional
+    transit in Johannesburg, so joining the exchange shaves one transit
+    AS (a few ms of queueing), not an intercontinental trombone — which
+    is why true effects are small, matching the paper's finding that the
+    folk claim "IXP membership cuts latency" is not robust here.
+
+    Parameters
+    ----------
+    n_donor_ases:
+        Number of never-treated access ASes (the donor pool).
+    duration_days, join_day:
+        Window length and the day around which joins are staggered.
+    seed:
+        Seed for the deterministic topology randomness (city/transit
+        assignment, population sizes).
+    with_regional_shock:
+        Add a country-wide congestion shock shortly after the joins —
+        the confounding "broader performance shift" a donor pool
+        controls for.
+    churn_probability:
+        Per-donor probability of an upstream-transit switch at a random
+        hour (background churn, independent of the treatment).
+    suppress_joins:
+        ASNs whose IXP-join event is *not* scheduled even though all
+        random draws proceed identically — builds the counterfactual
+        world "everything the same, but this AS never joined", used by
+        :func:`counterfactual_true_effect`.
+    """
+    if join_day >= duration_days:
+        raise SimulationError("join_day must fall inside the window")
+    rng = np.random.default_rng(seed)
+    cities = default_catalog()
+    prefixes = PrefixAllocator("10.0.0.0/8")
+    asns = AsnAllocator(start=64700)
+    topo = Topology()
+
+    # Core: intercontinental transit, regional transit, the content CDN.
+    global1 = _make_as(topo, 64601, "GlobalTransit-LON", AsKind.TIER1, "London", prefixes)
+    global2 = _make_as(topo, 64602, "GlobalTransit-MRS", AsKind.TIER1, "Marseille", prefixes)
+    regional1 = _make_as(topo, 64611, "ZA-Transit-JNB", AsKind.TRANSIT, "Johannesburg", prefixes)
+    regional2 = _make_as(topo, 64612, "ZA-Transit-CPT", AsKind.TRANSIT, "Cape Town", prefixes)
+    content = _make_as(topo, 64500, "StreamCo-CDN", AsKind.CONTENT, "Johannesburg", prefixes)
+    topo.add_p2p(global1.asn, global2.asn)
+    topo.add_c2p(regional1.asn, global1.asn)
+    topo.add_c2p(regional2.asn, global2.asn)
+    topo.add_p2p(regional1.asn, regional2.asn)
+    topo.add_c2p(content.asn, regional1.asn)
+    topo.add_c2p(content.asn, global1.asn)
+
+    # NAPAfrica-JNB with the CDN and both regionals present from day 0.
+    ixp = Ixp(
+        name="NAPAfrica-JNB",
+        city="Johannesburg",
+        peering_lan=Prefix.parse("196.60.8.0/24"),
+    )
+    ixps = IxpRegistry([ixp])
+    for member in (content.asn, regional1.asn, regional2.asn):
+        ixp.add_member(member)
+
+    user_groups: list[UserGroup] = []
+
+    # Treated access networks: the paper's ASNs, homed per the table.
+    treated_asns = sorted(_TREATED_AS_HOMES)
+    for asn in treated_asns:
+        home = _TREATED_AS_HOMES[asn]
+        _make_as(topo, asn, f"AccessISP-{asn}", AsKind.ACCESS, home, prefixes)
+        topo.add_c2p(asn, regional1.asn)
+    for asn, city in TABLE1_TREATED_UNITS:
+        n_users = int(rng.integers(150, 2500))
+        user_groups.append(
+            UserGroup(
+                asn=asn,
+                city=city,
+                n_users=n_users,
+                base_rate_per_hour=0.002,
+                perf_sensitivity=0.5,
+                change_sensitivity=1.0,
+                backhaul_city=_TREATED_AS_HOMES[asn],
+            )
+        )
+
+    # Donor access networks: never join the IXP during the window.
+    donor_upstreams: dict[int, int] = {}
+    for i in range(n_donor_ases):
+        asn = asns.allocate()
+        city = _DONOR_CITIES[int(rng.integers(0, len(_DONOR_CITIES)))]
+        _make_as(topo, asn, f"AccessISP-{asn}", AsKind.ACCESS, city, prefixes)
+        upstream = regional1.asn if rng.random() < 0.75 else regional2.asn
+        topo.add_c2p(asn, upstream)
+        donor_upstreams[asn] = upstream
+        if rng.random() < 0.15:
+            # A few donors trombone through Europe (texture, high RTT level).
+            topo.add_c2p(asn, global1.asn)
+        user_groups.append(
+            UserGroup(
+                asn=asn,
+                city=city,
+                n_users=int(rng.integers(150, 2500)),
+                base_rate_per_hour=0.002,
+                perf_sensitivity=0.5,
+                change_sensitivity=1.0,
+            )
+        )
+
+    # Congestion: ZA diurnal cycle, flatter core profiles elsewhere.
+    congestion = CongestionModel(
+        profiles={
+            "ZA": DiurnalProfile(base=0.5, amplitude=0.25, peak_hour=20.0, timezone_offset=2.0),
+            "GB": DiurnalProfile(base=0.4, amplitude=0.15, peak_hour=21.0, timezone_offset=0.0),
+            "FR": DiurnalProfile(base=0.4, amplitude=0.15, peak_hour=21.0, timezone_offset=1.0),
+        },
+        noise_std=0.05,
+        base_queueing_ms=1.5,
+    )
+    if with_regional_shock:
+        congestion.add_shock(
+            RegionalShock(
+                region="ZA",
+                start_hour=(join_day + 5) * 24.0,
+                end_hour=(join_day + 10) * 24.0,
+                extra_utilization=0.12,
+            )
+        )
+
+    latency = LatencyModel(
+        topo, cities, congestion, last_mile_ms=8.0, noise_std_ms=2.0, ixps=ixps
+    )
+
+    # Timeline: staggered joins around join_day.
+    timeline = Timeline(topo, ixps)
+    join_hours: dict[int, float] = {}
+    for i, asn in enumerate(treated_asns):
+        hour = (join_day + (i % 4)) * 24.0 + float(rng.integers(6, 18))
+        join_hours[asn] = hour
+        # Port quality varies: most members land on clean ports, but a
+        # minority hit hot/under-provisioned ports where the IXP path
+        # performs no better (or worse) than transit did.
+        if rng.random() < 0.25:
+            port_bias = float(rng.uniform(0.16, 0.24))
+        else:
+            port_bias = float(np.clip(rng.normal(0.0, 0.05), -0.10, 0.12))
+        if asn in suppress_joins:
+            del join_hours[asn]
+            continue
+        timeline.add_event(
+            IxpJoinEvent(
+                time_hour=hour, asn=asn, ixp_name=ixp.name, port_bias=port_bias
+            )
+        )
+
+    # Background churn (the paper's "broader churn"): some donors switch
+    # transit providers at random times during the window.  These events
+    # are independent of the IXP joins and give the placebo distribution
+    # the same kind of structural divergence treated units show, keeping
+    # the placebo p-values honest.
+    churn_lo = min(3 * 24.0, duration_days * 6.0)
+    churn_hi = duration_days * 24.0 - churn_lo
+    for asn, upstream in donor_upstreams.items():
+        if churn_hi <= churn_lo:
+            break  # window too short for background churn
+        if rng.random() < churn_probability:
+            other = regional2.asn if upstream == regional1.asn else regional1.asn
+            hour = float(rng.uniform(churn_lo, churn_hi))
+            timeline.add_event(
+                NewLinkEvent(time_hour=hour, a_asn=asn, b_asn=other, provider=True)
+            )
+            timeline.add_event(
+                DepeeringEvent(time_hour=hour + 0.5, a_asn=asn, b_asn=upstream)
+            )
+
+    return Scenario(
+        topology=topo,
+        cities=cities,
+        ixps=ixps,
+        congestion=congestion,
+        latency=latency,
+        timeline=timeline,
+        content_asn=content.asn,
+        ixp_name=ixp.name,
+        user_groups=user_groups,
+        treated_units=list(TABLE1_TREATED_UNITS),
+        join_hours=join_hours,
+        duration_hours=duration_days * 24.0,
+        extra={"join_day": join_day},
+    )
+
+
+def build_trombone_scenario(
+    n_access: int = 6,
+    duration_days: int = 30,
+    join_day: int = 15,
+    seed: int = 1,
+) -> Scenario:
+    """The belief-confirming contrast: pre-IXP paths trombone via Europe.
+
+    Access ISPs buy transit only from an intercontinental provider, so
+    reaching the Johannesburg CDN means a round trip through London.
+    Joining NAPAfrica-JNB replaces that with an in-country path and RTT
+    drops by ~150+ ms — the large effect the operational folklore
+    remembers.  Half of the access networks join mid-window; the rest
+    stay tromboned as donors.
+    """
+    if n_access < 2:
+        raise SimulationError("need at least two access networks")
+    rng = np.random.default_rng(seed)
+    cities = default_catalog()
+    prefixes = PrefixAllocator("10.128.0.0/9")
+    topo = Topology()
+
+    global1 = _make_as(topo, 65101, "GlobalTransit-LON", AsKind.TIER1, "London", prefixes)
+    content = _make_as(topo, 65100, "StreamCo-CDN", AsKind.CONTENT, "Johannesburg", prefixes)
+    topo.add_c2p(content.asn, global1.asn)
+
+    ixp = Ixp(
+        name="NAPAfrica-JNB",
+        city="Johannesburg",
+        peering_lan=Prefix.parse("196.60.9.0/24"),
+    )
+    ixps = IxpRegistry([ixp])
+    ixp.add_member(content.asn)
+
+    user_groups: list[UserGroup] = []
+    access_asns: list[int] = []
+    za_cities = ["Johannesburg", "Cape Town", "Durban", "Pretoria", "Polokwane", "George"]
+    for i in range(n_access):
+        asn = 65200 + i
+        city = za_cities[i % len(za_cities)]
+        _make_as(topo, asn, f"AccessISP-{asn}", AsKind.ACCESS, city, prefixes)
+        topo.add_c2p(asn, global1.asn)
+        access_asns.append(asn)
+        user_groups.append(
+            UserGroup(asn=asn, city=city, n_users=int(rng.integers(300, 1500)))
+        )
+
+    congestion = CongestionModel(
+        profiles={
+            "ZA": DiurnalProfile(base=0.5, amplitude=0.2, peak_hour=20.0, timezone_offset=2.0),
+            "GB": DiurnalProfile(base=0.45, amplitude=0.15, peak_hour=21.0),
+        },
+        noise_std=0.04,
+    )
+    latency = LatencyModel(topo, cities, congestion, ixps=ixps)
+
+    timeline = Timeline(topo, ixps)
+    join_hours: dict[int, float] = {}
+    treated = access_asns[: n_access // 2]
+    for i, asn in enumerate(treated):
+        hour = join_day * 24.0 + 6.0 * i
+        join_hours[asn] = hour
+        timeline.add_event(IxpJoinEvent(time_hour=hour, asn=asn, ixp_name=ixp.name))
+
+    treated_units = [
+        (g.asn, g.city) for g in user_groups if g.asn in join_hours
+    ]
+    return Scenario(
+        topology=topo,
+        cities=cities,
+        ixps=ixps,
+        congestion=congestion,
+        latency=latency,
+        timeline=timeline,
+        content_asn=content.asn,
+        ixp_name=ixp.name,
+        user_groups=user_groups,
+        treated_units=treated_units,
+        join_hours=join_hours,
+        duration_hours=duration_days * 24.0,
+        extra={"join_day": join_day},
+    )
+
+
+def counterfactual_true_effect(
+    asn: int,
+    city: str,
+    probe_day_offset: int = 2,
+    **scenario_kwargs: object,
+) -> float:
+    """Scenario-level counterfactual ground truth for one treated unit.
+
+    Builds the factual world and its twin in which *asn* never joins the
+    exchange (identical seeds and random draws otherwise), and compares
+    the unit's expected daily-median RTT at the *same* post-join day in
+    both worlds.  This is the rung-three definition of the unit's effect
+    — no reliance on temporal before/after comparisons at all.
+    """
+    factual = build_table1_scenario(**scenario_kwargs)
+    if asn not in factual.join_hours:
+        raise SimulationError(f"AS{asn} is not treated in this scenario")
+    twin = build_table1_scenario(
+        **scenario_kwargs, suppress_joins={asn}
+    )
+    join = factual.join_hours[asn]
+    start = join + probe_day_offset * 24.0
+    group_f = factual.group_for(asn, city)
+    group_t = twin.group_for(asn, city)
+    with_join = float(
+        np.median(
+            [factual._expected_unit_rtt(group_f, start + h) for h in range(24)]
+        )
+    )
+    without_join = float(
+        np.median(
+            [twin._expected_unit_rtt(group_t, start + h) for h in range(24)]
+        )
+    )
+    return with_join - without_join

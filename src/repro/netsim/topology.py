@@ -1,0 +1,250 @@
+"""AS-level topology: autonomous systems, business relationships, links.
+
+The simulator models the Internet at the AS level, as BGP sees it.  Each
+inter-AS link carries a Gao-Rexford business relationship — customer-
+provider (``c2p``) or settlement-free peering (``p2p``) — plus the
+cities its two endpoints sit in (which set its propagation delay) and,
+for peering established at an exchange, the IXP's name (which is what a
+traceroute hop-IP match later reveals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import SimulationError
+from repro.netsim.ids import Prefix
+
+
+class AsKind(Enum):
+    """Coarse role of an AS in the hierarchy."""
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    ACCESS = "access"
+    CONTENT = "content"
+
+
+class Relationship(Enum):
+    """Business relationship of a link, from the perspective of (a, b)."""
+
+    CUSTOMER_PROVIDER = "c2p"  # a is the customer, b the provider
+    PEER_PEER = "p2p"
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One AS.
+
+    Attributes
+    ----------
+    asn:
+        AS number (unique key).
+    name:
+        Operator label for readable output.
+    kind:
+        Role in the hierarchy (:class:`AsKind`).
+    city:
+        Home city of the AS's main PoP (keys into a
+        :class:`~repro.netsim.geo.CityCatalog`).
+    router_prefix:
+        /24 from which this AS's router interface IPs are assigned.
+    """
+
+    asn: int
+    name: str
+    kind: AsKind
+    city: str
+    router_prefix: Prefix
+
+    def router_ip(self, index: int = 1) -> str:
+        """A stable router interface address within the AS's block."""
+        return self.router_prefix.address(index)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An inter-AS adjacency.
+
+    For ``c2p`` links, :attr:`a_asn` is the customer and :attr:`b_asn`
+    the provider.  ``ixp`` names the exchange for peering sessions set
+    up over an IXP fabric (None for private interconnects).
+    """
+
+    a_asn: int
+    b_asn: int
+    relationship: Relationship
+    a_city: str
+    b_city: str
+    ixp: str | None = None
+    congestion_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a_asn == self.b_asn:
+            raise SimulationError(f"self-link on AS{self.a_asn}")
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Unordered endpoint pair for lookups."""
+        return (min(self.a_asn, self.b_asn), max(self.a_asn, self.b_asn))
+
+    def other(self, asn: int) -> int:
+        """The endpoint that is not *asn*."""
+        if asn == self.a_asn:
+            return self.b_asn
+        if asn == self.b_asn:
+            return self.a_asn
+        raise SimulationError(f"AS{asn} is not on link {self.key}")
+
+    def city_of(self, asn: int) -> str:
+        """The city of *asn*'s end of the link."""
+        if asn == self.a_asn:
+            return self.a_city
+        if asn == self.b_asn:
+            return self.b_city
+        raise SimulationError(f"AS{asn} is not on link {self.key}")
+
+
+@dataclass
+class Topology:
+    """A mutable registry of ASes and links.
+
+    Links are keyed by unordered endpoint pair: at most one link per AS
+    pair (sufficient at AS granularity).
+    """
+
+    ases: dict[int, AutonomousSystem] = field(default_factory=dict)
+    links: dict[tuple[int, int], Link] = field(default_factory=dict)
+
+    def add_as(self, asys: AutonomousSystem) -> None:
+        """Register an AS (ASN must be new)."""
+        if asys.asn in self.ases:
+            raise SimulationError(f"duplicate AS{asys.asn}")
+        self.ases[asys.asn] = asys
+
+    def get_as(self, asn: int) -> AutonomousSystem:
+        """Look up an AS by number."""
+        try:
+            return self.ases[asn]
+        except KeyError:
+            raise SimulationError(f"unknown AS{asn}") from None
+
+    def _add_link(self, link: Link) -> None:
+        self.get_as(link.a_asn)
+        self.get_as(link.b_asn)
+        if link.key in self.links:
+            raise SimulationError(
+                f"link between AS{link.key[0]} and AS{link.key[1]} already exists"
+            )
+        self.links[link.key] = link
+
+    def add_c2p(
+        self,
+        customer: int,
+        provider: int,
+        customer_city: str | None = None,
+        provider_city: str | None = None,
+    ) -> Link:
+        """Add a customer-provider link (cities default to each AS's home)."""
+        link = Link(
+            a_asn=customer,
+            b_asn=provider,
+            relationship=Relationship.CUSTOMER_PROVIDER,
+            a_city=customer_city or self.get_as(customer).city,
+            b_city=provider_city or self.get_as(provider).city,
+        )
+        self._add_link(link)
+        return link
+
+    def add_p2p(
+        self,
+        a: int,
+        b: int,
+        a_city: str | None = None,
+        b_city: str | None = None,
+        ixp: str | None = None,
+        congestion_bias: float = 0.0,
+    ) -> Link:
+        """Add a settlement-free peering link (optionally over an IXP).
+
+        *congestion_bias* shifts the link's utilization relative to its
+        region's profile (hot IXP ports get a positive bias).
+        """
+        link = Link(
+            a_asn=a,
+            b_asn=b,
+            relationship=Relationship.PEER_PEER,
+            a_city=a_city or self.get_as(a).city,
+            b_city=b_city or self.get_as(b).city,
+            ixp=ixp,
+            congestion_bias=congestion_bias,
+        )
+        self._add_link(link)
+        return link
+
+    def remove_link(self, a: int, b: int) -> Link:
+        """Remove and return the link between two ASes."""
+        key = (min(a, b), max(a, b))
+        try:
+            return self.links.pop(key)
+        except KeyError:
+            raise SimulationError(f"no link between AS{a} and AS{b}") from None
+
+    def link_between(self, a: int, b: int) -> Link | None:
+        """The link between two ASes, or None."""
+        return self.links.get((min(a, b), max(a, b)))
+
+    # -- relationship-aware neighbour queries ------------------------------------
+
+    def providers(self, asn: int) -> list[int]:
+        """ASes that *asn* buys transit from, sorted."""
+        self.get_as(asn)
+        out = []
+        for link in self.links.values():
+            if link.relationship is Relationship.CUSTOMER_PROVIDER and link.a_asn == asn:
+                out.append(link.b_asn)
+        return sorted(out)
+
+    def customers(self, asn: int) -> list[int]:
+        """ASes that buy transit from *asn*, sorted."""
+        self.get_as(asn)
+        out = []
+        for link in self.links.values():
+            if link.relationship is Relationship.CUSTOMER_PROVIDER and link.b_asn == asn:
+                out.append(link.a_asn)
+        return sorted(out)
+
+    def peers(self, asn: int) -> list[int]:
+        """Settlement-free peers of *asn*, sorted."""
+        self.get_as(asn)
+        out = []
+        for link in self.links.values():
+            if link.relationship is Relationship.PEER_PEER and asn in (
+                link.a_asn,
+                link.b_asn,
+            ):
+                out.append(link.other(asn))
+        return sorted(out)
+
+    def neighbors(self, asn: int) -> list[int]:
+        """All adjacent ASes, sorted."""
+        self.get_as(asn)
+        out = set()
+        for link in self.links.values():
+            if asn in (link.a_asn, link.b_asn):
+                out.add(link.other(asn))
+        return sorted(out)
+
+    def by_kind(self, kind: AsKind) -> list[AutonomousSystem]:
+        """All ASes of a given kind, ASN-sorted."""
+        return sorted(
+            (a for a in self.ases.values() if a.kind is kind), key=lambda a: a.asn
+        )
+
+    def copy(self) -> "Topology":
+        """Shallow-copy the registries (AS/Link objects are immutable)."""
+        return Topology(ases=dict(self.ases), links=dict(self.links))
+
+    def __repr__(self) -> str:
+        return f"Topology({len(self.ases)} ASes, {len(self.links)} links)"

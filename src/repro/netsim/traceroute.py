@@ -1,0 +1,125 @@
+"""Traceroute synthesis.
+
+Converts a selected BGP route into the hop list a traceroute would show:
+one router hop per AS (addressed from that AS's router block), with the
+far side of an IXP-fabric link answering from its *peering-LAN port
+address*.  That LAN address is the fingerprint the paper matches against
+PeeringDB prefixes to decide "this path crosses NAPAfrica".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.netsim.bgp import Route
+from repro.netsim.ixp import IxpRegistry
+from repro.netsim.topology import Topology
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One traceroute hop.
+
+    Attributes
+    ----------
+    index:
+        1-based hop position.
+    ip:
+        Responding interface address.
+    asn:
+        AS owning the interface.
+    ixp:
+        Exchange name when the interface is an IXP peering-LAN port.
+    """
+
+    index: int
+    ip: str
+    asn: int
+    ixp: str | None = None
+
+
+@dataclass(frozen=True)
+class TracerouteResult:
+    """A full traceroute: ordered hops from source AS to destination AS."""
+
+    source_asn: int
+    destination_asn: int
+    hops: tuple[Hop, ...] = field(default_factory=tuple)
+
+    @property
+    def hop_ips(self) -> list[str]:
+        """Responding addresses in order (what raw traceroute output has)."""
+        return [hop.ip for hop in self.hops]
+
+    @property
+    def as_path(self) -> tuple[int, ...]:
+        """Distinct ASes in traversal order."""
+        path: list[int] = []
+        for hop in self.hops:
+            if not path or path[-1] != hop.asn:
+                path.append(hop.asn)
+        return tuple(path)
+
+    def crosses_ixp(self, ixp_name: str) -> bool:
+        """Whether any hop answered from the named exchange's fabric."""
+        return any(hop.ixp == ixp_name for hop in self.hops)
+
+
+def synthesize_traceroute(
+    topology: Topology,
+    ixps: IxpRegistry,
+    route: Route,
+) -> TracerouteResult:
+    """Build the hop list for a selected route.
+
+    Hop addressing: the source AS contributes its own router hop; for
+    each subsequent AS, the entry interface answers.  When the link into
+    an AS is an IXP peering session, the entry interface is that AS's
+    port on the exchange LAN (so the LAN prefix shows up mid-path).
+    """
+    if len(route.path) == 0:
+        raise RoutingError("empty route")
+    hops: list[Hop] = []
+    index = 1
+    first = topology.get_as(route.path[0])
+    hops.append(Hop(index=index, ip=first.router_ip(1), asn=first.asn))
+    for i in range(1, len(route.path)):
+        prev_asn = route.path[i - 1]
+        asn = route.path[i]
+        link = topology.link_between(prev_asn, asn)
+        if link is None:
+            raise RoutingError(f"route {route.path} crosses missing link AS{prev_asn}-AS{asn}")
+        index += 1
+        if link.ixp is not None:
+            ixp = ixps.get(link.ixp)
+            hops.append(Hop(index=index, ip=ixp.port_ip(asn), asn=asn, ixp=ixp.name))
+            index += 1
+            entered = topology.get_as(asn)
+            hops.append(Hop(index=index, ip=entered.router_ip(1), asn=asn))
+        else:
+            entered = topology.get_as(asn)
+            hops.append(Hop(index=index, ip=entered.router_ip(1), asn=asn))
+    return TracerouteResult(
+        source_asn=route.path[0],
+        destination_asn=route.path[-1],
+        hops=tuple(hops),
+    )
+
+
+def detect_ixp_crossings(
+    traceroute: TracerouteResult, ixps: IxpRegistry
+) -> list[str]:
+    """Which exchanges a traceroute crosses, by raw hop-IP prefix matching.
+
+    This deliberately ignores the :attr:`Hop.ixp` annotation and matches
+    IPs against peering-LAN prefixes — the same evidence chain as the
+    paper (hop IPs vs PeeringDB announcements), so tests can verify the
+    two agree.
+    """
+    seen: list[str] = []
+    for ip in traceroute.hop_ips:
+        ixp = ixps.ixp_for_ip(ip)
+        if ixp is not None and ixp.name not in seen:
+            seen.append(ixp.name)
+    return seen

@@ -1,0 +1,88 @@
+"""Traffic demand and load-dependent congestion coupling.
+
+By default the simulator's congestion is exogenous (diurnal profiles per
+region).  This module adds the endogenous channel the paper's SUTVA
+caveat describes: each access network offers demand toward the content
+destination, every link's utilization rises with the share of total
+demand routed across it, and therefore *a treated AS moving its traffic
+onto an IXP relieves the transit links its untreated neighbours still
+use* — interference from treatment to donors.
+
+Usage: compute per-link demand loads for a routing state with
+:func:`compute_link_loads`, convert them to utilization biases with
+:func:`load_utilization_bias`, and install them on a
+:class:`~repro.netsim.latency.LatencyModel` via its ``load_bias``
+mapping (re-doing this per epoch as routes change).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SimulationError
+from repro.netsim.bgp import LinkKey, Route
+
+
+def compute_link_loads(
+    routes: Mapping[int, Route],
+    demands: Mapping[int, float],
+) -> dict[LinkKey, float]:
+    """Demand units crossing each link, summed over source ASes.
+
+    *demands* maps a source AS to its offered load (any unit — user
+    counts work); sources without a route contribute nothing.
+    """
+    loads: dict[LinkKey, float] = {}
+    for asn, demand in demands.items():
+        if demand < 0:
+            raise SimulationError(f"negative demand for AS{asn}")
+        route = routes.get(asn)
+        if route is None:
+            continue
+        for i in range(len(route.path) - 1):
+            a, b = route.path[i], route.path[i + 1]
+            key = (min(a, b), max(a, b))
+            loads[key] = loads.get(key, 0.0) + float(demand)
+    return loads
+
+
+def load_utilization_bias(
+    loads: Mapping[LinkKey, float],
+    total_demand: float,
+    coupling: float,
+    reference_share: float = 0.0,
+) -> dict[LinkKey, float]:
+    """Convert link loads into additive utilization biases.
+
+    ``bias = coupling * (load / total_demand - reference_share)`` — a
+    link carrying more than *reference_share* of total demand runs
+    hotter than its region profile; one carrying less runs cooler.
+    *coupling* = 0 recovers the exogenous model (SUTVA holds).
+    """
+    if total_demand <= 0:
+        raise SimulationError("total demand must be positive")
+    if coupling < 0:
+        raise SimulationError("coupling must be >= 0")
+    return {
+        key: coupling * (load / total_demand - reference_share)
+        for key, load in loads.items()
+    }
+
+
+def apply_traffic_loads(
+    latency_model,
+    routes: Mapping[int, Route],
+    demands: Mapping[int, float],
+    coupling: float,
+    reference_share: float = 0.0,
+) -> dict[LinkKey, float]:
+    """Recompute and install load biases on a latency model.
+
+    Returns the installed bias mapping (handy for assertions).  Call
+    again whenever the routing state changes (each timeline epoch).
+    """
+    total = float(sum(demands.values()))
+    loads = compute_link_loads(routes, demands)
+    bias = load_utilization_bias(loads, total, coupling, reference_share)
+    latency_model.load_bias = dict(bias)
+    return bias

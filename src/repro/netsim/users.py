@@ -1,0 +1,92 @@
+"""User populations behind access networks.
+
+Measurements in the simulator originate from users, not probes: a
+:class:`UserGroup` is the set of subscribers of one AS in one city — the
+paper's ⟨ASN, city⟩ analysis unit.  Groups carry the behavioural knobs
+that make user-initiated measurement *endogenous*: a baseline test rate
+plus sensitivities that raise the odds of running a speed test when
+performance is bad or the route just changed (the collider mechanism of
+§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class UserGroup:
+    """Subscribers of one AS in one city.
+
+    Attributes
+    ----------
+    asn, city:
+        The analysis unit.
+    n_users:
+        Population size (scales measurement volume).
+    base_rate_per_hour:
+        Poisson rate of spontaneous speed tests per user-hour.
+    perf_sensitivity:
+        Multiplier on the test rate per 100 ms of RTT above
+        *rtt_reference_ms* (bad experience prompts testing).
+    change_sensitivity:
+        Additive burst multiplier in the hours right after the unit's
+        route changed (new-ISP-curiosity effect).
+    rtt_reference_ms:
+        RTT regarded as "normal" by these users.
+    backhaul_city:
+        City of the AS PoP the group is backhauled to (defaults to the
+        group's own city; distinct for rural groups riding metro PoPs).
+    """
+
+    asn: int
+    city: str
+    n_users: int
+    base_rate_per_hour: float = 0.002
+    perf_sensitivity: float = 0.5
+    change_sensitivity: float = 1.0
+    rtt_reference_ms: float = 60.0
+    backhaul_city: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0:
+            raise SimulationError("n_users must be positive")
+        if self.base_rate_per_hour < 0:
+            raise SimulationError("base_rate_per_hour must be >= 0")
+        if self.perf_sensitivity < 0 or self.change_sensitivity < 0:
+            raise SimulationError("sensitivities must be >= 0")
+
+    @property
+    def unit(self) -> tuple[int, str]:
+        """The ⟨ASN, city⟩ key."""
+        return (self.asn, self.city)
+
+    @property
+    def unit_label(self) -> str:
+        """Human-readable unit id, e.g. ``"AS64700/Polokwane"``."""
+        return f"AS{self.asn}/{self.city}"
+
+    def test_rate(
+        self,
+        rtt_ms: float | None,
+        hours_since_route_change: float | None,
+        change_window_hours: float = 24.0,
+    ) -> float:
+        """Expected tests per user-hour given current conditions.
+
+        The returned rate is the endogenous-measurement intensity:
+
+            base * (1 + perf_sensitivity * excess_rtt/100)
+                 * (1 + change_sensitivity * recently_changed)
+        """
+        rate = self.base_rate_per_hour
+        if rtt_ms is not None and rtt_ms > self.rtt_reference_ms:
+            rate *= 1.0 + self.perf_sensitivity * (rtt_ms - self.rtt_reference_ms) / 100.0
+        if (
+            hours_since_route_change is not None
+            and 0 <= hours_since_route_change < change_window_hours
+        ):
+            rate *= 1.0 + self.change_sensitivity
+        return rate

@@ -1,0 +1,46 @@
+"""Analysis pipeline: raw measurements -> the paper's Table 1.
+
+- :func:`crossing_mask` / :func:`assign_treatment` — IXP-crossing
+  detection from traceroute evidence and first-crossing treatment
+  timing;
+- :func:`daily_median_rtt` / :func:`rtt_panel` — ⟨ASN, city⟩ daily
+  median-RTT panels;
+- :func:`run_ixp_study` — the end-to-end Table-1 runner with donor
+  screening, robust synthetic control, and placebo inference.
+"""
+
+from repro.pipeline.aggregate import (
+    completeness,
+    daily_median_rtt,
+    measurement_volume,
+    rtt_panel,
+)
+from repro.pipeline.importer import (
+    detect_crossings_from_hops,
+    import_csv,
+    load_ixp_prefixes,
+    normalise_measurements,
+)
+from repro.pipeline.crossing import (
+    TreatmentAssignment,
+    assign_treatment,
+    crossing_mask,
+)
+from repro.pipeline.study import StudyResult, StudyRow, run_ixp_study
+
+__all__ = [
+    "StudyResult",
+    "StudyRow",
+    "TreatmentAssignment",
+    "assign_treatment",
+    "completeness",
+    "crossing_mask",
+    "daily_median_rtt",
+    "detect_crossings_from_hops",
+    "import_csv",
+    "load_ixp_prefixes",
+    "measurement_volume",
+    "normalise_measurements",
+    "rtt_panel",
+    "run_ixp_study",
+]

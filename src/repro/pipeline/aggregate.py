@@ -1,0 +1,60 @@
+"""Aggregation of raw measurements into analysis panels.
+
+The paper analyses median RTT per ⟨ASN, city⟩ per period.  These
+helpers reduce a measurement frame to a long table of per-unit
+per-period medians and hand it to
+:func:`repro.synthcontrol.build_panel` for pivoting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frames.frame import Frame
+from repro.frames.groupby import group_by
+from repro.synthcontrol.donor import Panel, build_panel
+
+
+def daily_median_rtt(frame: Frame) -> Frame:
+    """Collapse measurements to per-unit daily median RTT.
+
+    Returns columns ``unit, day, rtt_median, n_tests``.
+    """
+    for col in ("unit", "day", "rtt_ms"):
+        if col not in frame:
+            raise FrameError(f"measurement frame is missing column {col!r}")
+    return group_by(frame, ["unit", "day"]).aggregate(
+        rtt_median=("rtt_ms", "median"),
+        n_tests=("rtt_ms", "count"),
+    )
+
+
+def rtt_panel(frame: Frame, period: str = "day", outcome: str = "rtt_ms") -> Panel:
+    """Pivot a measurement frame into a (periods x units) median-outcome panel.
+
+    *outcome* defaults to RTT; pass ``"download_mbps"`` for the
+    throughput variant of the analysis.
+    """
+    if period not in ("day", "time_hour"):
+        raise FrameError(f"unknown period column {period!r}")
+    if outcome not in frame:
+        raise FrameError(f"measurement frame has no outcome column {outcome!r}")
+    return build_panel(frame, unit="unit", time=period, outcome=outcome, agg="median")
+
+
+def measurement_volume(frame: Frame) -> Frame:
+    """Tests per unit (a sampling-bias diagnostic): ``unit, n_tests, days``."""
+    return group_by(frame, "unit").aggregate(
+        n_tests=("rtt_ms", "count"),
+        days=("day", "nunique"),
+        rtt_median=("rtt_ms", "median"),
+    )
+
+
+def completeness(panel: Panel) -> dict[str, float]:
+    """Share of non-missing cells per unit of a panel."""
+    return {
+        unit: 1.0 - float(np.mean(~np.isfinite(panel.series(unit))))
+        for unit in panel.units
+    }

@@ -1,0 +1,110 @@
+"""IXP-crossing detection and treatment timing.
+
+Mirrors the paper's method: a measurement "crosses the IXP" when any
+post-test traceroute hop IP matches an address the exchange announces;
+a unit's *treatment time* is the first hour at which its measurements
+start crossing.  Works from the measurement frame (string-matching the
+``ixps`` column) so the logic is identical whether data came from the
+simulator or from CSV-imported real measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frames.frame import Frame
+
+
+@dataclass(frozen=True)
+class TreatmentAssignment:
+    """When (if ever) each unit first crossed the exchange.
+
+    Attributes
+    ----------
+    ixp_name:
+        The exchange analysed.
+    first_crossing_hour:
+        ``{unit_label: hour}`` for units that ever crossed.
+    never_crossed:
+        Unit labels that never crossed (the donor-pool candidates).
+    """
+
+    ixp_name: str
+    first_crossing_hour: dict[str, float]
+    never_crossed: tuple[str, ...]
+
+    @property
+    def treated_units(self) -> list[str]:
+        """Units with a first-crossing time, sorted by that time."""
+        return sorted(self.first_crossing_hour, key=lambda u: self.first_crossing_hour[u])
+
+    def is_treated(self, unit: str) -> bool:
+        """Whether the unit ever crossed the exchange."""
+        return unit in self.first_crossing_hour
+
+
+def crossing_mask(frame: Frame, ixp_name: str) -> np.ndarray:
+    """Boolean mask of rows whose traceroute crossed *ixp_name*.
+
+    The ``ixps`` column holds comma-joined exchange names (possibly
+    empty); exact token matching avoids substring false positives.
+    """
+    if "ixps" not in frame:
+        raise FrameError("frame has no 'ixps' column; is this a measurement frame?")
+    ixps = frame.column("ixps").values
+    return np.array(
+        [ixp_name in str(v).split(",") if v else False for v in ixps], dtype=bool
+    )
+
+
+def assign_treatment(
+    frame: Frame,
+    ixp_name: str,
+    min_crossing_share: float = 0.5,
+    window_hours: float = 24.0,
+) -> TreatmentAssignment:
+    """Find each unit's first *sustained* crossing of the exchange.
+
+    A unit counts as treated from the first measurement hour after which
+    at least *min_crossing_share* of its measurements in the following
+    *window_hours* cross the exchange — a debouncing rule so a single
+    transient detour does not flip a unit's status (the paper's "begin
+    crossing" is likewise persistent membership, not a one-off).
+    """
+    if not 0 < min_crossing_share <= 1:
+        raise FrameError("min_crossing_share must be in (0, 1]")
+    crosses = crossing_mask(frame, ixp_name)
+    units = frame.column("unit").values
+    hours = frame.numeric("time_hour")
+
+    first: dict[str, float] = {}
+    never: list[str] = []
+    for unit in sorted({str(u) for u in units}):
+        sel = np.array([str(u) == unit for u in units])
+        unit_hours = hours[sel]
+        unit_cross = crosses[sel]
+        order = np.argsort(unit_hours)
+        unit_hours = unit_hours[order]
+        unit_cross = unit_cross[order]
+        candidate = None
+        for i in np.flatnonzero(unit_cross):
+            t0 = unit_hours[i]
+            in_window = (unit_hours >= t0) & (unit_hours < t0 + window_hours)
+            if in_window.sum() == 0:
+                continue
+            share = float(unit_cross[in_window].mean())
+            if share >= min_crossing_share:
+                candidate = float(t0)
+                break
+        if candidate is None:
+            never.append(unit)
+        else:
+            first[unit] = candidate
+    return TreatmentAssignment(
+        ixp_name=ixp_name,
+        first_crossing_hour=first,
+        never_crossed=tuple(never),
+    )

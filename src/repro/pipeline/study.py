@@ -1,0 +1,222 @@
+"""The end-to-end Table-1 runner.
+
+``run_ixp_study`` goes from a raw measurement frame to the paper's
+table: detect which ⟨ASN, city⟩ units began crossing the exchange,
+build the daily median-RTT panel, fit a robust synthetic control per
+treated unit against a never-crossing donor pool, and report the
+estimated RTT change with RMSE-ratio and placebo-p diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DonorPoolError, EstimationError
+from repro.frames.frame import Frame
+from repro.pipeline.aggregate import rtt_panel
+from repro.pipeline.crossing import TreatmentAssignment, assign_treatment
+from repro.synthcontrol.donor import Panel, select_donors
+from repro.synthcontrol.placebo import placebo_test
+from repro.synthcontrol.result import PlaceboSummary
+
+
+@dataclass(frozen=True)
+class StudyRow:
+    """One Table-1 row: a treated unit's estimated RTT change.
+
+    Attributes
+    ----------
+    unit:
+        ``"AS<asn>/<city>"`` label.
+    rtt_delta_ms:
+        Mean post-treatment gap (observed minus synthetic): the
+        estimated causal RTT change.
+    rmse_ratio:
+        Post/pre fit-error ratio.
+    p_value:
+        Placebo-based p.
+    pre_periods, post_periods, n_donors:
+        Analysis-shape diagnostics.
+    """
+
+    unit: str
+    rtt_delta_ms: float
+    rmse_ratio: float
+    p_value: float
+    pre_periods: int
+    post_periods: int
+    n_donors: int
+
+    @property
+    def asn(self) -> int:
+        """ASN parsed back out of the unit label."""
+        return int(self.unit.split("/")[0][2:])
+
+    @property
+    def city(self) -> str:
+        """City parsed back out of the unit label."""
+        return self.unit.split("/", 1)[1]
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """The full study output: one row per treated unit plus context."""
+
+    rows: tuple[StudyRow, ...]
+    assignment: TreatmentAssignment
+    skipped: tuple[tuple[str, str], ...]  # (unit, reason)
+
+    def to_frame(self) -> Frame:
+        """Rows as a frame (for CSV export or further analysis)."""
+        return Frame.from_records(
+            [
+                {
+                    "unit": r.unit,
+                    "asn": r.asn,
+                    "city": r.city,
+                    "rtt_delta_ms": r.rtt_delta_ms,
+                    "rmse_ratio": r.rmse_ratio,
+                    "p_value": r.p_value,
+                    "pre_periods": r.pre_periods,
+                    "post_periods": r.post_periods,
+                    "n_donors": r.n_donors,
+                }
+                for r in self.rows
+            ],
+            columns=[
+                "unit",
+                "asn",
+                "city",
+                "rtt_delta_ms",
+                "rmse_ratio",
+                "p_value",
+                "pre_periods",
+                "post_periods",
+                "n_donors",
+            ],
+        )
+
+    def format_table(self) -> str:
+        """Render in the paper's Table-1 layout."""
+        lines = [
+            f"{'ASN / City':<28}  {'RTT Δ (ms)':>10}  {'RMSE Ratio':>10}  {'p':>6}",
+            "-" * 60,
+        ]
+        for r in self.rows:
+            label = f"{r.asn} / {r.city}"
+            lines.append(
+                f"{label:<28}  {r.rtt_delta_ms:>+10.2f}  {r.rmse_ratio:>10.0f}  {r.p_value:>6.3f}"
+            )
+        return "\n".join(lines)
+
+    @property
+    def consistent_effect(self) -> bool:
+        """The paper's headline check: is the RTT drop consistent & robust?
+
+        True only if *every* unit shows a negative delta significant at
+        10% — which Table 1 (and this reproduction) shows is not the case.
+        """
+        return all(r.rtt_delta_ms < 0 and r.p_value < 0.10 for r in self.rows)
+
+
+def run_ixp_study(
+    measurements: Frame,
+    ixp_name: str,
+    method: str = "robust",
+    min_pre_periods: int = 7,
+    min_post_periods: int = 3,
+    max_donor_missing: float = 0.5,
+    max_placebos: int | None = None,
+    energy: float = 0.99,
+    ridge: float = 1e-2,
+    outcome: str = "rtt_ms",
+) -> StudyResult:
+    """Run the full IXP case study on a measurement frame.
+
+    Parameters
+    ----------
+    measurements:
+        Frame from :func:`repro.mplatform.measurements_to_frame` (or CSV
+        with the same columns).
+    ixp_name:
+        Exchange whose first crossings define treatment.
+    method:
+        ``"robust"`` (the paper) or ``"classic"``.
+    min_pre_periods, min_post_periods:
+        Units with fewer usable days on either side are skipped (with
+        the reason recorded) rather than silently mis-fit.
+    outcome:
+        Measurement column to analyse (default RTT; the paper's Table 1).
+        ``"download_mbps"`` runs the throughput variant.
+    """
+    assignment = assign_treatment(measurements, ixp_name)
+    panel = rtt_panel(measurements, period="day", outcome=outcome)
+    treated = assignment.treated_units
+    rows: list[StudyRow] = []
+    skipped: list[tuple[str, str]] = []
+
+    fit_kwargs: dict[str, object] = {}
+    if method == "robust":
+        fit_kwargs = {"energy": energy, "ridge": ridge}
+
+    for unit in treated:
+        first_hour = assignment.first_crossing_hour[unit]
+        first_day = int(first_hour // 24)
+        try:
+            pre_periods = _pre_period_count(panel, first_day)
+        except EstimationError as exc:
+            skipped.append((unit, str(exc)))
+            continue
+        post_periods = panel.n_times - pre_periods
+        if pre_periods < min_pre_periods:
+            skipped.append((unit, f"only {pre_periods} pre-treatment days"))
+            continue
+        if post_periods < min_post_periods:
+            skipped.append((unit, f"only {post_periods} post-treatment days"))
+            continue
+        try:
+            donors = select_donors(
+                panel,
+                unit,
+                excluded=treated,
+                pre_periods=pre_periods,
+                max_missing=max_donor_missing,
+            )
+            donor_matrix = np.column_stack([panel.series(d) for d in donors])
+            summary: PlaceboSummary = placebo_test(
+                panel.series(unit),
+                donor_matrix,
+                pre_periods,
+                treated_name=unit,
+                donor_names=donors,
+                method=method,
+                max_placebos=max_placebos,
+                **fit_kwargs,
+            )
+        except (DonorPoolError, EstimationError) as exc:
+            skipped.append((unit, str(exc)))
+            continue
+        rows.append(
+            StudyRow(
+                unit=unit,
+                rtt_delta_ms=summary.fit.effect,
+                rmse_ratio=summary.fit.rmse_ratio,
+                p_value=summary.p_value,
+                pre_periods=pre_periods,
+                post_periods=post_periods,
+                n_donors=len(donors),
+            )
+        )
+    return StudyResult(
+        rows=tuple(rows), assignment=assignment, skipped=tuple(skipped)
+    )
+
+
+def _pre_period_count(panel: Panel, first_day: int) -> int:
+    """Panel rows strictly before the first crossing day."""
+    count = sum(1 for t in panel.times if float(t) < first_day)
+    if count == 0:
+        raise EstimationError("treatment precedes the whole panel")
+    return count

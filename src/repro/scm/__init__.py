@@ -1,0 +1,46 @@
+"""Structural causal models: mechanisms, sampling, do(), counterfactuals.
+
+The executable form of the paper's §3 primer: define structural
+equations, sample the observational world, simulate interventions with
+:meth:`StructuralCausalModel.do`, and answer unit-level "would it have
+happened anyway?" questions with :func:`counterfactual`.  The
+:class:`Ladder` wrapper exposes the three rungs as methods.
+"""
+
+from repro.scm.counterfactual import (
+    CounterfactualResult,
+    counterfactual,
+    effect_of_treatment_on_treated,
+)
+from repro.scm.ladder import Ladder
+from repro.scm.mechanisms import (
+    AdditiveMechanism,
+    BernoulliMechanism,
+    ConstantMechanism,
+    ExponentialNoise,
+    GaussianNoise,
+    LinearMechanism,
+    Mechanism,
+    Noise,
+    UniformNoise,
+    as_mechanism,
+)
+from repro.scm.model import StructuralCausalModel
+
+__all__ = [
+    "AdditiveMechanism",
+    "BernoulliMechanism",
+    "ConstantMechanism",
+    "CounterfactualResult",
+    "ExponentialNoise",
+    "GaussianNoise",
+    "Ladder",
+    "LinearMechanism",
+    "Mechanism",
+    "Noise",
+    "StructuralCausalModel",
+    "UniformNoise",
+    "as_mechanism",
+    "counterfactual",
+    "effect_of_treatment_on_treated",
+]

@@ -1,0 +1,218 @@
+"""Structural mechanisms: how each SCM variable is computed from parents.
+
+A mechanism maps a dict of parent values plus an exogenous noise draw to
+the variable's value.  *Additive-noise* mechanisms (``value = f(parents)
++ noise``) additionally support abduction — recovering the noise from an
+observed value — which is what makes unit-level counterfactuals
+computable (§3 "Building counterfactuals").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class Mechanism:
+    """Base class for structural mechanisms.
+
+    Subclasses implement :meth:`evaluate`.  Additive-noise subclasses
+    also implement :meth:`abduct` so counterfactual inference can recover
+    the exogenous noise consistent with an observation.
+    """
+
+    def evaluate(self, parents: Mapping[str, float], noise: float) -> float:
+        """Compute the variable's value from parent values and noise."""
+        raise NotImplementedError
+
+    def abduct(self, parents: Mapping[str, float], value: float) -> float:
+        """Recover the noise that produced *value* given *parents*.
+
+        Raises :class:`SimulationError` for mechanisms where the noise is
+        not identifiable from a single observation.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} does not support abduction; "
+            "counterfactuals need additive-noise (or otherwise invertible) mechanisms"
+        )
+
+    @property
+    def supports_abduction(self) -> bool:
+        """Whether :meth:`abduct` is implemented."""
+        return False
+
+
+class LinearMechanism(Mechanism):
+    """``value = intercept + sum_i coef_i * parent_i + noise``."""
+
+    def __init__(self, coefficients: Mapping[str, float], intercept: float = 0.0) -> None:
+        self.coefficients = dict(coefficients)
+        self.intercept = float(intercept)
+
+    def _mean(self, parents: Mapping[str, float]) -> float:
+        total = self.intercept
+        for name, coef in self.coefficients.items():
+            if name not in parents:
+                raise SimulationError(f"mechanism needs parent {name!r}, got {sorted(parents)}")
+            total += coef * float(parents[name])
+        return total
+
+    def evaluate(self, parents: Mapping[str, float], noise: float) -> float:
+        return self._mean(parents) + noise
+
+    def abduct(self, parents: Mapping[str, float], value: float) -> float:
+        return float(value) - self._mean(parents)
+
+    @property
+    def supports_abduction(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*{p}" for p, c in sorted(self.coefficients.items()))
+        return f"LinearMechanism({self.intercept:g} + {terms} + noise)"
+
+
+class AdditiveMechanism(Mechanism):
+    """``value = f(parents) + noise`` for an arbitrary deterministic f."""
+
+    def __init__(self, fn: Callable[[Mapping[str, float]], float], label: str = "f") -> None:
+        self.fn = fn
+        self.label = label
+
+    def evaluate(self, parents: Mapping[str, float], noise: float) -> float:
+        return float(self.fn(parents)) + noise
+
+    def abduct(self, parents: Mapping[str, float], value: float) -> float:
+        return float(value) - float(self.fn(parents))
+
+    @property
+    def supports_abduction(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"AdditiveMechanism({self.label} + noise)"
+
+
+class BernoulliMechanism(Mechanism):
+    """A 0/1 variable with logistic probability in its parents.
+
+    ``P(value=1) = sigmoid(intercept + sum coef_i * parent_i)``; the noise
+    draw is a uniform threshold in [0, 1).  Not abducible from a single
+    observation (the uniform is only set-identified), so counterfactuals
+    over Bernoulli nodes require the intervention to fix them directly.
+    """
+
+    def __init__(self, coefficients: Mapping[str, float], intercept: float = 0.0) -> None:
+        self.coefficients = dict(coefficients)
+        self.intercept = float(intercept)
+
+    def probability(self, parents: Mapping[str, float]) -> float:
+        """P(value = 1 | parents)."""
+        logit = self.intercept
+        for name, coef in self.coefficients.items():
+            if name not in parents:
+                raise SimulationError(f"mechanism needs parent {name!r}")
+            logit += coef * float(parents[name])
+        return 1.0 / (1.0 + math.exp(-logit))
+
+    def evaluate(self, parents: Mapping[str, float], noise: float) -> float:
+        return 1.0 if noise < self.probability(parents) else 0.0
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*{p}" for p, c in sorted(self.coefficients.items()))
+        return f"BernoulliMechanism(sigmoid({self.intercept:g} + {terms}))"
+
+
+class ConstantMechanism(Mechanism):
+    """A variable pinned to a constant — the result of a do() intervention."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def evaluate(self, parents: Mapping[str, float], noise: float) -> float:
+        return self.value
+
+    def abduct(self, parents: Mapping[str, float], value: float) -> float:
+        return 0.0
+
+    @property
+    def supports_abduction(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ConstantMechanism({self.value:g})"
+
+
+class Noise:
+    """An exogenous noise distribution, drawn via a numpy Generator."""
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw *size* i.i.d. noise values."""
+        raise NotImplementedError
+
+
+class GaussianNoise(Noise):
+    """N(mean, std^2) noise (the additive-model default)."""
+
+    def __init__(self, std: float = 1.0, mean: float = 0.0) -> None:
+        if std < 0:
+            raise SimulationError(f"noise std must be >= 0, got {std}")
+        self.std = float(std)
+        self.mean = float(mean)
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.normal(self.mean, self.std, size)
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(std={self.std:g}, mean={self.mean:g})"
+
+
+class UniformNoise(Noise):
+    """Uniform[low, high) noise (used as Bernoulli thresholds)."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if high <= low:
+            raise SimulationError(f"need high > low, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size)
+
+    def __repr__(self) -> str:
+        return f"UniformNoise([{self.low:g}, {self.high:g}))"
+
+
+class ExponentialNoise(Noise):
+    """Exponential(scale) noise — heavy-ish one-sided delays."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise SimulationError(f"scale must be > 0, got {scale}")
+        self.scale = float(scale)
+
+    def draw(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self.scale, size)
+
+    def __repr__(self) -> str:
+        return f"ExponentialNoise(scale={self.scale:g})"
+
+
+def as_mechanism(spec: Any) -> Mechanism:
+    """Coerce a spec into a mechanism.
+
+    Accepts a :class:`Mechanism`, a number (constant), or a callable
+    treated as an additive deterministic function of the parents.
+    """
+    if isinstance(spec, Mechanism):
+        return spec
+    if isinstance(spec, (int, float)):
+        return ConstantMechanism(float(spec))
+    if callable(spec):
+        return AdditiveMechanism(spec)
+    raise SimulationError(f"cannot interpret {spec!r} as a mechanism")

@@ -1,0 +1,238 @@
+"""Structural causal models.
+
+A :class:`StructuralCausalModel` binds a :class:`~repro.graph.CausalDag`
+to a mechanism and a noise distribution per variable.  It supports:
+
+- ancestral **sampling** (rung 1: what the observational world produces);
+- **do-interventions** via :meth:`do` (rung 2: graph surgery plus a
+  constant mechanism);
+- **abduction** of exogenous noise from an observed row, enabling the
+  counterfactual machinery in :mod:`repro.scm.counterfactual` (rung 3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.frames.frame import Frame
+from repro.graph.dag import CausalDag
+from repro.scm.mechanisms import (
+    ConstantMechanism,
+    GaussianNoise,
+    Mechanism,
+    Noise,
+    as_mechanism,
+)
+
+
+class StructuralCausalModel:
+    """A set of structural equations over a causal DAG.
+
+    Parameters
+    ----------
+    equations:
+        ``{variable: (mechanism, noise)}`` or ``{variable: mechanism}``
+        (Gaussian unit noise assumed).  Mechanisms may be
+        :class:`Mechanism` objects, numbers (constants), or callables on
+        the parent dict.
+    dag:
+        The causal graph.  When omitted, it is derived from linear and
+        Bernoulli mechanism coefficient names; mechanisms given as bare
+        callables then raise, because their parent set is not inferable.
+    """
+
+    def __init__(
+        self,
+        equations: Mapping[str, Any],
+        dag: CausalDag | None = None,
+    ) -> None:
+        self._mechanisms: dict[str, Mechanism] = {}
+        self._noises: dict[str, Noise] = {}
+        for name, spec in equations.items():
+            if isinstance(spec, tuple):
+                mech_spec, noise = spec
+            else:
+                mech_spec, noise = spec, GaussianNoise(1.0)
+            mech = as_mechanism(mech_spec)
+            if not isinstance(noise, Noise):
+                raise SimulationError(
+                    f"noise for {name!r} must be a Noise instance, got {noise!r}"
+                )
+            self._mechanisms[name] = mech
+            self._noises[name] = noise
+
+        if dag is None:
+            dag = self._derive_dag()
+        self.dag = dag
+        self._validate_dag()
+        self._order = self.dag.topological_order()
+
+    def _derive_dag(self) -> CausalDag:
+        dag = CausalDag()
+        for name, mech in self._mechanisms.items():
+            dag.add_node(name)
+            coeffs = getattr(mech, "coefficients", None)
+            if coeffs is None:
+                if not isinstance(mech, ConstantMechanism):
+                    raise SimulationError(
+                        f"variable {name!r} uses a mechanism whose parents cannot be "
+                        "inferred; pass an explicit dag="
+                    )
+                continue
+            for parent in coeffs:
+                dag.add_edge(parent, name)
+        return dag
+
+    def _validate_dag(self) -> None:
+        for name in self._mechanisms:
+            if not self.dag.has_node(name):
+                raise SimulationError(f"equation variable {name!r} missing from dag")
+        for node in self.dag.nodes():
+            if node not in self._mechanisms:
+                raise SimulationError(
+                    f"dag node {node!r} has no structural equation"
+                )
+            coeffs = getattr(self._mechanisms[node], "coefficients", None)
+            if coeffs is not None:
+                missing = set(coeffs) - self.dag.parents(node)
+                if missing:
+                    raise SimulationError(
+                        f"mechanism for {node!r} references {sorted(missing)} "
+                        "which are not dag parents"
+                    )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def variables(self) -> list[str]:
+        """Variables in topological order."""
+        return list(self._order)
+
+    def mechanism(self, name: str) -> Mechanism:
+        """The structural mechanism of *name*."""
+        try:
+            return self._mechanisms[name]
+        except KeyError:
+            raise SimulationError(f"unknown variable {name!r}") from None
+
+    def noise(self, name: str) -> Noise:
+        """The exogenous noise distribution of *name*."""
+        self.mechanism(name)
+        return self._noises[name]
+
+    def __repr__(self) -> str:
+        return f"StructuralCausalModel({len(self._order)} variables: {self._order})"
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample(self, n: int, rng: np.random.Generator | int | None = None) -> Frame:
+        """Draw *n* i.i.d. rows by ancestral sampling (observed world)."""
+        frame, _ = self.sample_with_noise(n, rng)
+        return frame
+
+    def sample_with_noise(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> tuple[Frame, Frame]:
+        """Sample rows and also return the exogenous noise draws.
+
+        Returns ``(values, noises)``; the noise frame shares column names
+        with the value frame and is what abduction would recover.
+        """
+        if n < 0:
+            raise SimulationError(f"sample size must be >= 0, got {n}")
+        rng = _as_rng(rng)
+        noise_draws = {
+            name: self._noises[name].draw(rng, n) for name in self._order
+        }
+        values = {name: np.empty(n, dtype=float) for name in self._order}
+        for i in range(n):
+            row: dict[str, float] = {}
+            for name in self._order:
+                parents = {p: row[p] for p in self.dag.parents(name)}
+                row[name] = self._mechanisms[name].evaluate(
+                    parents, float(noise_draws[name][i])
+                )
+            for name in self._order:
+                values[name][i] = row[name]
+        value_frame = Frame.from_dict({name: values[name] for name in self._order})
+        noise_frame = Frame.from_dict({name: noise_draws[name] for name in self._order})
+        return value_frame, noise_frame
+
+    def evaluate_row(self, noises: Mapping[str, float]) -> dict[str, float]:
+        """Deterministically evaluate all variables for given noise values.
+
+        Variables pinned by a :class:`ConstantMechanism` (do-intervened)
+        ignore their noise, so it may be omitted for them.
+        """
+        row: dict[str, float] = {}
+        for name in self._order:
+            parents = {p: row[p] for p in self.dag.parents(name)}
+            mech = self._mechanisms[name]
+            if name in noises:
+                noise = float(noises[name])
+            elif isinstance(mech, ConstantMechanism):
+                noise = 0.0
+            else:
+                raise SimulationError(f"missing noise for variable {name!r}")
+            row[name] = mech.evaluate(parents, noise)
+        return row
+
+    # -- interventions --------------------------------------------------------------
+
+    def do(self, interventions: Mapping[str, float]) -> "StructuralCausalModel":
+        """Return the post-intervention model (graph surgery + constants)."""
+        for name in interventions:
+            self.mechanism(name)
+        new_eqs: dict[str, tuple[Mechanism, Noise]] = {}
+        for name in self._order:
+            if name in interventions:
+                new_eqs[name] = (
+                    ConstantMechanism(float(interventions[name])),
+                    self._noises[name],
+                )
+            else:
+                new_eqs[name] = (self._mechanisms[name], self._noises[name])
+        return StructuralCausalModel(new_eqs, dag=self.dag.do(*interventions))
+
+    # -- abduction --------------------------------------------------------------------
+
+    def abduct_row(
+        self,
+        observation: Mapping[str, float],
+        skip: set[str] | frozenset[str] = frozenset(),
+    ) -> dict[str, float]:
+        """Recover each variable's exogenous noise from a full observation.
+
+        Requires every mechanism on the path to support abduction (i.e.
+        additive noise).  Variables in *skip* — typically those about to
+        be do-intervened, whose noise cannot influence the twin world —
+        are left out of the result.  Raises :class:`SimulationError` for
+        non-abducible mechanisms or incomplete observations.
+        """
+        noises: dict[str, float] = {}
+        for name in self._order:
+            if name in skip:
+                continue
+            if name not in observation:
+                raise SimulationError(
+                    f"observation is missing variable {name!r}; abduction needs all variables"
+                )
+            parents = {p: float(observation[p]) for p in self.dag.parents(name)}
+            mech = self._mechanisms[name]
+            if not mech.supports_abduction:
+                raise SimulationError(
+                    f"mechanism for {name!r} ({mech!r}) does not support abduction"
+                )
+            noises[name] = mech.abduct(parents, float(observation[name]))
+        return noises
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce None/int/Generator into a Generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,100 @@
+"""Executable case studies: the paper's table and its four boxed examples.
+
+- :func:`run_table1_experiment` — the IXP/latency case study (Table 1);
+- :func:`run_confounding_experiment` — E1, the cellular-reliability
+  confounding box;
+- :func:`run_collider_experiment` — E2, the speed-test collider;
+- :func:`run_instrument_experiment` — E3, valid vs invalid natural
+  experiments;
+- :func:`run_reroute_experiment` /
+  :func:`would_quality_have_been_better` — E4, exposure vs impact and
+  the video-call counterfactual;
+- :func:`run_randomization_experiment` — E5, the M-Lab load balancer.
+"""
+
+from repro.studies.collider_speedtest import (
+    ColliderStudyOutput,
+    run_collider_experiment,
+    speedtest_dag,
+    speedtest_model,
+    tag_based_correction,
+)
+from repro.studies.confounded_signal import (
+    ConfoundingStudyOutput,
+    TRUE_SIGNAL_EFFECT,
+    cellular_dag,
+    cellular_model,
+    run_confounding_experiment,
+)
+from repro.studies.counterfactual_reroute import (
+    RerouteImpact,
+    TRUE_REROUTE_EFFECT,
+    run_reroute_experiment,
+    video_call_model,
+    would_quality_have_been_better,
+)
+from repro.studies.edge_selection import (
+    EdgeSelectionOutput,
+    run_edge_selection_experiment,
+)
+from repro.studies.interference import (
+    InterferenceRow,
+    InterferenceStudyOutput,
+    run_interference_experiment,
+)
+from repro.studies.ixp_latency import IxpStudyOutput, run_table1_experiment
+from repro.studies.natural_experiment import (
+    InstrumentStudyOutput,
+    TRUE_ROUTE_EFFECT,
+    maintenance_dag,
+    maintenance_model,
+    policy_dag,
+    policy_model,
+    run_instrument_experiment,
+    run_platform_knob_experiment,
+)
+from repro.studies.randomized_mlab import (
+    RandomizationStudyOutput,
+    run_randomization_experiment,
+)
+from repro.studies.root_cause import (
+    RootCauseStudyOutput,
+    run_root_cause_experiment,
+)
+
+__all__ = [
+    "ColliderStudyOutput",
+    "ConfoundingStudyOutput",
+    "EdgeSelectionOutput",
+    "InterferenceRow",
+    "InterferenceStudyOutput",
+    "InstrumentStudyOutput",
+    "IxpStudyOutput",
+    "RandomizationStudyOutput",
+    "RerouteImpact",
+    "RootCauseStudyOutput",
+    "TRUE_REROUTE_EFFECT",
+    "TRUE_ROUTE_EFFECT",
+    "TRUE_SIGNAL_EFFECT",
+    "cellular_dag",
+    "cellular_model",
+    "maintenance_dag",
+    "maintenance_model",
+    "policy_dag",
+    "policy_model",
+    "run_collider_experiment",
+    "run_confounding_experiment",
+    "run_edge_selection_experiment",
+    "run_instrument_experiment",
+    "run_interference_experiment",
+    "run_platform_knob_experiment",
+    "run_randomization_experiment",
+    "run_reroute_experiment",
+    "run_root_cause_experiment",
+    "run_table1_experiment",
+    "speedtest_dag",
+    "speedtest_model",
+    "tag_based_correction",
+    "video_call_model",
+    "would_quality_have_been_better",
+]

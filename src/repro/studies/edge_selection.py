@@ -1,0 +1,136 @@
+"""E7 — resolver rotation as an instrument for CDN edge selection (§4.3).
+
+The paper's exogenous-knobs list includes "rotating DNS resolvers to
+shift CDN edge selection".  This study builds a two-edge CDN (a local
+Johannesburg edge and a London edge), puts a South African client
+behind it, and contrasts three DNS regimes:
+
+- **geo** — the ISP resolver maps to the nearest edge (best case);
+- **public_resolver** — a centralised resolver maps everyone to the
+  edge nearest *itself* (the classic mis-mapping: the client ends up
+  on the London edge);
+- **rotate** — the experiment knob: random edge per test, so the
+  nearest-vs-remote RTT contrast measured under it is causal, and it
+  quantifies exactly what the mis-mapping costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frames.frame import Frame
+from repro.netsim.cdn import (
+    CdnDeployment,
+    CdnEdge,
+    edge_selection_contrast,
+    run_resolver_experiment,
+)
+from repro.netsim.congestion import CongestionModel, DiurnalProfile
+from repro.netsim.geo import default_catalog
+from repro.netsim.ids import PrefixAllocator
+from repro.netsim.latency import LatencyModel
+from repro.netsim.topology import AsKind, AutonomousSystem, Topology
+
+
+@dataclass(frozen=True)
+class EdgeSelectionOutput:
+    """RTTs under the three DNS regimes plus the causal edge contrast.
+
+    Attributes
+    ----------
+    median_rtt_geo, median_rtt_public, median_rtt_rotate:
+        Median RTT per regime.
+    edge_penalty_ms:
+        Causal RTT cost of the remote edge (from the rotate arm).
+    misconfiguration_cost_ms:
+        Median RTT difference between the public-resolver and geo
+        regimes — what the centralised resolver costs this client.
+    """
+
+    median_rtt_geo: float
+    median_rtt_public: float
+    median_rtt_rotate: float
+    edge_penalty_ms: float
+    misconfiguration_cost_ms: float
+
+    def format_report(self) -> str:
+        """Summary table."""
+        return "\n".join(
+            [
+                f"median RTT, ISP resolver (geo mapping):     {self.median_rtt_geo:7.1f} ms",
+                f"median RTT, public resolver (mis-mapped):   {self.median_rtt_public:7.1f} ms",
+                f"median RTT, rotating resolver (randomized): {self.median_rtt_rotate:7.1f} ms",
+                "",
+                f"causal penalty of the remote edge (rotate arm): {self.edge_penalty_ms:+.1f} ms",
+                f"cost of the centralised resolver:               {self.misconfiguration_cost_ms:+.1f} ms",
+            ]
+        )
+
+
+def _build_world() -> tuple[CdnDeployment, LatencyModel, int, str]:
+    cities = default_catalog()
+    prefixes = PrefixAllocator("10.64.0.0/10")
+    topo = Topology()
+
+    def make(asn: int, name: str, kind: AsKind, city: str) -> AutonomousSystem:
+        asys = AutonomousSystem(
+            asn=asn, name=name, kind=kind, city=city, router_prefix=prefixes.allocate()
+        )
+        topo.add_as(asys)
+        return asys
+
+    transit_za = make(65301, "ZA-Transit", AsKind.TRANSIT, "Johannesburg")
+    transit_eu = make(65302, "EU-Transit", AsKind.TIER1, "London")
+    edge_jnb = make(65311, "CDN-Edge-JNB", AsKind.CONTENT, "Johannesburg")
+    edge_lon = make(65312, "CDN-Edge-LON", AsKind.CONTENT, "London")
+    client = make(65320, "AccessISP", AsKind.ACCESS, "Durban")
+    topo.add_p2p(transit_za.asn, transit_eu.asn)
+    topo.add_c2p(edge_jnb.asn, transit_za.asn)
+    topo.add_c2p(edge_lon.asn, transit_eu.asn)
+    topo.add_c2p(client.asn, transit_za.asn)
+
+    congestion = CongestionModel(
+        profiles={
+            "ZA": DiurnalProfile(base=0.5, amplitude=0.2, timezone_offset=2.0),
+            "GB": DiurnalProfile(base=0.45, amplitude=0.15),
+        },
+        noise_std=0.03,
+    )
+    latency = LatencyModel(topo, cities, congestion, noise_std_ms=2.0)
+    cdn = CdnDeployment(
+        topo,
+        cities,
+        edges=[CdnEdge(edge_jnb.asn, "Johannesburg"), CdnEdge(edge_lon.asn, "London")],
+        resolver_city="Frankfurt",
+    )
+    return cdn, latency, client.asn, "Durban"
+
+
+def run_edge_selection_experiment(
+    n_tests: int = 2000,
+    seed: int = 0,
+) -> EdgeSelectionOutput:
+    """Run all three resolver regimes over the two-edge world."""
+    cdn, latency, client_asn, client_city = _build_world()
+
+    def median_rtt(frame: Frame) -> float:
+        return float(np.median(frame.numeric("rtt_ms")))
+
+    geo = run_resolver_experiment(
+        cdn, latency, client_asn, client_city, "geo", n_tests, rng=seed
+    )
+    public = run_resolver_experiment(
+        cdn, latency, client_asn, client_city, "public_resolver", n_tests, rng=seed + 1
+    )
+    rotate = run_resolver_experiment(
+        cdn, latency, client_asn, client_city, "rotate", n_tests, rng=seed + 2
+    )
+    return EdgeSelectionOutput(
+        median_rtt_geo=median_rtt(geo),
+        median_rtt_public=median_rtt(public),
+        median_rtt_rotate=median_rtt(rotate),
+        edge_penalty_ms=edge_selection_contrast(rotate),
+        misconfiguration_cost_ms=median_rtt(public) - median_rtt(geo),
+    )

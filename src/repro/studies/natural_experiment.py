@@ -1,0 +1,238 @@
+"""E3 — natural experiments: valid vs invalid instruments.
+
+Two halves, matching §3's discussion:
+
+1. **Invalid instrument** (the IMC'21 box and the local-pref example):
+   an operator's policy change shifts routing *and* directly alters
+   upstream congestion, violating the exclusion restriction.  The IV
+   estimate is biased even though the first stage is strong — the
+   quantitative version of "normalising for observables does not make
+   variation exogenous".
+2. **Valid instrument**: a *scheduled maintenance window* whose timing
+   was fixed in advance moves routing but touches the outcome only
+   through the route, so the Wald/2SLS estimate recovers the truth.
+
+Both worlds are SCMs with known structural effects; the graphical
+validity of each candidate is checked with
+:func:`repro.graph.is_instrument` so structure and estimate agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.iv import two_stage_least_squares, wald_estimate
+from repro.estimators.ols import fit_ols
+from repro.frames.frame import Frame
+from repro.graph.dag import CausalDag
+from repro.graph.instruments import explain_instrument, is_instrument
+from repro.scm.mechanisms import BernoulliMechanism, GaussianNoise, LinearMechanism, UniformNoise
+from repro.scm.model import StructuralCausalModel
+
+#: True structural effect of being on the alternate route, in both worlds.
+TRUE_ROUTE_EFFECT = 3.0
+
+
+@dataclass(frozen=True)
+class InstrumentStudyOutput:
+    """Estimates under a valid and an invalid instrument.
+
+    Attributes
+    ----------
+    naive_ols:
+        Confounded regression of latency on route (biased in both worlds).
+    valid_iv, invalid_iv:
+        Wald estimates under each instrument.
+    valid_is_instrument, invalid_is_instrument:
+        The graphical verdicts (True / False respectively).
+    true_effect:
+        Ground truth both should be compared against.
+    explanations:
+        Prose verdicts from :func:`explain_instrument`.
+    """
+
+    naive_ols: float
+    valid_iv: float
+    invalid_iv: float
+    valid_is_instrument: bool
+    invalid_is_instrument: bool
+    true_effect: float
+    explanations: dict[str, str]
+
+    def format_report(self) -> str:
+        """Summary with the key contrasts."""
+        return "\n".join(
+            [
+                f"true effect of the route on latency: {self.true_effect:+.2f}",
+                f"naive OLS (confounded):              {self.naive_ols:+.2f}",
+                f"IV with scheduled maintenance:       {self.valid_iv:+.2f}"
+                f"   (graphically valid: {self.valid_is_instrument})",
+                f"IV with policy change:               {self.invalid_iv:+.2f}"
+                f"   (graphically valid: {self.invalid_is_instrument} — exclusion violated)",
+            ]
+        )
+
+
+def maintenance_dag() -> CausalDag:
+    """The valid-instrument world.
+
+    ``maintenance`` (scheduled, exogenous) forces the alternate route;
+    latent ``demand`` confounds route and latency.
+    """
+    return CausalDag(
+        edges=[
+            ("maintenance", "alt_route"),
+            ("demand", "alt_route"),
+            ("demand", "latency"),
+            ("alt_route", "latency"),
+        ],
+        unobserved=["demand"],
+    )
+
+
+def policy_dag() -> CausalDag:
+    """The invalid-instrument world.
+
+    The ``policy_change`` also shifts upstream ``congestion`` directly
+    (the paper's local-preference example), opening a second causal
+    channel to latency: exclusion fails.
+    """
+    return CausalDag(
+        edges=[
+            ("policy_change", "alt_route"),
+            ("policy_change", "congestion"),
+            ("congestion", "latency"),
+            ("demand", "alt_route"),
+            ("demand", "latency"),
+            ("alt_route", "latency"),
+        ],
+        unobserved=["demand", "congestion"],
+    )
+
+
+def maintenance_model() -> StructuralCausalModel:
+    """SCM for the valid world (maintenance moves ~half of route choice)."""
+    return StructuralCausalModel(
+        {
+            "maintenance": (BernoulliMechanism({}, intercept=0.0), UniformNoise()),
+            "demand": (LinearMechanism({}), GaussianNoise(1.0)),
+            "alt_route": (
+                LinearMechanism({"maintenance": 0.6, "demand": 0.3}),
+                GaussianNoise(0.3),
+            ),
+            "latency": (
+                LinearMechanism(
+                    {"alt_route": TRUE_ROUTE_EFFECT, "demand": 2.0}, intercept=40.0
+                ),
+                GaussianNoise(1.0),
+            ),
+        },
+        dag=maintenance_dag(),
+    )
+
+
+def policy_model(direct_channel: float = 2.5) -> StructuralCausalModel:
+    """SCM for the invalid world; *direct_channel* sizes the violation."""
+    return StructuralCausalModel(
+        {
+            "policy_change": (BernoulliMechanism({}, intercept=0.0), UniformNoise()),
+            "demand": (LinearMechanism({}), GaussianNoise(1.0)),
+            "congestion": (
+                LinearMechanism({"policy_change": direct_channel}),
+                GaussianNoise(0.5),
+            ),
+            "alt_route": (
+                LinearMechanism({"policy_change": 0.6, "demand": 0.3}),
+                GaussianNoise(0.3),
+            ),
+            "latency": (
+                LinearMechanism(
+                    {"alt_route": TRUE_ROUTE_EFFECT, "demand": 2.0, "congestion": 1.0},
+                    intercept=40.0,
+                ),
+                GaussianNoise(1.0),
+            ),
+        },
+        dag=policy_dag(),
+    )
+
+
+def run_instrument_experiment(
+    n_samples: int = 20_000,
+    seed: int = 0,
+) -> InstrumentStudyOutput:
+    """Generate both worlds and contrast the IV estimates against truth."""
+    valid_data = maintenance_model().sample(n_samples, rng=seed)
+    invalid_data = policy_model().sample(n_samples, rng=seed + 1)
+
+    naive = fit_ols(
+        valid_data["latency"], {"alt_route": valid_data["alt_route"]}
+    ).coefficient("alt_route")
+    valid = wald_estimate(valid_data, "maintenance", "alt_route", "latency")
+    invalid = wald_estimate(invalid_data, "policy_change", "alt_route", "latency")
+
+    return InstrumentStudyOutput(
+        naive_ols=naive,
+        valid_iv=valid.effect,
+        invalid_iv=invalid.effect,
+        valid_is_instrument=is_instrument(
+            maintenance_dag(), "maintenance", "alt_route", "latency"
+        ),
+        invalid_is_instrument=is_instrument(
+            policy_dag(), "policy_change", "alt_route", "latency"
+        ),
+        true_effect=TRUE_ROUTE_EFFECT,
+        explanations={
+            "maintenance": explain_instrument(
+                maintenance_dag(), "maintenance", "alt_route", "latency"
+            ),
+            "policy_change": explain_instrument(
+                policy_dag(), "policy_change", "alt_route", "latency"
+            ),
+        },
+    )
+
+
+def run_platform_knob_experiment(
+    n_tests: int = 2_000,
+    seed: int = 0,
+) -> dict[str, float]:
+    """The §4.3 version: a platform route-toggle as a built-in instrument.
+
+    Uses :class:`repro.mplatform.RouteToggle` on the Table-1 world: the
+    knob randomly forces AS3741 off its IXP peering session (post-join),
+    and 2SLS on the toggle recovers the IXP-vs-transit RTT difference.
+    Returns the estimate alongside the simulator's expected contrast.
+    """
+    from repro.mplatform.knobs import RouteToggle
+    from repro.netsim.scenario import build_table1_scenario
+
+    scenario = build_table1_scenario(
+        n_donor_ases=8, duration_days=10, join_day=3, seed=seed
+    )
+    asn = 3741
+    hour = scenario.join_hours[asn] + 24.0
+    toggle = RouteToggle(
+        scenario,
+        client_asn=asn,
+        disable_link=(asn, scenario.content_asn),
+        hour=hour,
+    )
+    tests = toggle.run_experiment(n_tests, rng=seed)
+    est = two_stage_least_squares(tests, "z", "on_alt_route", "rtt_ms")
+    state = scenario.timeline.state_at(hour)
+    expected = scenario.latency.expected_rtt(
+        toggle.arm_b.route, hour, topology=state.topology
+    ) - scenario.latency.expected_rtt(
+        toggle.arm_a.route, hour, topology=state.topology
+    )
+    return {
+        "iv_estimate_ms": est.effect,
+        "expected_contrast_ms": expected,
+        "first_stage_f": float(est.details["first_stage_f"]),
+    }
+
+
+def observational_frame(n_samples: int = 20_000, seed: int = 0) -> Frame:
+    """Sampled data from the valid-instrument world (helper for examples)."""
+    return maintenance_model().sample(n_samples, rng=seed)

@@ -1,0 +1,104 @@
+"""Fit-quality diagnostics and assumption checks for synthetic control.
+
+The paper lists three conditions (Abadie 2021): no interference within
+the donor pool, good pre-change fit, and no coinciding shocks.  These
+helpers quantify the second and flag violations of the first two that
+are visible in the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synthcontrol.result import SyntheticControlFit
+
+
+@dataclass(frozen=True)
+class FitDiagnostics:
+    """Quantitative fit-quality report for one synthetic-control fit."""
+
+    pre_rmse: float
+    post_rmse: float
+    rmse_ratio: float
+    pre_correlation: float
+    pre_relative_rmse: float
+    weight_concentration: float
+    n_effective_donors: float
+
+    def __str__(self) -> str:
+        return (
+            f"pre_rmse={self.pre_rmse:.3f} (rel {self.pre_relative_rmse:.2%}), "
+            f"rmse_ratio={self.rmse_ratio:.2f}, pre_corr={self.pre_correlation:.3f}, "
+            f"effective_donors={self.n_effective_donors:.1f}"
+        )
+
+
+def diagnose(fit: SyntheticControlFit) -> FitDiagnostics:
+    """Compute fit diagnostics for a synthetic-control result."""
+    pre_obs = fit.observed[: fit.pre_periods]
+    pre_syn = fit.synthetic[: fit.pre_periods]
+    ok = np.isfinite(pre_obs) & np.isfinite(pre_syn)
+    if ok.sum() >= 3 and pre_obs[ok].std() > 0 and pre_syn[ok].std() > 0:
+        corr = float(np.corrcoef(pre_obs[ok], pre_syn[ok])[0, 1])
+    else:
+        corr = float("nan")
+    scale = float(np.mean(np.abs(pre_obs[ok]))) if ok.any() else float("nan")
+    rel = fit.pre_rmse / scale if scale and np.isfinite(scale) and scale > 0 else float("nan")
+
+    w = np.abs(fit.weights)
+    total = w.sum()
+    if total > 0:
+        shares = w / total
+        concentration = float(np.max(shares))
+        n_eff = float(1.0 / np.sum(shares**2))
+    else:
+        concentration = float("nan")
+        n_eff = 0.0
+    return FitDiagnostics(
+        pre_rmse=fit.pre_rmse,
+        post_rmse=fit.post_rmse,
+        rmse_ratio=fit.rmse_ratio,
+        pre_correlation=corr,
+        pre_relative_rmse=rel,
+        weight_concentration=concentration,
+        n_effective_donors=n_eff,
+    )
+
+
+def check_assumptions(
+    fit: SyntheticControlFit,
+    max_pre_relative_rmse: float = 0.15,
+    min_pre_correlation: float = 0.5,
+    max_weight_concentration: float = 0.9,
+) -> list[str]:
+    """Return human-readable warnings for violated preconditions.
+
+    Empty list means no red flags.  Thresholds are deliberately loose
+    defaults; studies should tighten them to taste.
+    """
+    diag = diagnose(fit)
+    warnings: list[str] = []
+    if np.isfinite(diag.pre_relative_rmse) and diag.pre_relative_rmse > max_pre_relative_rmse:
+        warnings.append(
+            f"poor pre-change fit: relative pre-RMSE {diag.pre_relative_rmse:.1%} "
+            f"exceeds {max_pre_relative_rmse:.0%} — the synthetic path does not "
+            "track the treated path before the event"
+        )
+    if np.isfinite(diag.pre_correlation) and diag.pre_correlation < min_pre_correlation:
+        warnings.append(
+            f"weak pre-period correlation ({diag.pre_correlation:.2f} < "
+            f"{min_pre_correlation}) between observed and synthetic series"
+        )
+    if np.isfinite(diag.weight_concentration) and (
+        diag.weight_concentration > max_weight_concentration
+    ):
+        warnings.append(
+            f"synthetic control is dominated by a single donor "
+            f"(top weight share {diag.weight_concentration:.0%}); interference "
+            "with that one donor would invalidate the counterfactual"
+        )
+    if fit.post_periods == 0:
+        warnings.append("no post-intervention periods: effect is undefined")
+    return warnings

@@ -1,0 +1,148 @@
+"""Donor-pool construction from long-format measurement panels.
+
+The paper's conditions: donors must (a) not receive the treatment
+themselves (no path through the IXP), and (b) track the treated unit's
+pre-change behaviour.  :func:`build_panel` pivots a long frame into an
+aligned unit x time matrix; :func:`select_donors` applies the
+eligibility and correlation screens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DonorPoolError
+from repro.frames.frame import Frame
+from repro.frames.groupby import pivot
+
+
+@dataclass(frozen=True)
+class Panel:
+    """An aligned outcome panel: times x units.
+
+    Attributes
+    ----------
+    times:
+        Sorted distinct time keys (rows of :attr:`matrix`).
+    units:
+        Unit labels (columns of :attr:`matrix`).
+    matrix:
+        float matrix of outcomes; NaN marks missing cells.
+    """
+
+    times: tuple[Any, ...]
+    units: tuple[str, ...]
+    matrix: np.ndarray = field(repr=False)
+
+    def series(self, unit: str) -> np.ndarray:
+        """The outcome series of one unit."""
+        try:
+            j = self.units.index(unit)
+        except ValueError:
+            raise DonorPoolError(f"unknown unit {unit!r}") from None
+        return self.matrix[:, j]
+
+    def without(self, units: Sequence[str]) -> "Panel":
+        """Drop the named units (used to exclude treated units from donors)."""
+        drop = set(units)
+        keep = [j for j, u in enumerate(self.units) if u not in drop]
+        return Panel(
+            times=self.times,
+            units=tuple(self.units[j] for j in keep),
+            matrix=self.matrix[:, keep],
+        )
+
+    def missing_fraction(self, unit: str) -> float:
+        """Share of missing cells in one unit's series."""
+        s = self.series(unit)
+        return float(np.mean(~np.isfinite(s)))
+
+    @property
+    def n_times(self) -> int:
+        """Number of time points."""
+        return len(self.times)
+
+    @property
+    def n_units(self) -> int:
+        """Number of units."""
+        return len(self.units)
+
+
+def build_panel(
+    data: Frame,
+    unit: str,
+    time: str,
+    outcome: str,
+    agg: str = "median",
+) -> Panel:
+    """Pivot long-format rows into a times x units panel.
+
+    Multiple measurements per (unit, time) cell are reduced with *agg*
+    (default median, matching the paper's median-RTT outcome).
+    """
+    wide, unit_keys = pivot(data, index=time, columns=unit, values=outcome, agg=agg)
+    ordered = wide.sort_by(time)
+    times = tuple(ordered.column(time).to_list())
+    units = tuple(str(k) for k in unit_keys)
+    cols = [ordered.numeric(str(k)) for k in unit_keys]
+    matrix = np.column_stack(cols) if cols else np.empty((len(times), 0))
+    return Panel(times=times, units=units, matrix=matrix)
+
+
+def select_donors(
+    panel: Panel,
+    treated_unit: str,
+    excluded: Sequence[str] = (),
+    pre_periods: int | None = None,
+    max_missing: float = 0.5,
+    min_correlation: float | None = None,
+    max_donors: int | None = None,
+) -> list[str]:
+    """Screen panel units into a donor pool for one treated unit.
+
+    Filters, in order: the treated unit itself and *excluded* units
+    (other treated units — SUTVA hygiene); units missing more than
+    *max_missing* of their cells; units whose pre-period correlation
+    with the treated series falls below *min_correlation*.  When
+    *max_donors* is set, the best-correlated survivors are kept.
+    """
+    treated_series = panel.series(treated_unit)
+    pre = pre_periods if pre_periods is not None else panel.n_times
+    banned = set(excluded) | {treated_unit}
+
+    candidates: list[tuple[str, float]] = []
+    for u in panel.units:
+        if u in banned:
+            continue
+        if panel.missing_fraction(u) > max_missing:
+            continue
+        corr = _pre_correlation(treated_series[:pre], panel.series(u)[:pre])
+        if min_correlation is not None and (
+            not np.isfinite(corr) or corr < min_correlation
+        ):
+            continue
+        candidates.append((u, corr))
+    if not candidates:
+        raise DonorPoolError(
+            f"no eligible donors for {treated_unit!r} "
+            f"(excluded={len(banned) - 1}, max_missing={max_missing})"
+        )
+    candidates.sort(key=lambda pair: (-(pair[1] if np.isfinite(pair[1]) else -2), pair[0]))
+    if max_donors is not None:
+        candidates = candidates[:max_donors]
+    return [u for u, _ in candidates]
+
+
+def _pre_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    ok = np.isfinite(a) & np.isfinite(b)
+    if ok.sum() < 3:
+        return float("nan")
+    av = a[ok]
+    bv = b[ok]
+    if av.std() == 0 or bv.std() == 0:
+        return float("nan")
+    return float(np.corrcoef(av, bv)[0, 1])

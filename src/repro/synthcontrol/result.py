@@ -1,0 +1,130 @@
+"""Result types for synthetic-control analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SyntheticControlFit:
+    """A fitted synthetic control for one treated unit.
+
+    Attributes
+    ----------
+    treated_name:
+        Label of the treated unit.
+    donor_names:
+        Labels of donor-pool units, aligned with :attr:`weights`.
+    weights:
+        Donor combination weights.
+    pre_periods, post_periods:
+        Number of time points before/after the intervention.
+    observed:
+        The treated unit's full observed series.
+    synthetic:
+        The synthetic counterfactual series (same length).
+    method:
+        ``"classic"`` (Abadie simplex weights) or ``"robust"`` (Amjad et
+        al. denoised regression).
+    """
+
+    treated_name: str
+    donor_names: tuple[str, ...]
+    weights: np.ndarray = field(repr=False)
+    pre_periods: int
+    post_periods: int
+    observed: np.ndarray = field(repr=False)
+    synthetic: np.ndarray = field(repr=False)
+    method: str
+
+    @property
+    def gaps(self) -> np.ndarray:
+        """Observed minus synthetic, over the whole horizon."""
+        return self.observed - self.synthetic
+
+    @property
+    def pre_gaps(self) -> np.ndarray:
+        """Fit error before the intervention."""
+        return self.gaps[: self.pre_periods]
+
+    @property
+    def post_gaps(self) -> np.ndarray:
+        """Estimated per-period effect after the intervention."""
+        return self.gaps[self.pre_periods:]
+
+    @property
+    def effect(self) -> float:
+        """Average post-period gap: the estimated treatment effect."""
+        post = self.post_gaps[np.isfinite(self.post_gaps)]
+        return float(np.mean(post)) if post.size else float("nan")
+
+    @property
+    def pre_rmse(self) -> float:
+        """Root-mean-squared pre-period fit error."""
+        pre = self.pre_gaps[np.isfinite(self.pre_gaps)]
+        return float(np.sqrt(np.mean(pre**2))) if pre.size else float("nan")
+
+    @property
+    def post_rmse(self) -> float:
+        """Root-mean-squared post-period gap."""
+        post = self.post_gaps[np.isfinite(self.post_gaps)]
+        return float(np.sqrt(np.mean(post**2))) if post.size else float("nan")
+
+    @property
+    def rmse_ratio(self) -> float:
+        """Post/pre RMSE ratio — Table 1's divergence diagnostic.
+
+        Large values mean the unit departed from its donor-implied path
+        after the event far more than the model misfit before it.
+        """
+        pre = self.pre_rmse
+        if not np.isfinite(pre) or pre == 0:
+            return float("inf")
+        return self.post_rmse / pre
+
+    def top_donors(self, k: int = 5) -> list[tuple[str, float]]:
+        """The *k* largest-|weight| donors as (name, weight) pairs."""
+        order = np.argsort(-np.abs(self.weights))[:k]
+        return [(self.donor_names[i], float(self.weights[i])) for i in order]
+
+    def __str__(self) -> str:
+        return (
+            f"SyntheticControl[{self.method}] {self.treated_name}: "
+            f"effect={self.effect:+.3f}, pre_rmse={self.pre_rmse:.3f}, "
+            f"rmse_ratio={self.rmse_ratio:.3f}, "
+            f"{len(self.donor_names)} donors"
+        )
+
+
+@dataclass(frozen=True)
+class PlaceboSummary:
+    """Placebo-based inference for one treated unit (Table 1 row).
+
+    Attributes
+    ----------
+    fit:
+        The treated unit's synthetic-control fit.
+    placebo_rmse_ratios:
+        RMSE ratios from refitting each donor as a pseudo-treated unit.
+    p_value:
+        Share of placebo RMSE ratios at least as large as the treated
+        unit's (add-one convention) — the paper's placebo p.
+    """
+
+    fit: SyntheticControlFit
+    placebo_rmse_ratios: tuple[float, ...]
+    p_value: float
+
+    @property
+    def significant_at_10pct(self) -> bool:
+        """Whether the placebo p-value is below 0.10 (the paper's marginal bar)."""
+        return self.p_value < 0.10
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fit.treated_name}: effect={self.fit.effect:+.2f}, "
+            f"rmse_ratio={self.fit.rmse_ratio:.1f}, p={self.p_value:.3f} "
+            f"({len(self.placebo_rmse_ratios)} placebos)"
+        )

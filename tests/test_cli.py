@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.days == 40
+        assert args.donors == 25
+
+    def test_import_requires_ixp(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["import", "x.csv"])
+
+
+class TestCommands:
+    def test_table1_runs(self, capsys):
+        code = main(["table1", "--days", "16", "--donors", "8", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RTT Δ (ms)" in out
+        assert "verdict" in out
+
+    def test_validate_runs(self, tmp_path, capsys):
+        dag_file = tmp_path / "model.dag"
+        dag_file.write_text("dag { c -> t\n c -> y\n t -> y }")
+        code = main(
+            ["validate", str(dag_file), "--treatment", "t", "--outcome", "y"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backdoor" in out
+
+    def test_validate_unknown_node_errors(self, tmp_path, capsys):
+        dag_file = tmp_path / "model.dag"
+        dag_file.write_text("a -> b")
+        code = main(
+            ["validate", str(dag_file), "--treatment", "a", "--outcome", "zzz"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_import_runs_on_sample_data(self, capsys):
+        from pathlib import Path
+
+        sample = Path("examples/data/sample_measurements.csv")
+        if not sample.exists():  # pragma: no cover - repo layout guard
+            pytest.skip("sample data not present")
+        code = main(
+            [
+                "import",
+                str(sample),
+                "--ixp",
+                "NAPAfrica-JNB",
+                "--prefix",
+                "196.60.8.0/24",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "imported" in out
+        assert "RTT Δ (ms)" in out
+
+    def test_import_missing_file_errors(self, capsys):
+        code = main(["import", "no_such.csv", "--ixp", "X"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPowerCommand:
+    def test_feasible_design_runs(self, capsys):
+        code = main(["power", "4.0", "--donors", "15", "--simulations", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "power=" in out
+
+    def test_infeasible_design_exits_nonzero(self, capsys):
+        code = main(["power", "4.0", "--donors", "4", "--simulations", "3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "donors" in out

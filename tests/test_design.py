@@ -1,0 +1,163 @@
+"""Unit tests for the measurement-design package (§4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.design import (
+    CausalProtocol,
+    CheckStatus,
+    format_checklist,
+    plan_measurements,
+    pre_trend_checklist,
+    selection_bias_checklist,
+    sutva_checklist,
+)
+from repro.errors import IdentificationError
+from repro.frames import Frame
+from repro.graph import CausalDag
+
+
+def ixp_dag() -> CausalDag:
+    """The case study's implicit graph: load confounds joining and RTT."""
+    return CausalDag(
+        edges=[
+            ("traffic_load", "ixp_member"),
+            ("traffic_load", "rtt"),
+            ("ixp_member", "route_via_ixp"),
+            ("route_via_ixp", "rtt"),
+            ("regulator_mandate", "ixp_member"),
+        ]
+    )
+
+
+class TestProtocol:
+    def test_identifies_backdoor_and_instrument(self):
+        protocol = CausalProtocol(
+            question="does joining the IXP reduce RTT?",
+            dag=ixp_dag(),
+            treatment="ixp_member",
+            outcome="rtt",
+        )
+        report = protocol.identify()
+        assert report.effect_exists
+        assert report.confounded
+        kinds = {s.kind for s in report.strategies}
+        assert "backdoor" in kinds
+        assert "instrument" in kinds
+        backdoors = [s for s in report.strategies if s.kind == "backdoor"]
+        assert any(s.requires == ("traffic_load",) for s in backdoors)
+        instruments = [s for s in report.strategies if s.kind == "instrument"]
+        assert any("regulator_mandate" in s.requires for s in instruments)
+
+    def test_unconfounded_reports_randomization(self):
+        dag = CausalDag([("x", "y")])
+        protocol = CausalProtocol("q", dag, "x", "y")
+        report = protocol.identify()
+        assert not report.confounded
+        assert report.strategies[0].kind == "randomization"
+
+    def test_latent_confounding_without_help(self):
+        dag = CausalDag([("u", "x"), ("u", "y"), ("x", "y")], unobserved=["u"])
+        report = CausalProtocol("q", dag, "x", "y").identify()
+        assert not report.identifiable
+
+    def test_frontdoor_found(self):
+        dag = CausalDag(
+            [("x", "m"), ("m", "y"), ("u", "x"), ("u", "y")], unobserved=["u"]
+        )
+        report = CausalProtocol("q", dag, "x", "y").identify()
+        assert any(s.kind == "frontdoor" for s in report.strategies)
+
+    def test_no_effect_warned(self):
+        dag = CausalDag([("y", "x")])
+        report = CausalProtocol("q", dag, "x", "y").identify()
+        assert not report.effect_exists
+        assert report.warnings
+
+    def test_colliders_reported(self):
+        dag = CausalDag([("x", "s"), ("y", "s"), ("x", "y")])
+        report = CausalProtocol("q", dag, "x", "y").identify()
+        assert report.colliders == ("s",)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(IdentificationError):
+            CausalProtocol("q", CausalDag([("a", "b")]), "a", "zzz")
+
+    def test_preregistration_renders(self):
+        protocol = CausalProtocol(
+            question="does joining the IXP reduce RTT?",
+            dag=ixp_dag(),
+            treatment="ixp_member",
+            outcome="rtt",
+            assumptions=["SUTVA: no spillover to donor networks"],
+        )
+        text = protocol.preregistration()
+        assert "CAUSAL PROTOCOL" in text
+        assert "SUTVA" in text
+        assert "identification strategies" in text
+
+
+class TestPlanner:
+    def test_already_identifiable(self):
+        protocol = CausalProtocol("q", ixp_dag(), "ixp_member", "rtt")
+        plan = plan_measurements(
+            protocol, {"ixp_member", "rtt", "traffic_load"}
+        )
+        assert plan.already_identifiable
+        assert "backdoor" in plan.summary()
+
+    def test_suggests_missing_confounder(self):
+        protocol = CausalProtocol("q", ixp_dag(), "ixp_member", "rtt")
+        plan = plan_measurements(protocol, {"ixp_member", "rtt"})
+        assert not plan.already_identifiable
+        flattened = {v for combo in plan.additions for v in combo}
+        assert "traffic_load" in flattened or "regulator_mandate" in flattened
+
+    def test_hopeless_case(self):
+        dag = CausalDag([("u", "x"), ("u", "y"), ("x", "y")], unobserved=["u"])
+        protocol = CausalProtocol("q", dag, "x", "y")
+        plan = plan_measurements(protocol, {"x", "y"})
+        assert not plan.already_identifiable
+        assert plan.additions == ()
+
+    def test_treatment_outcome_required(self):
+        protocol = CausalProtocol("q", ixp_dag(), "ixp_member", "rtt")
+        with pytest.raises(IdentificationError):
+            plan_measurements(protocol, {"rtt"})
+
+
+class TestChecklists:
+    def test_sutva_flags_shared_infrastructure(self):
+        items = sutva_checklist(8, 25, shared_infrastructure=True)
+        statuses = {i.name: i.status for i in items}
+        assert statuses["no interference (spillover to donors)"] is CheckStatus.WARN
+
+    def test_sutva_small_donor_pool_warns(self):
+        items = sutva_checklist(8, 5, shared_infrastructure=False)
+        pool = next(i for i in items if i.name == "donor pool size")
+        assert pool.status is CheckStatus.WARN
+
+    def test_selection_bias_from_tags(self, small_frame):
+        items = selection_bias_checklist(small_frame)
+        names = {i.name for i in items}
+        assert "reactive-measurement share" in names
+
+    def test_selection_bias_without_tags_fails(self):
+        items = selection_bias_checklist(Frame.from_dict({"rtt_ms": [1.0]}))
+        assert items[0].status is CheckStatus.FAIL
+
+    def test_pre_trend_good_fit(self):
+        rng = np.random.default_rng(0)
+        treated = 50 + rng.normal(0, 0.5, 30)
+        synthetic = treated + rng.normal(0, 0.3, 30)
+        items = pre_trend_checklist(treated, synthetic)
+        fit = next(i for i in items if i.name == "pre-change fit")
+        assert fit.status is CheckStatus.PASS
+
+    def test_pre_trend_too_few_points(self):
+        items = pre_trend_checklist(np.array([1.0]), np.array([1.0]))
+        assert items[0].status is CheckStatus.FAIL
+
+    def test_format_checklist(self):
+        text = format_checklist(sutva_checklist(8, 25, False))
+        assert "donor pool size" in text

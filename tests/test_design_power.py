@@ -1,0 +1,78 @@
+"""Unit tests for the placebo power analysis (repro.design.power)."""
+
+import pytest
+
+from repro.design import (
+    design_feasibility,
+    minimum_detectable_effect,
+    placebo_power,
+)
+from repro.errors import EstimationError
+
+
+class TestFeasibility:
+    def test_small_pool_infeasible(self):
+        feasible, why = design_feasibility(5, alpha=0.10)
+        assert not feasible
+        assert "0.167" in why
+
+    def test_large_pool_feasible(self):
+        feasible, _ = design_feasibility(20, alpha=0.10)
+        assert feasible
+
+    def test_boundary(self):
+        # 9 donors: floor 0.1 == alpha -> infeasible; 10 donors: 1/11 < 0.1.
+        assert not design_feasibility(9, alpha=0.10)[0]
+        assert design_feasibility(10, alpha=0.10)[0]
+
+
+class TestPower:
+    def test_large_effect_high_power(self):
+        est = placebo_power(4.0, n_donors=20, n_simulations=20, rng=0)
+        assert est.power >= 0.9
+        assert est.feasible()
+
+    def test_tiny_effect_low_power(self):
+        est = placebo_power(0.3, n_donors=20, n_simulations=20, rng=0)
+        assert est.power <= 0.3
+
+    def test_power_monotone_in_effect(self):
+        small = placebo_power(1.0, n_donors=15, n_simulations=25, rng=1)
+        large = placebo_power(6.0, n_donors=15, n_simulations=25, rng=1)
+        assert large.power >= small.power
+
+    def test_infeasible_design_flagged(self):
+        est = placebo_power(10.0, n_donors=5, n_simulations=10, alpha=0.10, rng=2)
+        assert not est.feasible()
+        assert est.power == 0.0  # p floor 1/6 > 0.1: can never hit
+        assert "INFEASIBLE" in str(est)
+
+    def test_accuracy_reported(self):
+        est = placebo_power(4.0, n_donors=15, n_simulations=10, rng=3)
+        assert est.mean_abs_error < 1.0
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            placebo_power(1.0, n_donors=1)
+        with pytest.raises(EstimationError):
+            placebo_power(1.0, alpha=1.5)
+        with pytest.raises(EstimationError):
+            placebo_power(1.0, n_simulations=0)
+
+
+class TestMde:
+    def test_finds_detectable_effect(self):
+        mde = minimum_detectable_effect(
+            n_donors=20, n_simulations=12, candidate_effects=(0.5, 2.0, 6.0), rng=0
+        )
+        assert mde in (0.5, 2.0, 6.0)
+        assert mde <= 6.0
+
+    def test_hopeless_design_returns_none(self):
+        mde = minimum_detectable_effect(
+            n_donors=5,  # infeasible at alpha 0.1
+            n_simulations=5,
+            candidate_effects=(1.0, 4.0),
+            rng=1,
+        )
+        assert mde is None

@@ -1,0 +1,141 @@
+"""Unit tests for the backdoor adjustment estimators (and naive baseline)."""
+
+import pytest
+
+from repro.errors import EstimationError, InsufficientDataError
+from repro.estimators import (
+    ipw_estimate,
+    matching_estimate,
+    naive_difference,
+    regression_adjustment,
+    stratified_adjustment,
+)
+from repro.frames import Frame
+from repro.graph import CausalDag
+from repro.scm import (
+    BernoulliMechanism,
+    GaussianNoise,
+    LinearMechanism,
+    StructuralCausalModel,
+    UniformNoise,
+)
+
+TRUE_ATE = 3.0
+
+
+def confounded_model() -> StructuralCausalModel:
+    """Binary treatment confounded by C; true ATE = 3."""
+    return StructuralCausalModel(
+        {
+            "C": (LinearMechanism({}), GaussianNoise(1.0)),
+            "T": (BernoulliMechanism({"C": 1.5}), UniformNoise()),
+            "Y": (
+                LinearMechanism({"C": 2.0, "T": TRUE_ATE}),
+                GaussianNoise(0.5),
+            ),
+        }
+    )
+
+
+def dag() -> CausalDag:
+    return CausalDag([("C", "T"), ("C", "Y"), ("T", "Y")])
+
+
+@pytest.fixture(scope="module")
+def data() -> Frame:
+    return confounded_model().sample(8000, rng=0)
+
+
+class TestNaive:
+    def test_naive_is_biased_upward(self, data):
+        est = naive_difference(data, "T", "Y")
+        assert est.effect > TRUE_ATE + 0.5
+
+    def test_counts(self, data):
+        est = naive_difference(data, "T", "Y")
+        assert est.n_treated + est.n_control == data.num_rows
+
+    def test_requires_binary(self, data):
+        with pytest.raises(EstimationError):
+            naive_difference(data, "C", "Y")
+
+
+class TestRegression:
+    def test_recovers_ate(self, data):
+        est = regression_adjustment(data, "T", "Y", ["C"])
+        assert est.effect == pytest.approx(TRUE_ATE, abs=0.1)
+
+    def test_dag_resolves_set(self, data):
+        est = regression_adjustment(data, "T", "Y", dag=dag())
+        assert est.details["adjustment_set"] == ["C"]
+        assert est.effect == pytest.approx(TRUE_ATE, abs=0.1)
+
+    def test_dag_rejects_bad_set(self, data):
+        with pytest.raises(EstimationError, match="backdoor"):
+            regression_adjustment(data, "T", "Y", adjustment=[], dag=dag())
+
+    def test_ci_covers_truth(self, data):
+        est = regression_adjustment(data, "T", "Y", ["C"])
+        assert est.ci_low < TRUE_ATE < est.ci_high
+        assert est.significant
+
+
+class TestStratification:
+    def test_recovers_ate(self, data):
+        est = stratified_adjustment(data, "T", "Y", ["C"], n_bins=8)
+        assert est.effect == pytest.approx(TRUE_ATE, abs=0.25)
+
+    def test_reports_strata(self, data):
+        est = stratified_adjustment(data, "T", "Y", ["C"], n_bins=5)
+        assert est.details["n_strata_used"] >= 3
+        assert 0 <= est.details["dropped_fraction"] < 0.5
+
+    def test_no_adjustment_equals_naive(self, data):
+        strat = stratified_adjustment(data, "T", "Y", [])
+        naive = naive_difference(data, "T", "Y")
+        assert strat.effect == pytest.approx(naive.effect, abs=1e-9)
+
+    def test_insufficient_data(self):
+        tiny = Frame.from_dict({"T": [1.0, 0.0], "Y": [1.0, 0.0], "C": [0.0, 0.0]})
+        with pytest.raises(InsufficientDataError):
+            stratified_adjustment(tiny, "T", "Y", ["C"])
+
+
+class TestIpw:
+    def test_recovers_ate(self, data):
+        est = ipw_estimate(data, "T", "Y", ["C"])
+        assert est.effect == pytest.approx(TRUE_ATE, abs=0.25)
+
+    def test_overlap_diagnostics(self, data):
+        est = ipw_estimate(data, "T", "Y", ["C"])
+        lo, hi = est.details["propensity_range"]
+        assert 0.0 < lo < hi < 1.0
+        assert est.details["effective_n_treated"] > 100
+
+    def test_bad_clip(self, data):
+        with pytest.raises(EstimationError):
+            ipw_estimate(data, "T", "Y", ["C"], clip=0.6)
+
+    def test_no_adjustment_matches_naive(self, data):
+        est = ipw_estimate(data, "T", "Y", [])
+        naive = naive_difference(data, "T", "Y")
+        assert est.effect == pytest.approx(naive.effect, abs=1e-6)
+
+
+class TestMatching:
+    def test_recovers_att(self, data):
+        est = matching_estimate(data, "T", "Y", ["C"], n_neighbors=3)
+        assert est.effect == pytest.approx(TRUE_ATE, abs=0.3)
+
+    def test_empty_adjustment_rejected(self, data):
+        with pytest.raises(EstimationError):
+            matching_estimate(data, "T", "Y", [])
+
+    def test_caliper_drops_units(self, data):
+        est = matching_estimate(data, "T", "Y", ["C"], caliper=1e-6)
+        # An absurdly tight caliper drops at least some treated units.
+        assert est.details["dropped_treated"] > 0
+
+    def test_match_distance_reported(self, data):
+        est = matching_estimate(data, "T", "Y", ["C"])
+        assert est.details["mean_match_distance"] >= 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for repro.estimators.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators import bootstrap, permutation_p_value
+from repro.frames import Frame
+
+
+@pytest.fixture
+def frame() -> Frame:
+    rng = np.random.default_rng(0)
+    return Frame.from_dict({"x": rng.normal(10.0, 2.0, 300)})
+
+
+def mean_x(f: Frame) -> float:
+    return float(f["x"].mean())
+
+
+class TestBootstrap:
+    def test_point_estimate_matches(self, frame):
+        result = bootstrap(frame, mean_x, n_resamples=100, rng=1)
+        assert result.estimate == pytest.approx(mean_x(frame))
+
+    def test_ci_covers_truth(self, frame):
+        result = bootstrap(frame, mean_x, n_resamples=400, rng=1)
+        assert result.ci_low < 10.0 < result.ci_high
+
+    def test_se_close_to_analytic(self, frame):
+        result = bootstrap(frame, mean_x, n_resamples=600, rng=2)
+        analytic = float(frame["x"].std(ddof=1) / np.sqrt(frame.num_rows))
+        assert result.standard_error == pytest.approx(analytic, rel=0.25)
+
+    def test_deterministic_by_seed(self, frame):
+        a = bootstrap(frame, mean_x, n_resamples=50, rng=3)
+        b = bootstrap(frame, mean_x, n_resamples=50, rng=3)
+        assert a.ci_low == b.ci_low
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(EstimationError):
+            bootstrap(Frame.from_dict({"x": []}), mean_x)
+
+    def test_too_few_resamples(self, frame):
+        with pytest.raises(EstimationError):
+            bootstrap(frame, mean_x, n_resamples=1)
+
+    def test_unstable_statistic_aborts(self, frame):
+        calls = {"n": 0}
+
+        def flaky(f: Frame) -> float:
+            calls["n"] += 1
+            if calls["n"] > 1:  # point estimate works, resamples all fail
+                raise ValueError("boom")
+            return 0.0
+
+        with pytest.raises(EstimationError, match="unstable"):
+            bootstrap(frame, flaky, n_resamples=20, rng=0)
+
+    def test_tolerates_some_failures(self, frame):
+        calls = {"n": 0}
+
+        def sometimes(f: Frame) -> float:
+            calls["n"] += 1
+            if calls["n"] % 10 == 0:
+                raise ValueError("occasional")
+            return mean_x(f)
+
+        result = bootstrap(frame, sometimes, n_resamples=50, rng=0)
+        assert result.n_failed > 0
+        assert result.n_resamples + result.n_failed == 50
+
+
+class TestPermutationP:
+    def test_extreme_observation_small_p(self):
+        null = np.random.default_rng(0).normal(0, 1, 999)
+        assert permutation_p_value(10.0, null, "greater") == pytest.approx(
+            1 / 1000
+        )
+
+    def test_typical_observation_large_p(self):
+        null = np.random.default_rng(0).normal(0, 1, 999)
+        assert permutation_p_value(0.0, null, "greater") > 0.3
+
+    def test_two_sided_counts_both_tails(self):
+        null = np.array([-3.0, -2.0, 2.0, 3.0])
+        assert permutation_p_value(2.5, null, "two-sided") == pytest.approx(3 / 5)
+
+    def test_less_alternative(self):
+        null = np.array([1.0, 2.0, 3.0])
+        assert permutation_p_value(0.0, null, "less") == pytest.approx(1 / 4)
+
+    def test_never_exactly_zero(self):
+        assert permutation_p_value(100.0, np.zeros(10), "greater") > 0
+
+    def test_empty_null_rejected(self):
+        with pytest.raises(EstimationError):
+            permutation_p_value(1.0, [])
+
+    def test_bad_alternative(self):
+        with pytest.raises(EstimationError):
+            permutation_p_value(1.0, [0.0], "sideways")

@@ -1,0 +1,102 @@
+"""Unit tests for repro.estimators.did."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.estimators import did_estimate, parallel_trends_check
+from repro.frames import Frame
+
+TRUE_EFFECT = -4.0
+
+
+def panel(
+    n_per_cell: int = 400,
+    seed: int = 0,
+    differential_trend: float = 0.0,
+) -> Frame:
+    """Two groups x continuous time; treated group hit after t=0.5."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for group in (0, 1):
+        for _ in range(n_per_cell):
+            t = rng.uniform(0, 1)
+            post = float(t >= 0.5)
+            y = (
+                10.0
+                + 2.0 * group  # level difference (fine for DiD)
+                + 3.0 * t  # common trend
+                + differential_trend * group * t
+                + TRUE_EFFECT * group * post
+                + rng.normal(0, 0.5)
+            )
+            rows.append({"group": group, "post": post, "time": t, "y": y})
+    return Frame.from_records(rows)
+
+
+class TestDid:
+    def test_recovers_effect(self):
+        est = did_estimate(panel(), "group", "post", "y")
+        assert est.effect == pytest.approx(TRUE_EFFECT, abs=0.2)
+
+    def test_level_difference_not_mistaken_for_effect(self):
+        est = did_estimate(panel(seed=1), "group", "post", "y")
+        assert abs(est.effect - 2.0) > 1.0  # not the level gap
+
+    def test_p_value_significant(self):
+        est = did_estimate(panel(), "group", "post", "y")
+        assert est.details["p_value"] < 1e-6
+        assert est.significant
+
+    def test_null_effect_insignificant(self):
+        rng = np.random.default_rng(5)
+        rows = [
+            {
+                "group": g,
+                "post": p,
+                "y": 1.0 + 0.5 * g + 0.3 * p + rng.normal(0, 1),
+            }
+            for g in (0, 1)
+            for p in (0.0, 1.0)
+            for _ in range(300)
+        ]
+        est = did_estimate(Frame.from_records(rows), "group", "post", "y")
+        assert est.details["p_value"] > 0.01
+
+    def test_single_level_rejected(self):
+        f = Frame.from_dict(
+            {"group": [1.0] * 10, "post": [0.0, 1.0] * 5, "y": list(range(10))}
+        )
+        with pytest.raises(InsufficientDataError):
+            did_estimate(f, "group", "post", "y")
+
+    def test_missing_cell_rejected(self):
+        f = Frame.from_dict(
+            {
+                "group": [0.0, 0.0, 1.0, 1.0],
+                "post": [0.0, 1.0, 0.0, 0.0],  # no treated-post cell
+                "y": [1.0, 2.0, 3.0, 4.0],
+            }
+        )
+        with pytest.raises(InsufficientDataError, match="four"):
+            did_estimate(f, "group", "post", "y")
+
+
+class TestParallelTrends:
+    def test_parallel_world_passes(self):
+        check = parallel_trends_check(panel(), "group", "time", "y", pre_cutoff=0.5)
+        assert check["p_value"] > 0.01
+
+    def test_diverging_world_fails(self):
+        check = parallel_trends_check(
+            panel(differential_trend=5.0, seed=2), "group", "time", "y", pre_cutoff=0.5
+        )
+        assert check["p_value"] < 0.01
+        assert check["trend_difference"] == pytest.approx(5.0, abs=1.0)
+
+    def test_too_few_rows(self):
+        f = Frame.from_dict(
+            {"group": [0.0, 1.0], "time": [0.1, 0.2], "y": [1.0, 2.0]}
+        )
+        with pytest.raises(InsufficientDataError):
+            parallel_trends_check(f, "group", "time", "y", pre_cutoff=0.5)

@@ -1,0 +1,106 @@
+"""Unit tests for the frontdoor estimators."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators import (
+    frontdoor_estimate,
+    frontdoor_estimate_multi,
+    regression_adjustment,
+)
+from repro.graph import CausalDag
+from repro.scm import GaussianNoise, LinearMechanism, StructuralCausalModel
+
+#: True total effect of x on y through the mediator: 1.5 * 2.0.
+TRUE_EFFECT = 3.0
+
+
+def frontdoor_dag() -> CausalDag:
+    return CausalDag(
+        [("x", "m"), ("m", "y"), ("u", "x"), ("u", "y")], unobserved=["u"]
+    )
+
+
+def frontdoor_model() -> StructuralCausalModel:
+    """x -> m -> y with a latent confounder u of x and y."""
+    return StructuralCausalModel(
+        {
+            "u": (LinearMechanism({}), GaussianNoise(1.0)),
+            "x": (LinearMechanism({"u": 1.0}), GaussianNoise(0.5)),
+            "m": (LinearMechanism({"x": 1.5}), GaussianNoise(0.5)),
+            "y": (
+                LinearMechanism({"m": 2.0, "u": 3.0}),
+                GaussianNoise(0.5),
+            ),
+        },
+        dag=CausalDag(
+            [("u", "x"), ("x", "m"), ("m", "y"), ("u", "y")], unobserved=["u"]
+        ),
+    )
+
+
+class TestSingleMediator:
+    def test_recovers_effect_despite_latent_confounder(self):
+        data = frontdoor_model().sample(10_000, rng=0).drop("u")
+        est = frontdoor_estimate(data, "x", "m", "y")
+        assert est.effect == pytest.approx(TRUE_EFFECT, abs=0.15)
+
+    def test_naive_adjustment_is_biased_here(self):
+        data = frontdoor_model().sample(10_000, rng=0).drop("u")
+        naive = regression_adjustment(data, "x", "y")
+        assert abs(naive.effect - TRUE_EFFECT) > 0.5
+
+    def test_ci_covers_truth(self):
+        data = frontdoor_model().sample(10_000, rng=1).drop("u")
+        est = frontdoor_estimate(data, "x", "m", "y")
+        assert est.ci_low < TRUE_EFFECT < est.ci_high
+
+    def test_dag_validation_accepts_mediator(self):
+        data = frontdoor_model().sample(4000, rng=2).drop("u")
+        est = frontdoor_estimate(data, "x", "m", "y", dag=frontdoor_dag())
+        assert est.effect == pytest.approx(TRUE_EFFECT, abs=0.3)
+
+    def test_dag_validation_rejects_bad_mediator(self):
+        data = frontdoor_model().sample(1000, rng=3).drop("u")
+        bad_dag = frontdoor_dag()
+        bad_dag.add_edge("x", "y")  # direct path bypasses m
+        with pytest.raises(EstimationError, match="frontdoor"):
+            frontdoor_estimate(data, "x", "m", "y", dag=bad_dag)
+
+    def test_details_report_stages(self):
+        data = frontdoor_model().sample(5000, rng=4).drop("u")
+        est = frontdoor_estimate(data, "x", "m", "y")
+        assert est.details["first_stage"] == pytest.approx(1.5, abs=0.1)
+        assert est.details["second_stage"] == pytest.approx(2.0, abs=0.1)
+
+
+class TestMultiMediator:
+    def test_two_parallel_mediators(self):
+        model = StructuralCausalModel(
+            {
+                "u": (LinearMechanism({}), GaussianNoise(1.0)),
+                "x": (LinearMechanism({"u": 1.0}), GaussianNoise(0.5)),
+                "m1": (LinearMechanism({"x": 1.0}), GaussianNoise(0.5)),
+                "m2": (LinearMechanism({"x": 0.5}), GaussianNoise(0.5)),
+                "y": (
+                    LinearMechanism({"m1": 2.0, "m2": -1.0, "u": 3.0}),
+                    GaussianNoise(0.5),
+                ),
+            }
+        )
+        data = model.sample(10_000, rng=5).drop("u")
+        est = frontdoor_estimate_multi(data, "x", ["m1", "m2"], "y")
+        assert est.effect == pytest.approx(2.0 - 0.5, abs=0.15)
+        assert est.details["path_m1"] == pytest.approx(2.0, abs=0.15)
+        assert est.details["path_m2"] == pytest.approx(-0.5, abs=0.15)
+
+    def test_empty_mediator_list_rejected(self):
+        data = frontdoor_model().sample(100, rng=6)
+        with pytest.raises(EstimationError):
+            frontdoor_estimate_multi(data, "x", [], "y")
+
+    def test_single_mediator_agrees_with_scalar_version(self):
+        data = frontdoor_model().sample(6000, rng=7).drop("u")
+        scalar = frontdoor_estimate(data, "x", "m", "y")
+        multi = frontdoor_estimate_multi(data, "x", ["m"], "y")
+        assert multi.effect == pytest.approx(scalar.effect, abs=1e-9)

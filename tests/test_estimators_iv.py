@@ -1,0 +1,132 @@
+"""Unit tests for repro.estimators.iv (Wald, 2SLS, weak instruments)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators import two_stage_least_squares, wald_estimate
+from repro.frames import Frame
+from repro.graph import CausalDag
+from repro.scm import (
+    BernoulliMechanism,
+    GaussianNoise,
+    LinearMechanism,
+    StructuralCausalModel,
+    UniformNoise,
+)
+
+TRUE_EFFECT = 2.0
+
+
+def iv_model(first_stage: float = 1.0) -> StructuralCausalModel:
+    """Z -> T -> Y with latent-style confounder U."""
+    return StructuralCausalModel(
+        {
+            "Z": (BernoulliMechanism({}), UniformNoise()),
+            "U": (LinearMechanism({}), GaussianNoise(1.0)),
+            "T": (
+                LinearMechanism({"Z": first_stage, "U": 1.0}),
+                GaussianNoise(0.5),
+            ),
+            "Y": (
+                LinearMechanism({"T": TRUE_EFFECT, "U": 3.0}),
+                GaussianNoise(0.5),
+            ),
+        }
+    )
+
+
+def iv_dag() -> CausalDag:
+    return CausalDag(
+        [("Z", "T"), ("U", "T"), ("U", "Y"), ("T", "Y")], unobserved=["U"]
+    )
+
+
+@pytest.fixture(scope="module")
+def data() -> Frame:
+    return iv_model().sample(10_000, rng=0)
+
+
+class TestWald:
+    def test_recovers_effect(self, data):
+        est = wald_estimate(data, "Z", "T", "Y")
+        assert est.effect == pytest.approx(TRUE_EFFECT, abs=0.15)
+
+    def test_strong_first_stage_flagged_ok(self, data):
+        est = wald_estimate(data, "Z", "T", "Y")
+        assert est.details["first_stage_f"] > 100
+        assert est.details["weak_instrument"] is False
+
+    def test_weak_instrument_flagged(self):
+        weak = iv_model(first_stage=0.02).sample(800, rng=1)
+        est = wald_estimate(weak, "Z", "T", "Y")
+        assert est.details["weak_instrument"] is True
+
+    def test_dag_validation_accepts_z(self, data):
+        est = wald_estimate(data, "Z", "T", "Y", dag=iv_dag())
+        assert est.effect == pytest.approx(TRUE_EFFECT, abs=0.15)
+
+    def test_dag_validation_rejects_confounder_proxy(self, data):
+        bad_dag = iv_dag()
+        bad_dag.add_edge("Z", "Y")  # exclusion violated structurally
+        with pytest.raises(EstimationError, match="not a valid instrument"):
+            wald_estimate(data, "Z", "T", "Y", dag=bad_dag)
+
+    def test_nonbinary_instrument_rejected(self, data):
+        with pytest.raises(EstimationError):
+            wald_estimate(data, "U", "T", "Y")
+
+    def test_zero_first_stage(self):
+        frame = Frame.from_dict(
+            {
+                "Z": [0.0, 1.0] * 10,
+                "T": [1.0] * 20,
+                "Y": list(np.arange(20.0)),
+            }
+        )
+        with pytest.raises(EstimationError, match="first stage"):
+            wald_estimate(frame, "Z", "T", "Y")
+
+
+class Test2sls:
+    def test_matches_wald_without_controls(self, data):
+        wald = wald_estimate(data, "Z", "T", "Y")
+        tsls = two_stage_least_squares(data, "Z", "T", "Y")
+        assert tsls.effect == pytest.approx(wald.effect, abs=1e-6)
+
+    def test_with_exogenous_control(self):
+        # Add an observed exogenous covariate affecting both T and Y.
+        rng = np.random.default_rng(3)
+        n = 8000
+        w = rng.normal(0, 1, n)
+        z = (rng.random(n) < 0.5).astype(float)
+        u = rng.normal(0, 1, n)
+        t = z + 0.5 * w + u + rng.normal(0, 0.5, n)
+        y = TRUE_EFFECT * t + 2.0 * u + 1.0 * w + rng.normal(0, 0.5, n)
+        frame = Frame.from_dict({"z": z, "w": w, "t": t, "y": y})
+        est = two_stage_least_squares(frame, "z", "t", "y", controls=["w"])
+        assert est.effect == pytest.approx(TRUE_EFFECT, abs=0.15)
+        assert est.details["controls"] == ["w"]
+
+    def test_naive_ols_is_biased_here(self, data):
+        from repro.estimators import fit_ols
+
+        naive = fit_ols(data["Y"], {"T": data["T"]}).coefficient("T")
+        assert naive > TRUE_EFFECT + 0.5
+
+    def test_ci_covers_truth(self, data):
+        est = two_stage_least_squares(data, "Z", "T", "Y")
+        assert est.ci_low < TRUE_EFFECT < est.ci_high
+
+    def test_irrelevant_instrument_rejected(self):
+        rng = np.random.default_rng(4)
+        n = 200
+        frame = Frame.from_dict(
+            {
+                "z": np.zeros(n),
+                "t": rng.normal(0, 1, n),
+                "y": rng.normal(0, 1, n),
+            }
+        )
+        with pytest.raises(EstimationError):
+            two_stage_least_squares(frame, "z", "t", "y")

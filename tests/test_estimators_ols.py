@@ -1,0 +1,88 @@
+"""Unit tests for repro.estimators.ols."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.estimators import fit_ols
+
+
+@pytest.fixture
+def linear_data():
+    rng = np.random.default_rng(0)
+    n = 500
+    x1 = rng.normal(0, 1, n)
+    x2 = rng.normal(0, 1, n)
+    y = 3.0 + 2.0 * x1 - 0.5 * x2 + rng.normal(0, 0.3, n)
+    return x1, x2, y
+
+
+class TestFit:
+    def test_coefficients_recovered(self, linear_data):
+        x1, x2, y = linear_data
+        fit = fit_ols(y, {"x1": x1, "x2": x2})
+        assert fit.coefficient("_intercept") == pytest.approx(3.0, abs=0.05)
+        assert fit.coefficient("x1") == pytest.approx(2.0, abs=0.05)
+        assert fit.coefficient("x2") == pytest.approx(-0.5, abs=0.05)
+
+    def test_r_squared_high(self, linear_data):
+        x1, x2, y = linear_data
+        fit = fit_ols(y, {"x1": x1, "x2": x2})
+        assert fit.r_squared > 0.95
+
+    def test_no_intercept(self, linear_data):
+        x1, _, y = linear_data
+        fit = fit_ols(y, {"x1": x1}, add_intercept=False)
+        assert "_intercept" not in fit.names
+
+    def test_residuals_orthogonal_to_design(self, linear_data):
+        x1, x2, y = linear_data
+        fit = fit_ols(y, {"x1": x1, "x2": x2})
+        assert abs(float(fit.residuals @ x1)) < 1e-6 * len(y)
+
+    def test_too_few_rows(self):
+        with pytest.raises(InsufficientDataError):
+            fit_ols(np.array([1.0, 2.0]), {"x": np.array([1.0, 2.0])})
+
+    def test_length_mismatch(self):
+        with pytest.raises(InsufficientDataError):
+            fit_ols(np.arange(5.0), {"x": np.arange(4.0)})
+
+
+class TestInference:
+    def test_true_coefficient_in_ci(self, linear_data):
+        x1, x2, y = linear_data
+        fit = fit_ols(y, {"x1": x1, "x2": x2})
+        lo, hi = fit.confidence_interval("x1")
+        assert lo < 2.0 < hi
+
+    def test_null_coefficient_large_p(self):
+        rng = np.random.default_rng(1)
+        n = 400
+        x = rng.normal(0, 1, n)
+        z = rng.normal(0, 1, n)  # unrelated
+        y = x + rng.normal(0, 1, n)
+        fit = fit_ols(y, {"x": x, "z": z})
+        assert fit.p_value("z") > 0.01
+        assert fit.p_value("x") < 1e-10
+
+    def test_robust_se_close_under_homoskedasticity(self, linear_data):
+        x1, x2, y = linear_data
+        classical = fit_ols(y, {"x1": x1, "x2": x2}, robust=False)
+        robust = fit_ols(y, {"x1": x1, "x2": x2}, robust=True)
+        ratio = robust.standard_error("x1") / classical.standard_error("x1")
+        assert 0.8 < ratio < 1.2
+
+    def test_robust_se_larger_under_heteroskedasticity(self):
+        rng = np.random.default_rng(2)
+        n = 2000
+        x = rng.normal(0, 1, n)
+        y = x + rng.normal(0, 1, n) * (1 + 2 * np.abs(x))
+        classical = fit_ols(y, {"x": x}, robust=False)
+        robust = fit_ols(y, {"x": x}, robust=True)
+        assert robust.standard_error("x") > classical.standard_error("x")
+
+    def test_summary_renders(self, linear_data):
+        x1, x2, y = linear_data
+        text = fit_ols(y, {"x1": x1, "x2": x2}).summary()
+        assert "x1" in text and "R^2" in text

@@ -1,0 +1,141 @@
+"""Unit tests for panel estimators (TWFE and event studies)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, InsufficientDataError
+from repro.estimators import event_study, fixed_effects_estimate
+from repro.frames import Frame
+
+TRUE_EFFECT = -5.0
+
+
+def staggered_panel(
+    n_units: int = 20,
+    n_treated: int = 8,
+    n_periods: int = 30,
+    seed: int = 0,
+    dynamic: bool = False,
+) -> tuple[Frame, dict[str, float]]:
+    """Staggered-adoption panel with unit effects and common shocks."""
+    rng = np.random.default_rng(seed)
+    unit_effects = rng.normal(50, 10, n_units)
+    period_shocks = rng.normal(0, 2, n_periods)
+    treatment_time = {
+        f"u{i}": float(rng.integers(10, 20)) for i in range(n_treated)
+    }
+    rows = []
+    for i in range(n_units):
+        label = f"u{i}"
+        t0 = treatment_time.get(label)
+        for t in range(n_periods):
+            treated = 1.0 if t0 is not None and t >= t0 else 0.0
+            effect = TRUE_EFFECT
+            if dynamic and treated:
+                effect = TRUE_EFFECT * min((t - t0 + 1) / 3.0, 1.0)  # ramps in
+            rows.append(
+                {
+                    "unit": label,
+                    "time": float(t),
+                    "treated": treated,
+                    "y": unit_effects[i]
+                    + period_shocks[t]
+                    + effect * treated
+                    + rng.normal(0, 0.5),
+                }
+            )
+    return Frame.from_records(rows), treatment_time
+
+
+class TestFixedEffects:
+    def test_recovers_effect(self):
+        panel, _ = staggered_panel()
+        est = fixed_effects_estimate(panel, "unit", "time", "treated", "y")
+        assert est.effect == pytest.approx(TRUE_EFFECT, abs=0.3)
+
+    def test_absorbs_unit_heterogeneity_and_shocks(self):
+        # Naive cross-section would be wildly off given 10-unit effects.
+        panel, _ = staggered_panel(seed=1)
+        est = fixed_effects_estimate(panel, "unit", "time", "treated", "y")
+        assert abs(est.effect - TRUE_EFFECT) < 0.5
+
+    def test_no_variation_rejected(self):
+        rows = [
+            {"unit": f"u{i}", "time": float(t), "treated": 0.0, "y": float(t)}
+            for i in range(3)
+            for t in range(5)
+        ]
+        with pytest.raises(EstimationError, match="variation"):
+            fixed_effects_estimate(
+                Frame.from_records(rows), "unit", "time", "treated", "y"
+            )
+
+    def test_too_few_rows(self):
+        f = Frame.from_dict(
+            {"unit": ["a"], "time": [0.0], "treated": [1.0], "y": [1.0]}
+        )
+        with pytest.raises(InsufficientDataError):
+            fixed_effects_estimate(f, "unit", "time", "treated", "y")
+
+    def test_details_report_shape(self):
+        panel, _ = staggered_panel()
+        est = fixed_effects_estimate(panel, "unit", "time", "treated", "y")
+        assert est.details["n_units"] == 20
+        assert est.details["n_periods"] == 30
+
+
+class TestEventStudy:
+    def test_static_effect_recovered_at_all_lags(self):
+        panel, times = staggered_panel(seed=2)
+        study = event_study(panel, "unit", "time", "y", times)
+        for offset in (0, 1, 2, 3):
+            assert study.effect_at(offset) == pytest.approx(TRUE_EFFECT, abs=0.8)
+
+    def test_baseline_period_normalised(self):
+        panel, times = staggered_panel(seed=2)
+        study = event_study(panel, "unit", "time", "y", times)
+        assert study.effect_at(-1) == 0.0
+
+    def test_leads_are_null(self):
+        panel, times = staggered_panel(seed=3)
+        study = event_study(panel, "unit", "time", "y", times)
+        assert study.pre_trend_flat()
+        for offset in study.relative_periods:
+            if offset < -1:
+                assert abs(study.effect_at(offset)) < 0.8
+
+    def test_dynamic_ramp_visible(self):
+        panel, times = staggered_panel(seed=4, dynamic=True)
+        study = event_study(panel, "unit", "time", "y", times)
+        assert abs(study.effect_at(0)) < abs(study.effect_at(4))
+
+    def test_average_post_effect(self):
+        panel, times = staggered_panel(seed=5)
+        study = event_study(panel, "unit", "time", "y", times)
+        assert study.average_post_effect() == pytest.approx(TRUE_EFFECT, abs=0.6)
+
+    def test_anticipation_breaks_pre_trend(self):
+        """Units reacting *before* treatment show in the leads."""
+        panel, times = staggered_panel(seed=6)
+        leaky = panel.derive(
+            "y",
+            lambda r: r["y"]
+            + (
+                -4.0
+                if times.get(r["unit"]) is not None
+                and times[r["unit"]] - 4 <= r["time"] < times[r["unit"]]
+                else 0.0
+            ),
+        )
+        study = event_study(leaky, "unit", "time", "y", times)
+        assert not study.pre_trend_flat()
+
+    def test_empty_treatment_map_rejected(self):
+        panel, _ = staggered_panel()
+        with pytest.raises(EstimationError):
+            event_study(panel, "unit", "time", "y", {})
+
+    def test_format_table(self):
+        panel, times = staggered_panel(seed=7)
+        text = event_study(panel, "unit", "time", "y", times).format_table()
+        assert "offset" in text

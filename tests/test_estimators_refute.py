@@ -1,0 +1,137 @@
+"""Unit tests for the refutation battery (repro.estimators.refute)."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators import (
+    dummy_outcome_refuter,
+    naive_difference,
+    placebo_treatment_refuter,
+    random_common_cause_refuter,
+    refute_all,
+    regression_adjustment,
+    subset_refuter,
+)
+from repro.frames import Frame
+from repro.scm import (
+    BernoulliMechanism,
+    GaussianNoise,
+    LinearMechanism,
+    StructuralCausalModel,
+    UniformNoise,
+)
+
+
+def good_world() -> Frame:
+    """Confounded world where the adjusted estimator is correct."""
+    model = StructuralCausalModel(
+        {
+            "C": (LinearMechanism({}), GaussianNoise(1.0)),
+            "T": (BernoulliMechanism({"C": 1.5}), UniformNoise()),
+            "Y": (LinearMechanism({"C": 2.0, "T": 3.0}), GaussianNoise(0.5)),
+        }
+    )
+    return model.sample(4000, rng=0)
+
+
+def adjusted(data, treatment, outcome, adjustment):
+    return regression_adjustment(data, treatment, outcome, list(adjustment))
+
+
+def naive(data, treatment, outcome, adjustment):
+    return naive_difference(data, treatment, outcome)
+
+
+class TestGoodEstimatorPasses:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return good_world()
+
+    def test_placebo_treatment(self, data):
+        result = placebo_treatment_refuter(data, "T", "Y", ["C"], adjusted, rng=0)
+        assert result.passed
+        assert max(abs(e) for e in result.refuted_effects) < 1.0
+
+    def test_random_common_cause(self, data):
+        result = random_common_cause_refuter(data, "T", "Y", ["C"], adjusted, rng=0)
+        assert result.passed
+
+    def test_subset(self, data):
+        result = subset_refuter(data, "T", "Y", ["C"], adjusted, rng=0)
+        assert result.passed
+
+    def test_dummy_outcome(self, data):
+        result = dummy_outcome_refuter(data, "T", "Y", ["C"], adjusted, rng=0)
+        assert result.passed
+
+    def test_refute_all_reports_four(self, data):
+        results = refute_all(data, "T", "Y", ["C"], adjusted, rng=0)
+        assert len(results) == 4
+        assert all(r.passed for r in results)
+        assert all("PASS" in str(r) for r in results)
+
+
+class TestBrokenAnalysesFail:
+    def test_pure_noise_effect_fails_placebo(self):
+        """A 'treatment' unrelated to the outcome fails the placebo bar."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        n = 2000
+        data = Frame.from_dict(
+            {
+                "T": (rng.random(n) < 0.5).astype(float),
+                "Y": rng.normal(0, 1, n),
+                "C": rng.normal(0, 1, n),
+            }
+        )
+        result = placebo_treatment_refuter(data, "T", "Y", ["C"], adjusted, rng=0)
+        assert not result.passed
+
+    def test_unstable_estimator_fails_subset(self):
+        """An estimator keyed to row count drifts across subsets."""
+        from repro.estimators.base import EffectEstimate
+
+        def pathological(data, treatment, outcome, adjustment):
+            return EffectEstimate(
+                effect=float(data.num_rows),
+                standard_error=0.001,
+                ci_low=0.0,
+                ci_high=0.0,
+                method="pathological",
+                n_treated=1,
+                n_control=1,
+            )
+
+        data = good_world()
+        result = subset_refuter(data, "T", "Y", ["C"], pathological, rng=0)
+        assert not result.passed
+
+    def test_biased_estimator_fails_dummy_outcome(self):
+        """An estimator with a hard-coded offset flunks the dummy outcome."""
+        def offset(data, treatment, outcome, adjustment):
+            est = regression_adjustment(data, treatment, outcome, list(adjustment))
+            return type(est)(
+                effect=est.effect + 5.0,
+                standard_error=est.standard_error,
+                ci_low=est.ci_low,
+                ci_high=est.ci_high,
+                method=est.method,
+                n_treated=est.n_treated,
+                n_control=est.n_control,
+            )
+
+        result = dummy_outcome_refuter(good_world(), "T", "Y", ["C"], offset, rng=0)
+        assert not result.passed
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(EstimationError):
+            subset_refuter(good_world(), "T", "Y", ["C"], adjusted, fraction=1.5)
+
+    def test_detail_strings(self):
+        result = placebo_treatment_refuter(
+            good_world(), "T", "Y", ["C"], adjusted, rng=0
+        )
+        assert "placebo" in result.detail

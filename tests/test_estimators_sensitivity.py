@@ -1,0 +1,134 @@
+"""Unit tests for repro.estimators.sensitivity (Cinelli-Hazlett)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimators import (
+    bias_bound,
+    fit_ols,
+    partial_r2,
+    robustness_value,
+    sensitivity_report,
+)
+from repro.scm import GaussianNoise, LinearMechanism, StructuralCausalModel
+
+
+def confounded_sample(n: int = 6000, seed: int = 0, hidden: bool = False):
+    """C observed (or hidden) confounder of T and Y; true effect 2."""
+    model = StructuralCausalModel(
+        {
+            "C": (LinearMechanism({}), GaussianNoise(1.0)),
+            "T": (LinearMechanism({"C": 1.0}), GaussianNoise(1.0)),
+            "Y": (LinearMechanism({"C": 1.5, "T": 2.0}), GaussianNoise(1.0)),
+        }
+    )
+    data = model.sample(n, rng=seed)
+    return data.drop("C") if hidden else data
+
+
+class TestPartialR2:
+    def test_strong_regressor_high(self):
+        data = confounded_sample()
+        fit = fit_ols(data["Y"], {"T": data["T"], "C": data["C"]})
+        assert partial_r2(fit, "T") > 0.5
+
+    def test_null_regressor_near_zero(self):
+        rng = np.random.default_rng(1)
+        n = 4000
+        y = rng.normal(0, 1, n)
+        fit = fit_ols(y, {"x": rng.normal(0, 1, n)})
+        assert partial_r2(fit, "x") < 0.01
+
+
+class TestRobustnessValue:
+    def test_strong_effect_high_rv(self):
+        data = confounded_sample()
+        fit = fit_ols(data["Y"], {"T": data["T"], "C": data["C"]})
+        assert robustness_value(fit, "T") > 0.4
+
+    def test_null_effect_zero_rv(self):
+        rng = np.random.default_rng(2)
+        n = 4000
+        y = rng.normal(0, 1, n)
+        fit = fit_ols(y, {"x": rng.normal(0, 1, n)})
+        assert robustness_value(fit, "x") < 0.05
+
+    def test_significance_rv_below_point_rv(self):
+        data = confounded_sample()
+        fit = fit_ols(data["Y"], {"T": data["T"], "C": data["C"]})
+        assert robustness_value(fit, "T", alpha=0.05) < robustness_value(fit, "T")
+
+    def test_q_scales_requirement(self):
+        data = confounded_sample()
+        fit = fit_ols(data["Y"], {"T": data["T"], "C": data["C"]})
+        assert robustness_value(fit, "T", q=0.5) < robustness_value(fit, "T", q=1.0)
+
+    def test_bad_q(self):
+        data = confounded_sample()
+        fit = fit_ols(data["Y"], {"T": data["T"]})
+        with pytest.raises(EstimationError):
+            robustness_value(fit, "T", q=0.0)
+
+
+class TestBiasBound:
+    def test_bound_covers_actual_omitted_variable_bias(self):
+        """Omitting C biases the estimate; a bound using C's true
+        strengths must cover that bias."""
+        full = confounded_sample()
+        fit_full = fit_ols(full["Y"], {"T": full["T"], "C": full["C"]})
+        fit_omit = fit_ols(full["Y"], {"T": full["T"]})
+        actual_bias = abs(fit_omit.coefficient("T") - fit_full.coefficient("T"))
+
+        # C's strength with Y (given T) and with T.
+        r2_yc = partial_r2(fit_full, "C")
+        t_fit = fit_ols(full["T"], {"C": full["C"]})
+        r2_tc = partial_r2(t_fit, "C")
+        bound = bias_bound(fit_omit, "T", r2_tc, r2_yc)
+        assert bound >= actual_bias * 0.9  # within estimation slack
+
+    def test_zero_strength_zero_bound(self):
+        data = confounded_sample()
+        fit = fit_ols(data["Y"], {"T": data["T"]})
+        assert bias_bound(fit, "T", 0.0, 0.5) == 0.0
+
+    def test_invalid_strengths(self):
+        data = confounded_sample()
+        fit = fit_ols(data["Y"], {"T": data["T"]})
+        with pytest.raises(EstimationError):
+            bias_bound(fit, "T", 1.0, 0.5)
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = sensitivity_report(confounded_sample(), "T", "Y", ["C"])
+        assert report.effect == pytest.approx(2.0, abs=0.1)
+        assert 0 < report.rv <= 1
+        assert "C" in report.benchmark_bounds
+        assert "confounder" in report.verdict()
+
+    def test_benchmark_says_c_cannot_explain_strong_effect(self):
+        report = sensitivity_report(confounded_sample(), "T", "Y", ["C"])
+        assert report.benchmark_bounds["C"] < abs(report.effect)
+        assert "could NOT" in report.format_report()
+
+    def test_weak_effect_low_rv(self):
+        """A weak effect in noisy data needs only a weak confounder to
+        lose significance."""
+        rng = np.random.default_rng(3)
+        n = 300
+        from repro.frames import Frame
+
+        t = rng.normal(0, 1, n)
+        data = Frame.from_dict(
+            {
+                "T": t,
+                "Y": 0.08 * t + rng.normal(0, 1, n),
+                "C": rng.normal(0, 1, n),
+            }
+        )
+        report = sensitivity_report(data, "T", "Y", ["C"])
+        assert report.rv < 0.25
+        assert report.rv_significant < 0.05
+        strong = sensitivity_report(confounded_sample(), "T", "Y", ["C"])
+        assert report.rv < strong.rv

@@ -1,0 +1,150 @@
+"""Unit tests for repro.frames.column."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnMismatchError, FrameError
+from repro.frames import Column, KIND_BOOL, KIND_FLOAT, KIND_INT, KIND_OBJECT, infer_kind
+
+
+class TestInferKind:
+    def test_pure_ints(self):
+        assert infer_kind([1, 2, 3]) == KIND_INT
+
+    def test_floats(self):
+        assert infer_kind([1.5, 2.0]) == KIND_FLOAT
+
+    def test_mixed_int_float_is_float(self):
+        assert infer_kind([1, 2.5]) == KIND_FLOAT
+
+    def test_none_promotes_ints_to_float(self):
+        assert infer_kind([1, None, 3]) == KIND_FLOAT
+
+    def test_bools(self):
+        assert infer_kind([True, False]) == KIND_BOOL
+
+    def test_bool_with_none_is_object(self):
+        assert infer_kind([True, None]) == KIND_OBJECT
+
+    def test_strings(self):
+        assert infer_kind(["a", "b"]) == KIND_OBJECT
+
+    def test_empty_is_object(self):
+        assert infer_kind([]) == KIND_OBJECT
+
+    def test_numpy_float_array(self):
+        assert infer_kind(np.array([1.0, 2.0])) == KIND_FLOAT
+
+    def test_numpy_int_array(self):
+        assert infer_kind(np.array([1, 2])) == KIND_INT
+
+
+class TestColumnConstruction:
+    def test_basic(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        assert len(col) == 3
+        assert col.kind == KIND_FLOAT
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(FrameError):
+            Column("", [1])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(FrameError):
+            Column(3, [1])  # type: ignore[arg-type]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FrameError):
+            Column("x", [1], kind="complex")
+
+    def test_2d_rejected(self):
+        with pytest.raises(FrameError):
+            Column("x", np.ones((2, 2)))
+
+    def test_none_becomes_nan_in_float(self):
+        col = Column("x", [1.0, None, 3.0])
+        assert np.isnan(col.values[1])
+
+
+class TestMissing:
+    def test_float_missing(self):
+        col = Column("x", [1.0, None, 3.0])
+        assert col.count_missing() == 1
+        assert list(col.is_missing()) == [False, True, False]
+
+    def test_object_missing(self):
+        col = Column("x", ["a", None])
+        assert col.count_missing() == 1
+
+    def test_int_never_missing(self):
+        assert Column("x", [1, 2]).count_missing() == 0
+
+
+class TestTransforms:
+    def test_take_reorders(self):
+        col = Column("x", [10, 20, 30])
+        assert list(col.take(np.array([2, 0]))) == [30, 10]
+
+    def test_mask_filters(self):
+        col = Column("x", [1, 2, 3])
+        out = col.mask(np.array([True, False, True]))
+        assert list(out.values) == [1, 3]
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(ColumnMismatchError):
+            Column("x", [1, 2]).mask(np.array([True]))
+
+    def test_rename_keeps_values(self):
+        col = Column("x", [1]).rename("y")
+        assert col.name == "y"
+        assert list(col.values) == [1]
+
+    def test_astype_int_to_float(self):
+        out = Column("x", [1, 2]).astype(KIND_FLOAT)
+        assert out.kind == KIND_FLOAT
+        assert out.values.dtype == np.float64
+
+    def test_astype_object_numeric_strings(self):
+        out = Column("x", ["1.5", "2"], kind=KIND_OBJECT).astype(KIND_FLOAT)
+        assert list(out.values) == [1.5, 2.0]
+
+    def test_astype_int_with_missing_raises(self):
+        with pytest.raises(FrameError):
+            Column("x", [1.0, None]).astype(KIND_INT)
+
+    def test_concat_same_kind(self):
+        out = Column("x", [1, 2]).concat(Column("x", [3]))
+        assert list(out.values) == [1, 2, 3]
+
+    def test_concat_int_float_unifies_to_float(self):
+        out = Column("x", [1, 2]).concat(Column("x", [3.5]))
+        assert out.kind == KIND_FLOAT
+
+    def test_concat_numeric_object_unifies_to_object(self):
+        out = Column("x", [1]).concat(Column("x", ["a"]))
+        assert out.kind == KIND_OBJECT
+
+    def test_concat_name_mismatch(self):
+        with pytest.raises(ColumnMismatchError):
+            Column("x", [1]).concat(Column("y", [2]))
+
+
+class TestEquality:
+    def test_equal_columns(self):
+        assert Column("x", [1.0, np.nan]) == Column("x", [1.0, np.nan])
+
+    def test_name_matters(self):
+        assert Column("x", [1]) != Column("y", [1])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column("x", [1]))
+
+
+class TestUnique:
+    def test_order_preserved(self):
+        assert Column("x", [3, 1, 3, 2, 1]).unique() == [3, 1, 2]
+
+    def test_nan_once(self):
+        out = Column("x", [1.0, None, None, 2.0]).unique()
+        assert len(out) == 3

@@ -1,0 +1,218 @@
+"""Unit tests for repro.frames.frame."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnMismatchError, FrameError
+from repro.frames import Column, Frame
+
+
+@pytest.fixture
+def frame() -> Frame:
+    return Frame.from_dict(
+        {
+            "asn": [100, 100, 200, 200, 300],
+            "rtt": [10.0, 12.0, 30.0, None, 20.0],
+            "city": ["jnb", "cpt", "jnb", "jnb", "dbn"],
+        }
+    )
+
+
+class TestConstruction:
+    def test_shape(self, frame):
+        assert frame.num_rows == 5
+        assert frame.num_columns == 3
+        assert frame.column_names == ["asn", "rtt", "city"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(FrameError):
+            Frame([Column("x", [1]), Column("x", [2])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ColumnMismatchError):
+            Frame([Column("x", [1]), Column("y", [1, 2])])
+
+    def test_from_records(self):
+        f = Frame.from_records([{"a": 1, "b": 2}, {"a": 3}])
+        assert f.num_rows == 2
+        assert f.row(1)["b"] is None or np.isnan(f.row(1)["b"])
+
+    def test_from_records_empty(self):
+        assert Frame.from_records([]).num_rows == 0
+
+    def test_from_records_column_order(self):
+        f = Frame.from_records([{"a": 1}], columns=["b", "a"])
+        assert f.column_names == ["b", "a"]
+
+
+class TestAccess:
+    def test_getitem_returns_values(self, frame):
+        assert list(frame["asn"]) == [100, 100, 200, 200, 300]
+
+    def test_unknown_column(self, frame):
+        with pytest.raises(FrameError, match="no column"):
+            frame.column("nope")
+
+    def test_row_negative_index(self, frame):
+        assert frame.row(-1)["city"] == "dbn"
+
+    def test_row_out_of_range(self, frame):
+        with pytest.raises(FrameError):
+            frame.row(5)
+
+    def test_contains(self, frame):
+        assert "rtt" in frame
+        assert "nope" not in frame
+
+    def test_numeric_rejects_object(self, frame):
+        with pytest.raises(FrameError):
+            frame.numeric("city")
+
+
+class TestColumnTransforms:
+    def test_select_order(self, frame):
+        assert frame.select(["city", "asn"]).column_names == ["city", "asn"]
+
+    def test_drop(self, frame):
+        assert frame.drop("rtt").column_names == ["asn", "city"]
+
+    def test_drop_unknown(self, frame):
+        with pytest.raises(FrameError):
+            frame.drop("nope")
+
+    def test_rename(self, frame):
+        out = frame.rename({"rtt": "rtt_ms"})
+        assert "rtt_ms" in out and "rtt" not in out
+
+    def test_with_column_replaces(self, frame):
+        out = frame.with_column("asn", [1, 2, 3, 4, 5])
+        assert list(out["asn"]) == [1, 2, 3, 4, 5]
+        assert out.column_names[-1] == "asn"  # replaced columns move last
+
+    def test_with_column_length_check(self, frame):
+        with pytest.raises(ColumnMismatchError):
+            frame.with_column("z", [1])
+
+    def test_derive(self, frame):
+        out = frame.derive("asn2", lambda r: r["asn"] * 2)
+        assert list(out["asn2"]) == [200, 200, 400, 400, 600]
+
+
+class TestRowTransforms:
+    def test_filter_mask(self, frame):
+        out = frame.filter(np.array([True, False, True, False, False]))
+        assert out.num_rows == 2
+
+    def test_filter_predicate(self, frame):
+        out = frame.filter(lambda r: r["city"] == "jnb")
+        assert out.num_rows == 3
+
+    def test_where_equal(self, frame):
+        assert frame.where_equal(asn=200, city="jnb").num_rows == 2
+
+    def test_drop_missing(self, frame):
+        assert frame.drop_missing(["rtt"]).num_rows == 4
+
+    def test_sort_by_single(self, frame):
+        out = frame.sort_by("asn", descending=True)
+        assert out.row(0)["asn"] == 300
+
+    def test_sort_by_multi_stable(self, frame):
+        out = frame.sort_by(["asn", "city"])
+        assert [r["city"] for r in out.iter_rows()][:2] == ["cpt", "jnb"]
+
+    def test_take(self, frame):
+        assert frame.take([4, 0]).row(0)["asn"] == 300
+
+    def test_head(self, frame):
+        assert frame.head(2).num_rows == 2
+
+    def test_concat(self, frame):
+        out = frame.concat(frame)
+        assert out.num_rows == 10
+
+    def test_concat_column_mismatch(self, frame):
+        with pytest.raises(ColumnMismatchError):
+            frame.concat(frame.drop("rtt"))
+
+
+class TestJoin:
+    def test_inner_join(self, frame):
+        names = Frame.from_dict({"asn": [100, 200], "name": ["ISP-A", "ISP-B"]})
+        out = frame.join(names, on="asn")
+        assert out.num_rows == 4  # AS300 has no match
+        assert "name" in out
+
+    def test_left_join_fills_missing(self, frame):
+        names = Frame.from_dict({"asn": [100], "name": ["ISP-A"]})
+        out = frame.join(names, on="asn", how="left")
+        assert out.num_rows == 5
+        missing = [r["name"] for r in out.iter_rows() if r["asn"] != 100]
+        assert all(v is None for v in missing)
+
+    def test_join_suffix_on_collision(self, frame):
+        other = Frame.from_dict({"asn": [100], "rtt": [99.0]})
+        out = frame.join(other, on="asn")
+        assert "rtt_right" in out
+
+    def test_join_unknown_key(self, frame):
+        with pytest.raises(FrameError):
+            frame.join(frame, on="nope")
+
+    def test_join_bad_how(self, frame):
+        with pytest.raises(FrameError):
+            frame.join(frame, on="asn", how="outer")
+
+    def test_join_one_to_many(self):
+        left = Frame.from_dict({"k": [1], "a": [10]})
+        right = Frame.from_dict({"k": [1, 1], "b": [5, 6]})
+        out = left.join(right, on="k")
+        assert out.num_rows == 2
+
+
+class TestRendering:
+    def test_to_text_contains_data(self, frame):
+        text = frame.to_text()
+        assert "jnb" in text and "asn" in text
+
+    def test_to_text_truncates(self, frame):
+        text = frame.to_text(max_rows=2)
+        assert "more rows" in text
+
+    def test_empty_frame_text(self):
+        assert Frame().to_text() == "(empty frame)"
+
+    def test_repr(self, frame):
+        assert "5 rows" in repr(frame)
+
+
+class TestEquality:
+    def test_round_trip_dict(self, frame):
+        again = Frame.from_dict(frame.to_dict())
+        assert again == frame
+
+    def test_not_hashable(self, frame):
+        with pytest.raises(TypeError):
+            hash(frame)
+
+
+class TestDescribe:
+    def test_numeric_columns_only(self, frame):
+        out = frame.describe()
+        assert set(out["column"]) == {"asn", "rtt"}
+
+    def test_statistics(self, frame):
+        out = frame.describe()
+        rtt = next(r for r in out.iter_rows() if r["column"] == "rtt")
+        assert rtt["count"] == 4
+        assert rtt["missing"] == 1
+        assert rtt["min"] == 10.0
+        assert rtt["max"] == 30.0
+        assert rtt["median"] == 16.0
+
+    def test_all_missing_numeric_column(self):
+        out = Frame.from_dict({"x": np.array([np.nan, np.nan])}).describe()
+        row = out.row(0)
+        assert row["count"] == 0
+        assert row["missing"] == 2
+        assert row["mean"] is None or np.isnan(row["mean"])

@@ -1,0 +1,107 @@
+"""Unit tests for repro.frames.groupby."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frames import Frame, group_by, pivot
+
+
+@pytest.fixture
+def frame() -> Frame:
+    return Frame.from_dict(
+        {
+            "unit": ["a", "a", "b", "b", "b"],
+            "day": [0, 1, 0, 0, 1],
+            "rtt": [10.0, 20.0, 5.0, 7.0, None],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_group_count(self, frame):
+        assert len(group_by(frame, "unit")) == 2
+
+    def test_aggregate_mean_skips_nan(self, frame):
+        out = group_by(frame, "unit").aggregate(m=("rtt", "mean"))
+        by_unit = {r["unit"]: r["m"] for r in out.iter_rows()}
+        assert by_unit["a"] == 15.0
+        assert by_unit["b"] == 6.0
+
+    def test_aggregate_median(self, frame):
+        out = group_by(frame, "unit").aggregate(med=("rtt", "median"))
+        by_unit = {r["unit"]: r["med"] for r in out.iter_rows()}
+        assert by_unit["b"] == 6.0
+
+    def test_aggregate_count_includes_nan_rows(self, frame):
+        out = group_by(frame, "unit").aggregate(n=("rtt", "count"))
+        by_unit = {r["unit"]: r["n"] for r in out.iter_rows()}
+        assert by_unit["b"] == 3
+
+    def test_multi_key(self, frame):
+        out = group_by(frame, ["unit", "day"]).aggregate(n=("rtt", "count"))
+        assert out.num_rows == 4
+
+    def test_callable_aggregation(self, frame):
+        out = group_by(frame, "unit").aggregate(
+            spread=("rtt", lambda v: float(np.nanmax(v) - np.nanmin(v)))
+        )
+        by_unit = {r["unit"]: r["spread"] for r in out.iter_rows()}
+        assert by_unit["a"] == 10.0
+
+    def test_unknown_aggregation(self, frame):
+        with pytest.raises(FrameError, match="unknown aggregation"):
+            group_by(frame, "unit").aggregate(x=("rtt", "mode"))
+
+    def test_unknown_source_column(self, frame):
+        with pytest.raises(FrameError):
+            group_by(frame, "unit").aggregate(x=("nope", "mean"))
+
+    def test_empty_spec_rejected(self, frame):
+        with pytest.raises(FrameError):
+            group_by(frame, "unit").aggregate()
+
+    def test_unknown_key(self, frame):
+        with pytest.raises(FrameError):
+            group_by(frame, "nope")
+
+    def test_groups_returns_frames(self, frame):
+        groups = group_by(frame, "unit").groups()
+        assert groups[("a",)].num_rows == 2
+
+    def test_apply(self, frame):
+        out = group_by(frame, "unit").apply(
+            lambda key, g: {"unit": key[0], "rows": g.num_rows}
+        )
+        assert set(out["rows"]) == {2, 3}
+
+    def test_std_none_for_single_row(self):
+        f = Frame.from_dict({"g": ["x"], "v": [1.0]})
+        out = group_by(f, "g").aggregate(s=("v", "std"))
+        assert out.row(0)["s"] is None or np.isnan(out.row(0)["s"])
+
+    def test_nunique(self, frame):
+        out = group_by(frame, "unit").aggregate(d=("day", "nunique"))
+        by_unit = {r["unit"]: r["d"] for r in out.iter_rows()}
+        assert by_unit == {"a": 2, "b": 2}
+
+
+class TestPivot:
+    def test_shape(self, frame):
+        wide, keys = pivot(frame, index="day", columns="unit", values="rtt")
+        assert wide.num_rows == 2
+        assert keys == ["a", "b"]
+
+    def test_missing_cell_is_nan(self, frame):
+        wide, _ = pivot(frame, index="day", columns="unit", values="rtt")
+        by_day = {r["day"]: r for r in wide.iter_rows()}
+        assert np.isnan(by_day[1]["b"])  # only a NaN measurement that day
+
+    def test_aggregates_multiple_cells(self, frame):
+        wide, _ = pivot(frame, index="day", columns="unit", values="rtt", agg="mean")
+        by_day = {r["day"]: r for r in wide.iter_rows()}
+        assert by_day[0]["b"] == 6.0
+
+    def test_unknown_agg(self, frame):
+        with pytest.raises(FrameError):
+            pivot(frame, index="day", columns="unit", values="rtt", agg="nope")

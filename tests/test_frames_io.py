@@ -1,0 +1,69 @@
+"""Unit tests for repro.frames.io (CSV round trips)."""
+
+import numpy as np
+
+from repro.frames import (
+    Frame,
+    read_csv,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
+
+
+class TestParsing:
+    def test_types_inferred(self):
+        f = read_csv_text("a,b,c,d\n1,2.5,true,hello\n")
+        assert f.column("a").kind == "int"
+        assert f.column("b").kind == "float"
+        assert f.column("c").kind == "bool"
+        assert f.column("d").kind == "object"
+
+    def test_empty_cell_is_missing(self):
+        f = read_csv_text("a,b\n1,\n")
+        assert f.column("b").count_missing() == 1
+
+    def test_short_row_padded(self):
+        f = read_csv_text("a,b\n1\n")
+        assert f.num_rows == 1
+        assert f.column("b").count_missing() == 1
+
+    def test_empty_text(self):
+        assert read_csv_text("").num_rows == 0
+
+    def test_false_literal(self):
+        f = read_csv_text("x\nfalse\n")
+        assert f.row(0)["x"] == np.False_
+
+
+class TestRoundTrip:
+    def test_numeric_round_trip(self):
+        f = Frame.from_dict({"x": [1.25, None, 3.0], "n": [1, 2, 3]})
+        again = read_csv_text(to_csv_text(f))
+        assert list(again["n"]) == [1, 2, 3]
+        assert again["x"][0] == 1.25
+        assert np.isnan(again["x"][1])
+
+    def test_strings_round_trip(self):
+        f = Frame.from_dict({"s": ["a b", "c,d", ""]})
+        again = read_csv_text(to_csv_text(f))
+        assert again.row(1)["s"] == "c,d"
+
+    def test_bool_round_trip(self):
+        f = Frame.from_dict({"b": [True, False]})
+        again = read_csv_text(to_csv_text(f))
+        assert list(again["b"]) == [True, False]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        f = Frame.from_dict({"x": [1.5], "name": ["unit"]})
+        write_csv(f, path)
+        again = read_csv(path)
+        assert again.row(0)["x"] == 1.5
+        assert again.row(0)["name"] == "unit"
+
+    def test_header_only(self):
+        f = Frame.from_dict({"a": [], "b": []})
+        again = read_csv_text(to_csv_text(f))
+        assert again.column_names == ["a", "b"]
+        assert again.num_rows == 0

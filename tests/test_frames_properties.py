@@ -1,0 +1,81 @@
+"""Property-based tests for the frame substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frames import Frame, read_csv_text, to_csv_text
+
+# Floats that survive CSV round trips exactly (repr-based format).
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu"), max_codepoint=127),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def frames(draw) -> Frame:
+    n_rows = draw(st.integers(min_value=0, max_value=20))
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    cols = {}
+    used = set()
+    for i in range(n_cols):
+        name = draw(names.filter(lambda s: s not in used))
+        used.add(name)
+        cols[name] = draw(
+            st.lists(finite_floats, min_size=n_rows, max_size=n_rows)
+        )
+    return Frame.from_dict(cols)
+
+
+@given(frames())
+@settings(max_examples=60, deadline=None)
+def test_csv_round_trip_preserves_shape_and_values(frame):
+    again = read_csv_text(to_csv_text(frame))
+    assert again.column_names == frame.column_names
+    assert again.num_rows == frame.num_rows
+    for name in frame.column_names:
+        a = frame.numeric(name) if frame.num_rows else np.array([])
+        b = again.numeric(name) if again.num_rows else np.array([])
+        assert np.allclose(a, b, equal_nan=True)
+
+
+@given(frames(), st.randoms())
+@settings(max_examples=40, deadline=None)
+def test_take_preserves_rows(frame, rnd):
+    if frame.num_rows == 0:
+        return
+    idx = [rnd.randrange(frame.num_rows) for _ in range(frame.num_rows)]
+    out = frame.take(idx)
+    for pos, i in enumerate(idx):
+        assert out.row(pos) == frame.row(i)
+
+
+@given(frames())
+@settings(max_examples=40, deadline=None)
+def test_filter_then_concat_partitions(frame):
+    """Filtering a mask and its complement then concatenating preserves multiset."""
+    if frame.num_rows == 0:
+        return
+    mask = np.arange(frame.num_rows) % 2 == 0
+    part = frame.filter(mask).concat(frame.filter(~mask))
+    assert part.num_rows == frame.num_rows
+    for name in frame.column_names:
+        assert sorted(part.numeric(name)) == sorted(frame.numeric(name))
+
+
+@given(frames(), st.sampled_from(["asc", "desc"]))
+@settings(max_examples=40, deadline=None)
+def test_sort_is_a_permutation_and_ordered(frame, direction):
+    if frame.num_rows == 0:
+        return
+    key = frame.column_names[0]
+    out = frame.sort_by(key, descending=direction == "desc")
+    values = out.numeric(key)
+    if direction == "asc":
+        assert all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+    else:
+        assert all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+    assert sorted(values) == sorted(frame.numeric(key))

@@ -1,0 +1,106 @@
+"""Unit tests for repro.graph.backdoor."""
+
+import pytest
+
+from repro.errors import IdentificationError
+from repro.graph import (
+    CausalDag,
+    backdoor_paths,
+    find_adjustment_set,
+    is_confounded,
+    minimal_adjustment_sets,
+    proper_causal_effect_exists,
+    satisfies_backdoor,
+)
+
+
+@pytest.fixture
+def paper_dag() -> CausalDag:
+    """C -> R, C -> L, R -> L (the running example)."""
+    return CausalDag([("C", "R"), ("C", "L"), ("R", "L")])
+
+
+@pytest.fixture
+def m_structure() -> CausalDag:
+    """The M-graph: adjustment on the collider m would open a path."""
+    return CausalDag(
+        [("u1", "x"), ("u1", "m"), ("u2", "m"), ("u2", "y"), ("x", "y")],
+        unobserved=["u1", "u2"],
+    )
+
+
+class TestCriterion:
+    def test_paper_example(self, paper_dag):
+        assert satisfies_backdoor(paper_dag, "R", "L", {"C"})
+        assert not satisfies_backdoor(paper_dag, "R", "L", set())
+
+    def test_descendant_of_treatment_invalid(self, paper_dag):
+        dag = paper_dag.copy()
+        dag.add_edge("R", "M")
+        dag.add_edge("M", "L")
+        assert not satisfies_backdoor(dag, "R", "L", {"M"})
+
+    def test_outcome_in_set_invalid(self, paper_dag):
+        assert not satisfies_backdoor(paper_dag, "R", "L", {"L"})
+
+    def test_empty_set_valid_when_unconfounded(self):
+        dag = CausalDag([("x", "y")])
+        assert satisfies_backdoor(dag, "x", "y", set())
+
+    def test_m_graph_empty_set_valid(self, m_structure):
+        # No open backdoor path without conditioning.
+        assert satisfies_backdoor(m_structure, "x", "y", set())
+
+    def test_m_graph_collider_conditioning_invalid(self, m_structure):
+        assert not satisfies_backdoor(m_structure, "x", "y", {"m"})
+
+
+class TestSearch:
+    def test_minimal_sets_paper(self, paper_dag):
+        assert minimal_adjustment_sets(paper_dag, "R", "L") == [{"C"}]
+
+    def test_find_smallest(self, paper_dag):
+        assert find_adjustment_set(paper_dag, "R", "L") == {"C"}
+
+    def test_latent_confounder_unidentifiable(self):
+        dag = CausalDag([("u", "x"), ("u", "y"), ("x", "y")], unobserved=["u"])
+        with pytest.raises(IdentificationError):
+            find_adjustment_set(dag, "x", "y")
+
+    def test_m_graph_minimal_is_empty(self, m_structure):
+        sets = minimal_adjustment_sets(m_structure, "x", "y")
+        assert sets == [set()]
+
+    def test_two_confounders(self):
+        dag = CausalDag(
+            [
+                ("a", "x"),
+                ("a", "y"),
+                ("b", "x"),
+                ("b", "y"),
+                ("x", "y"),
+            ]
+        )
+        assert minimal_adjustment_sets(dag, "x", "y") == [{"a", "b"}]
+
+    def test_proxy_blocks_latent(self):
+        # u latent, but u -> p observed and u affects x only through p.
+        dag = CausalDag(
+            [("u", "p"), ("p", "x"), ("u", "y"), ("x", "y")], unobserved=["u"]
+        )
+        assert satisfies_backdoor(dag, "x", "y", {"p"})
+        assert find_adjustment_set(dag, "x", "y") == {"p"}
+
+
+class TestHelpers:
+    def test_backdoor_paths_listed(self, paper_dag):
+        paths = backdoor_paths(paper_dag, "R", "L")
+        assert paths == [["R", "C", "L"]]
+
+    def test_is_confounded(self, paper_dag):
+        assert is_confounded(paper_dag, "R", "L")
+        assert not is_confounded(CausalDag([("x", "y")]), "x", "y")
+
+    def test_effect_exists(self, paper_dag):
+        assert proper_causal_effect_exists(paper_dag, "R", "L")
+        assert not proper_causal_effect_exists(paper_dag, "L", "R")

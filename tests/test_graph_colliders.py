@@ -1,0 +1,65 @@
+"""Unit tests for repro.graph.colliders."""
+
+from repro.graph import (
+    CausalDag,
+    collider_nodes,
+    colliders,
+    conditioning_opens_path,
+    selection_bias_warning,
+)
+
+
+def speedtest_dag() -> CausalDag:
+    return CausalDag([("route_change", "test_run"), ("latency", "test_run")])
+
+
+class TestEnumeration:
+    def test_single_collider(self):
+        assert colliders(speedtest_dag()) == [
+            ("latency", "test_run", "route_change")
+        ]
+
+    def test_collider_nodes(self):
+        assert collider_nodes(speedtest_dag()) == ["test_run"]
+
+    def test_no_colliders_in_chain(self):
+        dag = CausalDag([("a", "b"), ("b", "c")])
+        assert colliders(dag) == []
+
+    def test_three_parents_yield_three_pairs(self):
+        dag = CausalDag([("a", "s"), ("b", "s"), ("c", "s")])
+        assert len(colliders(dag)) == 3
+
+
+class TestOpening:
+    def test_conditioning_on_collider_opens(self):
+        opened = conditioning_opens_path(
+            speedtest_dag(), "route_change", "latency", {"test_run"}
+        )
+        assert opened == [["route_change", "test_run", "latency"]]
+
+    def test_conditioning_on_descendant_opens(self):
+        dag = speedtest_dag()
+        dag.add_edge("test_run", "dataset_row")
+        opened = conditioning_opens_path(
+            dag, "route_change", "latency", {"dataset_row"}
+        )
+        assert opened
+
+    def test_conditioning_on_confounder_opens_nothing(self):
+        dag = CausalDag([("c", "x"), ("c", "y"), ("x", "y")])
+        assert conditioning_opens_path(dag, "x", "y", {"c"}) == []
+
+
+class TestWarning:
+    def test_warning_issued(self):
+        msg = selection_bias_warning(
+            speedtest_dag(), "route_change", "latency", {"test_run"}
+        )
+        assert msg is not None
+        assert "collider" in msg
+        assert "test_run" in msg
+
+    def test_no_warning_for_safe_conditioning(self):
+        dag = CausalDag([("c", "x"), ("c", "y"), ("x", "y")])
+        assert selection_bias_warning(dag, "x", "y", {"c"}) is None

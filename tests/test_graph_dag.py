@@ -1,0 +1,151 @@
+"""Unit tests for repro.graph.dag."""
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graph import CausalDag
+
+
+@pytest.fixture
+def chain() -> CausalDag:
+    return CausalDag([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+@pytest.fixture
+def confounder() -> CausalDag:
+    # The paper's running example: C -> R, C -> L, R -> L.
+    return CausalDag([("C", "R"), ("C", "L"), ("R", "L")])
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self, confounder):
+        assert confounder.nodes() == ["C", "L", "R"]
+        assert confounder.edges() == [("C", "L"), ("C", "R"), ("R", "L")]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CycleError):
+            CausalDag([("a", "a")])
+
+    def test_cycle_rejected(self):
+        dag = CausalDag([("a", "b"), ("b", "c")])
+        with pytest.raises(CycleError):
+            dag.add_edge("c", "a")
+
+    def test_two_cycle_rejected(self):
+        dag = CausalDag([("a", "b")])
+        with pytest.raises(CycleError):
+            dag.add_edge("b", "a")
+
+    def test_bad_node_name(self):
+        with pytest.raises(GraphError):
+            CausalDag([("", "b")])
+
+    def test_unobserved_must_exist(self):
+        with pytest.raises(GraphError):
+            CausalDag([("a", "b")], unobserved=["u"])
+
+    def test_unobserved_tracking(self):
+        dag = CausalDag([("u", "a"), ("u", "b")], unobserved=["u"])
+        assert dag.unobserved == {"u"}
+        assert dag.observed == {"a", "b"}
+        assert not dag.is_observed("u")
+
+    def test_isolated_node(self):
+        dag = CausalDag(nodes=["solo"])
+        assert dag.nodes() == ["solo"]
+
+    def test_remove_edge(self, chain):
+        chain.remove_edge("a", "b")
+        assert not chain.has_edge("a", "b")
+
+    def test_remove_missing_edge(self, chain):
+        with pytest.raises(GraphError):
+            chain.remove_edge("a", "c")
+
+    def test_copy_is_independent(self, chain):
+        copy = chain.copy()
+        copy.remove_edge("a", "b")
+        assert chain.has_edge("a", "b")
+
+
+class TestReachability:
+    def test_parents_children(self, confounder):
+        assert confounder.parents("L") == {"C", "R"}
+        assert confounder.children("C") == {"L", "R"}
+
+    def test_ancestors(self, chain):
+        assert chain.ancestors("d") == {"a", "b", "c"}
+        assert chain.ancestors("d", include_self=True) == {"a", "b", "c", "d"}
+
+    def test_descendants(self, chain):
+        assert chain.descendants("a") == {"b", "c", "d"}
+
+    def test_unknown_node(self, chain):
+        with pytest.raises(GraphError):
+            chain.parents("zzz")
+
+    def test_roots_leaves(self, confounder):
+        assert confounder.roots() == ["C"]
+        assert confounder.leaves() == ["L"]
+
+    def test_topological_order(self, confounder):
+        order = confounder.topological_order()
+        assert order.index("C") < order.index("R") < order.index("L")
+
+    def test_topological_order_deterministic(self):
+        dag = CausalDag([("a", "z"), ("b", "z")])
+        assert dag.topological_order() == ["a", "b", "z"]
+
+
+class TestPaths:
+    def test_all_paths_undirected(self, confounder):
+        paths = confounder.all_paths("R", "L")
+        assert ["R", "L"] in paths
+        assert ["R", "C", "L"] in paths
+
+    def test_directed_paths(self, confounder):
+        assert confounder.directed_paths("C", "L") == [
+            ["C", "L"],
+            ["C", "R", "L"],
+        ]
+
+    def test_no_directed_path(self, confounder):
+        assert confounder.directed_paths("L", "C") == []
+
+    def test_max_length_counts_edges(self, confounder):
+        paths = confounder.all_paths("R", "L", max_length=1)
+        assert paths == [["R", "L"]]
+
+
+class TestSurgery:
+    def test_do_cuts_incoming(self, confounder):
+        cut = confounder.do("R")
+        assert cut.parents("R") == set()
+        assert cut.has_edge("R", "L")
+        assert cut.has_edge("C", "L")
+
+    def test_do_leaves_original(self, confounder):
+        confounder.do("R")
+        assert confounder.has_edge("C", "R")
+
+    def test_subgraph(self, chain):
+        sub = chain.subgraph(["a", "b", "d"])
+        assert sub.edges() == [("a", "b")]
+
+    def test_moralize_marries_parents(self, confounder):
+        adj = confounder.moralize()
+        assert "R" in adj["C"] and "C" in adj["R"]  # both edge and marriage
+
+
+class TestEquality:
+    def test_equal(self):
+        assert CausalDag([("a", "b")]) == CausalDag([("a", "b")])
+
+    def test_unobserved_matters(self):
+        a = CausalDag([("u", "b")], unobserved=["u"])
+        b = CausalDag([("u", "b")])
+        assert a != b
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(CausalDag())

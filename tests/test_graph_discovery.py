@@ -1,0 +1,149 @@
+"""Unit tests for repro.graph.discovery (the PC algorithm)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    CausalDag,
+    cpdag_consistent_with,
+    pc_algorithm,
+)
+from repro.scm import GaussianNoise, LinearMechanism, StructuralCausalModel
+
+
+def collider_model() -> StructuralCausalModel:
+    return StructuralCausalModel(
+        {
+            "x": (LinearMechanism({}), GaussianNoise(1.0)),
+            "y": (LinearMechanism({}), GaussianNoise(1.0)),
+            "s": (LinearMechanism({"x": 1.0, "y": 1.0}), GaussianNoise(0.5)),
+        }
+    )
+
+
+def chain_collider_model() -> StructuralCausalModel:
+    """a -> b -> c <- d: one v-structure, one unresolvable edge."""
+    return StructuralCausalModel(
+        {
+            "a": (LinearMechanism({}), GaussianNoise(1.0)),
+            "b": (LinearMechanism({"a": 1.0}), GaussianNoise(0.5)),
+            "d": (LinearMechanism({}), GaussianNoise(1.0)),
+            "c": (LinearMechanism({"b": 1.0, "d": 1.0}), GaussianNoise(0.5)),
+        }
+    )
+
+
+class TestSkeleton:
+    def test_independent_pair_has_no_edge(self):
+        data = collider_model().sample(4000, rng=0)
+        result = pc_algorithm(data)
+        assert not result.cpdag.has_any_edge("x", "y")
+
+    def test_separating_set_recorded(self):
+        data = collider_model().sample(4000, rng=0)
+        result = pc_algorithm(data)
+        assert frozenset(("x", "y")) in result.separating_sets
+        assert result.separating_sets[frozenset(("x", "y"))] == ()
+
+    def test_dependent_pairs_keep_edges(self):
+        data = collider_model().sample(4000, rng=0)
+        result = pc_algorithm(data)
+        assert result.cpdag.has_any_edge("x", "s")
+        assert result.cpdag.has_any_edge("y", "s")
+
+    def test_needs_two_variables(self):
+        from repro.frames import Frame
+
+        with pytest.raises(GraphError):
+            pc_algorithm(Frame.from_dict({"x": [1.0, 2.0]}))
+
+    def test_test_count_reported(self):
+        data = collider_model().sample(2000, rng=1)
+        result = pc_algorithm(data)
+        assert result.n_tests >= 3
+
+
+class TestOrientation:
+    def test_v_structure_oriented(self):
+        data = collider_model().sample(4000, rng=0)
+        g = pc_algorithm(data).cpdag
+        assert ("x", "s") in g.directed
+        assert ("y", "s") in g.directed
+        assert g.fully_directed()
+
+    def test_markov_equivalent_edge_stays_undirected(self):
+        data = chain_collider_model().sample(6000, rng=2)
+        g = pc_algorithm(data).cpdag
+        assert ("b", "c") in g.directed
+        assert ("d", "c") in g.directed
+        assert frozenset(("a", "b")) in g.undirected  # genuinely ambiguous
+
+    def test_meek_propagation(self):
+        """x -> z (v-structure), z - w, x not adjacent w  =>  z -> w (R1)."""
+        model = StructuralCausalModel(
+            {
+                "x": (LinearMechanism({}), GaussianNoise(1.0)),
+                "y": (LinearMechanism({}), GaussianNoise(1.0)),
+                "z": (LinearMechanism({"x": 1.0, "y": 1.0}), GaussianNoise(0.4)),
+                "w": (LinearMechanism({"z": 1.0}), GaussianNoise(0.4)),
+            }
+        )
+        g = pc_algorithm(model.sample(8000, rng=3)).cpdag
+        assert ("z", "w") in g.directed
+
+
+class TestConsistency:
+    def test_true_dag_consistent(self):
+        model = chain_collider_model()
+        result = pc_algorithm(model.sample(6000, rng=4))
+        assert cpdag_consistent_with(result, model.dag) == []
+
+    def test_wrong_orientation_flagged(self):
+        model = collider_model()
+        result = pc_algorithm(model.sample(4000, rng=5))
+        wrong = CausalDag([("s", "x"), ("y", "s")])
+        conflicts = cpdag_consistent_with(result, wrong)
+        assert any("orients" in c for c in conflicts)
+
+    def test_extra_edge_flagged(self):
+        model = collider_model()
+        result = pc_algorithm(model.sample(4000, rng=6))
+        wrong = CausalDag([("x", "s"), ("y", "s"), ("x", "y")])
+        conflicts = cpdag_consistent_with(result, wrong)
+        assert any("separates" in c for c in conflicts)
+
+    def test_missing_edge_flagged(self):
+        model = collider_model()
+        result = pc_algorithm(model.sample(4000, rng=7))
+        wrong = CausalDag([("x", "s")], nodes=["y"])
+        conflicts = cpdag_consistent_with(result, wrong)
+        assert any("omits" in c for c in conflicts)
+
+
+class TestCpdagApi:
+    def test_neighbours_and_parents(self):
+        data = collider_model().sample(4000, rng=0)
+        g = pc_algorithm(data).cpdag
+        assert g.neighbours("s") == {"x", "y"}
+        assert g.parents("s") == {"x", "y"}
+
+    def test_orient_missing_edge_rejected(self):
+        data = collider_model().sample(2000, rng=0)
+        g = pc_algorithm(data).cpdag
+        with pytest.raises(GraphError):
+            g.orient("x", "y")
+
+    def test_edge_summary_renders(self):
+        data = chain_collider_model().sample(4000, rng=1)
+        text = pc_algorithm(data).cpdag.edge_summary()
+        assert "->" in text
+
+
+class TestCpdagRendering:
+    def test_directed_and_undirected_styles(self):
+        from repro.graph import cpdag_to_dot
+
+        data = chain_collider_model().sample(5000, rng=8)
+        dot = cpdag_to_dot(pc_algorithm(data).cpdag)
+        assert '"b" -> "c";' in dot
+        assert "dir=none" in dot  # the unresolved a-b edge

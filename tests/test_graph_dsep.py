@@ -1,0 +1,121 @@
+"""Unit tests for repro.graph.dsep (d-separation)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    CausalDag,
+    blocking_status,
+    d_connected,
+    d_separated,
+    open_paths,
+    path_is_blocked,
+)
+
+
+@pytest.fixture
+def fork() -> CausalDag:
+    return CausalDag([("c", "x"), ("c", "y")])
+
+
+@pytest.fixture
+def chain() -> CausalDag:
+    return CausalDag([("x", "m"), ("m", "y")])
+
+
+@pytest.fixture
+def collider() -> CausalDag:
+    return CausalDag([("x", "s"), ("y", "s")])
+
+
+class TestCanonicalTriples:
+    def test_fork_open_marginally(self, fork):
+        assert d_connected(fork, "x", "y")
+
+    def test_fork_blocked_by_conditioning(self, fork):
+        assert d_separated(fork, "x", "y", {"c"})
+
+    def test_chain_open_marginally(self, chain):
+        assert d_connected(chain, "x", "y")
+
+    def test_chain_blocked_by_mediator(self, chain):
+        assert d_separated(chain, "x", "y", {"m"})
+
+    def test_collider_blocked_marginally(self, collider):
+        assert d_separated(collider, "x", "y")
+
+    def test_collider_opened_by_conditioning(self, collider):
+        assert d_connected(collider, "x", "y", {"s"})
+
+    def test_collider_opened_by_descendant(self):
+        dag = CausalDag([("x", "s"), ("y", "s"), ("s", "d")])
+        assert d_connected(dag, "x", "y", {"d"})
+
+
+class TestValidation:
+    def test_same_node_rejected(self, fork):
+        with pytest.raises(GraphError):
+            d_separated(fork, "x", "x")
+
+    def test_conditioning_on_query_rejected(self, fork):
+        with pytest.raises(GraphError):
+            d_separated(fork, "x", "y", {"x"})
+
+    def test_unknown_node_rejected(self, fork):
+        with pytest.raises(GraphError):
+            d_separated(fork, "x", "zzz")
+
+    def test_string_conditioning_accepted(self, fork):
+        assert d_separated(fork, "x", "y", "c")
+
+
+class TestPathBlocking:
+    def test_direct_edge_never_blocked(self):
+        dag = CausalDag([("x", "y")])
+        assert not path_is_blocked(dag, ["x", "y"], {"x"} - {"x"})
+
+    def test_non_collider_in_z_blocks(self, chain):
+        assert path_is_blocked(chain, ["x", "m", "y"], {"m"})
+
+    def test_collider_not_in_z_blocks(self, collider):
+        assert path_is_blocked(collider, ["x", "s", "y"])
+
+    def test_invalid_path_rejected(self, chain):
+        with pytest.raises(GraphError):
+            path_is_blocked(chain, ["x", "y"])
+
+    def test_blocking_status_lists_all_paths(self):
+        dag = CausalDag([("C", "R"), ("C", "L"), ("R", "L")])
+        status = dict(
+            (tuple(p), blocked) for p, blocked in blocking_status(dag, "R", "L")
+        )
+        assert status[("R", "L")] is False
+        assert status[("R", "C", "L")] is False  # open backdoor
+        assert open_paths(dag, "R", "L", {"C"}) == [["R", "L"]]
+
+
+class TestAgreementWithPathDefinition:
+    """Moral-graph d-separation must agree with the path-walking definition."""
+
+    CASES = [
+        CausalDag([("a", "b"), ("b", "c"), ("a", "c")]),
+        CausalDag([("a", "c"), ("b", "c"), ("c", "d"), ("b", "e")]),
+        CausalDag([("u", "x"), ("u", "y"), ("x", "m"), ("m", "y")]),
+        CausalDag([("x", "s"), ("y", "s"), ("s", "t"), ("y", "z")]),
+    ]
+
+    @pytest.mark.parametrize("dag", CASES)
+    def test_agreement(self, dag):
+        from itertools import combinations
+
+        nodes = dag.nodes()
+        for x, y in combinations(nodes, 2):
+            rest = [n for n in nodes if n not in (x, y)]
+            for r in range(len(rest) + 1):
+                for given in combinations(rest, r):
+                    moral = d_separated(dag, x, y, set(given))
+                    paths_blocked = all(
+                        path_is_blocked(dag, p, set(given))
+                        for p in dag.all_paths(x, y)
+                    )
+                    assert moral == paths_blocked, (x, y, given)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.graph.frontdoor."""
+
+import pytest
+
+from repro.errors import IdentificationError
+from repro.graph import CausalDag, find_frontdoor_set, satisfies_frontdoor
+
+
+@pytest.fixture
+def classic() -> CausalDag:
+    """The canonical frontdoor graph: x -> m -> y with latent u -> x, u -> y."""
+    return CausalDag(
+        [("x", "m"), ("m", "y"), ("u", "x"), ("u", "y")], unobserved=["u"]
+    )
+
+
+class TestCriterion:
+    def test_classic_mediator_valid(self, classic):
+        assert satisfies_frontdoor(classic, "x", "y", {"m"})
+
+    def test_finds_classic_mediator(self, classic):
+        assert find_frontdoor_set(classic, "x", "y") == {"m"}
+
+    def test_latent_mediator_invalid(self):
+        dag = CausalDag(
+            [("x", "m"), ("m", "y"), ("u", "x"), ("u", "y")],
+            unobserved=["u", "m"],
+        )
+        assert not satisfies_frontdoor(dag, "x", "y", {"m"})
+
+    def test_mediator_confounded_with_treatment_invalid(self):
+        # v -> x and v -> m opens a backdoor from x to m.
+        dag = CausalDag(
+            [
+                ("x", "m"),
+                ("m", "y"),
+                ("u", "x"),
+                ("u", "y"),
+                ("v", "x"),
+                ("v", "m"),
+            ],
+            unobserved=["u"],
+        )
+        assert not satisfies_frontdoor(dag, "x", "y", {"m"})
+
+    def test_mediator_confounded_with_outcome_invalid(self):
+        # w -> m and w -> y: backdoor from m to y not blocked by x.
+        dag = CausalDag(
+            [
+                ("x", "m"),
+                ("m", "y"),
+                ("u", "x"),
+                ("u", "y"),
+                ("w", "m"),
+                ("w", "y"),
+            ],
+            unobserved=["u", "w"],
+        )
+        assert not satisfies_frontdoor(dag, "x", "y", {"m"})
+
+    def test_partial_interception_invalid(self, classic):
+        dag = classic.copy()
+        dag.add_edge("x", "y")  # direct path bypasses the mediator
+        assert not satisfies_frontdoor(dag, "x", "y", {"m"})
+
+    def test_two_mediator_set(self):
+        dag = CausalDag(
+            [
+                ("x", "m1"),
+                ("x", "m2"),
+                ("m1", "y"),
+                ("m2", "y"),
+                ("u", "x"),
+                ("u", "y"),
+            ],
+            unobserved=["u"],
+        )
+        assert not satisfies_frontdoor(dag, "x", "y", {"m1"})
+        assert satisfies_frontdoor(dag, "x", "y", {"m1", "m2"})
+        assert find_frontdoor_set(dag, "x", "y") == {"m1", "m2"}
+
+    def test_treatment_or_outcome_not_mediators(self, classic):
+        assert not satisfies_frontdoor(classic, "x", "y", {"x"})
+        assert not satisfies_frontdoor(classic, "x", "y", {"y"})
+
+    def test_no_set_raises(self):
+        dag = CausalDag([("u", "x"), ("u", "y"), ("x", "y")], unobserved=["u"])
+        with pytest.raises(IdentificationError):
+            find_frontdoor_set(dag, "x", "y")

@@ -1,0 +1,101 @@
+"""Unit tests for repro.graph.independence (testable implications)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.frames import Frame
+from repro.graph import (
+    CausalDag,
+    implied_independencies,
+    partial_correlation,
+    validate_against_data,
+)
+from repro.scm import GaussianNoise, LinearMechanism, StructuralCausalModel
+
+
+def chain_dag() -> CausalDag:
+    return CausalDag([("x", "m"), ("m", "y")])
+
+
+def chain_model() -> StructuralCausalModel:
+    return StructuralCausalModel(
+        {
+            "x": (LinearMechanism({}), GaussianNoise(1.0)),
+            "m": (LinearMechanism({"x": 1.2}), GaussianNoise(0.5)),
+            "y": (LinearMechanism({"m": 0.8}), GaussianNoise(0.5)),
+        },
+        dag=chain_dag(),
+    )
+
+
+class TestImpliedIndependencies:
+    def test_chain_claims(self):
+        claims = {str(c) for c in implied_independencies(chain_dag())}
+        assert "m _||_ x | " not in claims  # adjacent pairs skipped anyway
+        assert any(c.startswith("x _||_ y | m") for c in claims)
+
+    def test_fully_connected_has_none(self):
+        dag = CausalDag([("a", "b"), ("a", "c"), ("b", "c")])
+        assert implied_independencies(dag) == []
+
+    def test_latent_excluded_by_default(self):
+        dag = CausalDag([("u", "x"), ("u", "y")], unobserved=["u"])
+        claims = implied_independencies(dag)
+        assert all("u" not in {c.x, c.y, *c.given} for c in claims)
+
+    def test_marginal_independence_found(self):
+        dag = CausalDag([("x", "s"), ("y", "s")])
+        claims = {str(c) for c in implied_independencies(dag)}
+        assert "x _||_ y" in claims
+
+
+class TestPartialCorrelation:
+    def test_strong_marginal_correlation(self):
+        data = chain_model().sample(2000, rng=0)
+        r, p = partial_correlation(data, "x", "y")
+        assert r > 0.5
+        assert p < 1e-6
+
+    def test_conditioning_on_mediator_kills_it(self):
+        data = chain_model().sample(4000, rng=0)
+        r, _ = partial_correlation(data, "x", "y", ("m",))
+        assert abs(r) < 0.08
+
+    def test_too_few_rows(self):
+        data = Frame.from_dict({"x": [1.0, 2.0], "y": [1.0, 2.0]})
+        with pytest.raises(GraphError):
+            partial_correlation(data, "x", "y", ("x",))
+
+    def test_constant_column_returns_zero(self):
+        data = Frame.from_dict({"x": [1.0] * 20, "y": list(np.arange(20.0))})
+        r, p = partial_correlation(data, "x", "y")
+        assert r == 0.0 and p == 1.0
+
+
+class TestValidation:
+    def test_faithful_data_consistent(self):
+        data = chain_model().sample(3000, rng=1)
+        results = validate_against_data(chain_dag(), data, alpha=0.001)
+        assert results, "expected at least one testable claim"
+        assert all(r.consistent for r in results)
+
+    def test_wrong_graph_flagged(self):
+        # Generate from a chain but claim x and y are marginally independent.
+        data = chain_model().sample(3000, rng=2)
+        wrong = CausalDag([("m", "x"), ("m", "y")])
+        wrong.remove_edge("m", "x")
+        wrong.add_node("x")
+        # wrong now claims x _||_ m and x _||_ y, both false in the data.
+        results = validate_against_data(wrong, data, alpha=0.01)
+        assert any(not r.consistent for r in results)
+
+    def test_missing_columns_skipped(self):
+        data = chain_model().sample(500, rng=3).drop("m")
+        results = validate_against_data(chain_dag(), data)
+        assert all("m" not in {r.claim.x, r.claim.y, *r.claim.given} for r in results)
+
+    def test_result_string(self):
+        data = chain_model().sample(500, rng=4)
+        results = validate_against_data(chain_dag(), data)
+        assert all(("ok" in str(r)) or ("VIOLATED" in str(r)) for r in results)

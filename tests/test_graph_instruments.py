@@ -1,0 +1,111 @@
+"""Unit tests for repro.graph.instruments."""
+
+import pytest
+
+from repro.graph import (
+    CausalDag,
+    explain_instrument,
+    find_instruments,
+    is_instrument,
+)
+
+
+@pytest.fixture
+def iv_dag() -> CausalDag:
+    """z -> x -> y with latent confounder u -> x, u -> y."""
+    return CausalDag(
+        [("z", "x"), ("x", "y"), ("u", "x"), ("u", "y")], unobserved=["u"]
+    )
+
+
+class TestCriterion:
+    def test_valid_instrument(self, iv_dag):
+        assert is_instrument(iv_dag, "z", "x", "y")
+
+    def test_exclusion_violation(self, iv_dag):
+        dag = iv_dag.copy()
+        dag.add_edge("z", "y")  # direct effect: exclusion fails
+        assert not is_instrument(dag, "z", "x", "y")
+
+    def test_exclusion_violation_via_side_channel(self):
+        # z -> c -> y around x (the paper's local-pref example shape).
+        dag = CausalDag(
+            [
+                ("z", "x"),
+                ("z", "c"),
+                ("c", "y"),
+                ("x", "y"),
+                ("u", "x"),
+                ("u", "y"),
+            ],
+            unobserved=["u", "c"],
+        )
+        assert not is_instrument(dag, "z", "x", "y")
+
+    def test_irrelevant_candidate(self, iv_dag):
+        dag = iv_dag.copy()
+        dag.add_node("w")
+        assert not is_instrument(dag, "w", "x", "y")
+
+    def test_descendant_of_treatment_invalid(self, iv_dag):
+        dag = iv_dag.copy()
+        dag.add_edge("x", "d")
+        assert not is_instrument(dag, "d", "x", "y")
+
+    def test_confounded_instrument_needs_conditioning(self):
+        # w -> z and w -> y: z is only an instrument given w.
+        dag = CausalDag(
+            [
+                ("z", "x"),
+                ("x", "y"),
+                ("u", "x"),
+                ("u", "y"),
+                ("w", "z"),
+                ("w", "y"),
+            ],
+            unobserved=["u"],
+        )
+        assert not is_instrument(dag, "z", "x", "y")
+        assert is_instrument(dag, "z", "x", "y", {"w"})
+
+    def test_treatment_itself_not_instrument(self, iv_dag):
+        assert not is_instrument(iv_dag, "x", "x", "y")
+
+
+class TestDiscovery:
+    def test_finds_z(self, iv_dag):
+        assert find_instruments(iv_dag, "x", "y") == [("z", set())]
+
+    def test_finds_conditional_instrument(self):
+        dag = CausalDag(
+            [
+                ("z", "x"),
+                ("x", "y"),
+                ("u", "x"),
+                ("u", "y"),
+                ("w", "z"),
+                ("w", "y"),
+            ],
+            unobserved=["u"],
+        )
+        results = dict(find_instruments(dag, "x", "y"))
+        assert results["z"] == {"w"}
+
+    def test_nothing_when_no_instrument(self):
+        dag = CausalDag([("u", "x"), ("u", "y"), ("x", "y")], unobserved=["u"])
+        assert find_instruments(dag, "x", "y") == []
+
+
+class TestExplanation:
+    def test_valid_explanation_mentions_holds(self, iv_dag):
+        text = explain_instrument(iv_dag, "z", "x", "y")
+        assert "IS a valid instrument" in text
+        assert "relevance holds" in text
+        assert "exclusion holds" in text
+
+    def test_invalid_explanation_names_failure(self, iv_dag):
+        dag = iv_dag.copy()
+        dag.add_edge("z", "y")
+        text = explain_instrument(dag, "z", "x", "y")
+        assert "NOT a valid instrument" in text
+        assert "exclusion FAILS" in text

@@ -1,0 +1,105 @@
+"""Unit tests for the optimal (O-set) adjustment machinery."""
+
+import pytest
+
+from repro.errors import IdentificationError
+from repro.graph import (
+    CausalDag,
+    causal_nodes,
+    compare_adjustment_variance,
+    minimal_adjustment_sets,
+    optimal_adjustment_set,
+    satisfies_backdoor,
+)
+from repro.scm import GaussianNoise, LinearMechanism, StructuralCausalModel
+
+
+def efficiency_dag() -> CausalDag:
+    """Classic O-set example: z predicts only the treatment (an
+    instrument-like covariate), w predicts only the outcome.
+
+    Both {} and {w} and {z} are valid (no confounding); the O-set is
+    {w}: adjust for outcome predictors, never for pure treatment
+    predictors.
+    """
+    return CausalDag([("z", "x"), ("x", "y"), ("w", "y")])
+
+
+def efficiency_model() -> StructuralCausalModel:
+    return StructuralCausalModel(
+        {
+            "z": (LinearMechanism({}), GaussianNoise(1.0)),
+            "w": (LinearMechanism({}), GaussianNoise(1.0)),
+            "x": (LinearMechanism({"z": 1.5}), GaussianNoise(0.6)),
+            "y": (LinearMechanism({"x": 2.0, "w": 3.0}), GaussianNoise(1.0)),
+        },
+        dag=efficiency_dag(),
+    )
+
+
+class TestCausalNodes:
+    def test_mediator_chain(self):
+        dag = CausalDag([("x", "m"), ("m", "y"), ("x", "y")])
+        assert causal_nodes(dag, "x", "y") == {"m", "y"}
+
+    def test_off_path_node_excluded(self):
+        dag = CausalDag([("x", "y"), ("x", "d")])
+        assert causal_nodes(dag, "x", "y") == {"y"}
+
+
+class TestOSet:
+    def test_prefers_outcome_predictor(self):
+        assert optimal_adjustment_set(efficiency_dag(), "x", "y") == {"w"}
+
+    def test_o_set_is_valid(self):
+        dag = efficiency_dag()
+        o = optimal_adjustment_set(dag, "x", "y")
+        assert satisfies_backdoor(dag, "x", "y", o)
+
+    def test_confounded_case_includes_confounder(self):
+        dag = CausalDag([("c", "x"), ("c", "y"), ("x", "y")])
+        assert optimal_adjustment_set(dag, "x", "y") == {"c"}
+
+    def test_mediator_parents_included(self):
+        # w -> m where m mediates: w is a parent of a causal node.
+        dag = CausalDag([("x", "m"), ("m", "y"), ("w", "m"), ("w2", "y")])
+        o = optimal_adjustment_set(dag, "x", "y")
+        assert "w" in o and "w2" in o
+
+    def test_no_effect_raises(self):
+        dag = CausalDag([("y", "x")])
+        with pytest.raises(IdentificationError):
+            optimal_adjustment_set(dag, "x", "y")
+
+    def test_latent_o_set_raises(self):
+        dag = CausalDag(
+            [("x", "y"), ("u", "y"), ("u", "x")], unobserved=["u"]
+        )
+        with pytest.raises(IdentificationError):
+            optimal_adjustment_set(dag, "x", "y")
+
+
+class TestVarianceOrdering:
+    def test_o_set_beats_instrument_conditioning(self):
+        """Empirically: var({w}) < var({}) < var({z})."""
+        model = efficiency_model()
+
+        def gen(n, seed):
+            return model.sample(n, rng=seed)
+
+        variances = compare_adjustment_variance(
+            gen,
+            "x",
+            "y",
+            adjustment_sets=[set(), {"z"}, {"w"}],
+            n_replications=30,
+            n_samples=600,
+            rng=0,
+        )
+        assert variances["w"] < variances["(empty)"] < variances["z"]
+
+    def test_minimal_set_is_not_necessarily_optimal(self):
+        """The smallest valid set here is {} but the O-set is {w}."""
+        dag = efficiency_dag()
+        assert minimal_adjustment_sets(dag, "x", "y")[0] == set()
+        assert optimal_adjustment_set(dag, "x", "y") == {"w"}

@@ -1,0 +1,109 @@
+"""Unit tests for repro.graph.parse (text format) and repro.graph.render."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graph import CausalDag, format_dag, parse_dag, to_ascii, to_dot
+
+
+class TestParsing:
+    def test_simple_edges(self):
+        dag = parse_dag("a -> b\nb -> c")
+        assert dag.edges() == [("a", "b"), ("b", "c")]
+
+    def test_dag_wrapper(self):
+        dag = parse_dag("dag {\n a -> b\n}")
+        assert dag.edges() == [("a", "b")]
+
+    def test_chain_statement(self):
+        dag = parse_dag("a -> b -> c")
+        assert dag.edges() == [("a", "b"), ("b", "c")]
+
+    def test_reverse_arrow(self):
+        dag = parse_dag("b <- a")
+        assert dag.edges() == [("a", "b")]
+
+    def test_mixed_chain(self):
+        dag = parse_dag("a <- c -> b")
+        assert dag.edges() == [("c", "a"), ("c", "b")]
+
+    def test_semicolons(self):
+        dag = parse_dag("a -> b; c -> d")
+        assert len(dag.edges()) == 2
+
+    def test_comments_stripped(self):
+        dag = parse_dag("a -> b  # causal claim\n# full comment line")
+        assert dag.edges() == [("a", "b")]
+
+    def test_isolated_node(self):
+        dag = parse_dag("lonely")
+        assert dag.nodes() == ["lonely"]
+
+    def test_unobserved_modifier(self):
+        dag = parse_dag("demand [unobserved]\ndemand -> load")
+        assert dag.unobserved == {"demand"}
+
+    def test_latent_alias(self):
+        dag = parse_dag("u [latent]")
+        assert dag.unobserved == {"u"}
+
+    def test_dotted_names(self):
+        dag = parse_dag("net.load -> app.latency")
+        assert dag.has_edge("net.load", "app.latency")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dag("a => b")
+
+    def test_dangling_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dag("a ->")
+
+    def test_cycle_rejected(self):
+        from repro.errors import CycleError
+
+        with pytest.raises(CycleError):
+            parse_dag("a -> b\nb -> a")
+
+    def test_paper_example(self):
+        dag = parse_dag(
+            """
+            dag {
+                congestion -> route
+                congestion -> latency
+                route -> latency
+            }
+            """
+        )
+        assert dag.parents("latency") == {"congestion", "route"}
+
+
+class TestRoundTrip:
+    def test_format_parse_round_trip(self):
+        dag = CausalDag(
+            [("u", "x"), ("u", "y"), ("x", "y")], unobserved=["u"]
+        )
+        again = parse_dag(format_dag(dag))
+        assert again == dag
+
+    def test_isolated_latent_round_trip(self):
+        dag = CausalDag(nodes=["solo"], unobserved=["solo"])
+        assert parse_dag(format_dag(dag)) == dag
+
+
+class TestRender:
+    def test_dot_contains_edges_and_style(self):
+        dag = CausalDag([("u", "y")], unobserved=["u"])
+        dot = to_dot(dag, highlight={"y"})
+        assert '"u" -> "y";' in dot
+        assert "dashed" in dot
+        assert "filled" in dot
+
+    def test_ascii_orders_topologically(self):
+        dag = CausalDag([("a", "b"), ("b", "c")])
+        text = to_ascii(dag)
+        assert text.index("a") < text.index("c")
+
+    def test_ascii_marks_latent(self):
+        dag = CausalDag([("u", "y")], unobserved=["u"])
+        assert "(latent)" in to_ascii(dag)

@@ -1,0 +1,88 @@
+"""Property-based tests for the graph package (hypothesis).
+
+The central invariant: the ancestral-moral-graph d-separation algorithm
+must agree with the path-walking definition on random DAGs, and
+adjustment sets returned by the search must actually satisfy the
+criterion.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CausalDag,
+    d_separated,
+    minimal_adjustment_sets,
+    path_is_blocked,
+    satisfies_backdoor,
+)
+
+
+@st.composite
+def random_dags(draw, max_nodes: int = 6) -> CausalDag:
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    names = [f"v{i}" for i in range(n)]
+    dag = CausalDag(nodes=names)
+    # Only forward edges in index order guarantee acyclicity.
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                dag.add_edge(names[i], names[j])
+    return dag
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_dsep_algorithms_agree(dag, data):
+    nodes = dag.nodes()
+    x, y = data.draw(
+        st.sampled_from([(a, b) for a in nodes for b in nodes if a < b])
+    )
+    rest = [n for n in nodes if n not in (x, y)]
+    given_set = set(
+        data.draw(st.lists(st.sampled_from(rest), unique=True, max_size=3))
+        if rest
+        else []
+    )
+    moral = d_separated(dag, x, y, given_set)
+    by_paths = all(
+        path_is_blocked(dag, p, given_set) for p in dag.all_paths(x, y)
+    )
+    assert moral == by_paths
+
+
+@given(random_dags(max_nodes=5), st.data())
+@settings(max_examples=60, deadline=None)
+def test_returned_adjustment_sets_are_valid_and_minimal(dag, data):
+    nodes = dag.nodes()
+    pairs = [(a, b) for a in nodes for b in nodes if a != b]
+    treatment, outcome = data.draw(st.sampled_from(pairs))
+    sets = minimal_adjustment_sets(dag, treatment, outcome)
+    for z in sets:
+        assert satisfies_backdoor(dag, treatment, outcome, z)
+        # Minimality: no strict subset also satisfies the criterion.
+        for k in range(len(z)):
+            for sub in combinations(sorted(z), k):
+                assert not satisfies_backdoor(dag, treatment, outcome, set(sub))
+
+
+@given(random_dags())
+@settings(max_examples=50, deadline=None)
+def test_topological_order_respects_edges(dag):
+    order = {n: i for i, n in enumerate(dag.topological_order())}
+    for cause, effect in dag.edges():
+        assert order[cause] < order[effect]
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_do_removes_all_incoming_edges_only(dag, data):
+    node = data.draw(st.sampled_from(dag.nodes()))
+    cut = dag.do(node)
+    assert cut.parents(node) == set()
+    assert cut.children(node) == dag.children(node)
+    untouched = [n for n in dag.nodes() if n != node]
+    for n in untouched:
+        assert cut.parents(n) - {node} == dag.parents(n) - {node}

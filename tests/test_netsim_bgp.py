@@ -1,0 +1,191 @@
+"""Unit tests for repro.netsim.topology and repro.netsim.bgp."""
+
+import pytest
+
+from repro.errors import RoutingError, SimulationError
+from repro.netsim import (
+    AsKind,
+    AutonomousSystem,
+    Prefix,
+    Relationship,
+    RouteKind,
+    Topology,
+    affected_sources,
+    compute_routes,
+    is_valley_free,
+    route_between,
+)
+
+
+def make_as(asn: int, city: str = "Johannesburg") -> AutonomousSystem:
+    return AutonomousSystem(
+        asn=asn,
+        name=f"AS{asn}",
+        kind=AsKind.ACCESS,
+        city=city,
+        router_prefix=Prefix(10 << 24 | (asn % 250) << 8, 24),
+    )
+
+
+@pytest.fixture
+def diamond() -> Topology:
+    """1 and 2 are providers of 3 (dest) and 4 (source); 1-2 peer.
+
+        1 --peer-- 2
+        |          |
+        4          3
+    """
+    topo = Topology()
+    for asn in (1, 2, 3, 4):
+        topo.add_as(make_as(asn))
+    topo.add_p2p(1, 2)
+    topo.add_c2p(3, 2)
+    topo.add_c2p(4, 1)
+    return topo
+
+
+class TestTopology:
+    def test_relationship_queries(self, diamond):
+        assert diamond.providers(3) == [2]
+        assert diamond.customers(2) == [3]
+        assert diamond.peers(1) == [2]
+        assert diamond.neighbors(1) == [2, 4]
+
+    def test_duplicate_as_rejected(self, diamond):
+        with pytest.raises(SimulationError):
+            diamond.add_as(make_as(1))
+
+    def test_duplicate_link_rejected(self, diamond):
+        with pytest.raises(SimulationError):
+            diamond.add_p2p(2, 1)
+
+    def test_self_link_rejected(self, diamond):
+        with pytest.raises(SimulationError):
+            diamond.add_p2p(1, 1)
+
+    def test_remove_link(self, diamond):
+        diamond.remove_link(1, 2)
+        assert diamond.link_between(1, 2) is None
+        with pytest.raises(SimulationError):
+            diamond.remove_link(1, 2)
+
+    def test_copy_shares_immutable_objects_only(self, diamond):
+        copy = diamond.copy()
+        copy.remove_link(1, 2)
+        assert diamond.link_between(1, 2) is not None
+
+    def test_link_orientation(self, diamond):
+        link = diamond.link_between(3, 2)
+        assert link.relationship is Relationship.CUSTOMER_PROVIDER
+        assert link.a_asn == 3  # customer side
+
+    def test_by_kind(self, diamond):
+        assert len(diamond.by_kind(AsKind.ACCESS)) == 4
+
+
+class TestGaoRexford:
+    def test_peer_route_preferred_over_provider(self, diamond):
+        # From 4 to 3: only route is 4 -> 1 -> 2 -> 3 (up, peer, down).
+        route = route_between(diamond, 4, 3)
+        assert route.path == (4, 1, 2, 3)
+        assert route.kind is RouteKind.PROVIDER  # first hop is 4's provider
+
+    def test_customer_route_preferred(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(make_as(asn))
+        # 1 is provider of 2; 2 is provider of 3. From 1 to 3: customer chain.
+        topo.add_c2p(2, 1)
+        topo.add_c2p(3, 2)
+        route = route_between(topo, 1, 3)
+        assert route.kind is RouteKind.CUSTOMER
+        assert route.path == (1, 2, 3)
+
+    def test_valley_free_enforced(self):
+        """A peer's peer is unreachable (no valley-free path)."""
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(make_as(asn))
+        topo.add_p2p(1, 2)
+        topo.add_p2p(2, 3)
+        with pytest.raises(RoutingError):
+            route_between(topo, 1, 3)
+
+    def test_customer_wins_over_shorter_peer(self):
+        """Relationship preference beats path length."""
+        topo = Topology()
+        for asn in (1, 2, 3, 4):
+            topo.add_as(make_as(asn))
+        # Direct peer link 1-4, and a longer customer chain 1 <- 2 <- ... 4?
+        # Build: 4 is customer of 2, 2 is customer of 1 => 1 has customer
+        # route (1,2,4) length 2; peer route (1,4) length 1.
+        topo.add_c2p(2, 1)
+        topo.add_c2p(4, 2)
+        topo.add_p2p(1, 4)
+        route = route_between(topo, 1, 4)
+        assert route.kind is RouteKind.CUSTOMER
+        assert route.path == (1, 2, 4)
+
+    def test_shortest_within_class(self):
+        topo = Topology()
+        for asn in (1, 2, 3, 9):
+            topo.add_as(make_as(asn))
+        # Two customer chains to 9 from 1: via 2 (length 2) and direct.
+        topo.add_c2p(9, 1)
+        topo.add_c2p(9, 2)
+        topo.add_c2p(2, 1)
+        route = route_between(topo, 1, 9)
+        assert route.path == (1, 9)
+
+    def test_deterministic_tiebreak_lowest_next_hop(self):
+        topo = Topology()
+        for asn in (1, 5, 6, 9):
+            topo.add_as(make_as(asn))
+        topo.add_c2p(9, 5)
+        topo.add_c2p(9, 6)
+        topo.add_c2p(5, 1)
+        topo.add_c2p(6, 1)
+        route = route_between(topo, 1, 9)
+        assert route.path == (1, 5, 9)
+
+    def test_dead_link_reroutes(self, diamond):
+        route = route_between(diamond, 4, 3)
+        assert route.path == (4, 1, 2, 3)
+        with pytest.raises(RoutingError):
+            route_between(diamond, 4, 3, dead_links={(1, 2)})
+
+    def test_origin_route(self, diamond):
+        routes = compute_routes(diamond, 3)
+        assert routes[3].kind is RouteKind.ORIGIN
+        assert routes[3].path == (3,)
+
+    def test_unknown_destination(self, diamond):
+        with pytest.raises(SimulationError):
+            compute_routes(diamond, 99)
+
+    def test_all_routes_valley_free(self, diamond):
+        routes = compute_routes(diamond, 3)
+        for route in routes.values():
+            assert is_valley_free(diamond, route.path), route.path
+
+
+class TestHelpers:
+    def test_is_valley_free_rejects_valley(self, diamond):
+        # 1 -> 4 (down) then 4 -> 1? invalid anyway; test down-then-up shape:
+        # path (2, 3) down is fine; (3, 2, 1) up-peer... construct explicit:
+        assert not is_valley_free(diamond, (1, 4, 1))  # revisits; down then up
+        assert is_valley_free(diamond, (4, 1, 2, 3))
+
+    def test_affected_sources(self, diamond):
+        routes = compute_routes(diamond, 3)
+        assert affected_sources(routes, (1, 2)) == [1, 4]
+
+    def test_crosses_link(self, diamond):
+        route = route_between(diamond, 4, 3)
+        assert route.crosses_link(2, 1)
+        assert not route.crosses_link(4, 2)
+
+    def test_route_properties(self, diamond):
+        route = route_between(diamond, 4, 3)
+        assert route.length == 3
+        assert route.next_hop == 1

@@ -1,0 +1,98 @@
+"""Unit tests for the CDN edge-selection model and the E7 study."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import (
+    CdnDeployment,
+    CdnEdge,
+    edge_selection_contrast,
+    run_resolver_experiment,
+)
+from repro.studies import run_edge_selection_experiment
+from repro.studies.edge_selection import _build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return _build_world()
+
+
+class TestEdgeSelection:
+    def test_nearest_edge_is_local(self, world):
+        cdn, _, _, client_city = world
+        assert cdn.nearest_edge(client_city).city == "Johannesburg"
+
+    def test_geo_policy_returns_nearest(self, world):
+        cdn, _, _, client_city = world
+        assert cdn.select_edge(client_city, "geo").city == "Johannesburg"
+
+    def test_public_resolver_mismaps(self, world):
+        cdn, _, _, client_city = world
+        # Frankfurt's nearest edge is London, regardless of the client.
+        assert cdn.select_edge(client_city, "public_resolver").city == "London"
+
+    def test_rotate_covers_all_edges(self, world):
+        cdn, _, _, client_city = world
+        rng = np.random.default_rng(0)
+        chosen = {cdn.select_edge(client_city, "rotate", rng).city for _ in range(50)}
+        assert chosen == {"Johannesburg", "London"}
+
+    def test_rotate_needs_rng(self, world):
+        cdn, _, _, client_city = world
+        with pytest.raises(SimulationError):
+            cdn.select_edge(client_city, "rotate")
+
+    def test_unknown_policy(self, world):
+        cdn, _, _, client_city = world
+        with pytest.raises(SimulationError):
+            cdn.select_edge(client_city, "coinflip")
+
+    def test_empty_deployment_rejected(self, world):
+        cdn, _, _, _ = world
+        with pytest.raises(SimulationError):
+            CdnDeployment(cdn.topology, cdn.cities, edges=[])
+
+
+class TestResolverExperiment:
+    def test_frame_columns(self, world):
+        cdn, latency, asn, city = world
+        frame = run_resolver_experiment(cdn, latency, asn, city, "rotate", 100, rng=0)
+        assert set(frame.column_names) == {"edge_asn", "edge_city", "nearest", "rtt_ms"}
+        assert frame.num_rows == 100
+
+    def test_geo_always_nearest(self, world):
+        cdn, latency, asn, city = world
+        frame = run_resolver_experiment(cdn, latency, asn, city, "geo", 50, rng=0)
+        assert frame.numeric("nearest").all()
+
+    def test_contrast_requires_both_arms(self, world):
+        cdn, latency, asn, city = world
+        frame = run_resolver_experiment(cdn, latency, asn, city, "geo", 50, rng=0)
+        with pytest.raises(SimulationError):
+            edge_selection_contrast(frame)
+
+    def test_randomized_contrast_positive_and_large(self, world):
+        cdn, latency, asn, city = world
+        frame = run_resolver_experiment(cdn, latency, asn, city, "rotate", 600, rng=1)
+        penalty = edge_selection_contrast(frame)
+        assert penalty > 100.0  # London vs Johannesburg for a Durban client
+
+
+class TestStudy:
+    def test_mismapping_cost_matches_causal_penalty(self):
+        out = run_edge_selection_experiment(n_tests=800, seed=0)
+        assert out.edge_penalty_ms > 100.0
+        assert out.misconfiguration_cost_ms == pytest.approx(
+            out.edge_penalty_ms, rel=0.15
+        )
+
+    def test_regime_ordering(self):
+        out = run_edge_selection_experiment(n_tests=800, seed=1)
+        assert out.median_rtt_geo < out.median_rtt_rotate < out.median_rtt_public
+
+    def test_report_text(self):
+        text = run_edge_selection_experiment(n_tests=300, seed=2).format_report()
+        assert "public resolver" in text
+        assert "causal penalty" in text

@@ -1,0 +1,162 @@
+"""Unit tests for repro.netsim.congestion and repro.netsim.latency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import (
+    AsKind,
+    AutonomousSystem,
+    CongestionModel,
+    DiurnalProfile,
+    LatencyModel,
+    Prefix,
+    RegionalShock,
+    Topology,
+    default_catalog,
+    route_between,
+)
+
+
+class TestDiurnalProfile:
+    def test_peak_at_peak_hour(self):
+        profile = DiurnalProfile(base=0.5, amplitude=0.2, peak_hour=20.0)
+        assert profile.utilization(20.0) == pytest.approx(0.7, abs=1e-9)
+
+    def test_trough_opposite_peak(self):
+        profile = DiurnalProfile(base=0.5, amplitude=0.2, peak_hour=20.0)
+        assert profile.utilization(8.0) == pytest.approx(0.3, abs=1e-9)
+
+    def test_timezone_shift(self):
+        utc = DiurnalProfile(peak_hour=20.0, timezone_offset=0.0)
+        za = DiurnalProfile(peak_hour=20.0, timezone_offset=2.0)
+        assert za.utilization(18.0) == pytest.approx(utc.utilization(20.0))
+
+    def test_clipped_to_valid_range(self):
+        profile = DiurnalProfile(base=0.9, amplitude=0.5)
+        assert profile.utilization(profile.peak_hour) <= 0.97
+
+    def test_bad_base(self):
+        with pytest.raises(SimulationError):
+            DiurnalProfile(base=1.5)
+
+
+class TestCongestionModel:
+    def test_shock_raises_utilization(self):
+        model = CongestionModel(noise_std=0.0)
+        model.add_shock(RegionalShock("ZA", 10.0, 20.0, 0.3))
+        inside = model.utilization("ZA", 15.0)
+        outside = model.utilization("ZA", 25.0)
+        assert inside > outside
+
+    def test_shock_scoped_to_region(self):
+        model = CongestionModel(noise_std=0.0)
+        model.add_shock(RegionalShock("ZA", 10.0, 20.0, 0.3))
+        assert model.utilization("GB", 15.0) == model.utilization("GB", 15.0 + 24 * 0)
+
+    def test_bad_shock_interval(self):
+        with pytest.raises(SimulationError):
+            RegionalShock("ZA", 10.0, 10.0, 0.1)
+
+    def test_queueing_monotone_in_utilization(self):
+        model = CongestionModel(
+            profiles={"hot": DiurnalProfile(base=0.9, amplitude=0.0)},
+            default_profile=DiurnalProfile(base=0.2, amplitude=0.0),
+            noise_std=0.0,
+        )
+        assert model.queueing_delay_ms("hot", 0.0) > model.queueing_delay_ms(
+            "cold", 0.0
+        )
+
+    def test_queueing_capped(self):
+        model = CongestionModel(
+            profiles={"hot": DiurnalProfile(base=0.96, amplitude=0.0)},
+            noise_std=0.0,
+            max_queueing_ms=10.0,
+        )
+        assert model.queueing_delay_ms("hot", 0.0) <= 10.0
+
+    def test_bias_shifts_utilization(self):
+        model = CongestionModel(noise_std=0.0)
+        assert model.utilization("ZA", 3.0, bias=0.2) > model.utilization("ZA", 3.0)
+
+    def test_noise_needs_rng(self):
+        model = CongestionModel(noise_std=0.5)
+        a = model.utilization("ZA", 3.0)  # no rng: deterministic
+        b = model.utilization("ZA", 3.0)
+        assert a == b
+
+
+@pytest.fixture
+def latency_world():
+    cities = default_catalog()
+    topo = Topology()
+    specs = [(1, "East London"), (2, "Johannesburg"), (3, "Johannesburg")]
+    for asn, city in specs:
+        topo.add_as(
+            AutonomousSystem(
+                asn=asn,
+                name=f"AS{asn}",
+                kind=AsKind.ACCESS,
+                city=city,
+                router_prefix=Prefix((10 << 24) | (asn << 8), 24),
+            )
+        )
+    topo.add_c2p(1, 2)
+    topo.add_c2p(3, 2)
+    congestion = CongestionModel(noise_std=0.0)
+    latency = LatencyModel(topo, cities, congestion, last_mile_ms=8.0, noise_std_ms=0.0)
+    return topo, latency
+
+
+class TestLatencyModel:
+    def test_propagation_scales_with_distance(self, latency_world):
+        topo, latency = latency_world
+        far = route_between(topo, 1, 3)  # EL -> JNB -> JNB
+        near = route_between(topo, 3, 2)  # JNB -> JNB
+        assert latency.propagation_ms(far) > latency.propagation_ms(near) + 5
+
+    def test_expected_rtt_includes_last_mile(self, latency_world):
+        topo, latency = latency_world
+        route = route_between(topo, 3, 2)
+        rtt = latency.expected_rtt(route, hour=3.0)
+        assert rtt >= 8.0  # at least the last mile
+
+    def test_sample_close_to_expected_without_noise(self, latency_world):
+        topo, latency = latency_world
+        route = route_between(topo, 1, 2)
+        rng = np.random.default_rng(0)
+        sample = latency.sample_rtt(route, 3.0, rng)
+        expected = latency.expected_rtt(route, 3.0)
+        assert sample.total_ms == pytest.approx(expected, rel=0.5)
+
+    def test_sample_never_beats_light(self, latency_world):
+        topo, latency = latency_world
+        route = route_between(topo, 1, 2)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            sample = latency.sample_rtt(route, 12.0, rng)
+            assert sample.total_ms >= sample.propagation_ms
+
+    def test_diurnal_variation_visible(self, latency_world):
+        topo, latency = latency_world
+        route = route_between(topo, 1, 2)
+        peak = latency.expected_rtt(route, 18.0)  # 20:00 ZA local
+        trough = latency.expected_rtt(route, 6.0)  # 08:00 ZA local
+        assert peak > trough
+
+    def test_missing_link_raises(self, latency_world):
+        from repro.errors import RoutingError
+        from repro.netsim.bgp import Route, RouteKind
+
+        topo, latency = latency_world
+        fake = Route(source=1, path=(1, 3), kind=RouteKind.PEER)
+        with pytest.raises(RoutingError):
+            latency.propagation_ms(fake)
+
+    def test_negative_params_rejected(self, latency_world):
+        topo, _ = latency_world
+        with pytest.raises(SimulationError):
+            LatencyModel(
+                topo, default_catalog(), CongestionModel(), last_mile_ms=-1.0
+            )

@@ -1,0 +1,206 @@
+"""Unit tests for repro.netsim.events, users, and scenario builders."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import (
+    IxpJoinEvent,
+    LinkFailureEvent,
+    MaintenanceWindowEvent,
+    RouteKind,
+    TABLE1_TREATED_UNITS,
+    Timeline,
+    UserGroup,
+    build_table1_scenario,
+    build_trombone_scenario,
+)
+
+
+class TestEvents:
+    def test_failure_interval(self):
+        event = LinkFailureEvent(time_hour=10.0, a_asn=1, b_asn=2, duration_hours=5.0)
+        assert event.active(10.0)
+        assert event.active(14.9)
+        assert not event.active(15.0)
+        assert not event.active(9.9)
+
+    def test_failure_duration_positive(self):
+        with pytest.raises(SimulationError):
+            LinkFailureEvent(time_hour=0.0, a_asn=1, b_asn=2, duration_hours=0.0)
+
+    def test_maintenance_is_exogenous_failure(self):
+        event = MaintenanceWindowEvent(
+            time_hour=5.0, a_asn=1, b_asn=2, duration_hours=2.0
+        )
+        assert event.exogenous
+        assert isinstance(event, LinkFailureEvent)
+        assert "maintenance" in event.describe()
+
+    def test_join_describe(self):
+        event = IxpJoinEvent(time_hour=3.0, asn=10, ixp_name="X")
+        assert "AS10" in event.describe()
+
+
+class TestTimeline:
+    def test_epoch_transitions(self, small_scenario):
+        timeline = small_scenario.timeline
+        join = min(small_scenario.join_hours.values())
+        before = timeline.state_at(join - 1.0)
+        after = timeline.state_at(join + 0.5)
+        assert after.epoch > before.epoch
+
+    def test_join_changes_route_kind(self, small_scenario):
+        sc = small_scenario
+        asn = 3741
+        join = sc.join_hours[asn]
+        pre = sc.timeline.routes_at(join - 1.0, sc.content_asn)[asn]
+        post = sc.timeline.routes_at(join + 1.0, sc.content_asn)[asn]
+        assert pre.kind is RouteKind.PROVIDER
+        assert post.kind is RouteKind.PEER
+        assert post.length < pre.length
+
+    def test_route_cache_stable(self, small_scenario):
+        sc = small_scenario
+        a = sc.timeline.routes_at(1.0, sc.content_asn)
+        b = sc.timeline.routes_at(1.5, sc.content_asn)
+        assert a is b  # same epoch, same dead links: cached
+
+    def test_events_sorted(self, small_scenario):
+        events = small_scenario.timeline.events
+        times = [e.time_hour for e in events]
+        assert times == sorted(times)
+
+    def test_add_after_build_rejected(self, small_scenario):
+        with pytest.raises(SimulationError):
+            small_scenario.timeline.add_event(
+                IxpJoinEvent(time_hour=0.0, asn=1, ixp_name="X")
+            )
+
+    def test_epoch_boundaries_include_joins(self, small_scenario):
+        boundaries = set(small_scenario.timeline.epoch_boundaries())
+        assert set(small_scenario.join_hours.values()) <= boundaries
+
+
+class TestUserGroup:
+    def test_rate_increases_with_bad_rtt(self):
+        group = UserGroup(asn=1, city="X", n_users=100)
+        base = group.test_rate(None, None)
+        bad = group.test_rate(group.rtt_reference_ms + 200, None)
+        assert bad > base
+
+    def test_rate_bursts_after_change(self):
+        group = UserGroup(asn=1, city="X", n_users=100, change_sensitivity=2.0)
+        calm = group.test_rate(None, None)
+        burst = group.test_rate(None, 1.0)
+        assert burst == pytest.approx(3 * calm)
+
+    def test_burst_window_expires(self):
+        group = UserGroup(asn=1, city="X", n_users=100)
+        assert group.test_rate(None, 30.0) == group.test_rate(None, None)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            UserGroup(asn=1, city="X", n_users=0)
+        with pytest.raises(SimulationError):
+            UserGroup(asn=1, city="X", n_users=10, perf_sensitivity=-1.0)
+
+    def test_unit_label(self):
+        group = UserGroup(asn=3741, city="East London", n_users=10)
+        assert group.unit_label == "AS3741/East London"
+
+
+class TestTable1Scenario:
+    def test_treated_units_match_paper(self, small_scenario):
+        assert small_scenario.treated_units == list(TABLE1_TREATED_UNITS)
+        assert len(small_scenario.treated_units) == 8
+
+    def test_all_treated_asns_scheduled(self, small_scenario):
+        treated_asns = {asn for asn, _ in small_scenario.treated_units}
+        assert treated_asns == set(small_scenario.join_hours)
+
+    def test_every_group_reaches_content(self, small_scenario):
+        sc = small_scenario
+        routes = sc.timeline.routes_at(0.0, sc.content_asn)
+        for group in sc.user_groups:
+            assert group.asn in routes
+
+    def test_true_effect_small_scale(self, small_scenario):
+        """The Table-1 world's true effects live in the paper's ±10 ms band."""
+        sc = small_scenario
+        for asn, city in sc.treated_units:
+            assert abs(sc.true_effect(asn, city)) < 25.0
+
+    def test_untreated_unit_true_effect_zero(self, small_scenario):
+        sc = small_scenario
+        donor = next(g for g in sc.user_groups if g.asn not in sc.join_hours)
+        assert sc.true_effect(donor.asn, donor.city) == 0.0
+
+    def test_join_day_inside_window(self):
+        with pytest.raises(SimulationError):
+            build_table1_scenario(duration_days=10, join_day=10)
+
+    def test_deterministic_by_seed(self):
+        a = build_table1_scenario(n_donor_ases=4, duration_days=6, join_day=3, seed=5)
+        b = build_table1_scenario(n_donor_ases=4, duration_days=6, join_day=3, seed=5)
+        assert a.join_hours == b.join_hours
+        assert [g.unit for g in a.user_groups] == [g.unit for g in b.user_groups]
+
+    def test_group_lookup(self, small_scenario):
+        group = small_scenario.group_for(3741, "East London")
+        assert group.asn == 3741
+        with pytest.raises(SimulationError):
+            small_scenario.group_for(1, "Nowhere")
+
+
+class TestTromboneScenario:
+    def test_large_negative_true_effect(self):
+        sc = build_trombone_scenario(n_access=4, duration_days=8, join_day=4)
+        treated = list(sc.join_hours)
+        for asn in treated:
+            unit_city = next(g.city for g in sc.user_groups if g.asn == asn)
+            effect = sc.true_effect(asn, unit_city)
+            assert effect < -100.0  # the trombone collapse
+
+    def test_half_join(self):
+        sc = build_trombone_scenario(n_access=6)
+        assert len(sc.join_hours) == 3
+
+    def test_minimum_size(self):
+        with pytest.raises(SimulationError):
+            build_trombone_scenario(n_access=1)
+
+
+class TestCounterfactualTruth:
+    def test_twin_world_isolates_the_unit(self):
+        from repro.netsim import build_table1_scenario, counterfactual_true_effect
+
+        kw = dict(n_donor_ases=8, duration_days=16, join_day=8, seed=2)
+        sc = build_table1_scenario(**kw)
+        asn, city = sc.treated_units[0]
+        cf = counterfactual_true_effect(asn, city, **kw)
+        temporal = sc.true_effect(asn, city)
+        # The two ground-truth definitions agree to within the
+        # cross-unit contamination the counterfactual removes.
+        assert abs(cf - temporal) < 2.0
+        assert abs(cf) < 25.0
+
+    def test_suppressed_join_absent(self):
+        from repro.netsim import build_table1_scenario
+
+        kw = dict(n_donor_ases=6, duration_days=12, join_day=6, seed=1)
+        twin = build_table1_scenario(**kw, suppress_joins={3741})
+        assert 3741 not in twin.join_hours
+        base = build_table1_scenario(**kw)
+        # All other joins identical in time.
+        for asn, hour in twin.join_hours.items():
+            assert base.join_hours[asn] == hour
+
+    def test_untreated_unit_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import SimulationError
+        from repro.netsim import counterfactual_true_effect
+
+        kw = dict(n_donor_ases=6, duration_days=12, join_day=6, seed=1)
+        with _pytest.raises(SimulationError):
+            counterfactual_true_effect(99999, "Nowhere", **kw)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.netsim.ixp and repro.netsim.traceroute."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import (
+    AsKind,
+    AutonomousSystem,
+    Ixp,
+    IxpRegistry,
+    Prefix,
+    Topology,
+    connect_member,
+    detect_ixp_crossings,
+    route_between,
+    synthesize_traceroute,
+)
+
+
+def make_as(asn: int, city: str = "Johannesburg") -> AutonomousSystem:
+    return AutonomousSystem(
+        asn=asn,
+        name=f"AS{asn}",
+        kind=AsKind.ACCESS,
+        city=city,
+        router_prefix=Prefix((10 << 24) | ((asn % 250) << 8), 24),
+    )
+
+
+@pytest.fixture
+def world():
+    topo = Topology()
+    for asn in (10, 20, 30):
+        topo.add_as(make_as(asn))
+    topo.add_c2p(10, 30)
+    topo.add_c2p(20, 30)
+    ixp = Ixp("NAPAfrica-JNB", "Johannesburg", Prefix.parse("196.60.8.0/24"))
+    registry = IxpRegistry([ixp])
+    return topo, ixp, registry
+
+
+class TestIxp:
+    def test_member_port_allocation(self, world):
+        _, ixp, _ = world
+        ip1 = ixp.add_member(10)
+        ip2 = ixp.add_member(20)
+        assert ip1 != ip2
+        assert ixp.contains_ip(ip1) and ixp.contains_ip(ip2)
+        assert ixp.port_ip(10) == ip1
+
+    def test_duplicate_member_rejected(self, world):
+        _, ixp, _ = world
+        ixp.add_member(10)
+        with pytest.raises(SimulationError):
+            ixp.add_member(10)
+
+    def test_remove_member(self, world):
+        _, ixp, _ = world
+        ixp.add_member(10)
+        ixp.remove_member(10)
+        with pytest.raises(SimulationError):
+            ixp.port_ip(10)
+
+    def test_peeringdb_record(self, world):
+        _, ixp, _ = world
+        ixp.add_member(10)
+        record = ixp.peeringdb_record()
+        assert record["prefixes"] == ["196.60.8.0/24"]
+        assert record["members"] == [10]
+
+    def test_connect_member_creates_links(self, world):
+        topo, ixp, _ = world
+        ixp.add_member(20)
+        peered = connect_member(topo, ixp, 10)
+        assert peered == [20]
+        link = topo.link_between(10, 20)
+        assert link is not None and link.ixp == "NAPAfrica-JNB"
+
+    def test_connect_member_skips_existing_links(self, world):
+        topo, ixp, _ = world
+        topo.add_p2p(10, 20)
+        ixp.add_member(20)
+        assert connect_member(topo, ixp, 10) == []
+
+    def test_registry_reverse_lookup(self, world):
+        _, ixp, registry = world
+        ip = ixp.add_member(10)
+        assert registry.ixp_for_ip(ip) is ixp
+        assert registry.ixp_for_ip("10.0.0.1") is None
+
+    def test_registry_rejects_duplicate_lan(self, world):
+        _, _, registry = world
+        with pytest.raises(SimulationError):
+            registry.add(Ixp("Other", "Cape Town", Prefix.parse("196.60.8.0/24")))
+
+    def test_registry_names(self, world):
+        _, _, registry = world
+        assert registry.names() == ["NAPAfrica-JNB"]
+        assert "NAPAfrica-JNB" in registry
+
+
+class TestTraceroute:
+    def test_transit_path_hops(self, world):
+        topo, _, registry = world
+        route = route_between(topo, 10, 20)  # via provider 30
+        trace = synthesize_traceroute(topo, registry, route)
+        assert trace.as_path == (10, 30, 20)
+        assert len(trace.hops) == 3
+        assert trace.hops[0].asn == 10
+
+    def test_ixp_hop_uses_lan_address(self, world):
+        topo, ixp, registry = world
+        ixp.add_member(20)
+        connect_member(topo, ixp, 10)
+        route = route_between(topo, 10, 20)
+        assert route.path == (10, 20)
+        trace = synthesize_traceroute(topo, registry, route)
+        lan_hops = [h for h in trace.hops if h.ixp == "NAPAfrica-JNB"]
+        assert len(lan_hops) == 1
+        assert ixp.contains_ip(lan_hops[0].ip)
+        assert lan_hops[0].asn == 20  # the far side answers from its port
+
+    def test_detection_matches_annotation(self, world):
+        """Prefix-based detection must agree with the structural annotation."""
+        topo, ixp, registry = world
+        ixp.add_member(20)
+        connect_member(topo, ixp, 10)
+        route = route_between(topo, 10, 20)
+        trace = synthesize_traceroute(topo, registry, route)
+        assert detect_ixp_crossings(trace, registry) == ["NAPAfrica-JNB"]
+        assert trace.crosses_ixp("NAPAfrica-JNB")
+
+    def test_no_crossing_detected_on_transit_path(self, world):
+        topo, _, registry = world
+        route = route_between(topo, 10, 20)
+        trace = synthesize_traceroute(topo, registry, route)
+        assert detect_ixp_crossings(trace, registry) == []
+
+    def test_hop_ips_unique_per_as_block(self, world):
+        topo, _, registry = world
+        route = route_between(topo, 10, 20)
+        trace = synthesize_traceroute(topo, registry, route)
+        assert len(set(trace.hop_ips)) == len(trace.hop_ips)

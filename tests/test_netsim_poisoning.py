@@ -1,0 +1,105 @@
+"""Unit tests for repro.netsim.poisoning and the root-cause study."""
+
+import pytest
+
+from repro.errors import RoutingError, SimulationError
+from repro.netsim import (
+    PoisoningExperiment,
+    build_table1_scenario,
+    compute_routes,
+    compute_routes_with_poison,
+)
+from repro.studies import run_root_cause_experiment
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenario = build_table1_scenario(
+        n_donor_ases=20, duration_days=4, join_day=2, seed=0
+    )
+    state = scenario.timeline.state_at(0.0)
+    return scenario, state.topology
+
+
+class TestPoisonedRouting:
+    def test_poisoned_as_carries_nothing(self, world):
+        scenario, topo = world
+        routes = compute_routes_with_poison(topo, scenario.content_asn, 64611)
+        for route in routes.values():
+            assert 64611 not in route.path
+
+    def test_single_homed_customer_disconnected(self, world):
+        scenario, topo = world
+        # Treated ASes are single-homed on 64611 pre-join.
+        routes = compute_routes_with_poison(topo, scenario.content_asn, 64611)
+        assert 3741 not in routes
+
+    def test_dual_homed_customer_reroutes(self, world):
+        scenario, topo = world
+        before = compute_routes(topo, scenario.content_asn)
+        dual = next(
+            a
+            for a in sorted(topo.ases)
+            if topo.ases[a].kind.value == "access" and len(topo.providers(a)) >= 2
+        )
+        poisoned_asn = before[dual].path[1]
+        after = compute_routes_with_poison(topo, scenario.content_asn, poisoned_asn)
+        assert dual in after
+        assert after[dual].path != before[dual].path
+
+    def test_cannot_poison_destination(self, world):
+        scenario, topo = world
+        with pytest.raises(SimulationError):
+            compute_routes_with_poison(topo, scenario.content_asn, scenario.content_asn)
+
+    def test_unknown_poison_target(self, world):
+        scenario, topo = world
+        with pytest.raises(SimulationError):
+            compute_routes_with_poison(topo, scenario.content_asn, 99999)
+
+
+class TestExperiment:
+    def test_probe_reports_rtt(self, world):
+        scenario, topo = world
+        exp = PoisoningExperiment(topo, scenario.latency)
+        before = compute_routes(topo, scenario.content_asn)
+        dual = next(
+            a
+            for a in sorted(topo.ases)
+            if topo.ases[a].kind.value == "access" and len(topo.providers(a)) >= 2
+        )
+        probe = exp.probe(dual, scenario.content_asn, before[dual].path[1])
+        assert probe.reachable
+        assert probe.rtt_ms is not None and probe.rtt_ms > 0
+
+    def test_attribution_requires_intermediate(self, world):
+        scenario, topo = world
+        exp = PoisoningExperiment(topo)
+        with pytest.raises(RoutingError):
+            exp.attribute_change(1, 2, (1, 2), (1, 3, 2))
+
+    def test_endpoints_validated(self, world):
+        scenario, topo = world
+        exp = PoisoningExperiment(topo)
+        with pytest.raises(RoutingError):
+            exp.attribute_change(3741, scenario.content_asn, (1, 2, 3), (1, 3))
+
+
+class TestRootCauseStudy:
+    def test_attribution_correct(self):
+        out = run_root_cause_experiment()
+        assert out.attribution_correct
+
+    def test_passive_ambiguity_real(self):
+        out = run_root_cause_experiment()
+        assert len(out.passive_candidates) >= 2
+
+    def test_paths_differ(self):
+        out = run_root_cause_experiment()
+        assert out.old_path != out.new_path
+        assert out.old_path[0] == out.new_path[0] == out.source_asn
+
+    def test_report_text(self):
+        text = run_root_cause_experiment().format_report()
+        assert "CORRECT" in text
+        assert "passive analysis" in text

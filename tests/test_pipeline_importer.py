@@ -1,0 +1,122 @@
+"""Unit tests for the measurement CSV importer."""
+
+import pytest
+
+from repro.errors import FrameError
+from repro.frames import Frame, write_csv
+from repro.netsim.ids import Prefix
+from repro.pipeline import (
+    detect_crossings_from_hops,
+    import_csv,
+    load_ixp_prefixes,
+    normalise_measurements,
+    run_ixp_study,
+)
+
+PREFIXES = {"NAPAfrica-JNB": [Prefix.parse("196.60.8.0/24")]}
+
+
+def raw_frame() -> Frame:
+    return Frame.from_dict(
+        {
+            "asn": [3741, 3741, 37053],
+            "city": ["East London", "East London", "Cape Town"],
+            "time_hour": [0.5, 25.0, 1.0],
+            "rtt_ms": [30.0, 28.0, 45.0],
+            "hop_ips": [
+                "10.0.1.1|10.0.2.1",
+                "10.0.1.1|196.60.8.7|10.0.3.1",
+                "10.0.4.1|*",
+            ],
+        }
+    )
+
+
+class TestHopMatching:
+    def test_crossing_detected(self):
+        assert detect_crossings_from_hops(
+            "10.0.0.1|196.60.8.9", load_ixp_prefixes({"NAP": ["196.60.8.0/24"]})
+        ) == ["NAP"]
+
+    def test_no_crossing(self):
+        assert detect_crossings_from_hops("10.0.0.1", PREFIXES) == []
+
+    def test_unparseable_hops_skipped(self):
+        assert detect_crossings_from_hops("*|?|196.60.8.3", PREFIXES) == [
+            "NAPAfrica-JNB"
+        ]
+
+    def test_each_ixp_once(self):
+        hops = "196.60.8.1|196.60.8.2"
+        assert detect_crossings_from_hops(hops, PREFIXES) == ["NAPAfrica-JNB"]
+
+
+class TestNormalisation:
+    def test_derives_unit_day_and_crossings(self):
+        out = normalise_measurements(raw_frame(), PREFIXES)
+        rows = list(out.iter_rows())
+        assert rows[0]["unit"] == "AS3741/East London"
+        assert rows[1]["day"] == 1
+        assert rows[1]["ixps"] == "NAPAfrica-JNB"
+        assert rows[1]["crosses_ixp"] in (True, 1)
+        assert rows[0]["ixps"] == ""
+
+    def test_fills_optional_columns(self):
+        out = normalise_measurements(raw_frame(), PREFIXES)
+        assert set(out.column_names) >= {
+            "unit",
+            "day",
+            "ixps",
+            "crosses_ixp",
+            "trigger",
+            "server_site",
+            "as_path",
+        }
+
+    def test_missing_required_column(self):
+        bad = raw_frame().drop("rtt_ms")
+        with pytest.raises(FrameError, match="missing required"):
+            normalise_measurements(bad, PREFIXES)
+
+    def test_non_numeric_rtt_rejected(self):
+        bad = raw_frame().with_column("rtt_ms", ["a", "b", "c"])
+        with pytest.raises(FrameError):
+            normalise_measurements(bad, PREFIXES)
+
+    def test_all_missing_rows_rejected(self):
+        empty = Frame.from_dict(
+            {
+                "asn": [3741, 37053],
+                "city": ["X", "Y"],
+                "time_hour": [None, 1.0],
+                "rtt_ms": [10.0, None],
+            }
+        )
+        with pytest.raises(FrameError, match="no complete"):
+            normalise_measurements(empty, PREFIXES)
+
+    def test_no_prefixes_yields_empty_crossings(self):
+        out = normalise_measurements(raw_frame())
+        assert all(r["ixps"] == "" for r in out.iter_rows())
+
+
+class TestRoundTripThroughPipeline:
+    def test_csv_import_feeds_study(self, tmp_path, small_scenario, small_frame):
+        """Export simulated data to CSV, re-import, and re-run the study:
+        the result must match the in-memory run."""
+        in_memory = run_ixp_study(small_frame, small_scenario.ixp_name)
+
+        csv_path = tmp_path / "mlab_export.csv"
+        export = small_frame.select(
+            ["asn", "city", "time_hour", "rtt_ms", "ixps", "trigger"]
+        )
+        write_csv(export, csv_path)
+        imported = import_csv(csv_path)
+        re_run = run_ixp_study(imported, small_scenario.ixp_name)
+
+        assert {r.unit for r in re_run.rows} == {r.unit for r in in_memory.rows}
+        by_unit = {r.unit: r for r in in_memory.rows}
+        for row in re_run.rows:
+            assert row.rtt_delta_ms == pytest.approx(
+                by_unit[row.unit].rtt_delta_ms, abs=1e-6
+            )

@@ -1,0 +1,122 @@
+"""Property-based tests for the network simulator (hypothesis).
+
+Invariants checked on randomly generated valley-free-policy worlds:
+
+- every selected route is valley-free and loop-free;
+- route preference is respected (an AS holding a customer route never
+  selects a peer or provider route, and so on);
+- killing a link never creates a route where none existed, and every
+  surviving route avoids the dead link.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import (
+    AsKind,
+    AutonomousSystem,
+    Prefix,
+    RouteKind,
+    Topology,
+    compute_routes,
+    is_valley_free,
+)
+
+
+@st.composite
+def random_topologies(draw, max_ases: int = 8) -> Topology:
+    """Random multi-tier topology: ASes i<j may relate as j-customer-of-i
+    (keeps the provider hierarchy acyclic) or as peers."""
+    n = draw(st.integers(min_value=2, max_value=max_ases))
+    topo = Topology()
+    for i in range(n):
+        topo.add_as(
+            AutonomousSystem(
+                asn=i + 1,
+                name=f"AS{i + 1}",
+                kind=AsKind.ACCESS,
+                city="Johannesburg",
+                router_prefix=Prefix((10 << 24) | (i << 8), 24),
+            )
+        )
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            kind = draw(st.sampled_from(["none", "none", "c2p", "p2p"]))
+            if kind == "c2p":
+                topo.add_c2p(j, i)  # j buys transit from i
+            elif kind == "p2p":
+                topo.add_p2p(i, j)
+    return topo
+
+
+@given(random_topologies(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_all_routes_valley_free_and_loop_free(topo, data):
+    destination = data.draw(st.sampled_from(sorted(topo.ases)))
+    routes = compute_routes(topo, destination)
+    for asn, route in routes.items():
+        assert route.path[0] == asn
+        assert route.path[-1] == destination
+        assert len(set(route.path)) == len(route.path), "loop in path"
+        assert is_valley_free(topo, route.path), route.path
+
+
+@given(random_topologies(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_gao_rexford_preference_respected(topo, data):
+    destination = data.draw(st.sampled_from(sorted(topo.ases)))
+    routes = compute_routes(topo, destination)
+    for asn, route in routes.items():
+        if asn == destination:
+            assert route.kind is RouteKind.ORIGIN
+            continue
+        next_hop = route.next_hop
+        # If the selected route is not a customer route, no customer of
+        # this AS may hold any route (else a customer route would exist
+        # and be preferred).
+        if route.kind in (RouteKind.PEER, RouteKind.PROVIDER):
+            for customer in topo.customers(asn):
+                if customer in routes and routes[customer].kind in (
+                    RouteKind.ORIGIN,
+                    RouteKind.CUSTOMER,
+                ):
+                    # The customer's selected route must pass through asn
+                    # itself (making it unusable: loop), otherwise asn
+                    # would have learned a customer route.
+                    assert asn in routes[customer].path, (
+                        asn,
+                        route,
+                        customer,
+                        routes[customer],
+                    )
+        # Next hop relationship must match the route class.
+        if route.kind is RouteKind.CUSTOMER:
+            assert next_hop in topo.customers(asn)
+        elif route.kind is RouteKind.PEER:
+            assert next_hop in topo.peers(asn)
+        elif route.kind is RouteKind.PROVIDER:
+            assert next_hop in topo.providers(asn)
+
+
+@given(random_topologies(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_link_failure_monotonicity(topo, data):
+    destination = data.draw(st.sampled_from(sorted(topo.ases)))
+    if not topo.links:
+        return
+    dead = data.draw(st.sampled_from(sorted(topo.links)))
+    before = compute_routes(topo, destination)
+    after = compute_routes(topo, destination, dead_links={dead})
+    # No new reachability appears when a link dies.
+    assert set(after) <= set(before)
+    for route in after.values():
+        assert not route.crosses_link(*dead)
+
+
+@given(random_topologies(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_route_determinism(topo, data):
+    destination = data.draw(st.sampled_from(sorted(topo.ases)))
+    a = compute_routes(topo, destination)
+    b = compute_routes(topo, destination)
+    assert {k: r.path for k, r in a.items()} == {k: r.path for k, r in b.items()}

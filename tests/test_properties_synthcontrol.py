@@ -1,0 +1,90 @@
+"""Property-based tests for synthetic control (hypothesis).
+
+Invariances the estimators must respect:
+
+- adding a constant c to the treated unit's post period moves the
+  effect by exactly c;
+- permuting donor columns leaves the classic effect unchanged (the
+  robust method's SVD is also permutation-invariant);
+- shifting *all* series by a common constant leaves the classic effect
+  unchanged (level invariance of the simplex combination).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthcontrol import classic_synthetic_control, robust_synthetic_control
+
+
+@st.composite
+def panels(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    j = draw(st.integers(min_value=3, max_value=8))
+    pre = draw(st.integers(min_value=10, max_value=25))
+    post = draw(st.integers(min_value=4, max_value=12))
+    rng = np.random.default_rng(seed)
+    t = pre + post
+    factors = rng.normal(0, 1, (t, 2)).cumsum(axis=0) * 0.2 + 30.0
+    donors = np.column_stack(
+        [factors @ rng.normal(0.5, 0.2, 2) + rng.normal(0, 0.4, t) for _ in range(j)]
+    )
+    treated = factors @ np.array([0.5, 0.5]) + rng.normal(0, 0.4, t)
+    return treated, donors, pre
+
+
+@given(panels(), st.floats(min_value=-20, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_post_shift_moves_effect_one_for_one(panel, c):
+    treated, donors, pre = panel
+    base = classic_synthetic_control(treated, donors, pre).effect
+    shifted = treated.copy()
+    shifted[pre:] += c
+    moved = classic_synthetic_control(shifted, donors, pre).effect
+    assert moved == np.float64(moved)
+    assert abs((moved - base) - c) < 1e-6
+
+
+@given(panels(), st.floats(min_value=-20, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_post_shift_moves_robust_effect_one_for_one(panel, c):
+    treated, donors, pre = panel
+    base = robust_synthetic_control(treated, donors, pre).effect
+    shifted = treated.copy()
+    shifted[pre:] += c
+    moved = robust_synthetic_control(shifted, donors, pre).effect
+    assert abs((moved - base) - c) < 1e-6
+
+
+@given(panels(), st.randoms())
+@settings(max_examples=30, deadline=None)
+def test_donor_permutation_invariance(panel, rnd):
+    treated, donors, pre = panel
+    order = list(range(donors.shape[1]))
+    rnd.shuffle(order)
+    base = classic_synthetic_control(treated, donors, pre).effect
+    permuted = classic_synthetic_control(treated, donors[:, order], pre).effect
+    assert abs(base - permuted) < 1e-6
+
+
+@given(panels(), st.floats(min_value=-50, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_common_level_shift_invariance(panel, c):
+    """Shifting every series by c leaves the classic gap unchanged
+    (weights sum to ~one, so the shift cancels up to the soft
+    sum-constraint's numerical slack)."""
+    treated, donors, pre = panel
+    base = classic_synthetic_control(treated, donors, pre).effect
+    shifted = classic_synthetic_control(treated + c, donors + c, pre).effect
+    assert abs(base - shifted) < 5e-3
+
+
+@given(panels())
+@settings(max_examples=30, deadline=None)
+def test_pre_gaps_exclude_post_and_vice_versa(panel):
+    treated, donors, pre = panel
+    fit = classic_synthetic_control(treated, donors, pre)
+    assert len(fit.pre_gaps) + len(fit.post_gaps) == len(treated)
+    assert np.allclose(
+        np.concatenate([fit.pre_gaps, fit.post_gaps]), fit.gaps, equal_nan=True
+    )

@@ -1,0 +1,111 @@
+"""Unit tests for repro.scm.counterfactual and repro.scm.ladder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.scm import (
+    GaussianNoise,
+    Ladder,
+    LinearMechanism,
+    StructuralCausalModel,
+    counterfactual,
+    effect_of_treatment_on_treated,
+)
+
+
+def reroute_model() -> StructuralCausalModel:
+    """congestion -> rerouted -> quality, congestion -> quality."""
+    return StructuralCausalModel(
+        {
+            "congestion": (LinearMechanism({}), GaussianNoise(1.0)),
+            "rerouted": (LinearMechanism({"congestion": 0.7}), GaussianNoise(0.4)),
+            "quality": (
+                LinearMechanism(
+                    {"rerouted": -1.2, "congestion": -0.8}, intercept=4.5
+                ),
+                GaussianNoise(0.2),
+            ),
+        }
+    )
+
+
+class TestCounterfactual:
+    def test_linear_effect_exact(self):
+        """For a linear SCM, the unit-level effect equals the coefficient."""
+        model = reroute_model()
+        obs = model.sample(1, rng=0).row(0)
+        result = counterfactual(model, obs, {"rerouted": obs["rerouted"] + 1.0})
+        assert result.effect_on("quality") == pytest.approx(-1.2, abs=1e-9)
+
+    def test_factual_preserved(self):
+        model = reroute_model()
+        obs = model.sample(1, rng=1).row(0)
+        result = counterfactual(model, obs, {"rerouted": 0.0})
+        assert result.factual["quality"] == pytest.approx(obs["quality"])
+
+    def test_noise_shared_across_worlds(self):
+        model = reroute_model()
+        obs = model.sample(1, rng=2).row(0)
+        result = counterfactual(model, obs, {"rerouted": 0.0})
+        # Exogenous congestion keeps its factual value in the twin world.
+        assert result.counterfactual["congestion"] == pytest.approx(
+            obs["congestion"]
+        )
+
+    def test_intervening_on_root_propagates(self):
+        model = reroute_model()
+        obs = model.sample(1, rng=3).row(0)
+        result = counterfactual(model, obs, {"congestion": obs["congestion"] + 1.0})
+        # d quality / d congestion = -0.8 (direct) + 0.7 * -1.2 (via reroute)
+        assert result.effect_on("quality") == pytest.approx(-0.8 - 0.84, abs=1e-9)
+
+    def test_ett_answers_would_it_have_happened_anyway(self):
+        model = reroute_model()
+        obs = model.sample(1, rng=4).row(0)
+        ett = effect_of_treatment_on_treated(
+            model, obs, "rerouted", "quality", baseline_value=0.0
+        )
+        assert ett == pytest.approx(-1.2 * obs["rerouted"], abs=1e-9)
+
+    def test_summary_text(self):
+        model = reroute_model()
+        obs = model.sample(1, rng=5).row(0)
+        result = counterfactual(model, obs, {"rerouted": 0.0})
+        assert "would have been" in result.summary("quality")
+
+
+class TestLadder:
+    def test_association_vs_intervention_gap(self):
+        """Confounding makes rung 1 differ from rung 2 (the paper's point)."""
+        ladder = Ladder(reroute_model(), n_samples=40_000, rng=0)
+        assoc = ladder.association_difference("quality", "rerouted", 1.0, 0.0)
+        ate = ladder.interventional_difference("quality", "rerouted", 1.0, 0.0)
+        assert ate == pytest.approx(-1.2, abs=0.1)
+        assert assoc < ate - 0.2  # confounding exaggerates the degradation
+        assert ladder.confounding_gap("quality", "rerouted") == pytest.approx(
+            assoc - ate, abs=1e-9
+        )
+
+    def test_counterfact_delegates(self):
+        ladder = Ladder(reroute_model(), n_samples=100, rng=0)
+        obs = reroute_model().sample(1, rng=6).row(0)
+        result = ladder.counterfact(obs, {"rerouted": 0.0})
+        assert result.effect_on("quality") == pytest.approx(
+            -1.2 * (0.0 - obs["rerouted"]), abs=1e-9
+        )
+
+    def test_empty_conditioning_window_raises(self):
+        ladder = Ladder(reroute_model(), n_samples=200, rng=0)
+        with pytest.raises(EstimationError, match="no samples matched"):
+            ladder.associate("quality", {"rerouted": 100.0}, tolerance=0.01)
+
+    def test_bad_sample_size(self):
+        with pytest.raises(EstimationError):
+            Ladder(reroute_model(), n_samples=0)
+
+    def test_intervene_expectation(self):
+        ladder = Ladder(reroute_model(), n_samples=30_000, rng=1)
+        value = ladder.intervene("quality", {"rerouted": 2.0})
+        # E[quality | do(rerouted=2)] = 4.5 - 1.2*2 - 0.8*E[congestion] = 2.1
+        assert value == pytest.approx(2.1, abs=0.05)

@@ -1,0 +1,116 @@
+"""Unit tests for repro.scm.mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.scm import (
+    AdditiveMechanism,
+    BernoulliMechanism,
+    ConstantMechanism,
+    ExponentialNoise,
+    GaussianNoise,
+    LinearMechanism,
+    UniformNoise,
+    as_mechanism,
+)
+
+
+class TestLinearMechanism:
+    def test_evaluate(self):
+        mech = LinearMechanism({"a": 2.0, "b": -1.0}, intercept=5.0)
+        assert mech.evaluate({"a": 3.0, "b": 1.0}, noise=0.5) == 5.0 + 6.0 - 1.0 + 0.5
+
+    def test_missing_parent(self):
+        with pytest.raises(SimulationError):
+            LinearMechanism({"a": 1.0}).evaluate({}, 0.0)
+
+    def test_abduction_inverts_evaluate(self):
+        mech = LinearMechanism({"a": 2.0}, intercept=1.0)
+        parents = {"a": 4.0}
+        value = mech.evaluate(parents, noise=0.75)
+        assert mech.abduct(parents, value) == pytest.approx(0.75)
+
+    def test_supports_abduction(self):
+        assert LinearMechanism({}).supports_abduction
+
+
+class TestAdditiveMechanism:
+    def test_arbitrary_function(self):
+        mech = AdditiveMechanism(lambda p: p["x"] ** 2)
+        assert mech.evaluate({"x": 3.0}, 1.0) == 10.0
+
+    def test_abduction(self):
+        mech = AdditiveMechanism(lambda p: p["x"] ** 2)
+        assert mech.abduct({"x": 3.0}, 10.0) == pytest.approx(1.0)
+
+
+class TestBernoulliMechanism:
+    def test_probability_sigmoid(self):
+        mech = BernoulliMechanism({}, intercept=0.0)
+        assert mech.probability({}) == pytest.approx(0.5)
+
+    def test_evaluate_thresholds_noise(self):
+        mech = BernoulliMechanism({}, intercept=0.0)
+        assert mech.evaluate({}, noise=0.4) == 1.0
+        assert mech.evaluate({}, noise=0.6) == 0.0
+
+    def test_no_abduction(self):
+        mech = BernoulliMechanism({})
+        assert not mech.supports_abduction
+        with pytest.raises(SimulationError):
+            mech.abduct({}, 1.0)
+
+
+class TestConstantMechanism:
+    def test_ignores_everything(self):
+        mech = ConstantMechanism(7.0)
+        assert mech.evaluate({"a": 100.0}, noise=50.0) == 7.0
+
+    def test_abduction_is_zero(self):
+        assert ConstantMechanism(7.0).abduct({}, 7.0) == 0.0
+
+
+class TestNoise:
+    def test_gaussian_draw_stats(self):
+        rng = np.random.default_rng(0)
+        draws = GaussianNoise(std=2.0, mean=1.0).draw(rng, 50_000)
+        assert abs(draws.mean() - 1.0) < 0.05
+        assert abs(draws.std() - 2.0) < 0.05
+
+    def test_gaussian_negative_std(self):
+        with pytest.raises(SimulationError):
+            GaussianNoise(std=-1.0)
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        draws = UniformNoise(2.0, 3.0).draw(rng, 1000)
+        assert draws.min() >= 2.0 and draws.max() < 3.0
+
+    def test_uniform_bad_bounds(self):
+        with pytest.raises(SimulationError):
+            UniformNoise(1.0, 1.0)
+
+    def test_exponential_positive(self):
+        rng = np.random.default_rng(0)
+        assert (ExponentialNoise(2.0).draw(rng, 100) >= 0).all()
+
+    def test_exponential_bad_scale(self):
+        with pytest.raises(SimulationError):
+            ExponentialNoise(0.0)
+
+
+class TestCoercion:
+    def test_number_becomes_constant(self):
+        assert isinstance(as_mechanism(3), ConstantMechanism)
+
+    def test_callable_becomes_additive(self):
+        assert isinstance(as_mechanism(lambda p: 0.0), AdditiveMechanism)
+
+    def test_mechanism_passes_through(self):
+        mech = LinearMechanism({})
+        assert as_mechanism(mech) is mech
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SimulationError):
+            as_mechanism("not a mechanism")

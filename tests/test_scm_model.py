@@ -1,0 +1,145 @@
+"""Unit tests for repro.scm.model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import CausalDag
+from repro.scm import (
+    BernoulliMechanism,
+    GaussianNoise,
+    LinearMechanism,
+    StructuralCausalModel,
+    UniformNoise,
+)
+
+
+def paper_model() -> StructuralCausalModel:
+    """C -> R -> L with C -> L (the running example, linear)."""
+    return StructuralCausalModel(
+        {
+            "C": (LinearMechanism({}), GaussianNoise(1.0)),
+            "R": (LinearMechanism({"C": 0.8}), GaussianNoise(0.5)),
+            "L": (LinearMechanism({"C": 1.5, "R": 2.0}), GaussianNoise(0.5)),
+        }
+    )
+
+
+class TestConstruction:
+    def test_dag_derived_from_coefficients(self):
+        model = paper_model()
+        assert model.dag.edges() == [("C", "L"), ("C", "R"), ("R", "L")]
+
+    def test_variables_topological(self):
+        assert paper_model().variables == ["C", "R", "L"]
+
+    def test_explicit_dag_validated(self):
+        dag = CausalDag([("a", "b")])
+        with pytest.raises(SimulationError, match="no structural equation"):
+            StructuralCausalModel({"a": (LinearMechanism({}), GaussianNoise())}, dag=dag)
+
+    def test_mechanism_parent_must_be_dag_parent(self):
+        dag = CausalDag(nodes=["a", "b"])
+        with pytest.raises(SimulationError, match="not dag parents"):
+            StructuralCausalModel(
+                {
+                    "a": (LinearMechanism({}), GaussianNoise()),
+                    "b": (LinearMechanism({"a": 1.0}), GaussianNoise()),
+                },
+                dag=dag,
+            )
+
+    def test_callable_without_dag_rejected(self):
+        with pytest.raises(SimulationError, match="cannot be inferred"):
+            StructuralCausalModel({"a": (lambda p: 0.0, GaussianNoise())})
+
+    def test_bad_noise_rejected(self):
+        with pytest.raises(SimulationError, match="Noise instance"):
+            StructuralCausalModel({"a": (LinearMechanism({}), 1.0)})
+
+    def test_default_noise_is_gaussian(self):
+        model = StructuralCausalModel({"a": LinearMechanism({})})
+        from repro.scm import GaussianNoise as GN
+
+        assert isinstance(model.noise("a"), GN)
+
+
+class TestSampling:
+    def test_shape_and_columns(self):
+        data = paper_model().sample(100, rng=0)
+        assert data.num_rows == 100
+        assert data.column_names == ["C", "R", "L"]
+
+    def test_deterministic_by_seed(self):
+        a = paper_model().sample(50, rng=7)
+        b = paper_model().sample(50, rng=7)
+        assert a == b
+
+    def test_structural_relationship_holds(self):
+        data, noises = paper_model().sample_with_noise(200, rng=1)
+        recon = 1.5 * data["C"] + 2.0 * data["R"] + noises["L"]
+        assert np.allclose(recon, data["L"])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            paper_model().sample(-1)
+
+    def test_zero_size(self):
+        assert paper_model().sample(0).num_rows == 0
+
+
+class TestIntervention:
+    def test_do_fixes_value(self):
+        model = paper_model().do({"R": 5.0})
+        data = model.sample(50, rng=0)
+        assert (data["R"] == 5.0).all()
+
+    def test_do_cuts_confounding(self):
+        data = paper_model().do({"R": 1.0}).sample(4000, rng=0)
+        # L still responds to C via the direct edge...
+        assert abs(np.corrcoef(data["C"], data["L"])[0, 1]) > 0.5
+        # ...and matches the truncated structural expectation.
+        assert float(data["L"].mean()) == pytest.approx(2.0, abs=0.1)
+
+    def test_do_graph_surgery(self):
+        model = paper_model().do({"R": 1.0})
+        assert model.dag.parents("R") == set()
+
+    def test_do_unknown_variable(self):
+        with pytest.raises(SimulationError):
+            paper_model().do({"Z": 1.0})
+
+    def test_ate_matches_structural_coefficient(self):
+        model = paper_model()
+        d1 = model.do({"R": 1.0}).sample(30_000, rng=3)
+        d0 = model.do({"R": 0.0}).sample(30_000, rng=3)
+        ate = float(d1["L"].mean() - d0["L"].mean())
+        assert ate == pytest.approx(2.0, abs=0.05)
+
+
+class TestAbduction:
+    def test_round_trip(self):
+        model = paper_model()
+        data, noises = model.sample_with_noise(20, rng=2)
+        row = data.row(5)
+        abducted = model.abduct_row(row)
+        for name in model.variables:
+            assert abducted[name] == pytest.approx(noises[name][5], abs=1e-9)
+
+    def test_incomplete_observation(self):
+        with pytest.raises(SimulationError, match="missing variable"):
+            paper_model().abduct_row({"C": 1.0})
+
+    def test_bernoulli_not_abducible(self):
+        model = StructuralCausalModel(
+            {
+                "x": (BernoulliMechanism({}), UniformNoise()),
+                "y": (LinearMechanism({"x": 1.0}), GaussianNoise()),
+            }
+        )
+        with pytest.raises(SimulationError, match="abduction"):
+            model.abduct_row({"x": 1.0, "y": 1.5})
+
+    def test_evaluate_row_requires_all_noises(self):
+        with pytest.raises(SimulationError):
+            paper_model().evaluate_row({"C": 0.0})

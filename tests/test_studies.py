@@ -1,0 +1,121 @@
+"""Tests for the executable case studies (the paper's boxed examples)."""
+
+import pytest
+
+from repro.studies import (
+    TRUE_REROUTE_EFFECT,
+    TRUE_ROUTE_EFFECT,
+    TRUE_SIGNAL_EFFECT,
+    run_collider_experiment,
+    run_confounding_experiment,
+    run_instrument_experiment,
+    run_randomization_experiment,
+    run_reroute_experiment,
+    tag_based_correction,
+    video_call_model,
+    would_quality_have_been_better,
+)
+
+
+class TestConfoundingStudy:
+    def test_naive_sign_flips(self):
+        out = run_confounding_experiment(n_samples=15_000, seed=0)
+        assert out.true_effect < 0
+        assert out.naive.effect > 0  # the box's anomaly
+        assert out.naive_sign_wrong
+
+    def test_adjustment_recovers_truth(self):
+        out = run_confounding_experiment(n_samples=15_000, seed=0)
+        assert out.adjusted.effect == pytest.approx(TRUE_SIGNAL_EFFECT, abs=0.03)
+
+    def test_report_text(self):
+        out = run_confounding_experiment(n_samples=5_000, seed=1)
+        assert "SIGN FLIPPED" in out.format_report()
+
+
+class TestColliderStudy:
+    def test_bias_manufactured_from_nothing(self):
+        out = run_collider_experiment(n_samples=30_000, seed=0)
+        assert out.true_effect == 0.0
+        assert abs(out.full_population_assoc) < 0.08
+        assert abs(out.collected_tests_assoc) > 0.2
+
+    def test_bias_is_negative(self):
+        """Both causes raise testing odds -> negative cross-association."""
+        out = run_collider_experiment(n_samples=30_000, seed=0)
+        assert out.collected_tests_assoc < 0
+
+    def test_dag_warning_names_collider(self):
+        out = run_collider_experiment(n_samples=5_000, seed=1)
+        assert "test_run" in out.dag_warning
+
+    def test_tag_correction_on_platform_data(self, small_scenario, small_frame):
+        contrasts = tag_based_correction(small_frame, small_scenario.ixp_name)
+        assert set(contrasts) == {"pooled", "baseline_only", "reactive_only"}
+
+
+class TestInstrumentStudy:
+    def test_valid_iv_recovers_truth(self):
+        out = run_instrument_experiment(n_samples=15_000, seed=0)
+        assert out.valid_iv == pytest.approx(TRUE_ROUTE_EFFECT, abs=0.3)
+
+    def test_invalid_iv_is_biased(self):
+        out = run_instrument_experiment(n_samples=15_000, seed=0)
+        assert abs(out.invalid_iv - TRUE_ROUTE_EFFECT) > 1.0
+
+    def test_graphical_verdicts(self):
+        out = run_instrument_experiment(n_samples=2_000, seed=0)
+        assert out.valid_is_instrument is True
+        assert out.invalid_is_instrument is False
+
+    def test_naive_is_biased(self):
+        out = run_instrument_experiment(n_samples=15_000, seed=0)
+        assert abs(out.naive_ols - TRUE_ROUTE_EFFECT) > 0.5
+
+    def test_explanations_present(self):
+        out = run_instrument_experiment(n_samples=2_000, seed=0)
+        assert "exclusion" in out.explanations["policy_change"]
+
+
+class TestRerouteStudy:
+    def test_exposure_overstates_impact(self):
+        out = run_reroute_experiment()
+        assert out.n_exposed > 0
+        assert out.n_disconnected < out.n_exposed
+
+    def test_survivors_pay_penalty(self):
+        out = run_reroute_experiment()
+        assert out.mean_penalty_ms > 0  # rerouting via Europe costs RTT
+
+    def test_report_text(self):
+        text = run_reroute_experiment().format_report()
+        assert "exposure analysis" in text
+        assert "counterfactual analysis" in text
+
+    def test_video_call_counterfactual_direction(self):
+        model = video_call_model()
+        obs = model.sample(20, rng=0)
+        # Pick a unit whose call was actually rerouted (positive reroute).
+        row = next(r for r in obs.iter_rows() if r["rerouted"] > 0.5)
+        result = would_quality_have_been_better(row)
+        expected = TRUE_REROUTE_EFFECT * (0.0 - row["rerouted"])
+        assert result.effect_on("quality") == pytest.approx(expected, abs=1e-9)
+        assert result.effect_on("quality") > 0  # undoing the reroute helps
+
+
+class TestRandomizationStudy:
+    def test_randomized_unbiased(self):
+        out = run_randomization_experiment(n_tests=20_000, seed=0)
+        assert out.randomized_contrast == pytest.approx(out.true_effect, abs=0.3)
+
+    def test_self_selection_biased(self):
+        out = run_randomization_experiment(n_tests=20_000, seed=0)
+        assert abs(out.selection_bias) > 1.0
+
+    def test_adjustment_fixes_observed_confounding(self):
+        out = run_randomization_experiment(n_tests=20_000, seed=0)
+        assert out.adjusted_self_selected == pytest.approx(out.true_effect, abs=0.3)
+
+    def test_report_text(self):
+        text = run_randomization_experiment(n_tests=2_000, seed=1).format_report()
+        assert "M-Lab" in text

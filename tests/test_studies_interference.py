@@ -1,0 +1,106 @@
+"""Tests for the interference (SUTVA-violation) study and traffic module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import (
+    apply_traffic_loads,
+    build_table1_scenario,
+    compute_link_loads,
+    load_utilization_bias,
+)
+from repro.studies import run_interference_experiment
+
+
+class TestLinkLoads:
+    @pytest.fixture(scope="class")
+    def world(self):
+        sc = build_table1_scenario(
+            n_donor_ases=6, duration_days=4, join_day=2, seed=0,
+            churn_probability=0.0,
+        )
+        routes = sc.timeline.routes_at(0.0, sc.content_asn)
+        demands = {g.asn: float(g.n_users) for g in sc.user_groups}
+        return sc, routes, demands
+
+    def test_loads_conserve_demand_per_first_hop(self, world):
+        sc, routes, demands = world
+        loads = compute_link_loads(routes, demands)
+        # Every unit of demand crosses its source's first link exactly once.
+        first_hop_total = 0.0
+        for asn, demand in demands.items():
+            route = routes.get(asn)
+            if route is not None and route.length >= 1:
+                first_hop_total += demand
+        crossing_first_links = sum(
+            loads.get(
+                (min(r.path[0], r.path[1]), max(r.path[0], r.path[1])), 0.0
+            )
+            for r in (routes[a] for a in demands if a in routes)
+            if r.length >= 1
+        )
+        assert crossing_first_links >= first_hop_total  # shared links count once per src
+
+    def test_negative_demand_rejected(self, world):
+        sc, routes, _ = world
+        with pytest.raises(SimulationError):
+            compute_link_loads(routes, {3741: -1.0})
+
+    def test_bias_scaling(self):
+        bias = load_utilization_bias({(1, 2): 50.0}, total_demand=100.0, coupling=0.4)
+        assert bias[(1, 2)] == pytest.approx(0.2)
+
+    def test_zero_coupling_zero_bias(self):
+        bias = load_utilization_bias({(1, 2): 50.0}, 100.0, coupling=0.0)
+        assert bias[(1, 2)] == 0.0
+
+    def test_bad_total(self):
+        with pytest.raises(SimulationError):
+            load_utilization_bias({}, 0.0, 0.1)
+
+    def test_apply_installs_on_model(self, world):
+        sc, routes, demands = world
+        bias = apply_traffic_loads(sc.latency, routes, demands, coupling=0.3)
+        assert sc.latency.load_bias == bias
+        assert all(v >= 0 for v in bias.values())
+        sc.latency.load_bias = {}  # clean up shared fixture state
+
+    def test_load_raises_latency(self, world):
+        sc, routes, demands = world
+        route = routes[3741]
+        cold = sc.latency.expected_rtt(route, 12.0)
+        apply_traffic_loads(sc.latency, routes, demands, coupling=0.5)
+        hot = sc.latency.expected_rtt(route, 12.0)
+        sc.latency.load_bias = {}
+        assert hot > cold
+
+
+class TestInterferenceStudy:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_interference_experiment(
+            couplings=(0.0, 0.4), duration_days=14
+        )
+
+    def test_no_coupling_no_spillover(self, output):
+        base = output.rows[0]
+        assert base.coupling == 0.0
+        assert base.donor_spillover == pytest.approx(0.0, abs=1e-9)
+        assert abs(base.bias) < 0.8  # estimator honest when SUTVA holds
+
+    def test_coupling_creates_negative_spillover(self, output):
+        coupled = output.rows[1]
+        assert coupled.donor_spillover < -2.0  # donors improve
+
+    def test_spillover_biases_estimate(self, output):
+        base, coupled = output.rows
+        # Bias has the opposite sign of the spillover and grows with it.
+        assert coupled.bias > base.bias + 0.5
+        assert coupled.bias > 0
+        assert abs(coupled.bias) <= abs(coupled.donor_spillover)
+
+    def test_report_text(self, output):
+        text = output.format_report()
+        assert "coupling" in text
+        assert "spillover" in text
