@@ -36,6 +36,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         duration_days=args.days,
         join_day=args.days // 2,
         seed=args.seed,
+        n_jobs=args.jobs,
     )
     print(output.format_report())
     return 0
@@ -79,7 +80,7 @@ def _cmd_import(args: argparse.Namespace) -> int:
         prefixes = {args.ixp: [Prefix.parse(p) for p in args.prefix]}
     frame = import_csv(args.csv, prefixes)
     print(f"imported {frame.num_rows} measurements from {args.csv}")
-    result = run_ixp_study(frame, args.ixp)
+    result = run_ixp_study(frame, args.ixp, n_jobs=args.jobs)
     print(result.format_table())
     if result.skipped:
         print()
@@ -124,6 +125,17 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for per-unit fits (1 serial, -1 all cores); "
+        "results are identical across backends",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -137,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1.add_argument("--days", type=int, default=40, help="window length")
     p_table1.add_argument("--donors", type=int, default=25, help="donor ASes")
     p_table1.add_argument("--seed", type=int, default=2, help="world seed")
+    _add_jobs_argument(p_table1)
     p_table1.set_defaults(func=_cmd_table1)
 
     p_studies = sub.add_parser("studies", help="run every boxed-example experiment")
@@ -150,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="peering-LAN prefix (repeatable) for hop-IP matching",
     )
+    _add_jobs_argument(p_import)
     p_import.set_defaults(func=_cmd_import)
 
     p_validate = sub.add_parser("validate", help="identify a DAG's strategies")

@@ -49,6 +49,10 @@ class DonorPoolError(EstimationError):
     """Raised when a synthetic-control donor pool is empty or degenerate."""
 
 
+class ExecutionError(ReproError):
+    """Raised for invalid parallel-execution requests (bad n_jobs, ...)."""
+
+
 class SimulationError(ReproError):
     """Raised for inconsistent simulator configuration or state."""
 

@@ -6,7 +6,9 @@
 - :func:`daily_median_rtt` / :func:`rtt_panel` — ⟨ASN, city⟩ daily
   median-RTT panels;
 - :func:`run_ixp_study` — the end-to-end Table-1 runner with donor
-  screening, robust synthetic control, and placebo inference.
+  screening, robust synthetic control, and placebo inference;
+- :func:`get_executor` / :func:`parallel_map` — serial and
+  process-pool execution backends behind ``n_jobs``.
 """
 
 from repro.pipeline.aggregate import (
@@ -26,9 +28,18 @@ from repro.pipeline.crossing import (
     assign_treatment,
     crossing_mask,
 )
+from repro.pipeline.executor import (
+    ProcessPoolBackend,
+    SerialExecutor,
+    get_executor,
+    parallel_map,
+    resolve_n_jobs,
+)
 from repro.pipeline.study import StudyResult, StudyRow, run_ixp_study
 
 __all__ = [
+    "ProcessPoolBackend",
+    "SerialExecutor",
     "StudyResult",
     "StudyRow",
     "TreatmentAssignment",
@@ -37,10 +48,13 @@ __all__ = [
     "crossing_mask",
     "daily_median_rtt",
     "detect_crossings_from_hops",
+    "get_executor",
     "import_csv",
     "load_ixp_prefixes",
     "measurement_volume",
     "normalise_measurements",
+    "parallel_map",
+    "resolve_n_jobs",
     "rtt_panel",
     "run_ixp_study",
 ]

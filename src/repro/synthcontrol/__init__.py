@@ -13,7 +13,11 @@
 from repro.synthcontrol.classic import classic_synthetic_control, fit_simplex_weights
 from repro.synthcontrol.diagnostics import FitDiagnostics, check_assumptions, diagnose
 from repro.synthcontrol.donor import Panel, build_panel, select_donors
-from repro.synthcontrol.placebo import placebo_rmse_ratios, placebo_test
+from repro.synthcontrol.placebo import (
+    PlaceboRatios,
+    placebo_rmse_ratios,
+    placebo_test,
+)
 from repro.synthcontrol.result import PlaceboSummary, SyntheticControlFit
 from repro.synthcontrol.robustness import (
     RobustnessSummary,
@@ -22,21 +26,34 @@ from repro.synthcontrol.robustness import (
     robustness_summary,
 )
 from repro.synthcontrol.robust import (
+    DenoiseCache,
+    DonorFactorization,
+    denoise_from_factorization,
+    denoise_without_column,
+    factor_donor_matrix,
+    fit_from_denoised,
     ridge_weights,
     robust_synthetic_control,
     singular_value_threshold,
 )
 
 __all__ = [
+    "DenoiseCache",
+    "DonorFactorization",
     "FitDiagnostics",
     "Panel",
+    "PlaceboRatios",
     "PlaceboSummary",
     "RobustnessSummary",
     "SyntheticControlFit",
     "build_panel",
     "check_assumptions",
     "classic_synthetic_control",
+    "denoise_from_factorization",
+    "denoise_without_column",
     "diagnose",
+    "factor_donor_matrix",
+    "fit_from_denoised",
     "fit_simplex_weights",
     "in_time_placebo",
     "leave_one_donor_out",

@@ -5,19 +5,38 @@ time.  The treated unit's post/pre RMSE ratio is then ranked against the
 placebo ratios: if paths that did *not* receive the treatment diverge
 from their synthetic controls as much as the treated path did, the
 observed shift "could arise from model noise alone".
+
+Two performance properties matter at study scale:
+
+- placebo refits are independent, so :func:`placebo_rmse_ratios` fans
+  them out over an executor backend (``n_jobs``) with order-stable,
+  backend-independent results;
+- for the robust method, every leave-one-donor-out refit shares the
+  donor matrix's imputation and SVD through
+  :func:`~repro.synthcontrol.robust.denoise_without_column`, so the
+  expensive factorization happens once per unit, not once per donor.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+import functools
+from collections.abc import Callable, Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DonorPoolError
+from repro.errors import DonorPoolError, EstimationError
 from repro.estimators.bootstrap import permutation_p_value
 from repro.synthcontrol.classic import classic_synthetic_control
 from repro.synthcontrol.result import PlaceboSummary, SyntheticControlFit
-from repro.synthcontrol.robust import robust_synthetic_control
+from repro.synthcontrol.robust import (
+    DenoiseCache,
+    DonorFactorization,
+    denoise_without_column,
+    factor_donor_matrix,
+    fit_from_denoised,
+    robust_synthetic_control,
+)
 
 FitFunction = Callable[..., SyntheticControlFit]
 
@@ -30,6 +49,115 @@ def _fitter(method: str) -> FitFunction:
     raise DonorPoolError(f"unknown synthetic-control method {method!r}")
 
 
+def _robust_params(**fit_kwargs: object) -> tuple[float, float]:
+    """Split robust-method fit kwargs, rejecting unknown names loudly."""
+
+    def accept(energy: float = 0.99, ridge: float = 1e-2) -> tuple[float, float]:
+        return float(energy), float(ridge)
+
+    return accept(**fit_kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class PlaceboRatios(Sequence):
+    """Placebo RMSE ratios plus an account of the refits that failed.
+
+    Behaves as a sequence of ``(donor_name, rmse_ratio)`` pairs (the
+    successful refits, in donor order), so older callers that iterate
+    or take ``len`` keep working; :attr:`skipped` records each failed
+    placebo as ``(donor_name, reason)``.
+    """
+
+    ratios: tuple[tuple[str, float], ...]
+    skipped: tuple[tuple[str, str], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.ratios)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self.ratios[index]
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self.ratios)
+
+    @property
+    def n_skipped(self) -> int:
+        """How many placebo refits failed."""
+        return len(self.skipped)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The ratios alone, donor order preserved."""
+        return tuple(r for _, r in self.ratios)
+
+
+@dataclass(frozen=True)
+class _PlaceboContext:
+    """Everything one placebo refit needs (picklable for process pools)."""
+
+    donors: np.ndarray
+    donor_names: tuple[str, ...]
+    pre_periods: int
+    min_pre_rmse: float
+    method: str
+    fit_kwargs: dict
+    fact: DonorFactorization | None
+    energy: float
+    ridge: float
+
+
+def _placebo_refit(ctx: _PlaceboContext, col: int) -> tuple[str, float | None, str]:
+    """Refit donor *col* as pseudo-treated: ``(name, ratio | None, reason)``.
+
+    Only estimation failures (:class:`DonorPoolError` /
+    :class:`EstimationError`) are converted into a skip record;
+    programming errors propagate to the caller.
+    """
+    name = ctx.donor_names[col]
+    pseudo = ctx.donors[:, col]
+    try:
+        if ctx.method == "robust":
+            assert ctx.fact is not None
+            denoised, _rank = denoise_without_column(
+                ctx.fact, col, energy=ctx.energy
+            )
+            rest_names = tuple(
+                n for i, n in enumerate(ctx.donor_names) if i != col
+            )
+            placebo_fit = fit_from_denoised(
+                pseudo,
+                denoised,
+                ctx.pre_periods,
+                f"placebo:{name}",
+                rest_names,
+                ridge=ctx.ridge,
+            )
+        else:
+            rest = np.delete(ctx.donors, col, axis=1)
+            rest_names = tuple(
+                n for i, n in enumerate(ctx.donor_names) if i != col
+            )
+            placebo_fit = classic_synthetic_control(
+                pseudo,
+                rest,
+                ctx.pre_periods,
+                treated_name=f"placebo:{name}",
+                donor_names=rest_names,
+                **ctx.fit_kwargs,
+            )
+    except (DonorPoolError, EstimationError) as exc:
+        return name, None, str(exc) or type(exc).__name__
+    if placebo_fit.pre_rmse < ctx.min_pre_rmse:
+        return name, None, (
+            f"degenerate pre-fit (pre_rmse={placebo_fit.pre_rmse:.3g} "
+            f"< {ctx.min_pre_rmse:.3g})"
+        )
+    ratio = placebo_fit.rmse_ratio
+    if not np.isfinite(ratio):
+        return name, None, "non-finite RMSE ratio"
+    return name, float(ratio), ""
+
+
 def placebo_rmse_ratios(
     donors: np.ndarray,
     pre_periods: int,
@@ -37,41 +165,72 @@ def placebo_rmse_ratios(
     method: str = "robust",
     max_placebos: int | None = None,
     min_pre_rmse: float = 1e-9,
+    n_jobs: int | None = 1,
+    cache: DenoiseCache | None = None,
     **fit_kwargs: object,
-) -> list[tuple[str, float]]:
+) -> PlaceboRatios:
     """RMSE ratios from treating each donor as a pseudo-treated unit.
 
-    Returns ``(donor_name, rmse_ratio)`` pairs; donors whose placebo fit
-    fails (degenerate pre-fit) are skipped.  *max_placebos* caps the
-    count (taking the first k donors, which are correlation-ranked by
-    :func:`~repro.synthcontrol.donor.select_donors`).
+    Returns a :class:`PlaceboRatios`: a sequence of ``(donor_name,
+    rmse_ratio)`` pairs whose :attr:`~PlaceboRatios.skipped` attribute
+    names each donor whose refit failed and why.  Only estimation
+    failures are skipped — unexpected exceptions propagate.
+    *max_placebos* caps the count (taking the first k donors, which are
+    correlation-ranked by :func:`~repro.synthcontrol.donor.select_donors`).
+    *n_jobs* fans refits out over a process pool (results are identical
+    to the serial run, in donor order).  For the robust method, the
+    donor matrix is imputed and factored once — optionally through a
+    shared *cache* — and every refit reuses that SVD.
     """
-    fit = _fitter(method)
+    _fitter(method)  # reject unknown methods before any work
+    donors = np.asarray(donors, dtype=float)
+    if donors.ndim != 2:
+        raise DonorPoolError(
+            f"donor matrix must be 2-D (T x J), got shape {donors.shape}"
+        )
     j = donors.shape[1]
     limit = j if max_placebos is None else min(max_placebos, j)
-    out: list[tuple[str, float]] = []
-    for col in range(limit):
-        pseudo = donors[:, col]
-        rest = np.delete(donors, col, axis=1)
-        rest_names = [donor_names[i] for i in range(j) if i != col]
-        if rest.shape[1] == 0:
-            continue
-        try:
-            placebo_fit = fit(
-                pseudo,
-                rest,
-                pre_periods,
-                treated_name=f"placebo:{donor_names[col]}",
-                donor_names=rest_names,
-                **fit_kwargs,
+
+    fact: DonorFactorization | None = None
+    energy, ridge = 0.99, 1e-2
+    classic_kwargs: dict = dict(fit_kwargs)
+    if method == "robust":
+        energy, ridge = _robust_params(**fit_kwargs)
+        classic_kwargs = {}
+        if limit > 0:
+            fact = (
+                cache.factorization(donors)
+                if cache is not None
+                else factor_donor_matrix(donors)
             )
-        except Exception:
-            continue
-        ratio = placebo_fit.rmse_ratio
-        if placebo_fit.pre_rmse < min_pre_rmse or not np.isfinite(ratio):
-            continue
-        out.append((donor_names[col], float(ratio)))
-    return out
+
+    ctx = _PlaceboContext(
+        donors=donors,
+        donor_names=tuple(donor_names),
+        pre_periods=pre_periods,
+        min_pre_rmse=min_pre_rmse,
+        method=method,
+        fit_kwargs=classic_kwargs,
+        fact=fact,
+        energy=energy,
+        ridge=ridge,
+    )
+
+    from repro.pipeline.executor import get_executor
+
+    with get_executor(n_jobs) as executor:
+        outcomes = executor.map(
+            functools.partial(_placebo_refit, ctx), range(limit)
+        )
+
+    ratios: list[tuple[str, float]] = []
+    skipped: list[tuple[str, str]] = []
+    for name, ratio, reason in outcomes:
+        if ratio is None:
+            skipped.append((name, reason))
+        else:
+            ratios.append((name, ratio))
+    return PlaceboRatios(ratios=tuple(ratios), skipped=tuple(skipped))
 
 
 def placebo_test(
@@ -82,40 +241,66 @@ def placebo_test(
     donor_names: Sequence[str] | None = None,
     method: str = "robust",
     max_placebos: int | None = None,
+    min_pre_rmse: float = 1e-9,
+    n_jobs: int | None = 1,
+    cache: DenoiseCache | None = None,
     **fit_kwargs: object,
 ) -> PlaceboSummary:
     """Fit the treated unit and compute its placebo-based p-value.
 
     The p-value is the add-one share of placebo RMSE ratios greater than
     or equal to the treated unit's ratio (``alternative="greater"``):
-    small p means few untreated paths diverged as sharply.
+    small p means few untreated paths diverged as sharply.  *n_jobs*
+    parallelises the placebo refits; *cache* (created per call when
+    omitted) lets the treated fit and every placebo share the donor
+    matrix's de-noising work.
     """
     if donor_names is None:
         donor_names = [f"donor_{i}" for i in range(donors.shape[1])]
-    fit = _fitter(method)(
-        treated,
-        donors,
-        pre_periods,
-        treated_name=treated_name,
-        donor_names=donor_names,
-        **fit_kwargs,
-    )
+    fitter = _fitter(method)
+    if method == "robust":
+        if cache is None:
+            cache = DenoiseCache()
+        fit = fitter(
+            treated,
+            donors,
+            pre_periods,
+            treated_name=treated_name,
+            donor_names=donor_names,
+            cache=cache,
+            **fit_kwargs,
+        )
+    else:
+        fit = fitter(
+            treated,
+            donors,
+            pre_periods,
+            treated_name=treated_name,
+            donor_names=donor_names,
+            **fit_kwargs,
+        )
     ratios = placebo_rmse_ratios(
         donors,
         pre_periods,
         list(donor_names),
         method=method,
         max_placebos=max_placebos,
+        min_pre_rmse=min_pre_rmse,
+        n_jobs=n_jobs,
+        cache=cache,
         **fit_kwargs,
     )
     if not ratios:
         raise DonorPoolError(
-            f"no placebo fits succeeded for {treated_name!r}; donor pool too small"
+            f"no placebo fits succeeded for {treated_name!r} "
+            f"({ratios.n_skipped} skipped); donor pool too small"
         )
-    ratio_values = np.asarray([r for _, r in ratios])
-    p = permutation_p_value(fit.rmse_ratio, ratio_values, alternative="greater")
+    p = permutation_p_value(
+        fit.rmse_ratio, np.asarray(ratios.values), alternative="greater"
+    )
     return PlaceboSummary(
         fit=fit,
-        placebo_rmse_ratios=tuple(float(r) for _, r in ratios),
+        placebo_rmse_ratios=ratios.values,
         p_value=float(p),
+        skipped_placebos=ratios.skipped,
     )

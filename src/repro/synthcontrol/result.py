@@ -111,11 +111,21 @@ class PlaceboSummary:
     p_value:
         Share of placebo RMSE ratios at least as large as the treated
         unit's (add-one convention) — the paper's placebo p.
+    skipped_placebos:
+        ``(donor_name, reason)`` pairs for placebo refits that failed
+        (degenerate pre-fit, donor-pool error, ...) and therefore do
+        not enter the p-value's denominator.
     """
 
     fit: SyntheticControlFit
     placebo_rmse_ratios: tuple[float, ...]
     p_value: float
+    skipped_placebos: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def n_placebos_skipped(self) -> int:
+        """How many placebo refits failed and were excluded."""
+        return len(self.skipped_placebos)
 
     @property
     def significant_at_10pct(self) -> bool:
@@ -123,8 +133,11 @@ class PlaceboSummary:
         return self.p_value < 0.10
 
     def __str__(self) -> str:
+        skipped = (
+            f", {self.n_placebos_skipped} skipped" if self.skipped_placebos else ""
+        )
         return (
             f"{self.fit.treated_name}: effect={self.fit.effect:+.2f}, "
             f"rmse_ratio={self.fit.rmse_ratio:.1f}, p={self.p_value:.3f} "
-            f"({len(self.placebo_rmse_ratios)} placebos)"
+            f"({len(self.placebo_rmse_ratios)} placebos{skipped})"
         )

@@ -3,7 +3,7 @@
 The method the paper's Table 1 uses.  Two stages:
 
 1. **De-noising**: stack the donor panel into a matrix, impute missing
-   cells with zero (after centring), take its SVD, and keep only the
+   cells with the column mean, take its SVD, and keep only the
    singular values above a threshold — recovering a low-rank estimate of
    the latent signal under noise and missingness.
 2. **Regression**: fit the treated unit's pre-period on the *denoised*
@@ -14,17 +14,180 @@ The counterfactual is the denoised donor panel projected through the
 learned weights.  Compared to the classic method it tolerates noisy and
 partially missing donor series, which is why the paper picks it for
 M-Lab's irregular user-initiated sampling.
+
+The de-noising is factored so its expensive part — the SVD of the
+filled donor matrix — can be computed once and reused:
+:func:`factor_donor_matrix` captures imputation and spectrum,
+:func:`denoise_from_factorization` thresholds it, and
+:func:`denoise_without_column` produces the leave-one-donor-out
+denoised panel the placebo engine needs by *downdating* the shared
+factorization (an SVD of the small ``k x (J-1)`` core instead of the
+full ``T x (J-1)`` matrix).  :class:`DenoiseCache` memoises both within
+a study run.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import DonorPoolError, EstimationError
 from repro.synthcontrol.classic import _donor_names, _validate_panel
 from repro.synthcontrol.result import SyntheticControlFit
+
+# Absolute slack when comparing the cumulative spectrum against the
+# energy target: cumulative shares are ratios of floating-point sums,
+# so a mathematically exact hit can land a few ulps *below* the target
+# and would otherwise keep one singular value too many.
+_ENERGY_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class DonorFactorization:
+    """The reusable part of donor-matrix de-noising.
+
+    Everything here is energy-independent: the mean-imputed matrix, the
+    imputation statistics, and the thin SVD.  Thresholding at any
+    ``energy`` — with or without a donor column — derives from this
+    without touching the raw panel again.
+
+    Attributes
+    ----------
+    filled:
+        The donor matrix with NaN cells replaced by column means.
+    col_means:
+        Per-column imputation means (length J).
+    finite_counts:
+        Per-column count of observed (finite) cells (length J).
+    u, s, vt:
+        Thin SVD of :attr:`filled` (``filled = u @ diag(s) @ vt``).
+    """
+
+    filled: np.ndarray = field(repr=False)
+    col_means: np.ndarray = field(repr=False)
+    finite_counts: np.ndarray = field(repr=False)
+    u: np.ndarray = field(repr=False)
+    s: np.ndarray = field(repr=False)
+    vt: np.ndarray = field(repr=False)
+
+    @property
+    def n_times(self) -> int:
+        """Number of panel rows (time points)."""
+        return self.filled.shape[0]
+
+    @property
+    def n_donors(self) -> int:
+        """Number of panel columns (donors)."""
+        return self.filled.shape[1]
+
+
+def factor_donor_matrix(matrix: np.ndarray) -> DonorFactorization:
+    """Impute and factor a donor matrix once, for repeated de-noising."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise DonorPoolError(
+            f"donor matrix must be 2-D with >= 1 column, got shape {matrix.shape}"
+        )
+    filled = matrix.copy()
+    col_means = np.zeros(filled.shape[1])
+    finite_counts = np.zeros(filled.shape[1], dtype=int)
+    for j in range(filled.shape[1]):
+        col = filled[:, j]
+        ok = np.isfinite(col)
+        if not ok.any():
+            raise DonorPoolError(f"donor column {j} is entirely missing")
+        col_means[j] = col[ok].mean()
+        finite_counts[j] = int(ok.sum())
+        col[~ok] = col_means[j]
+    u, s, vt = np.linalg.svd(filled, full_matrices=False)
+    return DonorFactorization(
+        filled=filled,
+        col_means=col_means,
+        finite_counts=finite_counts,
+        u=u,
+        s=s,
+        vt=vt,
+    )
+
+
+def _rank_for_energy(s: np.ndarray, energy: float, min_rank: int) -> int:
+    """Smallest rank whose squared singular values reach *energy*.
+
+    An exact hit keeps exactly that many values: the comparison allows
+    :data:`_ENERGY_TOL` of float dust so ``cum[r-1] == energy`` up to
+    rounding never keeps an extra component.
+    """
+    cum = np.cumsum(s**2) / np.sum(s**2)
+    rank = int(np.searchsorted(cum, energy - _ENERGY_TOL, side="left")) + 1
+    rank = max(rank, min_rank)
+    return min(rank, len(s))
+
+
+def _rescale_denoised(
+    denoised: np.ndarray, col_means: np.ndarray, p_obs: float
+) -> np.ndarray:
+    """Undo the spectral shrinkage mean-filling introduces (Amjad et al. §3)."""
+    if 0 < p_obs < 1:
+        return col_means + (denoised - col_means) / p_obs
+    return denoised
+
+
+def _check_energy(energy: float) -> None:
+    if not 0 < energy <= 1:
+        raise EstimationError(f"energy must be in (0, 1], got {energy}")
+
+
+def denoise_from_factorization(
+    fact: DonorFactorization, energy: float = 0.99, min_rank: int = 1
+) -> tuple[np.ndarray, int]:
+    """Hard-threshold a pre-computed factorization at *energy*.
+
+    Equivalent to :func:`singular_value_threshold` on the same matrix,
+    without repeating imputation or the SVD.
+    """
+    _check_energy(energy)
+    if fact.s.sum() == 0:
+        return fact.filled, 0
+    rank = _rank_for_energy(fact.s, energy, min_rank)
+    denoised = (fact.u[:, :rank] * fact.s[:rank]) @ fact.vt[:rank]
+    p_obs = float(fact.finite_counts.sum()) / fact.filled.size
+    return _rescale_denoised(denoised, fact.col_means, p_obs), rank
+
+
+def denoise_without_column(
+    fact: DonorFactorization, col: int, energy: float = 0.99, min_rank: int = 1
+) -> tuple[np.ndarray, int]:
+    """De-noise the donor matrix with column *col* deleted, by downdating.
+
+    Deleting a column of ``A = U S Vt`` leaves ``A' = U (S Vt')`` with
+    ``Vt'`` the corresponding column of ``Vt`` removed, so the SVD of
+    ``A'`` follows from the SVD of the small ``k x (J-1)`` core
+    ``S Vt'`` — the shared ``T x J`` SVD is never recomputed.  The
+    placebo loop calls this once per donor instead of running a full
+    de-noise per leave-one-out matrix.
+    """
+    _check_energy(energy)
+    j = fact.n_donors
+    if not 0 <= col < j:
+        raise DonorPoolError(f"column {col} out of range for {j} donors")
+    if j < 2:
+        raise DonorPoolError("cannot delete the only donor column")
+    col_means = np.delete(fact.col_means, col)
+    if fact.s.sum() == 0:
+        return np.delete(fact.filled, col, axis=1), 0
+    core = fact.s[:, None] * np.delete(fact.vt, col, axis=1)
+    u_core, s_sub, vt_sub = np.linalg.svd(core, full_matrices=False)
+    if s_sub.sum() == 0:
+        return np.delete(fact.filled, col, axis=1), 0
+    rank = _rank_for_energy(s_sub, energy, min_rank)
+    u_sub = fact.u @ u_core[:, :rank]
+    denoised = (u_sub * s_sub[:rank]) @ vt_sub[:rank]
+    observed = int(fact.finite_counts.sum() - fact.finite_counts[col])
+    p_obs = observed / (fact.n_times * (j - 1))
+    return _rescale_denoised(denoised, col_means, p_obs), rank
 
 
 def singular_value_threshold(
@@ -36,31 +199,54 @@ def singular_value_threshold(
     the standard mean-imputation step of robust synthetic control.
     Returns ``(denoised_matrix, rank_kept)``.
     """
-    if not 0 < energy <= 1:
-        raise EstimationError(f"energy must be in (0, 1], got {energy}")
-    filled = matrix.copy().astype(float)
-    col_means = np.zeros(filled.shape[1])
-    for j in range(filled.shape[1]):
-        col = filled[:, j]
-        ok = np.isfinite(col)
-        if not ok.any():
-            raise DonorPoolError(f"donor column {j} is entirely missing")
-        col_means[j] = col[ok].mean()
-        col[~ok] = col_means[j]
-    # Proportion of observed entries rescales the spectrum (Amjad et al. §3).
-    p_obs = float(np.isfinite(matrix).mean())
-    u, s, vt = np.linalg.svd(filled, full_matrices=False)
-    if s.sum() == 0:
-        return filled, 0
-    cum = np.cumsum(s**2) / np.sum(s**2)
-    rank = int(np.searchsorted(cum, energy) + 1)
-    rank = max(rank, min_rank)
-    rank = min(rank, len(s))
-    denoised = (u[:, :rank] * s[:rank]) @ vt[:rank]
-    if 0 < p_obs < 1:
-        # Rescale to undo the shrinkage mean-filling introduces.
-        denoised = col_means + (denoised - col_means) / p_obs
-    return denoised, rank
+    _check_energy(energy)
+    return denoise_from_factorization(
+        factor_donor_matrix(matrix), energy=energy, min_rank=min_rank
+    )
+
+
+class DenoiseCache:
+    """Memoised de-noising within one study run.
+
+    The treated-unit fit and every placebo refit of the same donor
+    matrix share imputation and the full SVD; repeated fits at the same
+    energy (robustness sweeps, ablations) reuse the denoised panel
+    itself.  Keys combine the matrix shape, the requested energy, and a
+    content digest, so equal-shaped but different panels never collide.
+    Cached arrays are shared — treat them as read-only.
+    """
+
+    def __init__(self) -> None:
+        self._factorizations: dict[tuple, DonorFactorization] = {}
+        self._denoised: dict[tuple, tuple[np.ndarray, int]] = {}
+
+    @staticmethod
+    def _key(matrix: np.ndarray) -> tuple:
+        matrix = np.ascontiguousarray(matrix, dtype=float)
+        digest = hashlib.sha1(matrix.tobytes()).hexdigest()
+        return (matrix.shape, digest)
+
+    def factorization(self, matrix: np.ndarray) -> DonorFactorization:
+        """The (cached) factorization of *matrix*."""
+        key = self._key(matrix)
+        fact = self._factorizations.get(key)
+        if fact is None:
+            fact = factor_donor_matrix(matrix)
+            self._factorizations[key] = fact
+        return fact
+
+    def denoise(
+        self, matrix: np.ndarray, energy: float = 0.99, min_rank: int = 1
+    ) -> tuple[np.ndarray, int]:
+        """The (cached) denoised panel of *matrix* at *energy*."""
+        key = (*self._key(matrix), float(energy), int(min_rank))
+        hit = self._denoised.get(key)
+        if hit is None:
+            hit = denoise_from_factorization(
+                self.factorization(matrix), energy=energy, min_rank=min_rank
+            )
+            self._denoised[key] = hit
+        return hit
 
 
 def ridge_weights(
@@ -81,6 +267,29 @@ def ridge_weights(
         return np.linalg.lstsq(a, b, rcond=None)[0]
 
 
+def fit_from_denoised(
+    treated: np.ndarray,
+    denoised: np.ndarray,
+    pre_periods: int,
+    treated_name: str,
+    donor_names: tuple[str, ...],
+    ridge: float = 1e-2,
+) -> SyntheticControlFit:
+    """The regression stage alone, on an already-denoised donor panel."""
+    weights = ridge_weights(treated[:pre_periods], denoised[:pre_periods], ridge=ridge)
+    synthetic = denoised @ weights
+    return SyntheticControlFit(
+        treated_name=treated_name,
+        donor_names=donor_names,
+        weights=weights,
+        pre_periods=pre_periods,
+        post_periods=len(treated) - pre_periods,
+        observed=treated,
+        synthetic=synthetic,
+        method="robust",
+    )
+
+
 def robust_synthetic_control(
     treated: np.ndarray,
     donors: np.ndarray,
@@ -89,6 +298,7 @@ def robust_synthetic_control(
     donor_names: Sequence[str] | None = None,
     energy: float = 0.99,
     ridge: float = 1e-2,
+    cache: DenoiseCache | None = None,
 ) -> SyntheticControlFit:
     """Fit robust synthetic control on a T x J donor panel.
 
@@ -102,20 +312,16 @@ def robust_synthetic_control(
         hard-threshold de-noising step.
     ridge:
         L2 penalty of the second-stage regression.
+    cache:
+        Optional :class:`DenoiseCache`; repeated fits of the same donor
+        matrix within a study run then share the de-noising work.
     """
     treated, donors = _validate_panel(treated, donors, pre_periods)
     names = _donor_names(donor_names, donors.shape[1])
-    denoised, rank = singular_value_threshold(donors, energy=energy)
-    weights = ridge_weights(treated[:pre_periods], denoised[:pre_periods], ridge=ridge)
-    synthetic = denoised @ weights
-    fit = SyntheticControlFit(
-        treated_name=treated_name,
-        donor_names=names,
-        weights=weights,
-        pre_periods=pre_periods,
-        post_periods=len(treated) - pre_periods,
-        observed=treated,
-        synthetic=synthetic,
-        method="robust",
+    if cache is not None:
+        denoised, _rank = cache.denoise(donors, energy=energy)
+    else:
+        denoised, _rank = singular_value_threshold(donors, energy=energy)
+    return fit_from_denoised(
+        treated, denoised, pre_periods, treated_name, names, ridge=ridge
     )
-    return fit

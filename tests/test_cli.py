@@ -19,6 +19,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["import", "x.csv"])
 
+    def test_jobs_flag(self):
+        assert build_parser().parse_args(["table1"]).jobs == 1
+        assert build_parser().parse_args(["table1", "--jobs", "4"]).jobs == 4
+        args = build_parser().parse_args(["import", "x.csv", "--ixp", "N", "-j", "-1"])
+        assert args.jobs == -1
+
 
 class TestCommands:
     def test_table1_runs(self, capsys):

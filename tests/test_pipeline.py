@@ -185,6 +185,59 @@ class TestStudy:
         assert len(result.skipped) == len(small_scenario.treated_units)
 
 
+class TestStudyResultInvariants:
+    """Direct checks on StudyResult rendering and the headline verdict."""
+
+    def _result(self, rows):
+        from repro.pipeline import StudyResult, TreatmentAssignment
+
+        assignment = TreatmentAssignment(
+            ixp_name="NAP", first_crossing_hour={}, never_crossed=()
+        )
+        return StudyResult(rows=tuple(rows), assignment=assignment, skipped=())
+
+    def _row(self, **overrides):
+        from repro.pipeline import StudyRow
+
+        base = dict(
+            unit="AS1/X",
+            rtt_delta_ms=-4.0,
+            rmse_ratio=1.43,
+            p_value=0.05,
+            pre_periods=10,
+            post_periods=5,
+            n_donors=12,
+        )
+        base.update(overrides)
+        return StudyRow(**base)
+
+    def test_empty_rows_not_consistent(self):
+        """An all-skipped study must not vacuously 'confirm' the belief."""
+        assert self._result([]).consistent_effect is False
+
+    def test_all_negative_significant_is_consistent(self):
+        result = self._result([self._row(), self._row(unit="AS2/Y")])
+        assert result.consistent_effect
+
+    def test_format_table_two_decimal_ratio(self):
+        """Ratios like 1.43 vs 1.9 must be distinguishable in the table."""
+        result = self._result(
+            [self._row(rmse_ratio=1.43), self._row(unit="AS2/Y", rmse_ratio=1.9)]
+        )
+        text = result.format_table()
+        assert "1.43" in text
+        assert "1.90" in text
+
+    def test_placebo_accounting_exported(self, small_scenario, small_frame):
+        result = run_ixp_study(small_frame, small_scenario.ixp_name)
+        frame = result.to_frame()
+        assert "n_placebos" in frame
+        assert "n_placebos_skipped" in frame
+        for row in result.rows:
+            assert row.n_placebos > 0
+            assert row.n_placebos_skipped >= 0
+
+
 class TestThroughputOutcome:
     """The pipeline generalises to the NDT download-rate outcome."""
 

@@ -1,0 +1,115 @@
+"""Tests for the execution backends and the parallel study path.
+
+The contract under test: every backend is a drop-in replacement for the
+serial loop — same results, same order — so ``n_jobs`` is purely a
+wall-clock knob.  The small-study test here doubles as the tier-1 guard
+that the process-pool backend keeps working (it runs in the default
+pytest sweep, not just in benchmarks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.pipeline import run_ixp_study
+from repro.pipeline.executor import (
+    ProcessPoolBackend,
+    SerialExecutor,
+    get_executor,
+    parallel_map,
+    resolve_n_jobs,
+)
+
+
+def _square(x: int) -> int:
+    """Module-level so process-pool workers can unpickle it."""
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"boom on {x}")
+
+
+class TestResolveNJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_minus_one_is_cpu_count(self):
+        import os
+
+        assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_n_jobs(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -2, -17])
+    def test_bad_counts_rejected(self, bad):
+        with pytest.raises(ExecutionError):
+            resolve_n_jobs(bad)
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        with SerialExecutor() as ex:
+            assert ex.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_input(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_get_executor_serial_for_one(self):
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(None), SerialExecutor)
+
+
+class TestProcessPoolBackend:
+    def test_map_matches_serial(self):
+        items = list(range(20))
+        with get_executor(2) as ex:
+            assert isinstance(ex, ProcessPoolBackend)
+            assert ex.map(_square, items) == [_square(i) for i in items]
+
+    def test_empty_input(self):
+        with get_executor(2) as ex:
+            assert ex.map(_square, []) == []
+
+    def test_worker_exception_propagates(self):
+        with get_executor(2) as ex:
+            with pytest.raises(ValueError, match="boom"):
+                ex.map(_boom, [1, 2, 3])
+
+    def test_needs_two_workers(self):
+        with pytest.raises(ExecutionError):
+            ProcessPoolBackend(1)
+
+
+class TestParallelMap:
+    def test_serial_and_pool_agree(self):
+        items = list(range(11))
+        assert parallel_map(_square, items, n_jobs=1) == parallel_map(
+            _square, items, n_jobs=2
+        )
+
+
+class TestParallelStudy:
+    """Serial and process-pool studies must be numerically identical."""
+
+    def test_small_study_under_process_pool(self, small_scenario, small_frame):
+        serial = run_ixp_study(small_frame, small_scenario.ixp_name, n_jobs=1)
+        pooled = run_ixp_study(small_frame, small_scenario.ixp_name, n_jobs=2)
+        assert serial.rows == pooled.rows  # StudyRow is a frozen float dataclass
+        assert serial.skipped == pooled.skipped
+        assert pooled.rows, "expected the pooled study to analyse units"
+        for row in pooled.rows:
+            assert np.isfinite(row.p_value)
+
+    def test_placebo_fanout_matches_serial(self):
+        rng = np.random.default_rng(7)
+        donors = rng.normal(50, 2, (40, 12))
+        names = [f"d{i}" for i in range(12)]
+        from repro.synthcontrol import placebo_rmse_ratios
+
+        serial = placebo_rmse_ratios(donors, 25, names, n_jobs=1)
+        pooled = placebo_rmse_ratios(donors, 25, names, n_jobs=2)
+        assert serial.ratios == pooled.ratios
+        assert serial.skipped == pooled.skipped

@@ -163,6 +163,93 @@ class TestSvdThreshold:
         with pytest.raises(EstimationError):
             singular_value_threshold(np.ones((3, 3)), energy=0.0)
 
+    def test_exact_energy_hit_keeps_minimal_rank(self):
+        """8 equal singular values, energy=0.75: exactly 6 suffice.
+
+        The cumulative spectrum is a ratio of floating-point sums, so
+        the mathematically exact hit lands a few ulps below 0.75; the
+        threshold must not keep a 7th component because of that dust.
+        """
+        m = np.eye(8) * np.sqrt(0.1)
+        _, rank = singular_value_threshold(m, energy=0.75)
+        assert rank == 6
+
+    def test_energy_above_hit_keeps_one_more(self):
+        m = np.eye(8) * np.sqrt(0.1)
+        _, rank = singular_value_threshold(m, energy=0.76)
+        assert rank == 7
+
+
+class TestDenoiseReuse:
+    """The factored de-noising must match the direct computation."""
+
+    def _noisy_panel(self, seed=13, t=40, j=12):
+        rng = np.random.default_rng(seed)
+        u = rng.normal(0, 1, (t, 3))
+        v = rng.normal(0, 1, (3, j))
+        m = u @ v + rng.normal(0, 0.1, (t, j))
+        m[5, 2] = np.nan
+        m[17, 9] = np.nan
+        return m
+
+    def test_factorization_roundtrip(self):
+        from repro.synthcontrol import (
+            denoise_from_factorization,
+            factor_donor_matrix,
+        )
+
+        m = self._noisy_panel()
+        direct, rank_d = singular_value_threshold(m, energy=0.95)
+        fact = factor_donor_matrix(m)
+        reused, rank_r = denoise_from_factorization(fact, energy=0.95)
+        assert rank_d == rank_r
+        np.testing.assert_allclose(reused, direct, rtol=0, atol=1e-10)
+
+    def test_column_downdate_matches_direct(self):
+        from repro.synthcontrol import denoise_without_column, factor_donor_matrix
+
+        m = self._noisy_panel()
+        fact = factor_donor_matrix(m)
+        for col in (0, 5, 11):
+            direct, rank_d = singular_value_threshold(
+                np.delete(m, col, axis=1), energy=0.95
+            )
+            down, rank_k = denoise_without_column(fact, col, energy=0.95)
+            assert rank_d == rank_k
+            np.testing.assert_allclose(down, direct, rtol=0, atol=1e-8)
+
+    def test_cache_returns_same_objects(self):
+        from repro.synthcontrol import DenoiseCache
+
+        cache = DenoiseCache()
+        m = self._noisy_panel()
+        first, rank1 = cache.denoise(m, energy=0.95)
+        second, rank2 = cache.denoise(m, energy=0.95)
+        assert rank1 == rank2
+        assert first is second  # memoised, not recomputed
+
+    def test_cache_distinguishes_equal_shapes(self):
+        from repro.synthcontrol import DenoiseCache
+
+        cache = DenoiseCache()
+        a = self._noisy_panel(seed=1)
+        b = self._noisy_panel(seed=2)
+        da, _ = cache.denoise(a, energy=0.95)
+        db, _ = cache.denoise(b, energy=0.95)
+        assert not np.allclose(da, db)
+
+    def test_cached_fit_matches_uncached(self):
+        from repro.synthcontrol import DenoiseCache
+
+        m = self._noisy_panel()
+        treated = m[:, 0] + 1.0
+        donors = m[:, 1:]
+        plain = robust_synthetic_control(treated, donors, 25)
+        cached = robust_synthetic_control(
+            treated, donors, 25, cache=DenoiseCache()
+        )
+        np.testing.assert_array_equal(plain.synthetic, cached.synthetic)
+
 
 class TestRidgeWeights:
     def test_shrinkage_toward_zero(self):

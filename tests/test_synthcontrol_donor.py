@@ -161,6 +161,67 @@ class TestPlacebo:
             )
 
 
+class TestPlaceboSkipAccounting:
+    """Failed placebo refits are recorded, not silently swallowed."""
+
+    def test_no_skips_on_clean_panel(self):
+        panel = synthetic_panel(j=10, seed=7)
+        ratios = placebo_rmse_ratios(panel.matrix, 25, list(panel.units))
+        assert ratios.skipped == ()
+        assert ratios.n_skipped == 0
+        assert len(ratios) == 10
+
+    def test_degenerate_prefit_recorded_with_reason(self):
+        panel = synthetic_panel(j=8, seed=8)
+        # A threshold above every achievable pre-RMSE skips all refits.
+        ratios = placebo_rmse_ratios(
+            panel.matrix, 25, list(panel.units), min_pre_rmse=1e9
+        )
+        assert len(ratios) == 0
+        assert ratios.n_skipped == 8
+        names = {name for name, _ in ratios.skipped}
+        assert names == set(panel.units)
+        for _, reason in ratios.skipped:
+            assert "pre-fit" in reason
+
+    def test_all_skipped_surfaces_count_in_placebo_test(self):
+        panel = synthetic_panel(j=8, seed=9)
+        with pytest.raises(DonorPoolError, match="8 skipped"):
+            placebo_test(
+                panel.matrix[:, 0],
+                panel.matrix,
+                25,
+                donor_names=list(panel.units),
+                min_pre_rmse=1e9,
+            )
+
+    def test_summary_carries_skip_account(self):
+        panel = synthetic_panel(j=12, seed=10)
+        summary = placebo_test(
+            panel.matrix[:, 0],
+            panel.matrix[:, 1:],
+            25,
+            donor_names=list(panel.units[1:]),
+        )
+        assert summary.n_placebos_skipped == len(summary.skipped_placebos)
+        total = len(summary.placebo_rmse_ratios) + summary.n_placebos_skipped
+        assert total == 11
+
+    def test_programming_errors_propagate(self):
+        """A typo'd fit kwarg must raise, not silently empty the pool."""
+        panel = synthetic_panel(j=6, seed=11)
+        with pytest.raises(TypeError):
+            placebo_rmse_ratios(
+                panel.matrix, 25, list(panel.units), energgy=0.9
+            )
+
+    def test_single_donor_pool_skips_with_reason(self):
+        panel = synthetic_panel(j=1, seed=12)
+        ratios = placebo_rmse_ratios(panel.matrix, 25, list(panel.units))
+        assert len(ratios) == 0
+        assert ratios.n_skipped == 1
+
+
 class TestDiagnostics:
     def test_good_fit_no_warnings(self):
         panel = synthetic_panel(j=15, seed=5)
