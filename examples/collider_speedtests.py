@@ -16,7 +16,7 @@ Run:  python examples/collider_speedtests.py
 """
 
 from repro.graph import to_ascii
-from repro.mplatform import measurements_to_frame, run_speed_tests
+from repro.mplatform import measurements_frame
 from repro.netsim import build_table1_scenario
 from repro.studies import (
     run_collider_experiment,
@@ -38,7 +38,7 @@ def main() -> None:
     scenario = build_table1_scenario(
         n_donor_ases=15, duration_days=24, join_day=12, seed=0
     )
-    frame = measurements_to_frame(run_speed_tests(scenario, rng=1))
+    frame = measurements_frame(scenario, rng=1)
     contrasts = tag_based_correction(frame, scenario.ixp_name)
     print(
         f"  crossing-vs-not RTT contrast, pooled tests:        "

@@ -22,7 +22,7 @@ Run:  python examples/ixp_case_study.py        (about a minute)
 import sys
 
 from repro.design import format_checklist, selection_bias_checklist, sutva_checklist
-from repro.mplatform import measurements_to_frame, run_speed_tests
+from repro.mplatform import measurements_frame
 from repro.netsim import build_trombone_scenario
 from repro.pipeline import run_ixp_study
 from repro.studies import run_table1_experiment
@@ -62,7 +62,7 @@ def main(fast: bool = False) -> None:
     scenario = build_trombone_scenario(
         n_access=8, duration_days=20 if fast else 30, join_day=10 if fast else 15
     )
-    frame = measurements_to_frame(run_speed_tests(scenario, rng=2))
+    frame = measurements_frame(scenario, rng=2)
     result = run_ixp_study(frame, scenario.ixp_name)
     print(result.format_table())
     print()

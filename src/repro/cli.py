@@ -11,6 +11,10 @@ Commands
     Normalise a measurement CSV and run the IXP study on it
     (``--ixp`` names the exchange; ``--prefix`` may repeat to supply
     its peering-LAN prefixes for hop-IP matching).
+``simulate``
+    Build a named scenario, generate its speed tests (batched columnar
+    path by default), and write the measurement frame to CSV — ready to
+    feed back through ``import``.
 ``validate``
     Parse a DAG file (dagitty-like text) and report identification
     strategies for ``--treatment``/``--outcome``.
@@ -86,6 +90,35 @@ def _cmd_import(args: argparse.Namespace) -> int:
         print()
         for unit, reason in result.skipped:
             print(f"skipped {unit}: {reason}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.frames import write_csv
+    from repro.mplatform import measurements_frame
+    from repro.netsim import build_table1_scenario, build_trombone_scenario
+
+    if args.scenario == "table1":
+        scenario = build_table1_scenario(
+            n_donor_ases=args.donors,
+            duration_days=args.days,
+            join_day=args.days // 2,
+            seed=args.seed,
+        )
+    else:
+        scenario = build_trombone_scenario(
+            duration_days=args.days,
+            join_day=args.days // 2,
+            seed=args.seed,
+        )
+    frame = measurements_frame(
+        scenario, rng=args.measurement_seed, mode=args.mode
+    )
+    write_csv(frame, args.out)
+    print(
+        f"wrote {frame.num_rows} measurements "
+        f"({args.scenario}, {args.days} days, mode={args.mode}) to {args.out}"
+    )
     return 0
 
 
@@ -165,6 +198,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(p_import)
     p_import.set_defaults(func=_cmd_import)
+
+    p_sim = sub.add_parser("simulate", help="generate a scenario's tests to CSV")
+    p_sim.add_argument(
+        "--scenario",
+        choices=("table1", "trombone"),
+        default="table1",
+        help="named world to build",
+    )
+    p_sim.add_argument("--days", type=int, default=20, help="window length")
+    p_sim.add_argument(
+        "--donors", type=int, default=12, help="donor ASes (table1 only)"
+    )
+    p_sim.add_argument("--seed", type=int, default=2, help="world seed")
+    p_sim.add_argument(
+        "--measurement-seed", type=int, default=1, help="speed-test RNG seed"
+    )
+    p_sim.add_argument(
+        "--mode",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="generation path (batch = columnar fast path)",
+    )
+    p_sim.add_argument("--out", required=True, help="output CSV path")
+    p_sim.set_defaults(func=_cmd_simulate)
 
     p_validate = sub.add_parser("validate", help="identify a DAG's strategies")
     p_validate.add_argument("dag_file", help="dagitty-like DAG text file")

@@ -26,6 +26,10 @@ KIND_OBJECT = "object"
 
 _VALID_KINDS = (KIND_FLOAT, KIND_INT, KIND_BOOL, KIND_OBJECT)
 
+#: Elementwise ``v is None`` over object arrays without a Python-level loop
+#: in the caller (frompyfunc runs the lambda in C's iteration machinery).
+_IS_NONE = np.frompyfunc(lambda v: v is None, 1, 1)
+
 
 def infer_kind(values: Sequence[Any] | np.ndarray) -> str:
     """Infer the column kind for a sequence of raw Python/numpy values.
@@ -72,14 +76,24 @@ def _coerce(values: Sequence[Any] | np.ndarray, kind: str) -> np.ndarray:
     if kind == KIND_FLOAT:
         if isinstance(values, np.ndarray) and values.dtype == np.float64:
             return values
-        out = np.empty(len(values), dtype=np.float64)
+        # numpy's cast maps None -> NaN and parses numeric strings, the
+        # same semantics as the historical per-element float() loop.
+        try:
+            out = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            out = None
+        if out is not None and out.ndim == 1:
+            return out
+        result = np.empty(len(values), dtype=np.float64)
         for i, v in enumerate(values):
-            out[i] = np.nan if v is None else float(v)
-        return out
+            result[i] = np.nan if v is None else float(v)
+        return result
     if kind == KIND_INT:
         return np.asarray(values, dtype=np.int64)
     if kind == KIND_BOOL:
         return np.asarray(values, dtype=np.bool_)
+    if isinstance(values, np.ndarray) and values.dtype == object:
+        return values
     arr = np.empty(len(values), dtype=object)
     for i, v in enumerate(values):
         arr[i] = v
@@ -155,7 +169,7 @@ class Column:
         if self.kind == KIND_FLOAT:
             return np.isnan(self.values)
         if self.kind == KIND_OBJECT:
-            return np.array([v is None for v in self.values], dtype=bool)
+            return _IS_NONE(self.values).astype(bool, copy=False)
         return np.zeros(len(self), dtype=bool)
 
     def count_missing(self) -> int:

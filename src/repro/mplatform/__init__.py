@@ -21,10 +21,16 @@ from repro.mplatform.loadbalancer import (
     site_contrast,
 )
 from repro.mplatform.probes import ProbePlatform, ProbeSchedule
-from repro.mplatform.records import Measurement, Trigger, measurements_to_frame
+from repro.mplatform.records import (
+    MEASUREMENT_COLUMNS,
+    Measurement,
+    Trigger,
+    measurements_to_frame,
+)
 from repro.mplatform.speedtest import (
     SpeedTestConfig,
     SpeedTestGenerator,
+    measurements_frame,
     run_speed_tests,
 )
 from repro.mplatform.triggers import SIGNALS, BurstPlan, ConditionalTrigger
@@ -33,6 +39,7 @@ __all__ = [
     "BurstPlan",
     "ConditionalTrigger",
     "LoadBalancerWorld",
+    "MEASUREMENT_COLUMNS",
     "Measurement",
     "ProbePlatform",
     "ProbeSchedule",
@@ -45,6 +52,7 @@ __all__ = [
     "Trigger",
     "default_world",
     "generate_tests",
+    "measurements_frame",
     "measurements_to_frame",
     "run_speed_tests",
     "site_contrast",

@@ -76,6 +76,24 @@ class Measurement:
         return ixp_name in self.ixps_crossed
 
 
+#: Canonical measurement-frame schema, shared by the row-by-row exporter
+#: below and the columnar fast path in :mod:`repro.mplatform.speedtest`.
+MEASUREMENT_COLUMNS: tuple[str, ...] = (
+    "asn",
+    "city",
+    "unit",
+    "time_hour",
+    "day",
+    "rtt_ms",
+    "as_path",
+    "crosses_ixp",
+    "ixps",
+    "trigger",
+    "server_site",
+    "download_mbps",
+)
+
+
 def measurements_to_frame(measurements: list[Measurement]) -> Frame:
     """Flatten measurement records into an analysis frame.
 
@@ -100,18 +118,5 @@ def measurements_to_frame(measurements: list[Measurement]) -> Frame:
             }
             for m in measurements
         ],
-        columns=[
-            "asn",
-            "city",
-            "unit",
-            "time_hour",
-            "day",
-            "rtt_ms",
-            "as_path",
-            "crosses_ixp",
-            "ixps",
-            "trigger",
-            "server_site",
-            "download_mbps",
-        ],
+        columns=list(MEASUREMENT_COLUMNS),
     )

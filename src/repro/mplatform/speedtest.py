@@ -7,6 +7,23 @@ mechanism that makes "a test was run" a collider between route changes
 and performance (§3).  Every test is tagged with why it fired, so the
 collider can be conditioned on (to reproduce the bias) or avoided.
 
+Generation runs in two phases sharing one *plan*:
+
+1. **Plan** — walk the window, price each cell's ambient RTT from a
+   vectorised per-route curve, and draw each ⟨group, hour⟩ cell's
+   Poisson test count from a dedicated *rate* RNG stream.
+2. **Emit** — either the batched columnar path
+   (:meth:`SpeedTestGenerator.generate_frame`, the default: one
+   vectorised RNG call per pooled route instead of per test, column
+   chunks instead of ``Measurement`` objects) or the scalar path
+   (:meth:`SpeedTestGenerator.generate` / ``mode="scalar"``, one
+   :class:`Measurement` per test).
+
+Because the Poisson draws live on their own stream, the two emission
+modes produce *exactly* the same cell counts under the same seed, and
+their per-test samples are draws from the same distributions — the
+property the batched-vs-scalar equivalence tests pin down.
+
 Set ``endogenous=False`` to generate the counterfactual platform whose
 sampling is condition-independent; the contrast between the two is
 experiment E2.
@@ -19,11 +36,61 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PlatformError
+from repro.frames.builder import FrameBuilder
+from repro.frames.column import (
+    KIND_BOOL,
+    KIND_FLOAT,
+    KIND_INT,
+    KIND_OBJECT,
+)
+from repro.frames.frame import Frame
+from repro.netsim.bgp import Route
 from repro.netsim.geo import propagation_delay_ms
 from repro.netsim.scenario import Scenario
 from repro.netsim.throughput import ThroughputModel
+from repro.netsim.topology import Topology
 from repro.netsim.traceroute import detect_ixp_crossings, synthesize_traceroute
-from repro.mplatform.records import Measurement, Trigger
+from repro.mplatform.records import (
+    MEASUREMENT_COLUMNS,
+    Measurement,
+    Trigger,
+    measurements_to_frame,
+)
+
+#: Declared kinds for the columnar fast path (skips per-chunk inference
+#: and keeps an empty frame's schema fully typed).
+_FRAME_KINDS: dict[str, str] = {
+    "asn": KIND_INT,
+    "city": KIND_OBJECT,
+    "unit": KIND_OBJECT,
+    "time_hour": KIND_FLOAT,
+    "day": KIND_INT,
+    "rtt_ms": KIND_FLOAT,
+    "as_path": KIND_OBJECT,
+    "crosses_ixp": KIND_BOOL,
+    "ixps": KIND_OBJECT,
+    "trigger": KIND_OBJECT,
+    "server_site": KIND_OBJECT,
+    "download_mbps": KIND_FLOAT,
+}
+
+
+def _split_rng(
+    rng: np.random.Generator | int | None,
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """Derive the (rate, noise) stream pair shared by both emission modes.
+
+    Cell counts draw from the *rate* stream only, so the batched and
+    scalar paths see identical Poisson sequences; per-test samples draw
+    from the *noise* stream in whatever order their mode prefers.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    rate_seed, noise_seed = rng.integers(0, 2**63, size=2)
+    return (
+        np.random.default_rng(int(rate_seed)),
+        np.random.default_rng(int(noise_seed)),
+    )
 
 
 @dataclass(frozen=True)
@@ -45,6 +112,27 @@ class SpeedTestConfig:
     endogenous: bool = True
     change_window_hours: float = 24.0
     max_tests_per_group_hour: int = 200
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One ⟨group, hour⟩ cell with a positive test count."""
+
+    group_index: int
+    hour: float
+    n_tests: int
+    ambient_ms: float
+    recently_changed: bool
+    state_key: tuple[int, frozenset]
+
+
+@dataclass
+class _GenerationPlan:
+    """Everything emission needs: cells plus route/topology lookups."""
+
+    cells: list[_Cell]
+    routes: dict[tuple[int, tuple], Route]  # (asn, state_key) -> route
+    topologies: dict[tuple, Topology]  # state_key -> epoch topology
 
 
 class SpeedTestGenerator:
@@ -89,22 +177,36 @@ class SpeedTestGenerator:
             self._trace_cache[key] = tuple(detect_ixp_crossings(trace, state.ixps))
         return self._trace_cache[key]
 
-    def generate(self, rng: np.random.Generator | int | None = 0) -> list[Measurement]:
-        """Run the whole window and return every measurement taken."""
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+    # -- planning -------------------------------------------------------------
+
+    def _plan(self, rate_rng: np.random.Generator) -> _GenerationPlan:
+        """Walk the window and fix every cell's test count and rate context.
+
+        Ambient RTT comes from one vectorised noise-free curve per
+        ⟨AS, routing-state⟩ (evaluated over the whole integer-hour grid)
+        instead of a per-cell Python loop over links; the Poisson count
+        draws happen here, in deterministic ⟨hour, group⟩ order, so both
+        emission modes inherit identical cells.
+        """
         scenario = self.scenario
         config = self.config
-        hours = int(scenario.duration_hours)
-        out: list[Measurement] = []
+        n_hours = int(scenario.duration_hours)
+        grid = np.arange(n_hours, dtype=np.float64)
+        cells: list[_Cell] = []
+        routes_by_key: dict[tuple[int, tuple], Route] = {}
+        topologies: dict[tuple, Topology] = {}
+        ambient_curves: dict[tuple[int, tuple], np.ndarray] = {}
         last_path: dict[int, tuple[int, ...]] = {}
         last_change: dict[int, float] = {}
 
-        for hour in range(hours):
+        for hour in range(n_hours):
             t = float(hour)
-            routes = scenario.timeline.routes_at(t, scenario.content_asn)
             state = scenario.timeline.state_at(t)
-            for group in scenario.user_groups:
+            routes = scenario.timeline.routes_at(t, scenario.content_asn)
+            state_key = (state.epoch, state.dead_links)
+            if state_key not in topologies:
+                topologies[state_key] = state.topology
+            for gi, group in enumerate(scenario.user_groups):
                 route = routes.get(group.asn)
                 if route is None:
                     continue
@@ -112,9 +214,15 @@ class SpeedTestGenerator:
                     last_change[group.asn] = t
                 last_path[group.asn] = route.path
 
-                ambient = scenario.latency.expected_rtt(
-                    route, t, topology=state.topology
-                ) + self._backhaul_ms(group.asn, group.city, group.backhaul_city)
+                route_key = (group.asn, state_key)
+                if route_key not in routes_by_key:
+                    routes_by_key[route_key] = route
+                    ambient_curves[route_key] = scenario.latency.expected_rtt_batch(
+                        route, grid, topology=state.topology
+                    )
+                ambient = float(ambient_curves[route_key][hour]) + self._backhaul_ms(
+                    group.asn, group.city, group.backhaul_city
+                )
                 since_change = (
                     t - last_change[group.asn] if group.asn in last_change else None
                 )
@@ -126,43 +234,162 @@ class SpeedTestGenerator:
                     rate = group.base_rate_per_hour
                 n_tests = int(
                     min(
-                        rng.poisson(rate * group.n_users),
+                        rate_rng.poisson(rate * group.n_users),
                         config.max_tests_per_group_hour,
                     )
                 )
                 if n_tests == 0:
                     continue
-                crossings = self._crossings(group.asn, t)
-                backhaul = self._backhaul_ms(group.asn, group.city, group.backhaul_city)
                 recently_changed = (
                     since_change is not None
                     and since_change < config.change_window_hours
                 )
-                for _ in range(n_tests):
-                    test_hour = t + float(rng.uniform(0, 1))
-                    sample = scenario.latency.sample_rtt(
-                        route, test_hour, rng, topology=state.topology
+                cells.append(
+                    _Cell(
+                        group_index=gi,
+                        hour=t,
+                        n_tests=n_tests,
+                        ambient_ms=ambient,
+                        recently_changed=recently_changed,
+                        state_key=state_key,
                     )
-                    rtt = sample.total_ms + backhaul
-                    tput = self.throughput.sample(
-                        route, rtt, test_hour, rng, topology=state.topology
+                )
+        return _GenerationPlan(
+            cells=cells, routes=routes_by_key, topologies=topologies
+        )
+
+    # -- scalar emission (the escape hatch) -----------------------------------
+
+    def generate(self, rng: np.random.Generator | int | None = 0) -> list[Measurement]:
+        """Run the whole window and return every measurement taken.
+
+        This is the scalar path: one :class:`Measurement` object per
+        test, sampled one RNG call at a time.  The recorded
+        ``time_hour`` is the *same* hour the congestion-dependent RTT
+        was sampled at (historically a second, independent uniform was
+        recorded, decorrelating timestamps from the diurnal state that
+        produced the RTT).
+        """
+        rate_rng, noise_rng = _split_rng(rng)
+        plan = self._plan(rate_rng)
+        scenario = self.scenario
+        out: list[Measurement] = []
+        for cell in plan.cells:
+            group = scenario.user_groups[cell.group_index]
+            route = plan.routes[(group.asn, cell.state_key)]
+            topo = plan.topologies[cell.state_key]
+            crossings = self._crossings(group.asn, cell.hour)
+            backhaul = self._backhaul_ms(group.asn, group.city, group.backhaul_city)
+            for _ in range(cell.n_tests):
+                test_hour = cell.hour + float(noise_rng.uniform(0, 1))
+                sample = scenario.latency.sample_rtt(
+                    route, test_hour, noise_rng, topology=topo
+                )
+                rtt = sample.total_ms + backhaul
+                tput = self.throughput.sample(
+                    route, rtt, test_hour, noise_rng, topology=topo
+                )
+                trigger = self._classify_trigger(
+                    group, cell.ambient_ms, cell.recently_changed, noise_rng
+                )
+                out.append(
+                    Measurement(
+                        asn=group.asn,
+                        city=group.city,
+                        time_hour=test_hour,
+                        rtt_ms=rtt,
+                        as_path=route.path,
+                        ixps_crossed=crossings,
+                        trigger=trigger,
+                        download_mbps=tput.download_mbps,
                     )
-                    trigger = self._classify_trigger(
-                        group, ambient, recently_changed, rng
-                    )
-                    out.append(
-                        Measurement(
-                            asn=group.asn,
-                            city=group.city,
-                            time_hour=t + float(rng.uniform(0, 1)),
-                            rtt_ms=rtt,
-                            as_path=route.path,
-                            ixps_crossed=crossings,
-                            trigger=trigger,
-                            download_mbps=tput.download_mbps,
-                        )
-                    )
+                )
         return out
+
+    # -- batched emission (the columnar fast path) ----------------------------
+
+    def generate_frame(
+        self,
+        rng: np.random.Generator | int | None = 0,
+        mode: str = "batch",
+    ) -> Frame:
+        """Run the whole window and return the measurement frame directly.
+
+        ``mode="batch"`` (default) pools every cell of a ⟨group,
+        routing-state⟩ pair into single vectorised RTT/throughput/
+        trigger draws and accumulates typed column chunks — no
+        per-test Python work and no intermediate ``Measurement``
+        objects.  Repeated per-pool strings (unit label, AS path, IXP
+        list) are stored as one shared object per chunk, not copied
+        per row.
+
+        ``mode="scalar"`` is the escape hatch: the classic object path
+        (:meth:`generate`) followed by row-by-row frame export.  Cell
+        counts are identical across modes under the same seed; samples
+        agree in distribution.
+        """
+        if mode == "scalar":
+            return measurements_to_frame(self.generate(rng))
+        if mode != "batch":
+            raise PlatformError(f"unknown generation mode {mode!r}")
+        rate_rng, noise_rng = _split_rng(rng)
+        plan = self._plan(rate_rng)
+        scenario = self.scenario
+
+        pools: dict[tuple[int, tuple], list[_Cell]] = {}
+        for cell in plan.cells:
+            pools.setdefault((cell.group_index, cell.state_key), []).append(cell)
+
+        builder = FrameBuilder(MEASUREMENT_COLUMNS, kinds=_FRAME_KINDS)
+        for (gi, state_key), pool in pools.items():
+            group = scenario.user_groups[gi]
+            route = plan.routes[(group.asn, state_key)]
+            topo = plan.topologies[state_key]
+            counts = np.array([c.n_tests for c in pool], dtype=np.int64)
+            n = int(counts.sum())
+
+            start_hours = np.repeat(
+                np.array([c.hour for c in pool], dtype=np.float64), counts
+            )
+            time_hour = start_hours + noise_rng.uniform(0.0, 1.0, size=n)
+            latency = scenario.latency.sample_rtt_batch(
+                route, time_hour, noise_rng, topology=topo
+            )
+            backhaul = self._backhaul_ms(group.asn, group.city, group.backhaul_city)
+            rtt = latency.total_ms + backhaul
+            tput = self.throughput.sample_batch(
+                route, rtt, time_hour, noise_rng, topology=topo
+            )
+            ambient = np.repeat(
+                np.array([c.ambient_ms for c in pool], dtype=np.float64), counts
+            )
+            recent = np.repeat(
+                np.array([c.recently_changed for c in pool], dtype=np.float64), counts
+            )
+            triggers = self._classify_triggers_batch(group, ambient, recent, noise_rng)
+
+            crossings = self._crossings(group.asn, pool[0].hour)
+            builder.append_chunk(
+                {
+                    "asn": np.full(n, group.asn, dtype=np.int64),
+                    "city": np.full(n, group.city, dtype=object),
+                    "unit": np.full(n, group.unit_label, dtype=object),
+                    "time_hour": time_hour,
+                    "day": (time_hour // 24.0).astype(np.int64),
+                    "rtt_ms": rtt,
+                    "as_path": np.full(
+                        n, "-".join(str(a) for a in route.path), dtype=object
+                    ),
+                    "crosses_ixp": np.full(n, len(crossings) > 0, dtype=np.bool_),
+                    "ixps": np.full(n, ",".join(crossings), dtype=object),
+                    "trigger": triggers,
+                    "server_site": np.full(n, "default", dtype=object),
+                    "download_mbps": tput.download_mbps,
+                }
+            )
+        return builder.build()
+
+    # -- trigger attribution ---------------------------------------------------
 
     def _classify_trigger(
         self,
@@ -193,6 +420,34 @@ class SpeedTestGenerator:
             return Trigger.PERFORMANCE
         return Trigger.ROUTE_CHANGE
 
+    def _classify_triggers_batch(
+        self,
+        group,
+        ambient_rtt: np.ndarray,
+        recently_changed: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorised trigger attribution: one draw per test, whole cell at once.
+
+        Returns an object array of trigger *values* (the frame encoding),
+        classified by the same thresholds as :meth:`_classify_trigger`.
+        """
+        n = len(ambient_rtt)
+        if not self.config.endogenous:
+            return np.full(n, Trigger.BASELINE.value, dtype=object)
+        perf_mult = (
+            1.0
+            + group.perf_sensitivity
+            * np.maximum(ambient_rtt - group.rtt_reference_ms, 0.0)
+            / 100.0
+        )
+        change_mult = 1.0 + group.change_sensitivity * recently_changed
+        draw = rng.uniform(0.0, 1.0, size=n) * (perf_mult * change_mult)
+        out = np.full(n, Trigger.BASELINE.value, dtype=object)
+        out[draw >= 1.0] = Trigger.PERFORMANCE.value
+        out[draw >= perf_mult] = Trigger.ROUTE_CHANGE.value
+        return out
+
 
 def run_speed_tests(
     scenario: Scenario,
@@ -204,3 +459,21 @@ def run_speed_tests(
         scenario, SpeedTestConfig(endogenous=endogenous)
     )
     return generator.generate(rng)
+
+
+def measurements_frame(
+    scenario: Scenario,
+    rng: np.random.Generator | int | None = 0,
+    endogenous: bool = True,
+    mode: str = "batch",
+) -> Frame:
+    """Convenience wrapper: generate a scenario's measurement frame.
+
+    The batched columnar path is the default; pass ``mode="scalar"``
+    for the classic per-``Measurement`` object path (same cell counts,
+    same distributions, a lot slower).
+    """
+    generator = SpeedTestGenerator(
+        scenario, SpeedTestConfig(endogenous=endogenous)
+    )
+    return generator.generate_frame(rng, mode=mode)

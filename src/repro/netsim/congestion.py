@@ -60,6 +60,15 @@ class DiurnalProfile:
             np.clip(self.base + self.amplitude * math.cos(phase), 0.0, MAX_UTILIZATION)
         )
 
+    def utilization_batch(self, hours: np.ndarray) -> np.ndarray:
+        """Deterministic utilization for a whole array of *hours* at once."""
+        hours = np.asarray(hours, dtype=np.float64)
+        local = (hours + self.timezone_offset) % HOURS_PER_DAY
+        phase = 2.0 * np.pi * (local - self.peak_hour) / HOURS_PER_DAY
+        return np.clip(
+            self.base + self.amplitude * np.cos(phase), 0.0, MAX_UTILIZATION
+        )
+
 
 @dataclass(frozen=True)
 class RegionalShock:
@@ -145,6 +154,29 @@ class CongestionModel:
             util += float(rng.normal(0.0, self.noise_std))
         return float(np.clip(util, 0.0, MAX_UTILIZATION))
 
+    def utilization_batch(
+        self,
+        region: str,
+        hours: np.ndarray,
+        rng: np.random.Generator | None = None,
+        bias: float = 0.0,
+    ) -> np.ndarray:
+        """Sampled utilization of a link in *region* over an *hours* array.
+
+        One vectorised draw prices every element: the diurnal curve,
+        active shocks (masked per element), the per-link *bias*, and —
+        when *rng* is given — one normal noise draw per element.
+        """
+        hours = np.asarray(hours, dtype=np.float64)
+        util = self.profile_for(region).utilization_batch(hours) + bias
+        for shock in self.shocks:
+            if shock.region == region:
+                active = (hours >= shock.start_hour) & (hours < shock.end_hour)
+                util = util + shock.extra_utilization * active
+        if rng is not None and self.noise_std > 0:
+            util = util + rng.normal(0.0, self.noise_std, size=hours.shape)
+        return np.clip(util, 0.0, MAX_UTILIZATION)
+
     def queueing_delay_ms(
         self,
         region: str,
@@ -156,3 +188,15 @@ class CongestionModel:
         util = self.utilization(region, hour, rng, bias)
         delay = self.base_queueing_ms * util / max(1.0 - util, 1e-3)
         return float(min(delay, self.max_queueing_ms))
+
+    def queueing_delay_ms_batch(
+        self,
+        region: str,
+        hours: np.ndarray,
+        rng: np.random.Generator | None = None,
+        bias: float = 0.0,
+    ) -> np.ndarray:
+        """One-way queueing delay over an *hours* array (vectorised M/M/1)."""
+        util = self.utilization_batch(region, hours, rng, bias)
+        delay = self.base_queueing_ms * util / np.maximum(1.0 - util, 1e-3)
+        return np.minimum(delay, self.max_queueing_ms)

@@ -40,6 +40,29 @@ class LatencyBreakdown:
         return self.propagation_ms + self.queueing_ms + self.last_mile_ms + self.noise_ms
 
 
+@dataclass(frozen=True)
+class LatencyBatch:
+    """Component arrays for a whole batch of RTT samples (milliseconds).
+
+    The columnar counterpart of :class:`LatencyBreakdown`: propagation
+    is one scalar (it does not vary within a route), the stochastic
+    components are arrays aligned with the sampled hours.
+    """
+
+    propagation_ms: float
+    queueing_ms: np.ndarray
+    last_mile_ms: np.ndarray
+    noise_ms: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.queueing_ms)
+
+    @property
+    def total_ms(self) -> np.ndarray:
+        """The full round-trip time per sample."""
+        return self.propagation_ms + self.queueing_ms + self.last_mile_ms + self.noise_ms
+
+
 class LatencyModel:
     """Computes RTTs for routes over a topology.
 
@@ -143,6 +166,46 @@ class LatencyModel:
             noise_ms=noise,
         )
 
+    def sample_rtt_batch(
+        self,
+        route: Route,
+        hours: np.ndarray,
+        rng: np.random.Generator,
+        topology: Topology | None = None,
+    ) -> LatencyBatch:
+        """Draw one RTT measurement per element of *hours* along *route*.
+
+        Vectorised counterpart of :meth:`sample_rtt`: one call prices a
+        whole ⟨group, hour⟩ cell (or many cells pooled per route).  The
+        per-link congestion draws, the last-mile draw, and the
+        measurement noise are each a single vectorised RNG call, so the
+        per-sample Python cost is amortised to nothing.  Distribution
+        is identical to the scalar path; draw *order* differs, so the
+        two are seed-comparable only statistically.
+        """
+        hours = np.asarray(hours, dtype=np.float64)
+        prop = self.propagation_ms(route, topology)
+        queueing = np.zeros_like(hours)
+        for link in self._links_on(route, topology):
+            bias = link.congestion_bias + self.load_bias.get(link.key, 0.0)
+            queueing += 2.0 * self.congestion.queueing_delay_ms_batch(
+                self.link_region(link), hours, rng, bias=bias
+            )
+        last_mile = np.maximum(
+            rng.normal(self.last_mile_ms, self.last_mile_ms / 4, size=hours.shape), 0.5
+        )
+        noise = rng.normal(0.0, self.noise_std_ms, size=hours.shape)
+        # Never beat the speed of light: clamp noise where it would push
+        # the total below pure propagation (same rule as the scalar path).
+        too_fast = queueing + last_mile + noise < 0.0
+        noise = np.where(too_fast, -(queueing + last_mile), noise)
+        return LatencyBatch(
+            propagation_ms=prop,
+            queueing_ms=queueing,
+            last_mile_ms=last_mile,
+            noise_ms=noise,
+        )
+
     def expected_rtt(
         self, route: Route, hour: float, topology: Topology | None = None
     ) -> float:
@@ -159,3 +222,20 @@ class LatencyModel:
             for link in self._links_on(route, topology)
         )
         return prop + queueing + self.last_mile_ms
+
+    def expected_rtt_batch(
+        self, route: Route, hours: np.ndarray, topology: Topology | None = None
+    ) -> np.ndarray:
+        """Noise-free RTT along *route* for a whole array of *hours*.
+
+        The vectorised ambient-RTT curve the batched generator prices
+        test rates from: one pass per link instead of one per hour.
+        """
+        hours = np.asarray(hours, dtype=np.float64)
+        queueing = np.zeros_like(hours)
+        for link in self._links_on(route, topology):
+            bias = link.congestion_bias + self.load_bias.get(link.key, 0.0)
+            queueing += 2.0 * self.congestion.queueing_delay_ms_batch(
+                self.link_region(link), hours, None, bias=bias
+            )
+        return self.propagation_ms(route, topology) + queueing + self.last_mile_ms

@@ -179,6 +179,7 @@ def build_table1_scenario(
     with_regional_shock: bool = True,
     churn_probability: float = 0.2,
     suppress_joins: frozenset[int] | set[int] = frozenset(),
+    user_scale: float = 1.0,
 ) -> Scenario:
     """The Table-1 world: treated ASes join NAPAfrica-JNB mid-window.
 
@@ -209,9 +210,16 @@ def build_table1_scenario(
         random draws proceed identically — builds the counterfactual
         world "everything the same, but this AS never joined", used by
         :func:`counterfactual_true_effect`.
+    user_scale:
+        Multiplier on every group's population (measurement volume).
+        Applied after the population draw, so ``user_scale=1`` is
+        draw-for-draw identical to the historical builder and larger
+        values scale test counts without reshaping the world.
     """
     if join_day >= duration_days:
         raise SimulationError("join_day must fall inside the window")
+    if user_scale <= 0:
+        raise SimulationError("user_scale must be positive")
     rng = np.random.default_rng(seed)
     cities = default_catalog()
     prefixes = PrefixAllocator("10.0.0.0/8")
@@ -250,7 +258,7 @@ def build_table1_scenario(
         _make_as(topo, asn, f"AccessISP-{asn}", AsKind.ACCESS, home, prefixes)
         topo.add_c2p(asn, regional1.asn)
     for asn, city in TABLE1_TREATED_UNITS:
-        n_users = int(rng.integers(150, 2500))
+        n_users = int(rng.integers(150, 2500) * user_scale)
         user_groups.append(
             UserGroup(
                 asn=asn,
@@ -279,7 +287,7 @@ def build_table1_scenario(
             UserGroup(
                 asn=asn,
                 city=city,
-                n_users=int(rng.integers(150, 2500)),
+                n_users=int(rng.integers(150, 2500) * user_scale),
                 base_rate_per_hour=0.002,
                 perf_sensitivity=0.5,
                 change_sensitivity=1.0,

@@ -45,6 +45,23 @@ class ThroughputSample:
         return self.window_limit_mbps < self.bottleneck_mbps
 
 
+@dataclass(frozen=True)
+class ThroughputBatch:
+    """Component arrays for a whole batch of download measurements."""
+
+    download_mbps: np.ndarray
+    bottleneck_mbps: np.ndarray
+    window_limit_mbps: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.download_mbps)
+
+    @property
+    def latency_limited(self) -> np.ndarray:
+        """Per-sample mask: the window limit (RTT) bound the rate."""
+        return self.window_limit_mbps < self.bottleneck_mbps
+
+
 class ThroughputModel:
     """Synthesises NDT-style download rates along routes.
 
@@ -107,6 +124,32 @@ class ThroughputModel:
             )
         return float(min(residuals))
 
+    def window_limit_mbps_batch(self, rtt_ms: np.ndarray) -> np.ndarray:
+        """Vectorised window/RTT ceiling for an array of RTTs."""
+        rtt_s = np.maximum(np.asarray(rtt_ms, dtype=np.float64), 1.0) / 1000.0
+        return self.window_kb * 8.0 / 1024.0 / rtt_s
+
+    def bottleneck_mbps_batch(
+        self,
+        route: Route,
+        hours: np.ndarray,
+        topology: Topology | None = None,
+    ) -> np.ndarray:
+        """Minimum residual capacity along the route per hour (noise-free)."""
+        hours = np.asarray(hours, dtype=np.float64)
+        residual = np.full(hours.shape, self.access_capacity_mbps)
+        congestion = self.latency.congestion
+        for link in self.latency._links_on(route, topology):
+            bias = link.congestion_bias + self.latency.load_bias.get(link.key, 0.0)
+            util = congestion.utilization_batch(
+                self.latency.link_region(link), hours, None, bias
+            )
+            residual = np.minimum(
+                residual,
+                self.core_capacity_mbps * np.maximum(1.0 - util, MIN_RESIDUAL),
+            )
+        return residual
+
     def sample(
         self,
         route: Route,
@@ -121,6 +164,30 @@ class ThroughputModel:
         base = min(bottleneck, window)
         noise = float(np.exp(rng.normal(0.0, self.noise_sigma)))
         return ThroughputSample(
+            download_mbps=base * noise,
+            bottleneck_mbps=bottleneck,
+            window_limit_mbps=window,
+        )
+
+    def sample_batch(
+        self,
+        route: Route,
+        rtt_ms: np.ndarray,
+        hours: np.ndarray,
+        rng: np.random.Generator,
+        topology: Topology | None = None,
+    ) -> ThroughputBatch:
+        """Draw one download-rate measurement per ⟨rtt, hour⟩ pair.
+
+        Vectorised counterpart of :meth:`sample`: the per-link residual
+        capacities and the log-normal noise are each one array op, so a
+        whole cell of tests costs the same Python overhead as one.
+        """
+        bottleneck = self.bottleneck_mbps_batch(route, hours, topology)
+        window = self.window_limit_mbps_batch(rtt_ms)
+        base = np.minimum(bottleneck, window)
+        noise = np.exp(rng.normal(0.0, self.noise_sigma, size=base.shape))
+        return ThroughputBatch(
             download_mbps=base * noise,
             bottleneck_mbps=bottleneck,
             window_limit_mbps=window,

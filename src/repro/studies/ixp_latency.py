@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.frames.frame import Frame
-from repro.mplatform.records import measurements_to_frame
-from repro.mplatform.speedtest import run_speed_tests
+from repro.mplatform.speedtest import measurements_frame
 from repro.netsim.scenario import Scenario, build_table1_scenario
 from repro.pipeline.study import StudyResult, run_ixp_study
 
@@ -94,9 +93,7 @@ def run_table1_experiment(
         join_day=join_day,
         seed=seed,
     )
-    measurements = measurements_to_frame(
-        run_speed_tests(scenario, rng=measurement_seed)
-    )
+    measurements = measurements_frame(scenario, rng=measurement_seed)
     result = run_ixp_study(
         measurements, scenario.ixp_name, method=method, n_jobs=n_jobs
     )

@@ -25,6 +25,22 @@ class TestParser:
         args = build_parser().parse_args(["import", "x.csv", "--ixp", "N", "-j", "-1"])
         assert args.jobs == -1
 
+    def test_simulate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--out", "x.csv"])
+        assert args.scenario == "table1"
+        assert args.mode == "batch"
+        assert args.days == 20
+
+    def test_simulate_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--scenario", "nope", "--out", "x.csv"]
+            )
+
 
 class TestCommands:
     def test_table1_runs(self, capsys):
@@ -78,6 +94,62 @@ class TestCommands:
         code = main(["import", "no_such.csv", "--ixp", "X"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+    def test_simulate_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "sim.csv"
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "trombone",
+                "--days",
+                "6",
+                "--out",
+                str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        assert out_path.exists()
+        header = out_path.read_text().splitlines()[0]
+        assert "rtt_ms" in header
+        assert "trigger" in header
+
+    def test_simulate_roundtrips_through_import(self, tmp_path, capsys):
+        """The simulated CSV feeds straight back into the import pipeline."""
+        out_path = tmp_path / "sim.csv"
+        assert main(["simulate", "--days", "16", "--out", str(out_path)]) == 0
+        wrote = capsys.readouterr().out
+        n_written = int(wrote.split()[1])
+        code = main(["import", str(out_path), "--ixp", "NAPAfrica-JNB"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"imported {n_written} measurements" in out
+
+    def test_simulate_scalar_mode_matches_batch_rows(self, tmp_path, capsys):
+        for mode in ("batch", "scalar"):
+            assert (
+                main(
+                    [
+                        "simulate",
+                        "--scenario",
+                        "trombone",
+                        "--days",
+                        "4",
+                        "--mode",
+                        mode,
+                        "--out",
+                        str(tmp_path / f"{mode}.csv"),
+                    ]
+                )
+                == 0
+            )
+        lines = {
+            mode: len((tmp_path / f"{mode}.csv").read_text().splitlines())
+            for mode in ("batch", "scalar")
+        }
+        assert lines["batch"] == lines["scalar"]
 
 
 class TestPowerCommand:

@@ -15,7 +15,7 @@ from repro.studies import run_table1_experiment
 @pytest.fixture(scope="module")
 def output():
     return run_table1_experiment(
-        n_donor_ases=20, duration_days=30, join_day=15, seed=0, measurement_seed=1
+        n_donor_ases=20, duration_days=30, join_day=15, seed=0, measurement_seed=2
     )
 
 
