@@ -43,7 +43,15 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
     )
     print(output.format_report())
+    _maybe_print_timings(args, output.result)
     return 0
+
+
+def _maybe_print_timings(args: argparse.Namespace, result) -> None:
+    if getattr(args, "timings", False) and result.timings is not None:
+        print()
+        print("stage timings:")
+        print(result.timings.format())
 
 
 def _cmd_studies(args: argparse.Namespace) -> int:
@@ -82,14 +90,21 @@ def _cmd_import(args: argparse.Namespace) -> int:
     prefixes = None
     if args.prefix:
         prefixes = {args.ixp: [Prefix.parse(p) for p in args.prefix]}
+    import time
+
+    t0 = time.perf_counter()
     frame = import_csv(args.csv, prefixes)
+    import_seconds = time.perf_counter() - t0
     print(f"imported {frame.num_rows} measurements from {args.csv}")
-    result = run_ixp_study(frame, args.ixp, n_jobs=args.jobs)
+    result = run_ixp_study(
+        frame, args.ixp, n_jobs=args.jobs, generation_seconds=import_seconds
+    )
     print(result.format_table())
     if result.skipped:
         print()
         for unit, reason in result.skipped:
             print(f"skipped {unit}: {reason}")
+    _maybe_print_timings(args, result)
     return 0
 
 
@@ -158,6 +173,14 @@ def _cmd_power(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_timings_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-stage wall-clock seconds after the table",
+    )
+
+
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -183,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1.add_argument("--donors", type=int, default=25, help="donor ASes")
     p_table1.add_argument("--seed", type=int, default=2, help="world seed")
     _add_jobs_argument(p_table1)
+    _add_timings_argument(p_table1)
     p_table1.set_defaults(func=_cmd_table1)
 
     p_studies = sub.add_parser("studies", help="run every boxed-example experiment")
@@ -197,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="peering-LAN prefix (repeatable) for hop-IP matching",
     )
     _add_jobs_argument(p_import)
+    _add_timings_argument(p_import)
     p_import.set_defaults(func=_cmd_import)
 
     p_sim = sub.add_parser("simulate", help="generate a scenario's tests to CSV")

@@ -22,7 +22,7 @@ from repro.frames.column import (
     infer_kind,
 )
 from repro.frames.frame import Frame
-from repro.frames.groupby import GroupedFrame, group_by, pivot
+from repro.frames.groupby import GroupedFrame, group_by, pivot, pivot_grid
 from repro.frames.io import read_csv, read_csv_text, to_csv_text, write_csv
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "group_by",
     "infer_kind",
     "pivot",
+    "pivot_grid",
     "read_csv",
     "read_csv_text",
     "to_csv_text",

@@ -71,6 +71,40 @@ def infer_kind(values: Sequence[Any] | np.ndarray) -> str:
     return KIND_OBJECT
 
 
+def dense_rank(
+    values: np.ndarray, nan_equal: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """First-appearance dense codes for a non-empty numeric array.
+
+    Returns ``(codes, first_rows)``: int64 codes in ``[0, n_groups)``
+    numbered by each distinct value's first appearance, and the row index
+    of that first appearance per group (so ``values[first_rows]`` lists
+    the distinct values in first-appearance order).  Built on one stable
+    argsort — numpy radix-sorts integer and boolean arrays, which is far
+    cheaper than :func:`numpy.unique`'s comparison sort when the value
+    range is modest.  With *nan_equal* every NaN joins one shared group.
+    """
+    n = len(values)
+    order = np.argsort(values, kind="stable")
+    sv = values[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    neq = sv[1:] != sv[:-1]
+    if nan_equal:
+        neq &= ~(np.isnan(sv[1:]) & np.isnan(sv[:-1]))
+    boundary[1:] = neq
+    starts = np.flatnonzero(boundary)
+    first_idx = order[starts]  # stable sort: the min original row per group
+    appearance = np.argsort(first_idx, kind="stable")
+    n_groups = len(starts)
+    rank = np.empty(n_groups, dtype=np.int64)
+    rank[appearance] = np.arange(n_groups, dtype=np.int64)
+    sorted_codes = rank[np.cumsum(boundary) - 1]
+    codes = np.empty(n, dtype=np.int64)
+    codes[order] = sorted_codes
+    return codes, first_idx[appearance]
+
+
 def _coerce(values: Sequence[Any] | np.ndarray, kind: str) -> np.ndarray:
     """Coerce raw values into the canonical numpy array for *kind*."""
     if kind == KIND_FLOAT:
@@ -114,7 +148,7 @@ class Column:
         values when omitted.
     """
 
-    __slots__ = ("name", "kind", "values")
+    __slots__ = ("name", "kind", "values", "_factorized")
 
     def __init__(
         self,
@@ -131,6 +165,7 @@ class Column:
         self.name = name
         self.kind = kind
         self.values = _coerce(values, kind)
+        self._factorized: tuple[np.ndarray, list[Any]] | None = None
         if self.values.ndim != 1:
             raise FrameError(f"column {name!r} must be 1-D, got shape {self.values.shape}")
 
@@ -245,6 +280,52 @@ class Column:
     def to_list(self) -> list[Any]:
         """Return the values as a plain Python list (NaN/None preserved)."""
         return list(self.values)
+
+    def factorize(self) -> tuple[np.ndarray, list[Any]]:
+        """Map values to dense integer codes plus their distinct values.
+
+        Returns ``(codes, uniques)`` where ``codes`` is an int64 array with
+        ``uniques[codes[i]] == values[i]`` and ``uniques`` lists the
+        distinct values in first-appearance order — the same order
+        :meth:`unique` and the row-wise grouping loop produce.  Numeric
+        columns use one stable argsort (radix sort for ints and bools);
+        object columns hash one value per constant run.  For float columns every
+        NaN shares one code.  The result is memoised on the column — the
+        pipeline factorizes the same key columns repeatedly (treatment
+        scan, panel build, joins) and the values array is immutable by
+        convention.
+        """
+        if self._factorized is not None:
+            codes, uniques = self._factorized
+            return codes, list(uniques)
+        values = self.values
+        n = len(values)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), []
+        if self.kind != KIND_OBJECT:
+            codes, first_rows = dense_rank(values, nan_equal=self.kind == KIND_FLOAT)
+            uniques = list(values[first_rows])
+        else:
+            # Hash one value per *run*, not per row: columns built chunk by
+            # chunk (the measurement generator, CSV import) carry long
+            # constant runs, and numpy's elementwise object comparison
+            # short-circuits on identity, so the boundary scan is cheap.
+            # Worst case (no runs) this is the plain hash pass plus one
+            # C-level comparison sweep.
+            boundary = np.empty(n, dtype=bool)
+            boundary[0] = True
+            boundary[1:] = values[1:] != values[:-1]
+            starts = np.flatnonzero(boundary)
+            table: dict[Any, int] = {}
+            run_codes = np.fromiter(
+                (table.setdefault(v, len(table)) for v in values[starts]),
+                dtype=np.int64,
+                count=len(starts),
+            )
+            codes = np.repeat(run_codes, np.diff(np.append(starts, n)))
+            uniques = list(table)
+        self._factorized = (codes, uniques)
+        return codes, list(uniques)
 
     def unique(self) -> list[Any]:
         """Distinct values in first-appearance order (missing included once)."""

@@ -15,7 +15,14 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ColumnMismatchError, FrameError
-from repro.frames.column import KIND_FLOAT, KIND_OBJECT, Column
+from repro.frames.column import (
+    KIND_BOOL,
+    KIND_FLOAT,
+    KIND_INT,
+    KIND_OBJECT,
+    Column,
+    dense_rank,
+)
 
 
 class Frame:
@@ -245,7 +252,7 @@ class Frame:
         mask = np.ones(self.num_rows, dtype=bool)
         for name, value in conditions.items():
             col = self.column(name)
-            mask &= np.array([v == value for v in col.values], dtype=bool)
+            mask &= _equals_mask(col, value, self.num_rows)
         return self.filter(mask)
 
     def drop_missing(self, names: Sequence[str] | None = None) -> "Frame":
@@ -257,24 +264,41 @@ class Frame:
         return self.filter(mask)
 
     def sort_by(self, names: Sequence[str] | str, descending: bool = False) -> "Frame":
-        """Return rows sorted by the given column(s), stably."""
+        """Return rows sorted by the given column(s), stably.
+
+        Stability holds in both directions: rows with equal keys keep
+        their original relative order.  (Descending is implemented by
+        inverting the keys, not by reversing the sorted order — the
+        latter would reverse equal-key runs too.)  Missing float values
+        sort last either way.
+        """
         if isinstance(names, str):
             names = [names]
         if not names:
             return self
-        order = np.arange(self.num_rows)
         # numpy.lexsort sorts by the last key first; apply keys in reverse.
         keys = []
         for n in reversed(names):
             col = self.column(n)
             if col.kind == KIND_OBJECT:
                 vals = np.array([str(v) for v in col.values])
+                if descending:
+                    # Strings cannot be negated; rank them and negate the rank.
+                    _, inverse = np.unique(vals, return_inverse=True)
+                    vals = -inverse.astype(np.int64, copy=False)
+            elif descending:
+                if col.kind == KIND_FLOAT:
+                    vals = -col.values  # NaN stays NaN and still sorts last
+                elif col.kind == KIND_BOOL:
+                    vals = np.logical_not(col.values)
+                else:
+                    # Negating int64 overflows on INT64_MIN; negate ranks.
+                    _, inverse = np.unique(col.values, return_inverse=True)
+                    vals = -inverse.astype(np.int64, copy=False)
             else:
                 vals = col.values
             keys.append(vals)
         order = np.lexsort(keys)
-        if descending:
-            order = order[::-1]
         return self.take(order)
 
     def concat(self, other: "Frame") -> "Frame":
@@ -311,27 +335,41 @@ class Frame:
             self.column(k)
             other.column(k)
 
-        right_index: dict[tuple[Any, ...], list[int]] = {}
-        right_key_cols = [other.column(k).values for k in on]
-        for i in range(other.num_rows):
-            key = tuple(c[i] for c in right_key_cols)
-            right_index.setdefault(key, []).append(i)
+        n_left = self.num_rows
+        n_right = other.num_rows
+        # Factorize each key over both sides at once so equal keys share a
+        # code (Column.concat unifies int/float the way tuple == would).
+        if on:
+            parts = []
+            for k in on:
+                both = self.column(k).concat(other.column(k))
+                codes, uniques = both.factorize()
+                parts.append((codes, max(len(uniques), 1)))
+            combined, _ = _combine_codes(parts)
+        else:
+            combined = np.zeros(n_left + n_right, dtype=np.int64)
+        left_codes = combined[:n_left]
+        right_codes = combined[n_left:]
 
-        left_idx: list[int] = []
-        right_idx: list[int] = []  # -1 means "no match" (left join)
-        left_key_cols = [self.column(k).values for k in on]
-        for i in range(self.num_rows):
-            key = tuple(c[i] for c in left_key_cols)
-            matches = right_index.get(key)
-            if matches:
-                for j in matches:
-                    left_idx.append(i)
-                    right_idx.append(j)
-            elif how == "left":
-                left_idx.append(i)
-                right_idx.append(-1)
+        # Sort the right side by key code; each left row's matches are then
+        # one contiguous slice found by binary search.
+        right_order = np.argsort(right_codes, kind="stable")
+        right_sorted = right_codes[right_order]
+        lo = np.searchsorted(right_sorted, left_codes, side="left")
+        hi = np.searchsorted(right_sorted, left_codes, side="right")
+        counts = hi - lo
 
-        left_part = self.take(np.asarray(left_idx, dtype=np.int64))
+        reps = counts if how == "inner" else np.maximum(counts, 1)
+        total = int(reps.sum())
+        left_idx = np.repeat(np.arange(n_left, dtype=np.int64), reps)
+        run_starts = np.cumsum(reps) - reps
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, reps)
+        positions = np.repeat(lo, reps) + offsets
+        right_idx = right_order[np.minimum(positions, max(n_right - 1, 0))] if n_right else np.zeros(total, dtype=np.int64)
+        unmatched = np.repeat(counts == 0, reps)  # all-False for inner joins
+        right_idx = np.where(unmatched, -1, right_idx)
+
+        left_part = self.take(left_idx)
         out_cols = [left_part.column(n) for n in left_part.column_names]
         taken = set(self._order)
         for n in other.column_names:
@@ -339,24 +377,78 @@ class Frame:
                 continue
             col = other.column(n)
             name = n + suffix if n in taken else n
-            values: list[Any] = []
-            for j in right_idx:
-                values.append(None if j < 0 else col.values[j])
-            out_cols.append(Column(name, values))
+            out_cols.append(_gather_with_missing(col, right_idx, unmatched).rename(name))
         return Frame(out_cols)
 
     # -- aggregation helpers (full group-by lives in groupby.py) -------------------
 
-    def group_indices(self, names: Sequence[str] | str) -> dict[tuple[Any, ...], np.ndarray]:
-        """Map each distinct key tuple to the row indices holding it."""
+    def encode_keys(
+        self, names: Sequence[str] | str
+    ) -> tuple[np.ndarray, list[tuple[Any, ...]]]:
+        """Factorize one or more key columns into dense group codes.
+
+        Returns ``(codes, keys)``: an int64 array assigning every row a
+        group id in ``[0, len(keys))``, and the distinct key tuples in
+        first-appearance order (``keys[codes[i]]`` is row *i*'s key).
+        This is the primitive under :meth:`group_indices`, ``group_by``,
+        ``pivot``, and the panel builder.
+        """
         if isinstance(names, str):
             names = [names]
-        cols = [self.column(n).values for n in names]
-        groups: dict[tuple[Any, ...], list[int]] = {}
-        for i in range(self.num_rows):
-            key = tuple(c[i] for c in cols)
-            groups.setdefault(key, []).append(i)
-        return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+        cols = [self.column(n) for n in names]
+        n = self.num_rows
+        if not cols:
+            if n == 0:
+                return np.empty(0, dtype=np.int64), []
+            return np.zeros(n, dtype=np.int64), [()]
+        if n == 0:
+            return np.empty(0, dtype=np.int64), []
+
+        if len(cols) == 1:
+            codes, uniques = cols[0].factorize()
+            return codes, [(u,) for u in uniques]
+
+        parts = []
+        for col in cols:
+            codes, uniques = col.factorize()
+            parts.append((codes, max(len(uniques), 1)))
+        combined, overflow = _combine_codes(parts)
+        if overflow:
+            # Key-space product exceeds int64; fall back to tuple hashing.
+            arrays = [c.values for c in cols]
+            table: dict[tuple[Any, ...], int] = {}
+            keys: list[tuple[Any, ...]] = []
+            out = np.empty(n, dtype=np.int64)
+            for i in range(n):
+                key = tuple(a[i] for a in arrays)
+                code = table.get(key)
+                if code is None:
+                    code = table[key] = len(keys)
+                    keys.append(key)
+                out[i] = code
+            return out, keys
+
+        codes, first_rows = dense_rank(combined)
+        arrays = [c.values for c in cols]
+        keys = list(zip(*(a[first_rows] for a in arrays)))
+        return codes, keys
+
+    def group_indices(self, names: Sequence[str] | str) -> dict[tuple[Any, ...], np.ndarray]:
+        """Map each distinct key tuple to the row indices holding it.
+
+        Keys appear in first-appearance order and each index array is
+        ascending, matching the historical row-wise scan.
+        """
+        if self.num_rows == 0:
+            if isinstance(names, str):
+                names = [names]
+            for n in names:
+                self.column(n)
+            return {}
+        codes, keys = self.encode_keys(names)
+        order = np.argsort(codes, kind="stable")
+        boundaries = np.flatnonzero(np.diff(codes[order])) + 1
+        return dict(zip(keys, np.split(order, boundaries)))
 
     def describe(self) -> "Frame":
         """Summary statistics for every numeric column.
@@ -394,3 +486,82 @@ class Frame:
         if col.kind == KIND_OBJECT:
             raise FrameError(f"column {name!r} is not numeric")
         return col.astype(KIND_FLOAT).values
+
+
+def _combine_codes(parts: Sequence[tuple[np.ndarray, int]]) -> tuple[np.ndarray, bool]:
+    """Merge per-column factorization codes into one code per row.
+
+    *parts* is ``[(codes, cardinality), ...]``.  Returns the mixed-radix
+    combination plus an overflow flag: when the key-space product would
+    not fit in int64 the combination is meaningless and callers must
+    fall back to tuple hashing.
+    """
+    space = 1
+    for _, card in parts:
+        space *= card
+    if space >= 2**62:
+        return parts[0][0], True
+    combined = parts[0][0]
+    for codes, card in parts[1:]:
+        combined = combined * card + codes
+    return combined, False
+
+
+def _equals_mask(col: Column, value: Any, n: int) -> np.ndarray:
+    """Elementwise ``col == value`` as a boolean mask, NaN never equal."""
+    if col.kind == KIND_OBJECT and value is None:
+        return col.is_missing()
+    try:
+        raw = col.values == value
+    except (TypeError, ValueError):
+        raw = None
+    if isinstance(raw, np.ndarray) and raw.shape == (n,):
+        return raw.astype(bool, copy=False)
+    if raw is not None and np.isscalar(raw):
+        # numpy collapsed an incomparable-type comparison to one bool
+        return np.full(n, bool(raw), dtype=bool)
+    return np.array([v == value for v in col.values], dtype=bool)
+
+
+def _gather_with_missing(col: Column, indices: np.ndarray, missing: np.ndarray) -> Column:
+    """``col.take(indices)`` with *missing* rows set to the null marker.
+
+    Mirrors the historical per-row join gather, including its kind
+    promotions: int columns with missing matches become float (NaN),
+    bool columns become object (None), object columns are re-inferred
+    from their gathered values.
+    """
+    if not len(col) or bool(missing.all()):
+        # Every output row is unmatched; the historical list path then
+        # saw only Nones and inferred an object column.
+        return Column(col.name, [None] * len(indices))
+    safe = np.where(missing, 0, indices)
+    any_missing = bool(missing.any())
+    if col.kind == KIND_FLOAT:
+        out = col.values[safe]
+        if any_missing:
+            out = out.copy()
+            out[missing] = np.nan
+        return Column(col.name, out, kind=KIND_FLOAT)
+    if col.kind == KIND_INT:
+        if not any_missing:
+            return Column(col.name, col.values[safe], kind=KIND_INT)
+        out = col.values[safe].astype(np.float64)
+        out[missing] = np.nan
+        return Column(col.name, out, kind=KIND_FLOAT)
+    if col.kind == KIND_BOOL:
+        if not any_missing:
+            return Column(col.name, col.values[safe], kind=KIND_BOOL)
+        out = col.values[safe].astype(object)
+        out[missing] = None
+        return Column(col.name, out, kind=KIND_OBJECT)
+    if len(col):
+        out = col.values[safe]
+        if any_missing:
+            out = out.copy()
+            out[missing] = None
+    else:
+        out = np.full(len(safe), None, dtype=object)
+    # Re-infer like the historical list-building path did (an object
+    # column of plain ints came back as an int column, for example).
+    return Column(col.name, out.tolist())

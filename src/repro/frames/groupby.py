@@ -11,6 +11,16 @@ supporting named aggregations::
 Built-in aggregations: ``count``, ``sum``, ``mean``, ``median``, ``min``,
 ``max``, ``std``, ``var``, ``first``, ``last``, ``nunique``, plus any
 callable taking a numpy array.
+
+Grouping is factorized (:meth:`Frame.encode_keys`): rows are assigned
+dense integer group codes, one stable argsort makes every group a
+contiguous slice, and the hot aggregations (``count``/``sum``/``mean``/
+``median``/``min``/``max`` over numeric columns) run as grouped array
+kernels over those slices — NaN handling happens once per column, and
+the median uses a single per-group value sort instead of a Python loop.
+Numeric results come back as plain Python floats (``count`` stays int);
+callables and the remaining builtins see exactly the per-group value
+arrays the row-wise path produced, in the same row order.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import FrameError
-from repro.frames.column import Column
+from repro.frames.column import KIND_OBJECT, Column
 from repro.frames.frame import Frame
 
 _AggSpec = tuple[str, "str | Callable[[np.ndarray], Any]"]
@@ -34,19 +44,154 @@ def _nan_safe(values: np.ndarray) -> np.ndarray:
     return values
 
 
+def _plain(value: Any) -> Any:
+    """Normalize numpy scalars to plain Python numbers."""
+    if isinstance(value, (np.floating, np.integer)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return float(bool(value))
+    return value
+
+
+def _agg_count(v: np.ndarray) -> int:
+    return len(v)
+
+
+def _agg_sum(v: np.ndarray) -> float:
+    s = _nan_safe(v)
+    return float(np.sum(s)) if len(s) else 0.0
+
+
+def _agg_mean(v: np.ndarray) -> Any:
+    s = _nan_safe(v)
+    return float(np.mean(s)) if len(s) else None
+
+
+def _agg_median(v: np.ndarray) -> Any:
+    s = _nan_safe(v)
+    return float(np.median(s)) if len(s) else None
+
+
+def _agg_min(v: np.ndarray) -> Any:
+    s = _nan_safe(v)
+    return _plain(s.min()) if len(s) else None
+
+
+def _agg_max(v: np.ndarray) -> Any:
+    s = _nan_safe(v)
+    return _plain(s.max()) if len(s) else None
+
+
+def _agg_std(v: np.ndarray) -> Any:
+    s = _nan_safe(v)
+    return float(np.std(s, ddof=1)) if len(s) > 1 else None
+
+
+def _agg_var(v: np.ndarray) -> Any:
+    s = _nan_safe(v)
+    return float(np.var(s, ddof=1)) if len(s) > 1 else None
+
+
 _BUILTINS: dict[str, Callable[[np.ndarray], Any]] = {
-    "count": lambda v: len(v),
-    "sum": lambda v: float(np.sum(_nan_safe(v))) if len(_nan_safe(v)) else 0.0,
-    "mean": lambda v: float(np.mean(_nan_safe(v))) if len(_nan_safe(v)) else None,
-    "median": lambda v: float(np.median(_nan_safe(v))) if len(_nan_safe(v)) else None,
-    "min": lambda v: _nan_safe(v).min() if len(_nan_safe(v)) else None,
-    "max": lambda v: _nan_safe(v).max() if len(_nan_safe(v)) else None,
-    "std": lambda v: float(np.std(_nan_safe(v), ddof=1)) if len(_nan_safe(v)) > 1 else None,
-    "var": lambda v: float(np.var(_nan_safe(v), ddof=1)) if len(_nan_safe(v)) > 1 else None,
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "mean": _agg_mean,
+    "median": _agg_median,
+    "min": _agg_min,
+    "max": _agg_max,
+    "std": _agg_std,
+    "var": _agg_var,
     "first": lambda v: v[0] if len(v) else None,
     "last": lambda v: v[-1] if len(v) else None,
     "nunique": lambda v: len({str(x) for x in v}),
 }
+
+#: Builtins with a grouped-kernel fast path over numeric columns.
+_FAST_AGGS = frozenset({"count", "sum", "mean", "median", "min", "max"})
+
+
+class _Segments:
+    """Contiguous group slices of one gathered (group-sorted) array."""
+
+    __slots__ = ("order", "starts", "ends")
+
+    def __init__(self, codes: np.ndarray, n_groups: int) -> None:
+        self.order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[self.order]
+        bounds = np.searchsorted(
+            sorted_codes, np.arange(n_groups + 1, dtype=np.int64), side="left"
+        )
+        self.starts = bounds[:-1]
+        self.ends = bounds[1:]
+
+    @classmethod
+    def from_parts(
+        cls, order: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> "_Segments":
+        """Wrap precomputed sort/boundary arrays without re-sorting."""
+        seg = cls.__new__(cls)
+        seg.order = order
+        seg.starts = starts
+        seg.ends = ends
+        return seg
+
+
+def _grouped_fast(
+    values: np.ndarray,
+    segments: _Segments,
+    agg: str,
+) -> np.ndarray:
+    """One builtin over every group at once; NaN handled once per column.
+
+    Returns a float64 array (NaN where the row-wise builtin returned
+    ``None``), except ``count`` which returns int64 group sizes.
+    """
+    starts, ends = segments.starts, segments.ends
+    if agg == "count":
+        return ends - starts
+    gathered = values[segments.order]
+    is_float = gathered.dtype.kind == "f"
+    if agg in ("sum", "mean"):
+        # Summing contiguous slices keeps numpy's pairwise summation —
+        # bit-identical to the historical per-group np.sum/np.mean.
+        out = np.empty(len(starts), dtype=np.float64)
+        for g in range(len(starts)):
+            seg = gathered[starts[g] : ends[g]]
+            if is_float:
+                seg = seg[~np.isnan(seg)]
+            if len(seg):
+                out[g] = np.sum(seg) if agg == "sum" else np.mean(seg)
+            else:
+                out[g] = 0.0 if agg == "sum" else np.nan
+        return out
+    # median/min/max: NaN counts come from one reduceat over the gathered
+    # layout; min/max reduce over NaN-neutralised copies (min/max pick an
+    # element, so association cannot change the result), and the median
+    # sorts each slice (NaN last) and picks middles by the valid counts.
+    gf = gathered.astype(np.float64, copy=False)
+    sizes = ends - starts
+    if is_float:
+        nan_mask = np.isnan(gf)
+        valid = sizes - np.add.reduceat(nan_mask.astype(np.int64), starts)
+    else:
+        nan_mask = None
+        valid = sizes
+    out = np.full(len(starts), np.nan)
+    ok = valid > 0
+    if not ok.any():
+        return out
+    if agg == "min":
+        filled = np.where(nan_mask, np.inf, gf) if nan_mask is not None else gf
+        out[ok] = np.minimum.reduceat(filled, starts)[ok]
+    elif agg == "max":
+        filled = np.where(nan_mask, -np.inf, gf) if nan_mask is not None else gf
+        out[ok] = np.maximum.reduceat(filled, starts)[ok]
+    else:  # median
+        for g in np.flatnonzero(ok):
+            ss = np.sort(gf[starts[g] : ends[g]])  # NaN sorts last
+            k = valid[g]
+            out[g] = (ss[(k - 1) // 2] + ss[k // 2]) / 2.0
+    return out
 
 
 class GroupedFrame:
@@ -55,7 +200,8 @@ class GroupedFrame:
     def __init__(self, frame: Frame, keys: Sequence[str]) -> None:
         self._frame = frame
         self._keys = list(keys)
-        self._groups = frame.group_indices(self._keys)
+        self._codes, self._key_tuples = frame.encode_keys(self._keys)
+        self._segments = _Segments(self._codes, len(self._key_tuples))
 
     @property
     def keys(self) -> list[str]:
@@ -63,11 +209,19 @@ class GroupedFrame:
         return list(self._keys)
 
     def __len__(self) -> int:
-        return len(self._groups)
+        return len(self._key_tuples)
+
+    def _group_items(self) -> list[tuple[tuple[Any, ...], np.ndarray]]:
+        """Each key tuple with its ascending row indices."""
+        seg = self._segments
+        return [
+            (key, seg.order[seg.starts[g] : seg.ends[g]])
+            for g, key in enumerate(self._key_tuples)
+        ]
 
     def groups(self) -> dict[tuple[Any, ...], Frame]:
         """Return each group's rows as its own frame."""
-        return {k: self._frame.take(idx) for k, idx in self._groups.items()}
+        return {k: self._frame.take(idx) for k, idx in self._group_items()}
 
     def aggregate(self, **specs: _AggSpec) -> Frame:
         """Aggregate each group into one output row.
@@ -78,37 +232,51 @@ class GroupedFrame:
         """
         if not specs:
             raise FrameError("aggregate() needs at least one aggregation spec")
-        resolved: list[tuple[str, str, Callable[[np.ndarray], Any]]] = []
+        resolved: list[tuple[str, str, "str | None", Callable[[np.ndarray], Any]]] = []
         for out_name, (src, agg) in specs.items():
             self._frame.column(src)  # validate early
             if callable(agg):
-                fn = agg
-            else:
-                try:
-                    fn = _BUILTINS[agg]
-                except KeyError:
-                    raise FrameError(
-                        f"unknown aggregation {agg!r}; "
-                        f"available: {sorted(_BUILTINS)}"
-                    ) from None
-            resolved.append((out_name, src, fn))
+                resolved.append((out_name, src, None, agg))
+                continue
+            try:
+                fn = _BUILTINS[agg]
+            except KeyError:
+                raise FrameError(
+                    f"unknown aggregation {agg!r}; "
+                    f"available: {sorted(_BUILTINS)}"
+                ) from None
+            resolved.append((out_name, src, agg, fn))
 
-        key_values: dict[str, list[Any]] = {k: [] for k in self._keys}
-        out_values: dict[str, list[Any]] = {name: [] for name, _, _ in resolved}
-        for key, idx in self._groups.items():
-            for kname, kval in zip(self._keys, key):
-                key_values[kname].append(kval)
-            for out_name, src, fn in resolved:
-                vals = self._frame.column(src).values[idx]
-                out_values[out_name].append(fn(vals))
+        n_groups = len(self._key_tuples)
+        cols = [
+            Column(kname, list(kvals))
+            for kname, kvals in zip(self._keys, zip(*self._key_tuples))
+        ] if n_groups else [Column(kname, []) for kname in self._keys]
 
-        cols = [Column(k, v) for k, v in key_values.items()]
-        cols.extend(Column(name, vals) for name, vals in out_values.items())
+        seg = self._segments
+        gathered_cache: dict[str, np.ndarray] = {}
+        for out_name, src, agg_name, fn in resolved:
+            col = self._frame.column(src)
+            if n_groups == 0:
+                cols.append(Column(out_name, []))
+                continue
+            if agg_name in _FAST_AGGS and col.kind != KIND_OBJECT:
+                result = _grouped_fast(col.values, seg, agg_name)
+                cols.append(Column(out_name, result))
+                continue
+            src_gathered = gathered_cache.get(src)
+            if src_gathered is None:
+                src_gathered = gathered_cache[src] = col.values[seg.order]
+            values = [
+                fn(src_gathered[seg.starts[g] : seg.ends[g]])
+                for g in range(n_groups)
+            ]
+            cols.append(Column(out_name, values))
         return Frame(cols)
 
     def apply(self, fn: Callable[[tuple[Any, ...], Frame], dict[str, Any]]) -> Frame:
         """Map each ``(key, group_frame)`` to an output record."""
-        records = [fn(key, self._frame.take(idx)) for key, idx in self._groups.items()]
+        records = [fn(key, self._frame.take(idx)) for key, idx in self._group_items()]
         return Frame.from_records(records)
 
 
@@ -119,6 +287,65 @@ def group_by(frame: Frame, keys: Sequence[str] | str) -> GroupedFrame:
     for k in keys:
         frame.column(k)
     return GroupedFrame(frame, keys)
+
+
+def pivot_grid(
+    frame: Frame,
+    index: str,
+    columns: str,
+    values: str,
+    agg: str = "mean",
+) -> tuple[list[Any], list[Any], np.ndarray]:
+    """The core of :func:`pivot`: ``(row_keys, col_keys, grid)``.
+
+    Row and column keys are the distinct values of their columns in
+    first-appearance order; ``grid`` is a dense float matrix with NaN in
+    unobserved cells.  Observed cells are aggregated with one grouped
+    kernel and scattered with a single fancy-indexed assignment —
+    :func:`repro.synthcontrol.build_panel` reads the grid directly
+    instead of round-tripping through a wide frame.
+    """
+    agg_fn = _BUILTINS.get(agg)
+    if agg_fn is None:
+        raise FrameError(f"unknown aggregation {agg!r}")
+    row_codes, row_keys = frame.column(index).factorize()
+    col_codes, col_keys = frame.column(columns).factorize()
+    vals = frame.numeric(values)
+
+    grid = np.full((len(row_keys), len(col_keys)), np.nan)
+    if frame.num_rows:
+        combined = row_codes * max(len(col_keys), 1) + col_codes
+        # One stable argsort (radix on int64 codes) both orders the rows by
+        # cell and yields the occupied cells in ascending flat order.
+        order = np.argsort(combined, kind="stable")
+        sorted_comb = combined[order]
+        boundary = np.empty(len(sorted_comb), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_comb[1:] != sorted_comb[:-1]
+        starts = np.flatnonzero(boundary)
+        occupied = sorted_comb[starts]
+        segments = _Segments.from_parts(
+            order, starts, np.append(starts[1:], len(sorted_comb))
+        )
+        if agg in _FAST_AGGS:
+            cells = _grouped_fast(vals, segments, agg).astype(
+                np.float64, copy=False
+            )
+        else:
+            gathered = vals[segments.order]
+            cells = np.array(
+                [
+                    _none_to_nan(agg_fn(gathered[s:e]))
+                    for s, e in zip(segments.starts, segments.ends)
+                ],
+                dtype=np.float64,
+            )
+        grid.flat[occupied] = cells
+    return row_keys, col_keys, grid
+
+
+def _none_to_nan(value: Any) -> float:
+    return np.nan if value is None else float(value)
 
 
 def pivot(
@@ -135,31 +362,7 @@ def pivot(
     ``column_keys`` preserves the original key objects in column order.
     Missing cells are NaN.
     """
-    frame.column(index)
-    frame.column(columns)
-    frame.column(values)
-    agg_fn = _BUILTINS.get(agg)
-    if agg_fn is None:
-        raise FrameError(f"unknown aggregation {agg!r}")
-
-    col_keys = frame.column(columns).unique()
-    row_keys = frame.column(index).unique()
-    row_pos = {k: i for i, k in enumerate(row_keys)}
-    col_pos = {k: j for j, k in enumerate(col_keys)}
-
-    cells: dict[tuple[int, int], list[float]] = {}
-    idx_vals = frame.column(index).values
-    col_vals = frame.column(columns).values
-    val_vals = frame.numeric(values)
-    for i in range(frame.num_rows):
-        key = (row_pos[idx_vals[i]], col_pos[col_vals[i]])
-        cells.setdefault(key, []).append(val_vals[i])
-
-    grid = np.full((len(row_keys), len(col_keys)), np.nan)
-    for (r, c), vals in cells.items():
-        agged = agg_fn(np.asarray(vals, dtype=float))
-        grid[r, c] = np.nan if agged is None else float(agged)
-
+    row_keys, col_keys, grid = pivot_grid(frame, index, columns, values, agg)
     cols = [Column(index, row_keys)]
     for j, key in enumerate(col_keys):
         cols.append(Column(str(key), grid[:, j]))

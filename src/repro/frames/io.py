@@ -3,7 +3,14 @@
 The format is plain RFC-4180-ish CSV via the stdlib ``csv`` module.  On
 read, columns are type-inferred: values parse as int, then float, then
 bool literals (``true``/``false``), falling back to strings; empty cells
-are missing.
+are missing.  Inference and parsing run column-wise — one bulk numpy
+cast per homogeneous column, with a per-cell fallback only for mixed
+columns — and writing formats each column as one vectorized cast, so
+the ``simulate → import`` round-trip scales with columns, not cells.
+
+Rows wider than the header are an error (their extra cells would
+otherwise vanish silently); underscore number literals like ``1_000``,
+which Python's ``int()`` accepts but no CSV writer emits, stay strings.
 """
 
 from __future__ import annotations
@@ -15,26 +22,78 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import FrameError
+from repro.frames.column import (
+    KIND_BOOL,
+    KIND_FLOAT,
+    KIND_INT,
+    KIND_OBJECT,
+    Column,
+)
 from repro.frames.frame import Frame
 
 
-def _parse_cell(text: str) -> Any:
-    if text == "":
+def _parse_cell(text: str | None) -> Any:
+    if text is None or text == "":
         return None
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
+    if "_" not in text:
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            pass
     low = text.lower()
     if low == "true":
         return True
     if low == "false":
         return False
     return text
+
+
+def _parse_column(name: str, raw: list[str | None]) -> Column:
+    """Bulk-parse one column of raw CSV cells.
+
+    Missing cells are ``None``/``""``.  Homogeneous numeric and bool
+    columns are converted with one numpy cast; anything mixed falls back
+    to the per-cell parser (object kind, inferred like the historical
+    row-wise reader).
+    """
+    n = len(raw)
+    missing = np.array([c is None or c == "" for c in raw], dtype=bool)
+    present = [raw[i] for i in np.flatnonzero(~missing)]
+    if not present:
+        return Column(name, [None] * n)
+    # numpy's string-to-number casts accept underscore literals ("1_000")
+    # that no CSV writer emits; any underscore disqualifies the bulk
+    # numeric stages (the per-cell parser rejects them too).
+    if not any("_" in c for c in present):
+        strings = np.asarray(present)
+        if not missing.any():
+            try:
+                return Column(name, strings.astype(np.int64), kind=KIND_INT)
+            except ValueError:
+                pass
+        try:
+            parsed = strings.astype(np.float64)
+        except ValueError:
+            parsed = None
+        if parsed is not None:
+            values = np.full(n, np.nan)
+            values[~missing] = parsed
+            return Column(name, values, kind=KIND_FLOAT)
+    lowered = [c.lower() for c in present]
+    if all(c in ("true", "false") for c in lowered):
+        bools = np.array([c == "true" for c in lowered], dtype=bool)
+        if not missing.any():
+            return Column(name, bools, kind=KIND_BOOL)
+        values_obj: list[Any] = [None] * n
+        for i, b in zip(np.flatnonzero(~missing), bools):
+            values_obj[i] = bool(b)
+        return Column(name, values_obj, kind=KIND_OBJECT)
+    return Column(name, [_parse_cell(c) for c in raw])
 
 
 def read_csv(path: str | Path) -> Frame:
@@ -44,21 +103,34 @@ def read_csv(path: str | Path) -> Frame:
 
 
 def read_csv_text(text: str) -> Frame:
-    """Parse CSV content (header row required) into a frame."""
+    """Parse CSV content (header row required) into a frame.
+
+    Rows with fewer cells than the header are padded with missing
+    values; rows with *more* cells raise :class:`FrameError` (the
+    surplus cells have no column to land in).
+    """
     reader = csv.reader(io.StringIO(text))
     rows = list(reader)
     if not rows:
         return Frame()
     header = rows[0]
-    data: dict[str, list[Any]] = {name: [] for name in header}
-    for row in rows[1:]:
+    width = len(header)
+    raw: list[list[str | None]] = []
+    for line_no, row in enumerate(rows[1:], start=2):
         if not row:
             continue
-        for name, cell in zip(header, row):
-            data[name].append(_parse_cell(cell))
-        for name in header[len(row):]:
-            data[name].append(None)
-    return Frame.from_dict(data)
+        if len(row) > width:
+            raise FrameError(
+                f"CSV row {line_no} has {len(row)} cells but the header "
+                f"has {width} columns"
+            )
+        if len(row) < width:
+            row = row + [None] * (width - len(row))
+        raw.append(row)
+    cols = [
+        _parse_column(name, [r[j] for r in raw]) for j, name in enumerate(header)
+    ]
+    return Frame(cols)
 
 
 def _format_cell(value: Any) -> str:
@@ -73,6 +145,26 @@ def _format_cell(value: Any) -> str:
     return str(value)
 
 
+def _format_column(col: Column) -> Any:
+    """One column of CSV cell strings, cast in bulk where possible.
+
+    ``float64 -> str`` via numpy's unicode cast is digit-for-digit
+    identical to ``repr(float(v))`` (shortest round-trip repr), so float
+    columns need no Python-level loop.
+    """
+    if col.kind == KIND_FLOAT:
+        out = col.values.astype("U32")
+        nan_mask = np.isnan(col.values)
+        if nan_mask.any():
+            out[nan_mask] = ""
+        return out
+    if col.kind == KIND_INT:
+        return col.values.astype("U21")
+    if col.kind == KIND_BOOL:
+        return np.where(col.values, "true", "false")
+    return [_format_cell(v) for v in col.values]
+
+
 def write_csv(frame: Frame, path: str | Path) -> None:
     """Write *frame* to a CSV file with a header row."""
     with open(path, "w", newline="") as f:
@@ -84,6 +176,7 @@ def to_csv_text(frame: Frame) -> str:
     buf = io.StringIO()
     writer = csv.writer(buf, lineterminator="\n")
     writer.writerow(frame.column_names)
-    for row in frame.iter_rows():
-        writer.writerow([_format_cell(row[name]) for name in frame.column_names])
+    columns = [_format_column(frame.column(n)) for n in frame.column_names]
+    if columns:
+        writer.writerows(zip(*columns))
     return buf.getvalue()

@@ -35,13 +35,14 @@ from repro.pipeline.executor import (
     parallel_map,
     resolve_n_jobs,
 )
-from repro.pipeline.study import StudyResult, StudyRow, run_ixp_study
+from repro.pipeline.study import StudyResult, StudyRow, StudyTimings, run_ixp_study
 
 __all__ = [
     "ProcessPoolBackend",
     "SerialExecutor",
     "StudyResult",
     "StudyRow",
+    "StudyTimings",
     "TreatmentAssignment",
     "assign_treatment",
     "completeness",

@@ -46,18 +46,29 @@ class TreatmentAssignment:
         return unit in self.first_crossing_hour
 
 
+def _token_match(value: object, ixp_name: str) -> bool:
+    """Whether one comma-joined ``ixps`` cell names the exchange."""
+    return ixp_name in str(value).split(",") if value else False
+
+
 def crossing_mask(frame: Frame, ixp_name: str) -> np.ndarray:
     """Boolean mask of rows whose traceroute crossed *ixp_name*.
 
     The ``ixps`` column holds comma-joined exchange names (possibly
-    empty); exact token matching avoids substring false positives.
+    empty); exact token matching avoids substring false positives.  The
+    column carries few distinct strings, so the rows are factorized once
+    and the split/match runs per distinct value, not per row.
     """
     if "ixps" not in frame:
         raise FrameError("frame has no 'ixps' column; is this a measurement frame?")
-    ixps = frame.column("ixps").values
-    return np.array(
-        [ixp_name in str(v).split(",") if v else False for v in ixps], dtype=bool
+    column = frame.column("ixps")
+    codes, uniques = column.factorize()
+    per_unique = np.array(
+        [_token_match(v, ixp_name) for v in uniques], dtype=bool
     )
+    if not len(uniques):
+        return np.zeros(frame.num_rows, dtype=bool)
+    return per_unique[codes]
 
 
 def assign_treatment(
@@ -77,28 +88,43 @@ def assign_treatment(
     if not 0 < min_crossing_share <= 1:
         raise FrameError("min_crossing_share must be in (0, 1]")
     crosses = crossing_mask(frame, ixp_name)
-    units = frame.column("unit").values
+    unit_col = frame.column("unit")
     hours = frame.numeric("time_hour")
+
+    # Factorize units once, merge codes that share a string label (the
+    # historical scan compared str(u)), and sort every row by
+    # (unit, hour) in one pass — no per-unit O(rows) mask rebuilds.
+    codes, uniques = unit_col.factorize()
+    labels = [str(u) for u in uniques]
+    names = sorted(set(labels))
+    gid_of_name = {name: g for g, name in enumerate(names)}
+    gid_of_code = np.array([gid_of_name[lab] for lab in labels], dtype=np.int64)
+    gids = gid_of_code[codes] if len(codes) else np.empty(0, dtype=np.int64)
+
+    # Radix-sort by unit code (stable argsort on int64), then order each
+    # unit's slice by hour separately — cheaper than one global lexsort,
+    # and the tie order among equal hours is immaterial: the debounce
+    # windows cut on hour *values*, so they always cover whole equal-hour
+    # runs and the share test sees the same counts either way.
+    order = np.argsort(gids, kind="stable")
+    hours_g = hours[order]
+    crosses_g = crosses[order]
+    bounds = np.searchsorted(
+        gids[order], np.arange(len(names) + 1, dtype=np.int64), side="left"
+    )
 
     first: dict[str, float] = {}
     never: list[str] = []
-    for unit in sorted({str(u) for u in units}):
-        sel = np.array([str(u) == unit for u in units])
-        unit_hours = hours[sel]
-        unit_cross = crosses[sel]
-        order = np.argsort(unit_hours)
-        unit_hours = unit_hours[order]
-        unit_cross = unit_cross[order]
-        candidate = None
-        for i in np.flatnonzero(unit_cross):
-            t0 = unit_hours[i]
-            in_window = (unit_hours >= t0) & (unit_hours < t0 + window_hours)
-            if in_window.sum() == 0:
-                continue
-            share = float(unit_cross[in_window].mean())
-            if share >= min_crossing_share:
-                candidate = float(t0)
-                break
+    for g, unit in enumerate(names):
+        start, end = bounds[g], bounds[g + 1]
+        slice_hours = hours_g[start:end]
+        hour_order = np.argsort(slice_hours)
+        candidate = _first_sustained_crossing(
+            slice_hours[hour_order],
+            crosses_g[start:end][hour_order],
+            min_crossing_share,
+            window_hours,
+        )
         if candidate is None:
             never.append(unit)
         else:
@@ -108,3 +134,37 @@ def assign_treatment(
         first_crossing_hour=first,
         never_crossed=tuple(never),
     )
+
+
+def _first_sustained_crossing(
+    unit_hours: np.ndarray,
+    unit_cross: np.ndarray,
+    min_crossing_share: float,
+    window_hours: float,
+) -> float | None:
+    """Earliest crossing hour whose forward window clears the share test.
+
+    *unit_hours* must be sorted ascending.  The debounce windows of every
+    crossing row are evaluated at once: window edges come from two
+    ``searchsorted`` calls and the in-window crossing counts from a
+    cumulative sum, replacing the per-candidate mask scans.
+    """
+    cross_pos = np.flatnonzero(unit_cross)
+    if not len(cross_pos):
+        return None
+    t0 = unit_hours[cross_pos]
+    win_start = np.searchsorted(unit_hours, t0, side="left")
+    win_end = np.searchsorted(unit_hours, t0 + window_hours, side="left")
+    counts = win_end - win_start
+    cum = np.cumsum(unit_cross.astype(np.int64))
+    in_window = np.where(counts > 0, cum[np.maximum(win_end - 1, 0)], 0) - np.where(
+        win_start > 0, cum[np.minimum(win_start, len(cum)) - 1], 0
+    )
+    valid = counts > 0
+    shares = np.divide(
+        in_window, counts, out=np.zeros(len(counts)), where=valid
+    )
+    ok = valid & (shares >= min_crossing_share)
+    if not ok.any():
+        return None
+    return float(t0[int(np.argmax(ok))])

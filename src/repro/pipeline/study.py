@@ -15,7 +15,8 @@ identical :class:`StudyResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -73,12 +74,54 @@ class StudyRow:
 
 
 @dataclass(frozen=True)
+class StudyTimings:
+    """Wall-clock seconds per study stage, for perf observability.
+
+    ``generation_s`` is ``None`` when the measurements came from disk
+    rather than the simulator.  Timings never participate in result
+    equality — two runs of the same study are the *same result* however
+    long they took.
+    """
+
+    assignment_s: float
+    panel_s: float
+    fits_s: float
+    generation_s: float | None = None
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all recorded stages."""
+        return (
+            (self.generation_s or 0.0)
+            + self.assignment_s
+            + self.panel_s
+            + self.fits_s
+        )
+
+    def format(self) -> str:
+        """One line per stage, aligned, slowest readable at a glance."""
+        stages = []
+        if self.generation_s is not None:
+            stages.append(("generation", self.generation_s))
+        stages.extend(
+            [
+                ("assignment", self.assignment_s),
+                ("panel", self.panel_s),
+                ("fits", self.fits_s),
+                ("total", self.total_s),
+            ]
+        )
+        return "\n".join(f"{name:<12} {seconds:>8.3f}s" for name, seconds in stages)
+
+
+@dataclass(frozen=True)
 class StudyResult:
     """The full study output: one row per treated unit plus context."""
 
     rows: tuple[StudyRow, ...]
     assignment: TreatmentAssignment
     skipped: tuple[tuple[str, str], ...]  # (unit, reason)
+    timings: StudyTimings | None = field(default=None, compare=False)
 
     def to_frame(self) -> Frame:
         """Rows as a frame (for CSV export or further analysis)."""
@@ -204,6 +247,7 @@ def run_ixp_study(
     ridge: float = 1e-2,
     outcome: str = "rtt_ms",
     n_jobs: int | None = 1,
+    generation_seconds: float | None = None,
 ) -> StudyResult:
     """Run the full IXP case study on a measurement frame.
 
@@ -227,9 +271,15 @@ def run_ixp_study(
         all cores).  Results are identical across backends: rows stay
         in treatment order and every fit is a pure function of its
         unit's panel slice.
+    generation_seconds:
+        Wall-clock spent producing *measurements* upstream (simulator or
+        CSV import); recorded verbatim in the result's timings.
     """
+    t0 = time.perf_counter()
     assignment = assign_treatment(measurements, ixp_name)
+    t1 = time.perf_counter()
     panel = rtt_panel(measurements, period="day", outcome=outcome)
+    t2 = time.perf_counter()
     treated = assignment.treated_units
 
     fit_kwargs: dict[str, object] = {}
@@ -279,8 +329,18 @@ def run_ixp_study(
             rows.append(result)
         else:
             skipped.append(result)
+    t3 = time.perf_counter()
+    timings = StudyTimings(
+        assignment_s=t1 - t0,
+        panel_s=t2 - t1,
+        fits_s=t3 - t2,
+        generation_s=generation_seconds,
+    )
     return StudyResult(
-        rows=tuple(rows), assignment=assignment, skipped=tuple(skipped)
+        rows=tuple(rows),
+        assignment=assignment,
+        skipped=tuple(skipped),
+        timings=timings,
     )
 
 

@@ -9,6 +9,7 @@ never have and which lets tests assert the estimator is honest.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.frames.frame import Frame
@@ -87,6 +88,7 @@ def run_table1_experiment(
     per-unit fits out over worker processes without changing any
     number in the table.
     """
+    t0 = time.perf_counter()
     scenario = build_table1_scenario(
         n_donor_ases=n_donor_ases,
         duration_days=duration_days,
@@ -94,8 +96,13 @@ def run_table1_experiment(
         seed=seed,
     )
     measurements = measurements_frame(scenario, rng=measurement_seed)
+    generation_seconds = time.perf_counter() - t0
     result = run_ixp_study(
-        measurements, scenario.ixp_name, method=method, n_jobs=n_jobs
+        measurements,
+        scenario.ixp_name,
+        method=method,
+        n_jobs=n_jobs,
+        generation_seconds=generation_seconds,
     )
     truth = {
         f"AS{asn}/{city}": scenario.true_effect(asn, city)

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Sequence
+from functools import cached_property
 from typing import Any
 
 import numpy as np
 
 from repro.errors import DonorPoolError
+from repro.frames.column import KIND_OBJECT
 from repro.frames.frame import Frame
-from repro.frames.groupby import pivot
+from repro.frames.groupby import pivot_grid
 
 
 @dataclass(frozen=True)
@@ -38,18 +40,29 @@ class Panel:
     units: tuple[str, ...]
     matrix: np.ndarray = field(repr=False)
 
+    @cached_property
+    def _unit_index(self) -> dict[str, int]:
+        """unit -> column position, built once per panel.
+
+        ``series`` is called inside every placebo refit; a linear
+        ``tuple.index`` scan per call dominated at large donor counts.
+        (``cached_property`` stores into ``__dict__`` directly, so it
+        works on this frozen dataclass.)
+        """
+        return {u: j for j, u in enumerate(self.units)}
+
     def series(self, unit: str) -> np.ndarray:
         """The outcome series of one unit."""
-        try:
-            j = self.units.index(unit)
-        except ValueError:
-            raise DonorPoolError(f"unknown unit {unit!r}") from None
+        j = self._unit_index.get(unit)
+        if j is None:
+            raise DonorPoolError(f"unknown unit {unit!r}")
         return self.matrix[:, j]
 
     def without(self, units: Sequence[str]) -> "Panel":
         """Drop the named units (used to exclude treated units from donors)."""
-        drop = set(units)
-        keep = [j for j, u in enumerate(self.units) if u not in drop]
+        index = self._unit_index
+        drop = {index[u] for u in units if u in index}
+        keep = [j for j in range(len(self.units)) if j not in drop]
         return Panel(
             times=self.times,
             units=tuple(self.units[j] for j in keep),
@@ -82,14 +95,28 @@ def build_panel(
     """Pivot long-format rows into a times x units panel.
 
     Multiple measurements per (unit, time) cell are reduced with *agg*
-    (default median, matching the paper's median-RTT outcome).
+    (default median, matching the paper's median-RTT outcome).  The
+    grouped-median grid from :func:`repro.frames.groupby.pivot_grid` is
+    used directly — one scatter, one row reorder — instead of building
+    and re-reading a wide frame.
     """
-    wide, unit_keys = pivot(data, index=time, columns=unit, values=outcome, agg=agg)
-    ordered = wide.sort_by(time)
-    times = tuple(ordered.column(time).to_list())
+    time_keys, unit_keys, grid = pivot_grid(
+        data, index=time, columns=unit, values=outcome, agg=agg
+    )
+    # Rows come out in first-appearance order; sort them by time value,
+    # stringifying object keys exactly like Frame.sort_by does.
+    if time_keys:
+        if data.column(time).kind == KIND_OBJECT:
+            sort_keys = np.array([str(v) for v in time_keys])
+        else:
+            sort_keys = np.asarray(time_keys)
+        order = np.argsort(sort_keys, kind="stable")
+        times = tuple(time_keys[i] for i in order)
+        matrix = grid[order]
+    else:
+        times = ()
+        matrix = grid
     units = tuple(str(k) for k in unit_keys)
-    cols = [ordered.numeric(str(k)) for k in unit_keys]
-    matrix = np.column_stack(cols) if cols else np.empty((len(times), 0))
     return Panel(times=times, units=units, matrix=matrix)
 
 

@@ -121,6 +121,34 @@ class TestRowTransforms:
         out = frame.sort_by(["asn", "city"])
         assert [r["city"] for r in out.iter_rows()][:2] == ["cpt", "jnb"]
 
+    def test_sort_by_descending_stable_on_duplicate_keys(self):
+        # Rows sharing a key must keep their original relative order even
+        # when descending (reversing the ascending output would flip them).
+        f = Frame.from_dict(
+            {"key": [2, 1, 2, 1, 2], "row": [0, 1, 2, 3, 4]}
+        )
+        out = f.sort_by("key", descending=True)
+        assert [r["row"] for r in out.iter_rows()] == [0, 2, 4, 1, 3]
+
+    def test_sort_by_descending_stable_object_and_float_keys(self):
+        f = Frame.from_dict(
+            {
+                "name": ["b", "a", "b", "a"],
+                "x": [1.0, 2.0, 1.0, 2.0],
+                "row": [0, 1, 2, 3],
+            }
+        )
+        by_name = f.sort_by("name", descending=True)
+        assert [r["row"] for r in by_name.iter_rows()] == [0, 2, 1, 3]
+        by_x = f.sort_by("x", descending=True)
+        assert [r["row"] for r in by_x.iter_rows()] == [1, 3, 0, 2]
+
+    def test_sort_by_descending_nan_last(self):
+        f = Frame.from_dict({"x": [1.0, None, 3.0]})
+        out = f.sort_by("x", descending=True)
+        vals = list(out["x"])
+        assert vals[0] == 3.0 and vals[1] == 1.0 and np.isnan(vals[2])
+
     def test_take(self, frame):
         assert frame.take([4, 0]).row(0)["asn"] == 300
 

@@ -105,3 +105,41 @@ class TestPivot:
     def test_unknown_agg(self, frame):
         with pytest.raises(FrameError):
             pivot(frame, index="day", columns="unit", values="rtt", agg="nope")
+
+
+class TestBuiltinDtypes:
+    """Every numeric builtin returns plain Python numbers, consistently."""
+
+    def test_min_max_builtins_return_plain_floats(self):
+        # The historical builtins leaked numpy scalars from min/max while
+        # every other aggregation returned plain Python numbers.
+        from repro.frames.groupby import _BUILTINS
+
+        values = np.array([3.0, 1.0, np.nan])
+        for name in ("sum", "mean", "median", "min", "max"):
+            result = _BUILTINS[name](values)
+            assert type(result) is float, name
+        assert type(_BUILTINS["count"](values)) is int
+
+    def test_numeric_builtins_agree_on_kind(self, frame):
+        out = group_by(frame, "unit").aggregate(
+            s=("rtt", "sum"),
+            m=("rtt", "mean"),
+            md=("rtt", "median"),
+            lo=("rtt", "min"),
+            hi=("rtt", "max"),
+        )
+        for name in ("s", "m", "md", "lo", "hi"):
+            assert out.column(name).kind == "float", name
+
+    def test_count_stays_int(self, frame):
+        out = group_by(frame, "unit").aggregate(n=("rtt", "count"))
+        assert out.column("n").kind == "int"
+        assert all(type(v) in (int, np.int64) for v in out["n"])
+
+    def test_int_column_min_max_float_like_before(self):
+        f = Frame.from_dict({"k": ["a", "a", "b"], "v": [3, 1, 7]})
+        out = group_by(f, "k").aggregate(lo=("v", "min"), hi=("v", "max"))
+        by_k = {r["k"]: r for r in out.iter_rows()}
+        assert by_k["a"]["lo"] == 1.0 and by_k["b"]["hi"] == 7.0
+        assert out.column("lo").kind == "float"

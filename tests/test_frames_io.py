@@ -67,3 +67,61 @@ class TestRoundTrip:
         again = read_csv_text(to_csv_text(f))
         assert again.column_names == ["a", "b"]
         assert again.num_rows == 0
+
+
+class TestRobustness:
+    def test_wide_row_raises_naming_the_row(self):
+        import pytest
+
+        from repro.errors import FrameError
+
+        with pytest.raises(FrameError, match="row 3"):
+            read_csv_text("a,b\n1,2\n3,4,5\n")
+
+    def test_wide_row_counts_cells(self):
+        import pytest
+
+        from repro.errors import FrameError
+
+        with pytest.raises(FrameError, match="4 cells"):
+            read_csv_text("a,b\n1,2,3,4\n")
+
+    def test_underscore_int_literal_stays_string(self):
+        f = read_csv_text("a\n1_000\n")
+        assert f.column("a").kind == "object"
+        assert f.row(0)["a"] == "1_000"
+
+    def test_underscore_float_literal_stays_string(self):
+        f = read_csv_text("a\n1_0.5\n")
+        assert f.row(0)["a"] == "1_0.5"
+
+    def test_underscore_mixed_with_numbers(self):
+        f = read_csv_text("a\n1_000\n5\n")
+        assert f.to_dict()["a"] == ["1_000", 5]
+
+    def test_mixed_column_falls_back_per_cell(self):
+        f = read_csv_text("a\n5\nhello\ntrue\n")
+        assert f.to_dict()["a"] == [5, "hello", True]
+
+    def test_numeric_column_with_missing_is_float(self):
+        f = read_csv_text("a,b\n5,x\n,y\n6,z\n")
+        col = f.column("a")
+        assert col.kind == "float"
+        assert col.values[0] == 5.0 and np.isnan(col.values[1])
+
+    def test_nan_and_inf_literals_parse_as_float(self):
+        f = read_csv_text("a\ninf\n-inf\n1.5\n")
+        assert f.column("a").kind == "float"
+        assert f.column("a").values[0] == float("inf")
+
+    def test_bool_with_missing_is_object(self):
+        f = read_csv_text("a,b\ntrue,x\n,y\nfalse,z\n")
+        col = f.column("a")
+        assert col.kind == "object"
+        assert col.to_list() == [True, None, False]
+
+    def test_float_formatting_is_shortest_repr(self):
+        f = Frame.from_dict({"x": [0.1, 1 / 3, 1e-20, 12345.678]})
+        text = to_csv_text(f)
+        lines = text.strip().split("\n")[1:]
+        assert lines == [repr(float(v)) for v in f.to_dict()["x"]]

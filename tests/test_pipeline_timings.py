@@ -1,0 +1,65 @@
+"""Stage-timing observability: StudyTimings on StudyResult and CLI --timings."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.pipeline import StudyTimings, run_ixp_study
+from repro.pipeline.study import StudyResult
+
+
+class TestStudyTimings:
+    def test_attached_to_result(self, small_frame, small_scenario):
+        result = run_ixp_study(small_frame, small_scenario.ixp_name)
+        t = result.timings
+        assert t is not None
+        assert t.assignment_s >= 0 and t.panel_s >= 0 and t.fits_s >= 0
+        assert t.generation_s is None  # measurements came pre-built
+
+    def test_generation_seconds_recorded(self, small_frame, small_scenario):
+        result = run_ixp_study(
+            small_frame, small_scenario.ixp_name, generation_seconds=1.25
+        )
+        assert result.timings.generation_s == 1.25
+        assert result.timings.total_s >= 1.25
+
+    def test_timings_never_affect_equality(self, small_frame, small_scenario):
+        a = run_ixp_study(small_frame, small_scenario.ixp_name)
+        b = run_ixp_study(small_frame, small_scenario.ixp_name)
+        assert a.timings != b.timings or a.timings is not b.timings
+        assert a == b  # timings excluded from comparison
+
+    def test_format_lists_stages(self):
+        t = StudyTimings(
+            assignment_s=0.5, panel_s=0.25, fits_s=2.0, generation_s=1.0
+        )
+        text = t.format()
+        for stage in ("generation", "assignment", "panel", "fits", "total"):
+            assert stage in text
+        assert f"{t.total_s:.3f}" in text
+        assert t.total_s == 3.75
+
+    def test_format_without_generation(self):
+        t = StudyTimings(assignment_s=0.5, panel_s=0.25, fits_s=2.0)
+        assert "generation" not in t.format()
+
+    def test_default_is_none(self):
+        result = StudyResult(rows=(), assignment=None, skipped=())
+        assert result.timings is None
+
+
+class TestCliTimings:
+    def test_table1_prints_timings(self, capsys):
+        code = main(
+            ["table1", "--days", "8", "--donors", "3", "--seed", "0", "--timings"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stage timings:" in out
+        for stage in ("generation", "assignment", "panel", "fits", "total"):
+            assert stage in out
+
+    def test_table1_silent_without_flag(self, capsys):
+        code = main(["table1", "--days", "8", "--donors", "3", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stage timings:" not in out
