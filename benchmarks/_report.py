@@ -4,21 +4,54 @@ Each benchmark regenerates one of the paper's artefacts (Table 1, a
 boxed example, or an ablation) and records the produced table under
 ``benchmarks/results/`` so the numbers survive the pytest run.  The
 report is also echoed to stdout (visible with ``pytest -s``).
+
+Performance benchmarks additionally pass ``data`` — machine-readable
+numbers written alongside the table as ``results/<name>.json`` with the
+keys ``{name, wall_seconds, speedup, rows, timestamp}`` — so CI history
+and tooling can track regressions without parsing the text tables.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+DATA_KEYS = ("wall_seconds", "speedup", "rows")
 
-def write_report(name: str, title: str, body: str) -> Path:
-    """Persist one benchmark's output table and echo it."""
+
+def write_report(
+    name: str,
+    title: str,
+    body: str,
+    data: dict[str, Any] | None = None,
+) -> Path:
+    """Persist one benchmark's output table (and optional JSON) and echo it.
+
+    *data*, when given, must provide ``wall_seconds``, ``speedup``, and
+    ``rows``; ``name`` and a ``timestamp`` (unix seconds) are filled in
+    here and the record lands at ``results/<name>.json``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     text = f"{title}\n{'=' * len(title)}\n\n{body}\n"
     path.write_text(text)
+    if data is not None:
+        missing = [k for k in DATA_KEYS if k not in data]
+        if missing:
+            raise ValueError(f"benchmark data for {name!r} is missing {missing}")
+        record = {
+            "name": name,
+            "wall_seconds": float(data["wall_seconds"]),
+            "speedup": None if data["speedup"] is None else float(data["speedup"]),
+            "rows": int(data["rows"]),
+            "timestamp": time.time(),
+        }
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(json.dumps(record, indent=2) + "\n")
     print()
     print(text)
     return path

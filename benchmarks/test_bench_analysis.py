@@ -118,4 +118,9 @@ def test_analysis_fast_path(benchmark):
         "P3_analysis_fast_path",
         "P3: vectorized analysis engine — factorized kernels vs row-wise loops",
         "\n".join(lines),
+        data={
+            "wall_seconds": fast_s,
+            "speedup": speedup,
+            "rows": frame.num_rows,
+        },
     )

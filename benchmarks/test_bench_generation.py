@@ -73,4 +73,9 @@ def test_generation_fast_path(benchmark):
         "P2_generation_fast_path",
         "P2: columnar measurement generation — batched vs scalar wall-times",
         "\n".join(lines),
+        data={
+            "wall_seconds": batched_s,
+            "speedup": speedup,
+            "rows": batched.num_rows,
+        },
     )

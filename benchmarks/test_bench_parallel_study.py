@@ -117,6 +117,11 @@ def test_parallel_study(benchmark):
         "P1_parallel_study",
         "P1: parallel placebo engine — fan-out and SVD-reuse wall-times",
         "\n".join(lines),
+        data={
+            "wall_seconds": pooled_s,
+            "speedup": fanout,
+            "rows": frame.num_rows,
+        },
     )
 
     # Reuse must never lose to the naive loop.

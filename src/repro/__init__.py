@@ -32,6 +32,8 @@ Subpackages
     The paper's experiments, runnable.
 ``repro.design``
     Causal protocols, measurement planning, assumption checklists.
+``repro.obs``
+    Pipeline observability: spans, metrics, structured logging.
 """
 
 from repro.errors import (
@@ -39,10 +41,16 @@ from repro.errors import (
     FrameError,
     GraphError,
     IdentificationError,
+    PipelineError,
     PlatformError,
     ReproError,
     SimulationError,
 )
+from repro.obs.logs import install_null_handler
+
+# Library hygiene: repro modules log through logging.getLogger(__name__)
+# and stay silent unless the application configures handlers.
+install_null_handler()
 
 __version__ = "1.0.0"
 
@@ -51,6 +59,7 @@ __all__ = [
     "FrameError",
     "GraphError",
     "IdentificationError",
+    "PipelineError",
     "PlatformError",
     "ReproError",
     "SimulationError",

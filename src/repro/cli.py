@@ -21,6 +21,13 @@ Commands
 ``power``
     Placebo-test power analysis for a synthetic-control design: can
     this many donors over this window detect the effect you care about?
+
+Observability
+-------------
+``table1``, ``import``, and ``simulate`` accept ``--trace FILE.jsonl``
+(hierarchical span trace of the run) and ``--metrics FILE.prom``
+(Prometheus-style metrics dump).  The top-level ``--log-level`` flag
+turns on structured stderr logging for all of ``repro``.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     )
     print(output.format_report())
     _maybe_print_timings(args, output.result)
+    _write_obs_outputs(args)
     return 0
 
 
@@ -52,6 +60,21 @@ def _maybe_print_timings(args: argparse.Namespace, result) -> None:
         print()
         print("stage timings:")
         print(result.timings.format())
+
+
+def _write_obs_outputs(args: argparse.Namespace) -> None:
+    """Write the run's trace/metrics files when the flags asked for them."""
+    from repro.obs import export_jsonl, get_metrics
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        n = export_jsonl(trace_path)
+        print(f"wrote {n} spans to {trace_path}", file=sys.stderr)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        with open(metrics_path, "w") as f:
+            f.write(get_metrics().render())
+        print(f"wrote metrics to {metrics_path}", file=sys.stderr)
 
 
 def _cmd_studies(args: argparse.Namespace) -> int:
@@ -105,6 +128,7 @@ def _cmd_import(args: argparse.Namespace) -> int:
         for unit, reason in result.skipped:
             print(f"skipped {unit}: {reason}")
     _maybe_print_timings(args, result)
+    _write_obs_outputs(args)
     return 0
 
 
@@ -134,6 +158,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"wrote {frame.num_rows} measurements "
         f"({args.scenario}, {args.days} days, mode={args.mode}) to {args.out}"
     )
+    _write_obs_outputs(args)
     return 0
 
 
@@ -181,6 +206,19 @@ def _add_timings_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help="write the run's span trace as JSONL to this path",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE.prom",
+        help="write a Prometheus-style metrics dump to this path",
+    )
+
+
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -199,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Causal inference for Internet measurement "
         "(reproduction of 'The Internet as Sisyphus', HotNets '25)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured stderr logging for repro at this level",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table1 = sub.add_parser("table1", help="run the IXP/latency case study")
@@ -207,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1.add_argument("--seed", type=int, default=2, help="world seed")
     _add_jobs_argument(p_table1)
     _add_timings_argument(p_table1)
+    _add_obs_arguments(p_table1)
     p_table1.set_defaults(func=_cmd_table1)
 
     p_studies = sub.add_parser("studies", help="run every boxed-example experiment")
@@ -222,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(p_import)
     _add_timings_argument(p_import)
+    _add_obs_arguments(p_import)
     p_import.set_defaults(func=_cmd_import)
 
     p_sim = sub.add_parser("simulate", help="generate a scenario's tests to CSV")
@@ -246,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="generation path (batch = columnar fast path)",
     )
     p_sim.add_argument("--out", required=True, help="output CSV path")
+    _add_obs_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_validate = sub.add_parser("validate", help="identify a DAG's strategies")
@@ -270,6 +317,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        from repro.obs import configure_logging
+
+        configure_logging(args.log_level)
     try:
         return args.func(args)
     except ReproError as exc:

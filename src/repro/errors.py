@@ -53,6 +53,10 @@ class ExecutionError(ReproError):
     """Raised for invalid parallel-execution requests (bad n_jobs, ...)."""
 
 
+class PipelineError(ReproError):
+    """Raised for malformed pipeline inputs (bad unit labels, ...)."""
+
+
 class SimulationError(ReproError):
     """Raised for inconsistent simulator configuration or state."""
 

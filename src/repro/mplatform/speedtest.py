@@ -31,11 +31,13 @@ experiment E2.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import PlatformError
+from repro.obs import get_metrics, span
 from repro.frames.builder import FrameBuilder
 from repro.frames.column import (
     KIND_BOOL,
@@ -56,6 +58,8 @@ from repro.mplatform.records import (
     Trigger,
     measurements_to_frame,
 )
+
+logger = logging.getLogger(__name__)
 
 #: Declared kinds for the columnar fast path (skips per-chunk inference
 #: and keeps an empty frame's schema fully typed).
@@ -188,6 +192,12 @@ class SpeedTestGenerator:
         draws happen here, in deterministic ⟨hour, group⟩ order, so both
         emission modes inherit identical cells.
         """
+        with span("generate.plan") as sp:
+            plan = self._plan_cells(rate_rng)
+            sp.set(cells=len(plan.cells))
+        return plan
+
+    def _plan_cells(self, rate_rng: np.random.Generator) -> _GenerationPlan:
         scenario = self.scenario
         config = self.config
         n_hours = int(scenario.duration_hours)
@@ -270,6 +280,16 @@ class SpeedTestGenerator:
         recorded, decorrelating timestamps from the diurnal state that
         produced the RTT).
         """
+        with span("generate", mode="scalar") as sp:
+            out = self._generate_scalar(rng)
+            sp.set(rows=len(out))
+        get_metrics().counter(
+            "measurements_generated_total", "speed tests emitted by the simulator"
+        ).inc(len(out))
+        logger.info("generated %d measurements (scalar path)", len(out))
+        return out
+
+    def _generate_scalar(self, rng: np.random.Generator | int | None) -> list[Measurement]:
         rate_rng, noise_rng = _split_rng(rng)
         plan = self._plan(rate_rng)
         scenario = self.scenario
@@ -332,6 +352,16 @@ class SpeedTestGenerator:
             return measurements_to_frame(self.generate(rng))
         if mode != "batch":
             raise PlatformError(f"unknown generation mode {mode!r}")
+        with span("generate", mode="batch") as sp:
+            frame = self._generate_batch(rng)
+            sp.set(rows=frame.num_rows)
+        get_metrics().counter(
+            "measurements_generated_total", "speed tests emitted by the simulator"
+        ).inc(frame.num_rows)
+        logger.info("generated %d measurements (batched path)", frame.num_rows)
+        return frame
+
+    def _generate_batch(self, rng: np.random.Generator | int | None) -> Frame:
         rate_rng, noise_rng = _split_rng(rng)
         plan = self._plan(rate_rng)
         scenario = self.scenario

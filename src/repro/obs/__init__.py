@@ -1,0 +1,85 @@
+"""repro.obs — observability for the study pipeline.
+
+The paper's §4 argues measurements should carry *why they were taken
+and under what conditions*; this subsystem applies that standard to
+the reproduction's own pipeline:
+
+- :mod:`repro.obs.trace` — hierarchical wall-clock spans
+  (``span``/``traced``), JSONL export, and order-stable cross-process
+  merge, so a parallel study's trace has the same tree shape as the
+  serial one;
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with a Prometheus-style text dump and worker snapshots;
+- :mod:`repro.obs.capture` — the worker-side shim the executor uses to
+  ship spans/metrics/tracebacks home with each result;
+- :mod:`repro.obs.report` — aligned text rendering of span trees
+  (shared by the CLI and the benchmark harness);
+- :mod:`repro.obs.logs` — stdlib-logging wiring (`NullHandler` at the
+  package root, a ``--log-level`` configurator for the CLI).
+"""
+
+from repro.obs.capture import (
+    WorkerOutcome,
+    WorkerTraceback,
+    absorb_outcome,
+    run_captured,
+)
+from repro.obs.logs import configure_logging, install_null_handler
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.report import render_trace, span_counts
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    child_seconds,
+    current_span_id,
+    export_jsonl,
+    get_tracer,
+    load_jsonl,
+    merge_worker_records,
+    set_tracing,
+    span,
+    to_jsonl_lines,
+    traced,
+    tracing_disabled,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "SpanRecord",
+    "Tracer",
+    "WorkerOutcome",
+    "WorkerTraceback",
+    "absorb_outcome",
+    "child_seconds",
+    "configure_logging",
+    "current_span_id",
+    "export_jsonl",
+    "get_metrics",
+    "get_tracer",
+    "install_null_handler",
+    "load_jsonl",
+    "merge_worker_records",
+    "render_trace",
+    "run_captured",
+    "set_metrics",
+    "set_tracing",
+    "span",
+    "span_counts",
+    "to_jsonl_lines",
+    "traced",
+    "tracing_disabled",
+]

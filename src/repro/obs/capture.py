@@ -1,0 +1,86 @@
+"""Worker-side observability capture for the process-pool backend.
+
+A process-pool worker cannot append to the parent's trace, so the
+executor wraps every task in :func:`run_captured`: the task runs
+against a fresh span buffer and a fresh metrics registry, and the
+result ships home as a :class:`WorkerOutcome` carrying the value (or
+the exception *with its formatted worker traceback*), the spans, and a
+metrics snapshot.  The parent calls :func:`absorb_outcome` on each
+outcome **in task order**, which grafts the spans under its current
+span (:func:`~repro.obs.trace.merge_worker_records`), folds the
+metrics in, and re-raises failures with the worker stack chained on —
+so a parallel run's trace, metrics, and error reports all match the
+serial run's.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.trace import SpanRecord, get_tracer, merge_worker_records
+
+
+class WorkerTraceback(ExecutionError):
+    """Carries a worker's formatted stack; chained onto re-raised errors."""
+
+
+@dataclass
+class WorkerOutcome:
+    """One task's result plus everything the worker observed producing it."""
+
+    value: Any = None
+    exception: BaseException | None = None
+    traceback_text: str = ""
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+def run_captured(fn: Any, item: Any) -> WorkerOutcome:
+    """Run ``fn(item)`` in a worker, capturing spans, metrics, and errors.
+
+    The worker's tracer buffer and metrics registry are swapped out for
+    the duration of the task, so each outcome ships a per-task delta —
+    pooled workers running many tasks never double-count.
+    """
+    tracer = get_tracer()
+    saved_records, tracer.records = tracer.records, []
+    saved_registry = set_metrics(MetricsRegistry())
+    try:
+        try:
+            value = fn(item)
+            return WorkerOutcome(
+                value=value,
+                spans=tracer.records,
+                metrics=get_metrics().snapshot(),
+            )
+        except Exception as exc:
+            return WorkerOutcome(
+                exception=exc,
+                traceback_text=traceback.format_exc(),
+                spans=tracer.records,
+                metrics=get_metrics().snapshot(),
+            )
+    finally:
+        set_metrics(saved_registry)
+        tracer.records = saved_records
+
+
+def absorb_outcome(outcome: WorkerOutcome) -> Any:
+    """Merge one worker outcome into this process; return its value.
+
+    Spans land under the caller's current span in buffer order; metrics
+    fold into the live registry.  A failed task re-raises the original
+    exception with a :class:`WorkerTraceback` chained as its cause, so
+    the worker-side stack survives the process boundary.
+    """
+    merge_worker_records(outcome.spans)
+    get_metrics().merge(outcome.metrics)
+    if outcome.exception is not None:
+        raise outcome.exception from WorkerTraceback(
+            "worker-side traceback:\n" + outcome.traceback_text
+        )
+    return outcome.value

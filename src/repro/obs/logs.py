@@ -1,0 +1,47 @@
+"""Structured logging wiring for the ``repro`` package.
+
+Every ``repro`` module logs through a standard per-module logger
+(``logging.getLogger(__name__)``); the package root gets a
+``NullHandler`` at import (installed by :mod:`repro.__init__` via
+:func:`install_null_handler`) so library users see nothing unless they
+opt in.  The CLI's ``--log-level`` flag calls :func:`configure_logging`
+to attach one stream handler with a timestamped format.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+ROOT_LOGGER_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Attribute marking the handler the CLI installed, so repeated
+#: configure_logging calls (tests, REPLs) reconfigure instead of stacking.
+_CLI_HANDLER_FLAG = "_repro_cli_handler"
+
+
+def install_null_handler() -> None:
+    """Silence the package for library users (stdlib best practice)."""
+    logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def configure_logging(level: str | int, stream: IO[str] | None = None) -> logging.Logger:
+    """Point the ``repro`` logger at *stream* (default stderr) at *level*.
+
+    Idempotent: the handler installed here is tagged and replaced on
+    subsequent calls rather than duplicated.
+    """
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _CLI_HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _CLI_HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,251 @@
+"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+
+The pipeline's quantitative health signals (`placebos_skipped_total`,
+`donor_pool_size`, `fit_seconds`, ...) are registered here by the code
+that produces them and dumped as Prometheus-style exposition text by
+the CLI's ``--metrics`` flag, so two runs can be diffed (or scraped)
+without parsing logs.
+
+Instruments are get-or-create by name through the process-wide
+registry (:func:`get_metrics`); worker processes record into their own
+registry per task, :meth:`MetricsRegistry.snapshot` makes the state
+picklable, and :meth:`MetricsRegistry.merge` folds worker snapshots
+back into the parent — counters and histograms add, gauges last-write-
+win — so serial and parallel runs report identical totals.
+
+Deliberately not implemented: metric labels (beyond the histogram's
+``le``) and exemplars.  Stage identity lives in the trace; metrics
+stay cheap aggregates.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Default histogram buckets for wall-clock seconds (upper bounds; a
+#: +Inf overflow bucket is always appended).
+SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Default buckets for small cardinalities (donor pools, placebo counts).
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 40, 80, 160)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the total."""
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+    touched: bool = False
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+        self.touched = True
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    *buckets* are ascending upper bounds; an observation lands in the
+    first bucket whose bound is >= the value (bounds are inclusive, as
+    in Prometheus), or in the implicit +Inf overflow bucket.
+    """
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...], help: str = ""
+    ) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ReproError(
+                f"histogram {name} needs strictly ascending buckets, got {buckets}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one process/worker."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise ReproError(f"metric {name!r} already registered as another type")
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named *name* (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            self._claim(name, self._counters)
+            c = self._counters[name] = Counter(name, help)
+        return c
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named *name* (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._claim(name, self._gauges)
+            g = self._gauges[name] = Gauge(name, help)
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = SECONDS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """The histogram named *name* (buckets fixed by the first call)."""
+        h = self._histograms.get(name)
+        if h is None:
+            self._claim(name, self._histograms)
+            h = self._histograms[name] = Histogram(name, tuple(buckets), help)
+        elif tuple(float(b) for b in buckets) != h.buckets:
+            raise ReproError(
+                f"histogram {name!r} re-registered with different buckets"
+            )
+        return h
+
+    def reset(self) -> None:
+        """Forget every instrument (tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- cross-process shipping ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable copy of the registry state (for worker results)."""
+        return {
+            "counters": {
+                n: (c.help, c.value) for n, c in self._counters.items()
+            },
+            "gauges": {
+                n: (g.help, g.value)
+                for n, g in self._gauges.items()
+                if g.touched
+            },
+            "histograms": {
+                n: (h.help, h.buckets, tuple(h.counts), h.sum, h.count)
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a worker snapshot in: counters/histograms add, gauges overwrite."""
+        for name, (help_, value) in snapshot.get("counters", {}).items():
+            self.counter(name, help_).inc(value)
+        for name, (help_, value) in snapshot.get("gauges", {}).items():
+            self.gauge(name, help_).set(value)
+        for name, (help_, buckets, counts, sum_, count) in snapshot.get(
+            "histograms", {}
+        ).items():
+            h = self.histogram(name, buckets, help_)
+            for i, c in enumerate(counts):
+                h.counts[i] += c
+            h.sum += sum_
+            h.count += count
+
+    # -- exposition ------------------------------------------------------------
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every instrument, sorted."""
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            c = self._counters[name]
+            if c.help:
+                lines.append(f"# HELP {name} {c.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(c.value)}")
+        for name in sorted(self._gauges):
+            g = self._gauges[name]
+            if g.help:
+                lines.append(f"# HELP {name} {g.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(g.value)}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            if h.help:
+                lines.append(f"# HELP {name} {h.help}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(h.buckets, h.counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            cumulative += h.counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_fmt(h.sum)}")
+            lines.append(f"{name}_count {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Integers without a trailing .0, floats with repr precision."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The current process-wide registry."""
+    return _registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    The executor uses this to give each worker task a fresh registry so
+    snapshots ship per-task deltas, never double-counted totals.
+    """
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous

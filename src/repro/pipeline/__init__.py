@@ -35,7 +35,13 @@ from repro.pipeline.executor import (
     parallel_map,
     resolve_n_jobs,
 )
-from repro.pipeline.study import StudyResult, StudyRow, StudyTimings, run_ixp_study
+from repro.pipeline.study import (
+    StudyResult,
+    StudyRow,
+    StudyTimings,
+    parse_unit_label,
+    run_ixp_study,
+)
 
 __all__ = [
     "ProcessPoolBackend",
@@ -55,6 +61,7 @@ __all__ = [
     "measurement_volume",
     "normalise_measurements",
     "parallel_map",
+    "parse_unit_label",
     "resolve_n_jobs",
     "rtt_panel",
     "run_ixp_study",

@@ -8,12 +8,17 @@ per-period medians and hand it to
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from repro.errors import FrameError
 from repro.frames.frame import Frame
 from repro.frames.groupby import group_by
+from repro.obs import span
 from repro.synthcontrol.donor import Panel, build_panel
+
+logger = logging.getLogger(__name__)
 
 
 def daily_median_rtt(frame: Frame) -> Frame:
@@ -40,7 +45,19 @@ def rtt_panel(frame: Frame, period: str = "day", outcome: str = "rtt_ms") -> Pan
         raise FrameError(f"unknown period column {period!r}")
     if outcome not in frame:
         raise FrameError(f"measurement frame has no outcome column {outcome!r}")
-    return build_panel(frame, unit="unit", time=period, outcome=outcome, agg="median")
+    with span("panel", rows=frame.num_rows, period=period, outcome=outcome) as sp:
+        panel = build_panel(
+            frame, unit="unit", time=period, outcome=outcome, agg="median"
+        )
+        sp.set(times=panel.n_times, units=panel.n_units)
+    logger.debug(
+        "built %s panel: %d times x %d units from %d rows",
+        outcome,
+        panel.n_times,
+        panel.n_units,
+        frame.num_rows,
+    )
+    return panel
 
 
 def measurement_volume(frame: Frame) -> Frame:

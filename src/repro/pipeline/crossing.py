@@ -10,12 +10,16 @@ simulator or from CSV-imported real measurements.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import FrameError
 from repro.frames.frame import Frame
+from repro.obs import span
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,28 @@ def assign_treatment(
     """
     if not 0 < min_crossing_share <= 1:
         raise FrameError("min_crossing_share must be in (0, 1]")
+    with span("assignment", ixp=ixp_name, rows=frame.num_rows) as sp:
+        result = _assign_treatment(frame, ixp_name, min_crossing_share, window_hours)
+        sp.set(
+            treated=len(result.first_crossing_hour),
+            never_crossed=len(result.never_crossed),
+        )
+    logger.debug(
+        "treatment assignment over %d rows: %d treated, %d never crossed %s",
+        frame.num_rows,
+        len(result.first_crossing_hour),
+        len(result.never_crossed),
+        ixp_name,
+    )
+    return result
+
+
+def _assign_treatment(
+    frame: Frame,
+    ixp_name: str,
+    min_crossing_share: float,
+    window_hours: float,
+) -> TreatmentAssignment:
     crosses = crossing_mask(frame, ixp_name)
     unit_col = frame.column("unit")
     hours = frame.numeric("time_hour")

@@ -15,6 +15,14 @@ order**, so a study computed with ``n_jobs=8`` is numerically identical
 to the serial run — the work is the same pure function applied to the
 same arguments; only the scheduling changes.
 
+Both backends are also observability-transparent: the serial loop runs
+inside the caller's trace context naturally, and the process pool wraps
+every task in :func:`repro.obs.capture.run_captured`, shipping each
+worker's spans and metrics home with its result and merging them — in
+task order — under the caller's current span.  Worker exceptions
+re-raise in the parent with the worker-side traceback chained on as a
+:class:`~repro.obs.capture.WorkerTraceback` cause.
+
 ``n_jobs`` follows the scikit-learn convention: ``1`` (or ``None``)
 means serial, ``-1`` means one worker per CPU, and any other positive
 integer is an explicit worker count.
@@ -22,15 +30,25 @@ integer is an explicit worker count.
 
 from __future__ import annotations
 
+import logging
 import os
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, TypeVar
 
 from repro.errors import ExecutionError
+from repro.obs.capture import WorkerOutcome, absorb_outcome, run_captured
+
+logger = logging.getLogger(__name__)
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+def _run_captured_payload(payload: tuple) -> WorkerOutcome:
+    """Module-level worker entry point (picklable): unpack and capture."""
+    fn, item = payload
+    return run_captured(fn, item)
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -88,14 +106,38 @@ class ProcessPoolBackend:
         self._pool = ProcessPoolExecutor(max_workers=n_jobs)
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
-        """Apply *fn* to every item across the pool; results in input order."""
+        """Apply *fn* to every item across the pool; results in input order.
+
+        Every task runs under worker-side observability capture; spans
+        and metrics merge back here, in input order, so the parent's
+        trace tree matches what a serial run would have recorded.  A
+        failing task re-raises its exception with the worker traceback
+        chained as the cause.
+        """
         work: Sequence[_T] = list(items)
         if not work:
             return []
+        logger.debug("fanning %d tasks over %d workers", len(work), self.n_jobs)
         # A few chunks per worker balances dispatch overhead against
         # stragglers (placebo refits have uneven donor-pool shapes).
         chunksize = max(1, len(work) // (self.n_jobs * 4))
-        return list(self._pool.map(fn, work, chunksize=chunksize))
+        outcomes = list(
+            self._pool.map(
+                _run_captured_payload,
+                [(fn, item) for item in work],
+                chunksize=chunksize,
+            )
+        )
+        results: list[_R] = []
+        for outcome in outcomes:
+            if outcome.exception is not None:
+                logger.error(
+                    "worker task failed: %r\n%s",
+                    outcome.exception,
+                    outcome.traceback_text,
+                )
+            results.append(absorb_outcome(outcome))
+        return results
 
     def close(self) -> None:
         """Shut the pool down and reclaim the worker processes."""

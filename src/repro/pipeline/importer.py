@@ -18,6 +18,7 @@ Everything else the pipeline needs (``unit``, ``day``, ``ixps``,
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -25,6 +26,9 @@ from repro.errors import FrameError
 from repro.frames.frame import Frame
 from repro.frames.io import read_csv
 from repro.netsim.ids import Prefix
+from repro.obs import get_metrics, span
+
+logger = logging.getLogger(__name__)
 
 REQUIRED_COLUMNS = ("asn", "city", "time_hour", "rtt_ms")
 
@@ -108,4 +112,11 @@ def import_csv(
     ixp_prefixes: dict[str, list[Prefix]] | None = None,
 ) -> Frame:
     """Read and normalise a measurement CSV in one call."""
-    return normalise_measurements(read_csv(path), ixp_prefixes)
+    with span("import.csv", path=str(path)) as sp:
+        frame = normalise_measurements(read_csv(path), ixp_prefixes)
+        sp.set(rows=frame.num_rows)
+    get_metrics().counter(
+        "measurements_imported_total", "measurement rows imported from CSV"
+    ).inc(frame.num_rows)
+    logger.info("imported %d measurement rows from %s", frame.num_rows, path)
+    return frame

@@ -15,18 +15,46 @@ identical :class:`StudyResult`.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import DonorPoolError, EstimationError
+from repro.errors import DonorPoolError, EstimationError, PipelineError
 from repro.frames.frame import Frame
+from repro.obs import child_seconds, get_metrics, span
+from repro.obs.metrics import COUNT_BUCKETS
 from repro.pipeline.aggregate import rtt_panel
 from repro.pipeline.crossing import TreatmentAssignment, assign_treatment
 from repro.pipeline.executor import get_executor
 from repro.synthcontrol.donor import Panel, select_donors
 from repro.synthcontrol.placebo import placebo_test
+
+logger = logging.getLogger(__name__)
+
+
+def parse_unit_label(label: object) -> tuple[int, str]:
+    """Split an ``"AS<asn>/<city>"`` unit label into its parts.
+
+    Raises :class:`PipelineError` naming the offending label when it
+    does not match the expected shape — a malformed label would
+    otherwise surface much later as a bare ``ValueError``/``IndexError``
+    from :attr:`StudyRow.asn`.
+    """
+    text = str(label)
+    head, sep, city = text.partition("/")
+    if not sep or not city or not head.startswith("AS"):
+        raise PipelineError(
+            f"malformed unit label {text!r}: expected 'AS<asn>/<city>'"
+        )
+    try:
+        asn = int(head[2:])
+    except ValueError:
+        raise PipelineError(
+            f"malformed unit label {text!r}: {head[2:]!r} is not an ASN"
+        ) from None
+    return asn, city
 
 
 @dataclass(frozen=True)
@@ -65,22 +93,25 @@ class StudyRow:
     @property
     def asn(self) -> int:
         """ASN parsed back out of the unit label."""
-        return int(self.unit.split("/")[0][2:])
+        return parse_unit_label(self.unit)[0]
 
     @property
     def city(self) -> str:
         """City parsed back out of the unit label."""
-        return self.unit.split("/", 1)[1]
+        return parse_unit_label(self.unit)[1]
 
 
 @dataclass(frozen=True)
 class StudyTimings:
     """Wall-clock seconds per study stage, for perf observability.
 
-    ``generation_s`` is ``None`` when the measurements came from disk
-    rather than the simulator.  Timings never participate in result
-    equality — two runs of the same study are the *same result* however
-    long they took.
+    Re-derived from the study's trace spans (``assignment``, ``panel``,
+    ``fits`` under the ``study`` root) when tracing is on, with plain
+    perf-counter segments as the fallback — the API is the same either
+    way.  ``generation_s`` is ``None`` when the measurements came from
+    disk rather than the simulator.  Timings never participate in
+    result equality — two runs of the same study are the *same result*
+    however long they took.
     """
 
     assignment_s: float
@@ -201,38 +232,56 @@ class _UnitTask:
 
 def _analyse_unit(task: _UnitTask) -> StudyRow | tuple[str, str]:
     """Fit one treated unit: a :class:`StudyRow`, or ``(unit, reason)``."""
-    try:
-        donors = select_donors(
-            task.panel,
-            task.unit,
-            excluded=task.excluded,
+    metrics = get_metrics()
+    with span("fits.unit", unit=task.unit) as sp:
+        try:
+            donors = select_donors(
+                task.panel,
+                task.unit,
+                excluded=task.excluded,
+                pre_periods=task.pre_periods,
+                max_missing=task.max_donor_missing,
+            )
+            donor_matrix = np.column_stack([task.panel.series(d) for d in donors])
+            summary = placebo_test(
+                task.panel.series(task.unit),
+                donor_matrix,
+                task.pre_periods,
+                treated_name=task.unit,
+                donor_names=donors,
+                method=task.method,
+                max_placebos=task.max_placebos,
+                **task.fit_kwargs,
+            )
+        except (DonorPoolError, EstimationError) as exc:
+            logger.warning("skipping unit %s: %s", task.unit, exc)
+            sp.set(status="skipped", reason=str(exc))
+            metrics.counter(
+                "units_skipped_total", "treated units the study could not fit"
+            ).inc()
+            return (task.unit, str(exc))
+        sp.set(
+            status="ok",
+            n_donors=len(donors),
+            n_placebos=len(summary.placebo_rmse_ratios),
+        )
+        metrics.counter(
+            "units_analysed_total", "treated units with a fitted StudyRow"
+        ).inc()
+        metrics.histogram(
+            "donor_pool_size", COUNT_BUCKETS, "donors surviving the screen, per unit"
+        ).observe(len(donors))
+        return StudyRow(
+            unit=task.unit,
+            rtt_delta_ms=summary.fit.effect,
+            rmse_ratio=summary.fit.rmse_ratio,
+            p_value=summary.p_value,
             pre_periods=task.pre_periods,
-            max_missing=task.max_donor_missing,
+            post_periods=task.post_periods,
+            n_donors=len(donors),
+            n_placebos=len(summary.placebo_rmse_ratios),
+            n_placebos_skipped=summary.n_placebos_skipped,
         )
-        donor_matrix = np.column_stack([task.panel.series(d) for d in donors])
-        summary = placebo_test(
-            task.panel.series(task.unit),
-            donor_matrix,
-            task.pre_periods,
-            treated_name=task.unit,
-            donor_names=donors,
-            method=task.method,
-            max_placebos=task.max_placebos,
-            **task.fit_kwargs,
-        )
-    except (DonorPoolError, EstimationError) as exc:
-        return (task.unit, str(exc))
-    return StudyRow(
-        unit=task.unit,
-        rtt_delta_ms=summary.fit.effect,
-        rmse_ratio=summary.fit.rmse_ratio,
-        p_value=summary.p_value,
-        pre_periods=task.pre_periods,
-        post_periods=task.post_periods,
-        n_donors=len(donors),
-        n_placebos=len(summary.placebo_rmse_ratios),
-        n_placebos_skipped=summary.n_placebos_skipped,
-    )
 
 
 def run_ixp_study(
@@ -275,66 +324,87 @@ def run_ixp_study(
         Wall-clock spent producing *measurements* upstream (simulator or
         CSV import); recorded verbatim in the result's timings.
     """
-    t0 = time.perf_counter()
-    assignment = assign_treatment(measurements, ixp_name)
-    t1 = time.perf_counter()
-    panel = rtt_panel(measurements, period="day", outcome=outcome)
-    t2 = time.perf_counter()
-    treated = assignment.treated_units
+    logger.info(
+        "running IXP study on %d measurements (ixp=%s, method=%s, n_jobs=%s)",
+        measurements.num_rows,
+        ixp_name,
+        method,
+        n_jobs,
+    )
+    with span("study", ixp=ixp_name, method=method) as study_sp:
+        t0 = time.perf_counter()
+        assignment = assign_treatment(measurements, ixp_name)
+        t1 = time.perf_counter()
+        panel = rtt_panel(measurements, period="day", outcome=outcome)
+        t2 = time.perf_counter()
+        treated = assignment.treated_units
 
-    fit_kwargs: dict[str, object] = {}
-    if method == "robust":
-        fit_kwargs = {"energy": energy, "ridge": ridge}
+        fit_kwargs: dict[str, object] = {}
+        if method == "robust":
+            fit_kwargs = {"energy": energy, "ridge": ridge}
 
-    # Cheap shape screens run inline; only real fit work is fanned out.
-    plan: list[tuple[str, str] | _UnitTask] = []
-    for unit in treated:
-        first_hour = assignment.first_crossing_hour[unit]
-        first_day = int(first_hour // 24)
-        try:
-            pre_periods = _pre_period_count(panel, first_day)
-        except EstimationError as exc:
-            plan.append((unit, str(exc)))
-            continue
-        post_periods = panel.n_times - pre_periods
-        if pre_periods < min_pre_periods:
-            plan.append((unit, f"only {pre_periods} pre-treatment days"))
-            continue
-        if post_periods < min_post_periods:
-            plan.append((unit, f"only {post_periods} post-treatment days"))
-            continue
-        plan.append(
-            _UnitTask(
-                unit=unit,
-                pre_periods=pre_periods,
-                post_periods=post_periods,
-                panel=panel,
-                excluded=tuple(treated),
-                max_donor_missing=max_donor_missing,
-                method=method,
-                max_placebos=max_placebos,
-                fit_kwargs=fit_kwargs,
+        # Cheap shape screens run inline; only real fit work is fanned out.
+        plan: list[tuple[str, str] | _UnitTask] = []
+        for unit in treated:
+            parse_unit_label(unit)  # fail loudly on malformed labels
+            first_hour = assignment.first_crossing_hour[unit]
+            first_day = int(first_hour // 24)
+            try:
+                pre_periods = _pre_period_count(panel, first_day)
+            except EstimationError as exc:
+                plan.append((unit, str(exc)))
+                continue
+            post_periods = panel.n_times - pre_periods
+            if pre_periods < min_pre_periods:
+                plan.append((unit, f"only {pre_periods} pre-treatment days"))
+                continue
+            if post_periods < min_post_periods:
+                plan.append((unit, f"only {post_periods} post-treatment days"))
+                continue
+            plan.append(
+                _UnitTask(
+                    unit=unit,
+                    pre_periods=pre_periods,
+                    post_periods=post_periods,
+                    panel=panel,
+                    excluded=tuple(treated),
+                    max_donor_missing=max_donor_missing,
+                    method=method,
+                    max_placebos=max_placebos,
+                    fit_kwargs=fit_kwargs,
+                )
             )
-        )
 
-    tasks = [step for step in plan if isinstance(step, _UnitTask)]
-    with get_executor(n_jobs) as executor:
-        outcomes = iter(executor.map(_analyse_unit, tasks))
+        tasks = [step for step in plan if isinstance(step, _UnitTask)]
+        if len(plan) > len(tasks):
+            get_metrics().counter(
+                "units_skipped_total", "treated units the study could not fit"
+            ).inc(len(plan) - len(tasks))
+        rows: list[StudyRow] = []
+        skipped: list[tuple[str, str]] = []
+        with span("fits", n_tasks=len(tasks), n_jobs=n_jobs):
+            with get_executor(n_jobs) as executor:
+                outcomes = iter(executor.map(_analyse_unit, tasks))
+            for step in plan:
+                result = next(outcomes) if isinstance(step, _UnitTask) else step
+                if isinstance(result, StudyRow):
+                    rows.append(result)
+                else:
+                    skipped.append(result)
+        t3 = time.perf_counter()
+        study_sp.set(n_rows=len(rows), n_skipped=len(skipped))
 
-    rows: list[StudyRow] = []
-    skipped: list[tuple[str, str]] = []
-    for step in plan:
-        result = next(outcomes) if isinstance(step, _UnitTask) else step
-        if isinstance(result, StudyRow):
-            rows.append(result)
-        else:
-            skipped.append(result)
-    t3 = time.perf_counter()
+    # Timings re-derive from the trace (the spans the stages recorded);
+    # with tracing disabled the perf_counter segments stand in, so the
+    # StudyTimings API behaves identically either way.
     timings = StudyTimings(
-        assignment_s=t1 - t0,
-        panel_s=t2 - t1,
-        fits_s=t3 - t2,
+        assignment_s=_stage_seconds(study_sp, "assignment", t1 - t0),
+        panel_s=_stage_seconds(study_sp, "panel", t2 - t1),
+        fits_s=_stage_seconds(study_sp, "fits", t3 - t2),
         generation_s=generation_seconds,
+    )
+    logger.info(
+        "study done: %d rows, %d skipped, %.3fs", len(rows), len(skipped), timings.total_s
     )
     return StudyResult(
         rows=tuple(rows),
@@ -342,6 +412,12 @@ def run_ixp_study(
         skipped=tuple(skipped),
         timings=timings,
     )
+
+
+def _stage_seconds(study_sp, name: str, fallback: float) -> float:
+    """One stage's duration from the study span's trace, if recorded."""
+    recorded = child_seconds(study_sp, name)
+    return fallback if recorded is None else recorded
 
 
 def _pre_period_count(panel: Panel, first_day: int) -> int:

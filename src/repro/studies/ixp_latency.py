@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.frames.frame import Frame
 from repro.mplatform.speedtest import measurements_frame
 from repro.netsim.scenario import Scenario, build_table1_scenario
+from repro.obs import span
 from repro.pipeline.study import StudyResult, run_ixp_study
 
 
@@ -88,26 +89,29 @@ def run_table1_experiment(
     per-unit fits out over worker processes without changing any
     number in the table.
     """
-    t0 = time.perf_counter()
-    scenario = build_table1_scenario(
-        n_donor_ases=n_donor_ases,
-        duration_days=duration_days,
-        join_day=join_day,
-        seed=seed,
-    )
-    measurements = measurements_frame(scenario, rng=measurement_seed)
-    generation_seconds = time.perf_counter() - t0
-    result = run_ixp_study(
-        measurements,
-        scenario.ixp_name,
-        method=method,
-        n_jobs=n_jobs,
-        generation_seconds=generation_seconds,
-    )
-    truth = {
-        f"AS{asn}/{city}": scenario.true_effect(asn, city)
-        for asn, city in scenario.treated_units
-    }
+    with span(
+        "experiment.table1", donors=n_donor_ases, days=duration_days, seed=seed
+    ):
+        t0 = time.perf_counter()
+        scenario = build_table1_scenario(
+            n_donor_ases=n_donor_ases,
+            duration_days=duration_days,
+            join_day=join_day,
+            seed=seed,
+        )
+        measurements = measurements_frame(scenario, rng=measurement_seed)
+        generation_seconds = time.perf_counter() - t0
+        result = run_ixp_study(
+            measurements,
+            scenario.ixp_name,
+            method=method,
+            n_jobs=n_jobs,
+            generation_seconds=generation_seconds,
+        )
+        truth = {
+            f"AS{asn}/{city}": scenario.true_effect(asn, city)
+            for asn, city in scenario.treated_units
+        }
     return IxpStudyOutput(
         result=result,
         truth=truth,

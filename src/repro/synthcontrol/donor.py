@@ -9,6 +9,7 @@ eligibility and correlation screens.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 from functools import cached_property
@@ -20,6 +21,9 @@ from repro.errors import DonorPoolError
 from repro.frames.column import KIND_OBJECT
 from repro.frames.frame import Frame
 from repro.frames.groupby import pivot_grid
+from repro.obs import span
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -137,31 +141,42 @@ def select_donors(
     with the treated series falls below *min_correlation*.  When
     *max_donors* is set, the best-correlated survivors are kept.
     """
-    treated_series = panel.series(treated_unit)
-    pre = pre_periods if pre_periods is not None else panel.n_times
-    banned = set(excluded) | {treated_unit}
+    with span("donors.select", treated=treated_unit) as sp:
+        treated_series = panel.series(treated_unit)
+        pre = pre_periods if pre_periods is not None else panel.n_times
+        banned = set(excluded) | {treated_unit}
 
-    candidates: list[tuple[str, float]] = []
-    for u in panel.units:
-        if u in banned:
-            continue
-        if panel.missing_fraction(u) > max_missing:
-            continue
-        corr = _pre_correlation(treated_series[:pre], panel.series(u)[:pre])
-        if min_correlation is not None and (
-            not np.isfinite(corr) or corr < min_correlation
-        ):
-            continue
-        candidates.append((u, corr))
-    if not candidates:
-        raise DonorPoolError(
-            f"no eligible donors for {treated_unit!r} "
-            f"(excluded={len(banned) - 1}, max_missing={max_missing})"
+        candidates: list[tuple[str, float]] = []
+        for u in panel.units:
+            if u in banned:
+                continue
+            if panel.missing_fraction(u) > max_missing:
+                continue
+            corr = _pre_correlation(treated_series[:pre], panel.series(u)[:pre])
+            if min_correlation is not None and (
+                not np.isfinite(corr) or corr < min_correlation
+            ):
+                continue
+            candidates.append((u, corr))
+        sp.set(candidates=panel.n_units - len(banned), selected=len(candidates))
+        if not candidates:
+            raise DonorPoolError(
+                f"no eligible donors for {treated_unit!r} "
+                f"(excluded={len(banned) - 1}, max_missing={max_missing})"
+            )
+        candidates.sort(
+            key=lambda pair: (-(pair[1] if np.isfinite(pair[1]) else -2), pair[0])
         )
-    candidates.sort(key=lambda pair: (-(pair[1] if np.isfinite(pair[1]) else -2), pair[0]))
-    if max_donors is not None:
-        candidates = candidates[:max_donors]
-    return [u for u, _ in candidates]
+        if max_donors is not None:
+            candidates = candidates[:max_donors]
+            sp.set(selected=len(candidates))
+        logger.debug(
+            "donor screen for %s: %d selected of %d candidates",
+            treated_unit,
+            len(candidates),
+            panel.n_units - len(banned),
+        )
+        return [u for u, _ in candidates]
 
 
 def _pre_correlation(a: np.ndarray, b: np.ndarray) -> float:

@@ -20,6 +20,8 @@ Two performance properties matter at study scale:
 from __future__ import annotations
 
 import functools
+import logging
+import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
 
@@ -27,6 +29,7 @@ import numpy as np
 
 from repro.errors import DonorPoolError, EstimationError
 from repro.estimators.bootstrap import permutation_p_value
+from repro.obs import get_metrics, span
 from repro.synthcontrol.classic import classic_synthetic_control
 from repro.synthcontrol.result import PlaceboSummary, SyntheticControlFit
 from repro.synthcontrol.robust import (
@@ -37,6 +40,8 @@ from repro.synthcontrol.robust import (
     fit_from_denoised,
     robust_synthetic_control,
 )
+
+logger = logging.getLogger(__name__)
 
 FitFunction = Callable[..., SyntheticControlFit]
 
@@ -111,8 +116,27 @@ def _placebo_refit(ctx: _PlaceboContext, col: int) -> tuple[str, float | None, s
 
     Only estimation failures (:class:`DonorPoolError` /
     :class:`EstimationError`) are converted into a skip record;
-    programming errors propagate to the caller.
+    programming errors propagate to the caller.  Each refit records one
+    ``placebo`` span (``ok`` attribute marks survivors) and bumps the
+    placebo counters, whichever process it runs in.
     """
+    with span("placebo", donor=ctx.donor_names[col]) as sp:
+        name, ratio, reason = _placebo_refit_inner(ctx, col)
+        sp.set(ok=ratio is not None)
+        metrics = get_metrics()
+        metrics.counter("placebos_total", "placebo refits attempted").inc()
+        if ratio is None:
+            sp.set(reason=reason)
+            metrics.counter(
+                "placebos_skipped_total", "placebo refits that failed estimation"
+            ).inc()
+            logger.debug("placebo %s skipped: %s", name, reason)
+    return name, ratio, reason
+
+
+def _placebo_refit_inner(
+    ctx: _PlaceboContext, col: int
+) -> tuple[str, float | None, str]:
     name = ctx.donor_names[col]
     pseudo = ctx.donors[:, col]
     try:
@@ -258,27 +282,32 @@ def placebo_test(
     if donor_names is None:
         donor_names = [f"donor_{i}" for i in range(donors.shape[1])]
     fitter = _fitter(method)
-    if method == "robust":
-        if cache is None:
-            cache = DenoiseCache()
-        fit = fitter(
-            treated,
-            donors,
-            pre_periods,
-            treated_name=treated_name,
-            donor_names=donor_names,
-            cache=cache,
-            **fit_kwargs,
-        )
-    else:
-        fit = fitter(
-            treated,
-            donors,
-            pre_periods,
-            treated_name=treated_name,
-            donor_names=donor_names,
-            **fit_kwargs,
-        )
+    t_fit = time.perf_counter()
+    with span("fit", treated=treated_name, method=method):
+        if method == "robust":
+            if cache is None:
+                cache = DenoiseCache()
+            fit = fitter(
+                treated,
+                donors,
+                pre_periods,
+                treated_name=treated_name,
+                donor_names=donor_names,
+                cache=cache,
+                **fit_kwargs,
+            )
+        else:
+            fit = fitter(
+                treated,
+                donors,
+                pre_periods,
+                treated_name=treated_name,
+                donor_names=donor_names,
+                **fit_kwargs,
+            )
+    get_metrics().histogram(
+        "fit_seconds", help="wall-clock seconds per treated-unit fit"
+    ).observe(time.perf_counter() - t_fit)
     ratios = placebo_rmse_ratios(
         donors,
         pre_periods,

@@ -1,0 +1,69 @@
+"""Tests for the benchmark report helper's machine-readable JSON output."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def report_module(tmp_path, monkeypatch):
+    """A fresh ``_report`` module whose results land in *tmp_path*."""
+    spec = importlib.util.spec_from_file_location(
+        "_report_under_test", BENCHMARKS_DIR / "_report.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+    return module
+
+
+class TestWriteReport:
+    def test_text_only_by_default(self, report_module, tmp_path, capsys):
+        path = report_module.write_report("b1", "Title", "body text")
+        assert path == tmp_path / "b1.txt"
+        assert "Title" in path.read_text()
+        assert not (tmp_path / "b1.json").exists()
+        assert "body text" in capsys.readouterr().out
+
+    def test_data_writes_json_with_exact_keys(self, report_module, tmp_path):
+        report_module.write_report(
+            "b2",
+            "Title",
+            "body",
+            data={"wall_seconds": 1.25, "speedup": 4.0, "rows": 1000},
+        )
+        record = json.loads((tmp_path / "b2.json").read_text())
+        assert set(record) == {
+            "name",
+            "wall_seconds",
+            "speedup",
+            "rows",
+            "timestamp",
+        }
+        assert record["name"] == "b2"
+        assert record["wall_seconds"] == 1.25
+        assert record["speedup"] == 4.0
+        assert record["rows"] == 1000
+        assert record["timestamp"] > 0
+
+    def test_null_speedup_allowed(self, report_module, tmp_path):
+        report_module.write_report(
+            "b3",
+            "Title",
+            "body",
+            data={"wall_seconds": 0.5, "speedup": None, "rows": 10},
+        )
+        record = json.loads((tmp_path / "b3.json").read_text())
+        assert record["speedup"] is None
+
+    def test_missing_data_keys_rejected(self, report_module):
+        with pytest.raises(ValueError, match="missing"):
+            report_module.write_report(
+                "b4", "Title", "body", data={"wall_seconds": 1.0}
+            )
