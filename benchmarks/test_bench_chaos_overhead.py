@@ -1,0 +1,141 @@
+"""Experiment P5 — fault-point overhead on the study hot path.
+
+The chaos subsystem leaves its hooks compiled into production code:
+every study runs through ``fault_point("fits.unit", ...)``, the
+per-refit ``"placebo.refit"`` point, and the stage-level points in
+``run_ixp_study``.  With no plan active each call is one module-global
+check, and this benchmark holds that claim to the same ≤5% standard as
+the tracing layer (P4): the full Table-1 study at 10x-paper scale runs
+best-of-3 with the live fault points and again with them replaced by
+no-ops, and the live run must be within 5% (plus a small absolute
+epsilon for fast machines).
+
+A small chaos-enabled study runs afterwards — faults injected, retried,
+and recovered — and its fault log goes into the report, so the results
+file shows what the hooks buy when they are armed.
+
+Smoke mode (``ANALYSIS_BENCH_SMOKE=1``, used by CI) runs a reduced
+scale and skips the wall-clock ratio assertion.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import write_report
+
+import repro.pipeline.importer as importer_mod
+import repro.pipeline.study as study_mod
+import repro.synthcontrol.placebo as placebo_mod
+from repro.chaos import FaultPlan, FaultSpec, active_plan, clear_events, fault_events
+from repro.mplatform import measurements_frame
+from repro.netsim import build_table1_scenario
+from repro.pipeline import run_ixp_study
+from repro.pipeline.executor import RetryPolicy
+
+MAX_OVERHEAD = 0.05  # live fault points may cost at most 5% over no-ops
+ABS_EPSILON_S = 0.05  # absolute slack for fast machines
+SMOKE = os.environ.get("ANALYSIS_BENCH_SMOKE") == "1"
+
+#: Every module that binds fault_point by name (patched to a no-op for
+#: the baseline measurement).
+_HOOKED_MODULES = (study_mod, placebo_mod, importer_mod)
+
+
+def _scenario_frame():
+    if SMOKE:
+        scenario = build_table1_scenario(
+            n_donor_ases=8, duration_days=12, join_day=6, seed=2
+        )
+    else:
+        scenario = build_table1_scenario(
+            n_donor_ases=30, duration_days=60, join_day=30, seed=2, user_scale=10.0
+        )
+    return scenario, measurements_frame(scenario, rng=3)
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _noop_fault_point(site, key=None, value=None):
+    return value
+
+
+def test_fault_point_overhead():
+    scenario, frame = _scenario_frame()
+
+    def study():
+        run_ixp_study(frame, scenario.ixp_name, n_jobs=1)
+
+    study()  # warm every cache before either measurement
+
+    saved = [mod.fault_point for mod in _HOOKED_MODULES]
+    try:
+        for mod in _HOOKED_MODULES:
+            mod.fault_point = _noop_fault_point
+        baseline_s = _best_of(3, study)
+    finally:
+        for mod, fn in zip(_HOOKED_MODULES, saved):
+            mod.fault_point = fn
+    live_s = _best_of(3, study)
+
+    # What the hooks buy when armed: a small chaos run that injects a
+    # fault into every unit fit, retries, and reproduces the clean table.
+    small_scenario = build_table1_scenario(
+        n_donor_ases=6, duration_days=12, join_day=6, seed=2
+    )
+    small = measurements_frame(small_scenario, rng=3)
+    clean = run_ixp_study(small, small_scenario.ixp_name)
+    clear_events()
+    plan = FaultPlan(5, (FaultSpec(site="fits.unit", kind="error"),))
+    with active_plan(plan):
+        chaotic = run_ixp_study(
+            small,
+            small_scenario.ixp_name,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+        )
+    assert chaotic.rows == clean.rows
+    injected = len(fault_events())
+    clear_events()
+
+    overhead = (live_s - baseline_s) / baseline_s if baseline_s > 0 else 0.0
+    if not SMOKE:
+        assert frame.num_rows > 1_000_000, "10x scale should exceed a million tests"
+        assert live_s <= baseline_s * (1.0 + MAX_OVERHEAD) + ABS_EPSILON_S, (
+            f"fault-point overhead {overhead * 100:.1f}% "
+            f"({live_s:.3f}s live vs {baseline_s:.3f}s no-op) "
+            f"exceeds {MAX_OVERHEAD * 100:.0f}%"
+        )
+
+    lines = [
+        f"rows analysed:             {frame.num_rows:,}",
+        f"study, fault points no-op: {baseline_s:.3f} s (best of 3)",
+        f"study, fault points live:  {live_s:.3f} s (best of 3, no plan)",
+        f"overhead:                  {overhead * 100:+.1f}%"
+        f"  (threshold {MAX_OVERHEAD * 100:.0f}%"
+        + (", smoke mode: not asserted)" if SMOKE else ")"),
+        "",
+        "armed demonstration (small study, error fault on every unit fit,",
+        "retries on):",
+        f"  faults injected and recovered: {injected}",
+        "  chaos-run table == clean table: True",
+    ]
+    write_report(
+        "P5_chaos_overhead",
+        "P5: fault-point overhead — chaos hooks compiled in, no plan active",
+        "\n".join(lines),
+        data={
+            "wall_seconds": live_s,
+            "speedup": baseline_s / live_s if live_s > 0 else None,
+            "rows": frame.num_rows,
+        },
+    )

@@ -1,0 +1,69 @@
+"""repro.chaos — deterministic fault injection for the study pipeline.
+
+A measurement platform that only works when nothing fails cannot be
+trusted when something does.  This subsystem lets the test suite (and a
+brave operator) inject the failure modes a production pipeline actually
+sees — transient task errors, workers killed mid-fit, tasks stalled
+past their deadline, corrupted CSV text and poisoned panel cells —
+**reproducibly from one integer seed**:
+
+- :class:`~repro.chaos.plan.FaultPlan` /
+  :class:`~repro.chaos.plan.FaultSpec` — a seeded, serializable fault
+  schedule whose firing decisions are pure functions of
+  ``(seed, site, kind, key)``, identical across runs, processes, and
+  ``n_jobs`` settings;
+- :func:`~repro.chaos.runtime.fault_point` — the named hooks threaded
+  through the pipeline (``"fits.unit"``, ``"placebo.refit"``,
+  ``"import.read"``, ``"study.panel"``, ...), free when no plan is
+  active;
+- :func:`~repro.chaos.runtime.active_plan` and the fault log
+  (:func:`~repro.chaos.runtime.fault_events`) — arming and auditing.
+
+The chaos *test suite* (``tests/test_chaos_*.py``) is the point: it
+proves the Table-1 verdict is failure-invariant — same rows whether
+faults fire or not, serial or parallel, interrupted or not.
+"""
+
+from repro.chaos.plan import (
+    CORRUPTIONS,
+    KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    hash01,
+)
+from repro.chaos.runtime import (
+    activate_plan,
+    active_plan,
+    clear_events,
+    current_attempt,
+    deactivate_plan,
+    drain_events,
+    fault_events,
+    fault_point,
+    get_active_plan,
+    record_events,
+    task_attempt,
+    worker_context,
+)
+
+__all__ = [
+    "CORRUPTIONS",
+    "KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "activate_plan",
+    "active_plan",
+    "clear_events",
+    "current_attempt",
+    "deactivate_plan",
+    "drain_events",
+    "fault_events",
+    "fault_point",
+    "get_active_plan",
+    "hash01",
+    "record_events",
+    "task_attempt",
+    "worker_context",
+]

@@ -1,0 +1,186 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is a seeded, serializable description of *which*
+fault fires *where*: each :class:`FaultSpec` names a fault-point site
+(``"fits.unit"``, ``"import.read"``, ...), a fault kind, and a firing
+rate.  Whether a particular visit to a fault point fires is a pure
+function of ``(plan seed, site, kind, key)`` — no global counters, no
+wall clock — so:
+
+- two runs of the same workload under the same plan inject the same
+  faults at the same places (the reproducibility contract);
+- the decision for a keyed site (a unit label, a donor name, a file
+  path) does not depend on *when* or *in which process* the site is
+  hit, so a serial run and a ``--jobs 4`` run inject identical faults;
+- a retried task sees the fault again only while its attempt number is
+  below the spec's ``fire_attempts`` — the knob that makes a fault
+  *transient* (fails once, retry succeeds) or *persistent*.
+
+The hash is SHA-256 over the decision tuple, not Python's ``hash()``
+(which is salted per process and would break cross-process determinism).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.errors import FaultPlanError
+
+KINDS = ("error", "kill", "delay", "corrupt")
+
+CORRUPTIONS = ("truncate_text", "garble_row", "nan_cell")
+
+
+def hash01(*parts: object) -> float:
+    """A uniform [0, 1) draw, deterministic in *parts* across processes."""
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what fires, where, and how often.
+
+    Attributes
+    ----------
+    site:
+        Fault-point name this spec targets (exact match).
+    kind:
+        ``"error"`` raises :class:`~repro.errors.InjectedFault`;
+        ``"kill"`` terminates the worker process mid-task (serial runs
+        raise :class:`~repro.errors.InjectedWorkerDeath` instead);
+        ``"delay"`` sleeps ``delay_s`` (long enough to blow a retry
+        deadline); ``"corrupt"`` applies ``corruption`` to the value
+        flowing through the fault point.
+    rate:
+        Probability that a given key at this site is selected at all.
+        The draw is per ``(seed, site, kind, key)``, so selection is a
+        stable property of the key, not of visit order.
+    fire_attempts:
+        The fault fires only while the task's attempt number is below
+        this.  ``1`` (default) models a transient failure; a large
+        value models a persistent one that exhausts retries.
+    match:
+        Optional substring filter on the key (e.g. one unit's label).
+    delay_s:
+        Sleep length for ``kind="delay"``.
+    corruption:
+        Named corruption op for ``kind="corrupt"``: ``"truncate_text"``
+        cuts a text payload mid-line, ``"garble_row"`` mangles one CSV
+        data row, ``"nan_cell"`` poisons one panel cell.
+    exit_code:
+        Process exit code for ``kind="kill"``.
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    fire_attempts: int = 1
+    match: str | None = None
+    delay_s: float = 0.0
+    corruption: str | None = None
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.fire_attempts < 1:
+            raise FaultPlanError(
+                f"fire_attempts must be >= 1, got {self.fire_attempts}"
+            )
+        if self.kind == "corrupt":
+            if self.corruption not in CORRUPTIONS:
+                raise FaultPlanError(
+                    f"kind='corrupt' needs a corruption op from {CORRUPTIONS}, "
+                    f"got {self.corruption!r}"
+                )
+        if self.kind == "delay" and self.delay_s < 0:
+            raise FaultPlanError(f"delay_s must be >= 0, got {self.delay_s}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault, as recorded in the fault log."""
+
+    site: str
+    key: str
+    kind: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of faults; see the module docstring.
+
+    The plan itself is immutable and picklable, so the executor can ship
+    it to pool workers with each task; firing decisions are stateless.
+    """
+
+    seed: int
+    specs: tuple[FaultSpec, ...]
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of specs but store a hashable tuple.
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def decide(self, site: str, key: str, attempt: int) -> FaultSpec | None:
+        """The spec that fires for this visit, or None.
+
+        Specs are consulted in plan order; the first match wins, so a
+        plan can layer a broad low-rate fault under a targeted one.
+        """
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.match is not None and spec.match not in key:
+                continue
+            if attempt >= spec.fire_attempts:
+                continue
+            if hash01(self.seed, spec.site, spec.kind, key) < spec.rate:
+                return spec
+        return None
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready representation."""
+        return {"seed": self.seed, "specs": [asdict(s) for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (validating specs)."""
+        try:
+            specs = tuple(FaultSpec(**spec) for spec in obj["specs"])
+            return cls(seed=int(obj["seed"]), specs=specs)
+        except (KeyError, TypeError) as exc:
+            raise FaultPlanError(f"malformed fault plan: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from :meth:`to_json` output."""
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(obj)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        return cls.from_json(Path(path).read_text())
+
+    def save(self, path: str | Path) -> None:
+        """Write the plan as JSON."""
+        Path(path).write_text(self.to_json() + "\n")

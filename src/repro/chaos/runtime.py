@@ -1,0 +1,227 @@
+"""The fault-point runtime: where scheduled faults actually fire.
+
+Pipeline code marks its vulnerable moments with
+:func:`fault_point` — ``fault_point("fits.unit", key=unit)`` before a
+fit, ``frame = fault_point("import.read", key=path, value=text)``
+around a payload that a fault may corrupt.  With no plan active the
+call is a single module-global check and an immediate return, cheap
+enough to leave compiled into the hot path permanently (benchmarked in
+``benchmarks/test_bench_chaos_overhead.py``).
+
+Activating a plan (:func:`activate_plan` or the :func:`active_plan`
+context manager) arms every fault point in the process.  The executor
+ships the active plan to process-pool workers with each task, together
+with the task's attempt number, so retried work sees a consistent,
+attempt-aware fault schedule in whichever process it lands
+(:func:`worker_context`).
+
+Every fired fault is appended to the process's fault log
+(:func:`fault_events`) and recorded as a ``fault`` span plus a
+``faults_injected_total`` metric, so a chaos run's injections are
+inspectable with the same observability tools as the work they
+disrupted.  Worker-side events ship home with each task outcome and
+merge in task order, keeping the parent's log deterministic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import os
+import time
+from collections.abc import Iterator
+from contextvars import ContextVar
+from typing import Any, TypeVar
+
+from repro.chaos.plan import FaultEvent, FaultPlan, FaultSpec, hash01
+from repro.errors import InjectedFault, InjectedWorkerDeath
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span
+
+logger = logging.getLogger(__name__)
+
+_V = TypeVar("_V")
+
+_active_plan: FaultPlan | None = None
+_in_worker = False
+_events: list[FaultEvent] = []
+_attempt: ContextVar[int] = ContextVar("repro_chaos_attempt", default=0)
+
+
+def get_active_plan() -> FaultPlan | None:
+    """The plan currently armed in this process, if any."""
+    return _active_plan
+
+
+def activate_plan(plan: FaultPlan | None, in_worker: bool = False) -> FaultPlan | None:
+    """Arm *plan* process-wide; returns the previously active plan.
+
+    *in_worker* marks this process as a disposable pool worker, which
+    is what licenses ``kind="kill"`` faults to call ``os._exit`` — in a
+    non-worker process they raise
+    :class:`~repro.errors.InjectedWorkerDeath` instead.
+    """
+    global _active_plan, _in_worker
+    previous = _active_plan
+    _active_plan = plan
+    _in_worker = in_worker
+    return previous
+
+
+def deactivate_plan() -> None:
+    """Disarm fault injection in this process."""
+    activate_plan(None)
+
+
+@contextlib.contextmanager
+def active_plan(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm *plan* for the duration of a ``with`` block."""
+    previous = activate_plan(plan)
+    try:
+        yield plan
+    finally:
+        activate_plan(previous)
+
+
+def current_attempt() -> int:
+    """This task's attempt number (0 on the first try)."""
+    return _attempt.get()
+
+
+@contextlib.contextmanager
+def task_attempt(attempt: int) -> Iterator[None]:
+    """Set the attempt number seen by fault points inside the block."""
+    token = _attempt.set(attempt)
+    try:
+        yield
+    finally:
+        _attempt.reset(token)
+
+
+@contextlib.contextmanager
+def worker_context(plan: FaultPlan | None, attempt: int) -> Iterator[None]:
+    """Arm a shipped plan inside a pool worker for one task.
+
+    Swaps the worker's fault-event buffer so the events this task fires
+    ship home with its outcome (pooled workers run many tasks and must
+    not double-report), and tags the process as a worker so kill faults
+    really kill it.
+    """
+    global _events
+    saved_events, _events = _events, []
+    previous = activate_plan(plan, in_worker=True)
+    token = _attempt.set(attempt)
+    try:
+        yield
+    finally:
+        _attempt.reset(token)
+        activate_plan(previous)
+        _events = saved_events
+
+
+def drain_events() -> list[FaultEvent]:
+    """Return and clear this process's fault log (worker shipping)."""
+    global _events
+    events, _events = _events, []
+    return events
+
+
+def record_events(events: list[FaultEvent]) -> None:
+    """Append shipped worker events to this process's fault log."""
+    _events.extend(events)
+
+
+def fault_events() -> tuple[FaultEvent, ...]:
+    """Every fault fired in (or shipped to) this process, in order."""
+    return tuple(_events)
+
+
+def clear_events() -> None:
+    """Reset the fault log (test isolation)."""
+    _events.clear()
+
+
+def fault_point(site: str, key: object = None, value: _V = None) -> _V:
+    """A named place where the active plan may inject a failure.
+
+    Returns *value* unchanged when no plan is active or no spec fires;
+    ``kind="corrupt"`` faults return a corrupted copy instead, and the
+    other kinds raise, kill, or stall as scheduled.  *key* should be
+    the stable identity of the work at this site (unit label, donor
+    name, file path) so firing decisions are independent of visit order
+    and process placement.
+    """
+    plan = _active_plan
+    if plan is None:
+        return value
+    key_text = "" if key is None else str(key)
+    attempt = _attempt.get()
+    spec = plan.decide(site, key_text, attempt)
+    if spec is None:
+        return value
+    return _fire(plan, spec, site, key_text, attempt, value)
+
+
+def _fire(
+    plan: FaultPlan,
+    spec: FaultSpec,
+    site: str,
+    key: str,
+    attempt: int,
+    value: Any,
+) -> Any:
+    _events.append(FaultEvent(site=site, key=key, kind=spec.kind, attempt=attempt))
+    get_metrics().counter(
+        "faults_injected_total", "faults fired by the active FaultPlan"
+    ).inc()
+    logger.warning(
+        "chaos: injecting %s at %s (key=%r, attempt=%d)",
+        spec.kind, site, key, attempt,
+    )
+    with span("fault", site=site, kind=spec.kind, key=key, attempt=attempt):
+        if spec.kind == "error":
+            raise InjectedFault(
+                f"injected fault at {site} (key={key!r}, attempt={attempt})"
+            )
+        if spec.kind == "kill":
+            if _in_worker:
+                os._exit(spec.exit_code)
+            raise InjectedWorkerDeath(
+                f"injected worker death at {site} (key={key!r}, attempt={attempt})"
+            )
+        if spec.kind == "delay":
+            time.sleep(spec.delay_s)
+            return value
+        return _corrupt(plan, spec, site, key, value)
+
+
+def _corrupt(
+    plan: FaultPlan, spec: FaultSpec, site: str, key: str, value: Any
+) -> Any:
+    """Apply the spec's corruption op; a pure function of plan and key."""
+    r = hash01(plan.seed, "corrupt", site, spec.corruption, key)
+    if spec.corruption == "truncate_text":
+        text = str(value)
+        # Cut somewhere in the back half: far enough in that a header
+        # and real records survive, like a crash mid-append.
+        cut = int(len(text) * (0.5 + 0.5 * r))
+        return text[:cut]
+    if spec.corruption == "garble_row":
+        lines = str(value).split("\n")
+        data = [i for i, line in enumerate(lines) if i > 0 and line.strip()]
+        if not data:
+            return value
+        target = data[int(r * len(data)) % len(data)]
+        cells = lines[target].split(",")
+        cells[-1] = "###garbled###"
+        lines[target] = ",".join(cells)
+        return "\n".join(lines)
+    # nan_cell: poison one cell of a panel-like object (times/units/matrix).
+    import numpy as np
+
+    matrix = np.array(value.matrix, copy=True)
+    if matrix.size == 0:
+        return value
+    flat = int(r * matrix.size) % matrix.size
+    matrix.flat[flat] = np.nan
+    return type(value)(times=value.times, units=value.units, matrix=matrix)

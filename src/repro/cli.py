@@ -28,6 +28,14 @@ Observability
 (hierarchical span trace of the run) and ``--metrics FILE.prom``
 (Prometheus-style metrics dump).  The top-level ``--log-level`` flag
 turns on structured stderr logging for all of ``repro``.
+
+Fault tolerance
+---------------
+``table1`` and ``import`` accept ``--retries N`` and
+``--task-timeout S`` (retry transiently failed or overrunning fit
+tasks with exponential backoff), and ``--checkpoint FILE.jsonl`` /
+``--resume`` (journal finished units so a killed run picks up where it
+stopped, producing byte-identical output).
 """
 
 from __future__ import annotations
@@ -39,6 +47,17 @@ from collections.abc import Sequence
 from repro.errors import ReproError
 
 
+def _retry_policy(args: argparse.Namespace):
+    """Build a RetryPolicy from ``--retries``/``--task-timeout``, or None."""
+    retries = getattr(args, "retries", 1)
+    timeout = getattr(args, "task_timeout", None)
+    if retries <= 1 and timeout is None:
+        return None
+    from repro.pipeline.executor import RetryPolicy
+
+    return RetryPolicy(max_attempts=max(retries, 1), timeout=timeout)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.studies import run_table1_experiment
 
@@ -48,6 +67,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         join_day=args.days // 2,
         seed=args.seed,
         n_jobs=args.jobs,
+        retry=_retry_policy(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     print(output.format_report())
     _maybe_print_timings(args, output.result)
@@ -120,7 +142,13 @@ def _cmd_import(args: argparse.Namespace) -> int:
     import_seconds = time.perf_counter() - t0
     print(f"imported {frame.num_rows} measurements from {args.csv}")
     result = run_ixp_study(
-        frame, args.ixp, n_jobs=args.jobs, generation_seconds=import_seconds
+        frame,
+        args.ixp,
+        n_jobs=args.jobs,
+        generation_seconds=import_seconds,
+        retry=_retry_policy(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     print(result.format_table())
     if result.skipped:
@@ -219,6 +247,38 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per fit task (1 = no retries); transient failures "
+        "(dead workers, injected faults, timeouts) re-run with backoff",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline; an overrunning fit is treated as "
+        "transiently failed and resubmitted (process pool only)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE.jsonl",
+        default=None,
+        help="journal each finished unit to this JSONL file so a killed "
+        "run can be resumed",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: load finished units from the file and fit "
+        "only the rest (output is byte-identical to an uninterrupted run)",
+    )
+
+
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -250,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1.add_argument("--donors", type=int, default=25, help="donor ASes")
     p_table1.add_argument("--seed", type=int, default=2, help="world seed")
     _add_jobs_argument(p_table1)
+    _add_resilience_arguments(p_table1)
     _add_timings_argument(p_table1)
     _add_obs_arguments(p_table1)
     p_table1.set_defaults(func=_cmd_table1)
@@ -266,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="peering-LAN prefix (repeatable) for hop-IP matching",
     )
     _add_jobs_argument(p_import)
+    _add_resilience_arguments(p_import)
     _add_timings_argument(p_import)
     _add_obs_arguments(p_import)
     p_import.set_defaults(func=_cmd_import)

@@ -53,6 +53,58 @@ class ExecutionError(ReproError):
     """Raised for invalid parallel-execution requests (bad n_jobs, ...)."""
 
 
+class TransientError(ReproError):
+    """Base class for failures worth retrying (the *transient* taxonomy).
+
+    The retry machinery in :mod:`repro.pipeline.executor` re-runs a task
+    whose failure is transient — an injected fault, a killed worker, a
+    blown deadline — and never retries anything else: domain errors
+    (:class:`PipelineError`, :class:`EstimationError`, ...) and plain
+    programming errors describe the *task*, not the run, and would fail
+    identically on every attempt.  See :func:`is_transient`.
+    """
+
+
+class InjectedFault(TransientError):
+    """A transient failure raised on purpose by :mod:`repro.chaos`."""
+
+
+class InjectedWorkerDeath(TransientError):
+    """Stand-in for a killed worker when there is no worker to kill.
+
+    A ``kind="kill"`` fault calls ``os._exit`` inside a process-pool
+    worker; in a serial run the same fault raises this instead, so the
+    observable contract — the task's first attempt dies, a retry
+    succeeds — is identical across backends.
+    """
+
+
+class TaskTimeoutError(TransientError):
+    """A task overran the :class:`RetryPolicy`'s per-task deadline."""
+
+
+class FaultPlanError(ReproError):
+    """Raised for a malformed fault plan (unknown kind, bad rate, ...)."""
+
+
+class CheckpointError(ReproError):
+    """Raised for an unusable study checkpoint (mid-file corruption,
+    parameter mismatch with the resuming run, ...)."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether *exc* belongs to the retryable taxonomy.
+
+    Transient: :class:`TransientError` subclasses, ``TimeoutError``, and
+    ``concurrent.futures``' ``BrokenProcessPool`` (a dead worker says
+    nothing about the task it was running).  Everything else — including
+    every non-transient :class:`ReproError` — is fatal and retried never.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(exc, (TransientError, TimeoutError, BrokenProcessPool))
+
+
 class PipelineError(ReproError):
     """Raised for malformed pipeline inputs (bad unit labels, ...)."""
 

@@ -30,6 +30,7 @@ import contextlib
 import functools
 import itertools
 import json
+import logging
 import os
 import time
 from collections.abc import Callable, Iterable, Iterator, Sequence
@@ -39,6 +40,8 @@ from pathlib import Path
 from typing import Any, TypeVar
 
 _F = TypeVar("_F", bound=Callable[..., Any])
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -326,25 +329,45 @@ def export_jsonl(
 
 
 def load_jsonl(path: str | Path) -> list[SpanRecord]:
-    """Read a JSONL trace back into :class:`SpanRecord` objects."""
+    """Read a JSONL trace back into :class:`SpanRecord` objects.
+
+    A truncated final line — the signature of a writer killed
+    mid-append — is dropped with a warning; a malformed line anywhere
+    earlier still raises, since that is corruption, not interruption.
+    """
     out: list[SpanRecord] = []
     with open(path) as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
+        lines = f.read().split("\n")
+    for i, line in enumerate(lines):
+        terminated = i < len(lines) - 1
+        line = line.strip()
+        if not line:
+            continue
+        try:
             obj = json.loads(line)
-            out.append(
-                SpanRecord(
-                    name=obj["name"],
-                    span_id=int(obj["span_id"]),
-                    parent_id=(
-                        None if obj["parent_id"] is None else int(obj["parent_id"])
-                    ),
-                    start_unix=float(obj["start_unix"]),
-                    duration_s=float(obj["duration_s"]),
-                    attrs=dict(obj.get("attrs", {})),
-                    pid=int(obj.get("pid", 0)),
-                )
+        except json.JSONDecodeError:
+            if terminated:
+                raise
+            logger.warning(
+                "%s: dropping truncated final trace record: %.60s", path, line
             )
+            break
+        if not terminated:
+            logger.warning(
+                "%s: dropping unterminated final trace record: %.60s", path, line
+            )
+            break
+        out.append(
+            SpanRecord(
+                name=obj["name"],
+                span_id=int(obj["span_id"]),
+                parent_id=(
+                    None if obj["parent_id"] is None else int(obj["parent_id"])
+                ),
+                start_unix=float(obj["start_unix"]),
+                duration_s=float(obj["duration_s"]),
+                attrs=dict(obj.get("attrs", {})),
+                pid=int(obj.get("pid", 0)),
+            )
+        )
     return out

@@ -8,7 +8,11 @@
 - :func:`run_ixp_study` — the end-to-end Table-1 runner with donor
   screening, robust synthetic control, and placebo inference;
 - :func:`get_executor` / :func:`parallel_map` — serial and
-  process-pool execution backends behind ``n_jobs``.
+  process-pool execution backends behind ``n_jobs``, with
+  :class:`RetryPolicy` fault tolerance (transient-error retries,
+  per-task deadlines, broken-pool recovery);
+- :class:`StudyCheckpoint` / :func:`read_jsonl_tolerant` — the
+  checkpoint/resume journal behind ``--checkpoint``/``--resume``.
 """
 
 from repro.pipeline.aggregate import (
@@ -22,7 +26,9 @@ from repro.pipeline.importer import (
     import_csv,
     load_ixp_prefixes,
     normalise_measurements,
+    read_measurement_csv,
 )
+from repro.pipeline.checkpoint import StudyCheckpoint, read_jsonl_tolerant
 from repro.pipeline.crossing import (
     TreatmentAssignment,
     assign_treatment,
@@ -30,6 +36,7 @@ from repro.pipeline.crossing import (
 )
 from repro.pipeline.executor import (
     ProcessPoolBackend,
+    RetryPolicy,
     SerialExecutor,
     get_executor,
     parallel_map,
@@ -45,7 +52,9 @@ from repro.pipeline.study import (
 
 __all__ = [
     "ProcessPoolBackend",
+    "RetryPolicy",
     "SerialExecutor",
+    "StudyCheckpoint",
     "StudyResult",
     "StudyRow",
     "StudyTimings",
@@ -62,6 +71,8 @@ __all__ = [
     "normalise_measurements",
     "parallel_map",
     "parse_unit_label",
+    "read_jsonl_tolerant",
+    "read_measurement_csv",
     "resolve_n_jobs",
     "rtt_panel",
     "run_ixp_study",

@@ -1,0 +1,217 @@
+"""Checkpoint/resume for the study pipeline.
+
+``run_ixp_study`` appends every completed per-unit outcome — a fitted
+:class:`~repro.pipeline.study.StudyRow` or a fit-stage skip — to a
+JSONL checkpoint the moment it lands.  A run killed at any point (power
+loss, OOM, ``kill -9``) resumes with ``resume=True``: finished units
+load from the file and only the unfinished ones are fitted again, and
+because each row round-trips its floats exactly (JSON uses shortest
+round-trip ``repr``) the resumed study's table is **byte-identical** to
+an uninterrupted run's.
+
+The file format is one JSON object per line::
+
+    {"kind": "header", "ixp": ..., "method": ..., "outcome": ...}
+    {"kind": "row", "unit": ..., "rtt_delta_ms": ..., ...}
+    {"kind": "skip", "unit": ..., "reason": ...}
+
+A ``kill -9`` can land mid-append, leaving a truncated final line.
+:func:`read_jsonl_tolerant` therefore drops a partial **last** record
+with a warning (corruption anywhere else raises — that is damage, not
+interruption), and :class:`StudyCheckpoint` truncates the file back to
+the last complete record before appending, so one interrupted write
+never snowballs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+from repro.pipeline.study import StudyRow
+
+logger = logging.getLogger(__name__)
+
+_ROW_FIELDS = (
+    "unit",
+    "rtt_delta_ms",
+    "rmse_ratio",
+    "p_value",
+    "pre_periods",
+    "post_periods",
+    "n_donors",
+    "n_placebos",
+    "n_placebos_skipped",
+)
+
+
+def read_jsonl_tolerant(path: str | Path) -> tuple[list[dict], int]:
+    """Parse a JSONL file, dropping a truncated final record.
+
+    Returns ``(records, good_bytes)`` where *good_bytes* is the byte
+    offset just past the last complete record — the truncation point a
+    resuming writer should append from.  A final line that is partial
+    (no trailing newline, or unparseable) is dropped with a warning; a
+    malformed line anywhere *before* the end raises
+    :class:`~repro.errors.CheckpointError`, because mid-file corruption
+    is not explainable by an interrupted append.
+    """
+    data = Path(path).read_bytes()
+    lines = data.split(b"\n")
+    records: list[dict] = []
+    good_bytes = 0
+    offset = 0
+    for i, line in enumerate(lines):
+        # Every split element except the last had a newline after it; the
+        # last one is unterminated (or empty, when data ends in a newline).
+        terminated = i < len(lines) - 1
+        text = line.decode("utf-8", errors="replace").strip()
+        if text:
+            try:
+                obj = json.loads(text)
+                if not isinstance(obj, dict):
+                    raise ValueError("record is not a JSON object")
+            except ValueError as exc:
+                if terminated:
+                    raise CheckpointError(
+                        f"{path}: malformed record mid-file "
+                        f"(byte {offset}): {exc}"
+                    ) from exc
+                logger.warning(
+                    "%s: dropping truncated final record (%d bytes): %.60s",
+                    path, len(line), text,
+                )
+                break
+            if not terminated:
+                # Parses, but the writer died before the newline landed —
+                # and a truncated longer record can parse as a shorter
+                # one, so an unterminated record is never trusted.
+                logger.warning(
+                    "%s: dropping unterminated final record: %.60s", path, text
+                )
+                break
+            records.append(obj)
+            good_bytes = offset + len(line) + 1
+        offset += len(line) + (1 if terminated else 0)
+    return records, good_bytes
+
+
+def _row_to_record(row: StudyRow) -> dict:
+    record: dict[str, Any] = {"kind": "row"}
+    for name in _ROW_FIELDS:
+        record[name] = getattr(row, name)
+    return record
+
+
+def _record_to_result(record: dict) -> StudyRow | tuple[str, str]:
+    kind = record.get("kind")
+    if kind == "row":
+        try:
+            return StudyRow(
+                unit=str(record["unit"]),
+                rtt_delta_ms=float(record["rtt_delta_ms"]),
+                rmse_ratio=float(record["rmse_ratio"]),
+                p_value=float(record["p_value"]),
+                pre_periods=int(record["pre_periods"]),
+                post_periods=int(record["post_periods"]),
+                n_donors=int(record["n_donors"]),
+                n_placebos=int(record["n_placebos"]),
+                n_placebos_skipped=int(record["n_placebos_skipped"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"unusable row record {record!r}: {exc}") from exc
+    if kind == "skip":
+        try:
+            return (str(record["unit"]), str(record["reason"]))
+        except KeyError as exc:
+            raise CheckpointError(f"unusable skip record {record!r}") from exc
+    raise CheckpointError(f"unknown checkpoint record kind {kind!r}")
+
+
+class StudyCheckpoint:
+    """An append-only JSONL journal of completed per-unit outcomes.
+
+    Open with ``resume=True`` to load prior results (validating the
+    header against this run's parameters) and continue appending after
+    the last complete record; without it, any existing file is
+    restarted from scratch.  Use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        ixp_name: str,
+        method: str,
+        outcome: str,
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.completed: dict[str, StudyRow | tuple[str, str]] = {}
+        header = {
+            "kind": "header",
+            "ixp": ixp_name,
+            "method": method,
+            "outcome": outcome,
+        }
+        if resume and self.path.exists():
+            records, good_bytes = read_jsonl_tolerant(self.path)
+            self._load(records, header)
+            with open(self.path, "r+b") as f:
+                f.truncate(good_bytes)
+            self._file = open(self.path, "a")
+            if not records:
+                self._append(header)
+        else:
+            self._file = open(self.path, "w")
+            self._append(header)
+        logger.info(
+            "checkpoint %s: %d completed units loaded",
+            self.path, len(self.completed),
+        )
+
+    def _load(self, records: list[dict], header: dict) -> None:
+        if records:
+            first = records[0]
+            if first.get("kind") != "header":
+                raise CheckpointError(
+                    f"{self.path}: first record is not a header; refusing to "
+                    f"resume from an unrecognised file"
+                )
+            for field in ("ixp", "method", "outcome"):
+                if first.get(field) != header[field]:
+                    raise CheckpointError(
+                        f"{self.path}: checkpoint was written for "
+                        f"{field}={first.get(field)!r} but this run uses "
+                        f"{header[field]!r}; pass a fresh checkpoint path"
+                    )
+        for record in records[1:]:
+            result = _record_to_result(record)
+            unit = result.unit if isinstance(result, StudyRow) else result[0]
+            self.completed[unit] = result
+
+    def _append(self, record: dict) -> None:
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+
+    def append_result(self, result: StudyRow | tuple[str, str]) -> None:
+        """Journal one finished unit (flushed immediately)."""
+        if isinstance(result, StudyRow):
+            self._append(_row_to_record(result))
+        else:
+            unit, reason = result
+            self._append({"kind": "skip", "unit": unit, "reason": reason})
+
+    def close(self) -> None:
+        """Flush and close the journal file."""
+        self._file.close()
+
+    def __enter__(self) -> "StudyCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.close()
+        return False

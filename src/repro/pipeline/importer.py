@@ -22,9 +22,10 @@ import logging
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
+from repro.chaos.runtime import fault_point
 from repro.errors import FrameError
 from repro.frames.frame import Frame
-from repro.frames.io import read_csv
+from repro.frames.io import read_csv_text
 from repro.netsim.ids import Prefix
 from repro.obs import get_metrics, span
 
@@ -107,13 +108,40 @@ def normalise_measurements(
     return out
 
 
+def read_measurement_csv(path: str | Path) -> Frame:
+    """Read a measurement CSV, surviving a truncated final line.
+
+    A crashed or killed writer leaves its last row half-written (no
+    trailing newline).  A truncated numeric cell can still parse —
+    ``123.4`` cut to ``123`` is a silently wrong measurement — so any
+    unterminated final line is dropped with a warning rather than
+    trusted.  The raw text also passes through the ``"import.read"``
+    fault point, where a chaos plan may truncate or garble it.
+    """
+    with open(path, newline="") as f:
+        text = f.read()
+    text = fault_point("import.read", key=str(path), value=text)
+    if text and not text.endswith("\n"):
+        head, _, tail = text.rpartition("\n")
+        logger.warning(
+            "%s: dropping truncated final CSV line (%d bytes): %.60s",
+            path, len(tail), tail,
+        )
+        get_metrics().counter(
+            "import_rows_dropped_total",
+            "truncated trailing CSV lines dropped on import",
+        ).inc()
+        text = head + "\n" if head else ""
+    return read_csv_text(text)
+
+
 def import_csv(
     path: str | Path,
     ixp_prefixes: dict[str, list[Prefix]] | None = None,
 ) -> Frame:
     """Read and normalise a measurement CSV in one call."""
     with span("import.csv", path=str(path)) as sp:
-        frame = normalise_measurements(read_csv(path), ixp_prefixes)
+        frame = normalise_measurements(read_measurement_csv(path), ixp_prefixes)
         sp.set(rows=frame.num_rows)
     get_metrics().counter(
         "measurements_imported_total", "measurement rows imported from CSV"

@@ -18,16 +18,18 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.chaos.runtime import fault_point
 from repro.errors import DonorPoolError, EstimationError, PipelineError
 from repro.frames.frame import Frame
 from repro.obs import child_seconds, get_metrics, span
 from repro.obs.metrics import COUNT_BUCKETS
 from repro.pipeline.aggregate import rtt_panel
 from repro.pipeline.crossing import TreatmentAssignment, assign_treatment
-from repro.pipeline.executor import get_executor
+from repro.pipeline.executor import RetryPolicy, get_executor
 from repro.synthcontrol.donor import Panel, select_donors
 from repro.synthcontrol.placebo import placebo_test
 
@@ -234,6 +236,7 @@ def _analyse_unit(task: _UnitTask) -> StudyRow | tuple[str, str]:
     """Fit one treated unit: a :class:`StudyRow`, or ``(unit, reason)``."""
     metrics = get_metrics()
     with span("fits.unit", unit=task.unit) as sp:
+        fault_point("fits.unit", key=task.unit)
         try:
             donors = select_donors(
                 task.panel,
@@ -297,6 +300,9 @@ def run_ixp_study(
     outcome: str = "rtt_ms",
     n_jobs: int | None = 1,
     generation_seconds: float | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
 ) -> StudyResult:
     """Run the full IXP case study on a measurement frame.
 
@@ -323,6 +329,17 @@ def run_ixp_study(
     generation_seconds:
         Wall-clock spent producing *measurements* upstream (simulator or
         CSV import); recorded verbatim in the result's timings.
+    retry:
+        Retry transiently failed per-unit fits (dead workers, injected
+        faults, blown deadlines) under this policy; results are
+        unchanged whether or how often retries fire.
+    checkpoint:
+        JSONL path journaling each finished unit as it completes, so a
+        killed run can be resumed.
+    resume:
+        With *checkpoint*: load previously finished units from the file
+        and fit only the rest.  The resumed result is byte-identical to
+        an uninterrupted run's.
     """
     logger.info(
         "running IXP study on %d measurements (ixp=%s, method=%s, n_jobs=%s)",
@@ -334,8 +351,10 @@ def run_ixp_study(
     with span("study", ixp=ixp_name, method=method) as study_sp:
         t0 = time.perf_counter()
         assignment = assign_treatment(measurements, ixp_name)
+        assignment = fault_point("study.assignment", key=ixp_name, value=assignment)
         t1 = time.perf_counter()
         panel = rtt_panel(measurements, period="day", outcome=outcome)
+        panel = fault_point("study.panel", key=ixp_name, value=panel)
         t2 = time.perf_counter()
         treated = assignment.treated_units
 
@@ -375,22 +394,61 @@ def run_ixp_study(
                 )
             )
 
-        tasks = [step for step in plan if isinstance(step, _UnitTask)]
-        if len(plan) > len(tasks):
+        fit_units = [step for step in plan if isinstance(step, _UnitTask)]
+        if len(plan) > len(fit_units):
             get_metrics().counter(
                 "units_skipped_total", "treated units the study could not fit"
-            ).inc(len(plan) - len(tasks))
+            ).inc(len(plan) - len(fit_units))
+
+        # Units already journaled in a resumed checkpoint are served from
+        # the file; only the remainder is fitted.  The final row order is
+        # the plan's either way, so a resumed table is byte-identical.
+        ckpt = None
+        completed: dict[str, StudyRow | tuple[str, str]] = {}
+        if checkpoint is not None:
+            from repro.pipeline.checkpoint import StudyCheckpoint
+
+            ckpt = StudyCheckpoint(
+                checkpoint,
+                ixp_name=ixp_name,
+                method=method,
+                outcome=outcome,
+                resume=resume,
+            )
+            completed = ckpt.completed
+        tasks = [t for t in fit_units if t.unit not in completed]
+
+        def _journal(index: int, result: StudyRow | tuple[str, str]) -> None:
+            if ckpt is not None:
+                ckpt.append_result(result)
+
         rows: list[StudyRow] = []
         skipped: list[tuple[str, str]] = []
-        with span("fits", n_tasks=len(tasks), n_jobs=n_jobs):
-            with get_executor(n_jobs) as executor:
-                outcomes = iter(executor.map(_analyse_unit, tasks))
-            for step in plan:
-                result = next(outcomes) if isinstance(step, _UnitTask) else step
-                if isinstance(result, StudyRow):
-                    rows.append(result)
-                else:
-                    skipped.append(result)
+        try:
+            with span(
+                "fits",
+                n_tasks=len(tasks),
+                n_jobs=n_jobs,
+                n_resumed=len(fit_units) - len(tasks),
+            ):
+                with get_executor(n_jobs, retry=retry) as executor:
+                    outcomes = iter(
+                        executor.map(_analyse_unit, tasks, on_result=_journal)
+                    )
+                for step in plan:
+                    if isinstance(step, _UnitTask):
+                        result = completed.get(step.unit)
+                        if result is None:
+                            result = next(outcomes)
+                    else:
+                        result = step
+                    if isinstance(result, StudyRow):
+                        rows.append(result)
+                    else:
+                        skipped.append(result)
+        finally:
+            if ckpt is not None:
+                ckpt.close()
         t3 = time.perf_counter()
         study_sp.set(n_rows=len(rows), n_skipped=len(skipped))
 

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.frames.frame import Frame
 from repro.mplatform.speedtest import measurements_frame
 from repro.netsim.scenario import Scenario, build_table1_scenario
 from repro.obs import span
+from repro.pipeline.executor import RetryPolicy
 from repro.pipeline.study import StudyResult, run_ixp_study
 
 
@@ -81,13 +83,18 @@ def run_table1_experiment(
     measurement_seed: int = 1,
     method: str = "robust",
     n_jobs: int | None = 1,
+    retry: RetryPolicy | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
 ) -> IxpStudyOutput:
     """Run the full case study at the given scale.
 
     The defaults reproduce the Table-1 *shape* in a few seconds; the
     benchmark runs the paper-scale 60-day window.  *n_jobs* fans the
     per-unit fits out over worker processes without changing any
-    number in the table.
+    number in the table; *retry*, *checkpoint*, and *resume* pass
+    through to :func:`run_ixp_study` (the world and measurements are
+    regenerated on resume — only the per-unit fits are journaled).
     """
     with span(
         "experiment.table1", donors=n_donor_ases, days=duration_days, seed=seed
@@ -107,6 +114,9 @@ def run_table1_experiment(
             method=method,
             n_jobs=n_jobs,
             generation_seconds=generation_seconds,
+            retry=retry,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         truth = {
             f"AS{asn}/{city}": scenario.true_effect(asn, city)

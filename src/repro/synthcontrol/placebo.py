@@ -24,9 +24,14 @@ import logging
 import time
 from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.pipeline.executor import RetryPolicy
 
 import numpy as np
 
+from repro.chaos.runtime import fault_point
 from repro.errors import DonorPoolError, EstimationError
 from repro.estimators.bootstrap import permutation_p_value
 from repro.obs import get_metrics, span
@@ -121,6 +126,7 @@ def _placebo_refit(ctx: _PlaceboContext, col: int) -> tuple[str, float | None, s
     placebo counters, whichever process it runs in.
     """
     with span("placebo", donor=ctx.donor_names[col]) as sp:
+        fault_point("placebo.refit", key=ctx.donor_names[col])
         name, ratio, reason = _placebo_refit_inner(ctx, col)
         sp.set(ok=ratio is not None)
         metrics = get_metrics()
@@ -191,6 +197,7 @@ def placebo_rmse_ratios(
     min_pre_rmse: float = 1e-9,
     n_jobs: int | None = 1,
     cache: DenoiseCache | None = None,
+    retry: "RetryPolicy | None" = None,
     **fit_kwargs: object,
 ) -> PlaceboRatios:
     """RMSE ratios from treating each donor as a pseudo-treated unit.
@@ -242,7 +249,7 @@ def placebo_rmse_ratios(
 
     from repro.pipeline.executor import get_executor
 
-    with get_executor(n_jobs) as executor:
+    with get_executor(n_jobs, retry=retry) as executor:
         outcomes = executor.map(
             functools.partial(_placebo_refit, ctx), range(limit)
         )
@@ -268,6 +275,7 @@ def placebo_test(
     min_pre_rmse: float = 1e-9,
     n_jobs: int | None = 1,
     cache: DenoiseCache | None = None,
+    retry: "RetryPolicy | None" = None,
     **fit_kwargs: object,
 ) -> PlaceboSummary:
     """Fit the treated unit and compute its placebo-based p-value.
@@ -317,6 +325,7 @@ def placebo_test(
         min_pre_rmse=min_pre_rmse,
         n_jobs=n_jobs,
         cache=cache,
+        retry=retry,
         **fit_kwargs,
     )
     if not ratios:

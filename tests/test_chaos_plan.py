@@ -1,0 +1,318 @@
+"""Tests for the deterministic fault-plan layer (`repro.chaos`).
+
+The acceptance contract under test: every fault scenario is
+reproducible from one integer seed.  A firing decision is a pure
+function of ``(seed, site, kind, key)`` — independent of visit order,
+process, and wall clock — so two consecutive runs of the same workload
+under the same plan produce identical fault logs, and a plan survives a
+JSON round trip with its decisions intact.
+
+``CHAOS_SEED`` (env) picks the seed; CI runs the suite under two.
+"""
+
+import math
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear_events,
+    fault_events,
+    fault_point,
+    hash01,
+    task_attempt,
+)
+from repro.chaos.runtime import _corrupt
+from repro.errors import FaultPlanError, InjectedFault, InjectedWorkerDeath
+from repro.synthcontrol.donor import Panel
+
+SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_log():
+    clear_events()
+    yield
+    clear_events()
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(site="fits.unit", kind="explode")
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, math.inf])
+    def test_rate_out_of_range_rejected(self, rate):
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultSpec(site="fits.unit", kind="error", rate=rate)
+
+    def test_fire_attempts_below_one_rejected(self):
+        with pytest.raises(FaultPlanError, match="fire_attempts"):
+            FaultSpec(site="fits.unit", kind="error", fire_attempts=0)
+
+    def test_corrupt_needs_an_op(self):
+        with pytest.raises(FaultPlanError, match="corruption"):
+            FaultSpec(site="import.read", kind="corrupt")
+        with pytest.raises(FaultPlanError, match="corruption"):
+            FaultSpec(site="import.read", kind="corrupt", corruption="scramble")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(FaultPlanError, match="delay_s"):
+            FaultSpec(site="fits.unit", kind="delay", delay_s=-1.0)
+
+
+class TestHash01:
+    def test_deterministic_and_bounded(self):
+        draws = [hash01(SEED, "site", "error", f"key{i}") for i in range(200)]
+        again = [hash01(SEED, "site", "error", f"key{i}") for i in range(200)]
+        assert draws == again
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_varies_with_every_part(self):
+        base = hash01(SEED, "site", "error", "key")
+        assert base != hash01(SEED + 1, "site", "error", "key")
+        assert base != hash01(SEED, "other", "error", "key")
+        assert base != hash01(SEED, "site", "kill", "key")
+        assert base != hash01(SEED, "site", "error", "yek")
+
+    def test_roughly_uniform(self):
+        draws = [hash01(SEED, "u", i) for i in range(2000)]
+        assert 0.4 < sum(draws) / len(draws) < 0.6
+
+
+class TestDecide:
+    def test_rate_one_always_fires_rate_zero_never(self):
+        always = FaultPlan(SEED, (FaultSpec(site="s", kind="error", rate=1.0),))
+        never = FaultPlan(SEED, (FaultSpec(site="s", kind="error", rate=0.0),))
+        for key in ("a", "b", "AS100/x"):
+            assert always.decide("s", key, 0) is not None
+            assert never.decide("s", key, 0) is None
+
+    def test_site_must_match_exactly(self):
+        plan = FaultPlan(SEED, (FaultSpec(site="fits.unit", kind="error"),))
+        assert plan.decide("fits.unit", "k", 0) is not None
+        assert plan.decide("fits", "k", 0) is None
+        assert plan.decide("fits.unit.extra", "k", 0) is None
+
+    def test_fire_attempts_gates_retries(self):
+        plan = FaultPlan(
+            SEED, (FaultSpec(site="s", kind="error", fire_attempts=2),)
+        )
+        assert plan.decide("s", "k", 0) is not None
+        assert plan.decide("s", "k", 1) is not None
+        assert plan.decide("s", "k", 2) is None
+        assert plan.decide("s", "k", 99) is None
+
+    def test_match_filters_on_key_substring(self):
+        plan = FaultPlan(
+            SEED, (FaultSpec(site="s", kind="error", match="AS200"),)
+        )
+        assert plan.decide("s", "AS200/jnb", 0) is not None
+        assert plan.decide("s", "AS201/jnb", 0) is None
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            SEED,
+            (
+                FaultSpec(site="s", kind="delay", delay_s=0.0),
+                FaultSpec(site="s", kind="error"),
+            ),
+        )
+        spec = plan.decide("s", "k", 0)
+        assert spec is not None and spec.kind == "delay"
+
+    def test_partial_rate_is_a_stable_property_of_the_key(self):
+        plan = FaultPlan(SEED, (FaultSpec(site="s", kind="error", rate=0.5),))
+        keys = [f"AS{i}/city" for i in range(300)]
+        fired = {k for k in keys if plan.decide("s", k, 0) is not None}
+        # Roughly half the keys are selected ...
+        assert 0.3 < len(fired) / len(keys) < 0.7
+        # ... and the selection does not depend on visit order.
+        shuffled = list(keys)
+        random.Random(0).shuffle(shuffled)
+        assert {k for k in shuffled if plan.decide("s", k, 0)} == fired
+        # An independently constructed equal plan decides identically.
+        clone = FaultPlan(SEED, (FaultSpec(site="s", kind="error", rate=0.5),))
+        assert {k for k in keys if clone.decide("s", k, 0)} == fired
+
+    def test_different_seeds_select_different_keys(self):
+        keys = [f"AS{i}/city" for i in range(300)]
+        spec = FaultSpec(site="s", kind="error", rate=0.5)
+        a = {k for k in keys if FaultPlan(SEED, (spec,)).decide("s", k, 0)}
+        b = {k for k in keys if FaultPlan(SEED + 1, (spec,)).decide("s", k, 0)}
+        assert a != b
+
+
+class TestSerialization:
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(
+            SEED,
+            (
+                FaultSpec(site="fits.unit", kind="error", rate=0.3),
+                FaultSpec(site="fits.unit", kind="kill", match="AS200", exit_code=3),
+                FaultSpec(site="study.panel", kind="corrupt", corruption="nan_cell"),
+                FaultSpec(site="placebo.refit", kind="delay", delay_s=1.5,
+                          fire_attempts=4),
+            ),
+        )
+
+    def test_json_round_trip_preserves_plan_and_decisions(self):
+        plan = self._plan()
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+        keys = [f"AS{i}/x" for i in range(100)]
+        for key in keys:
+            for attempt in (0, 1, 5):
+                assert back.decide("fits.unit", key, attempt) == plan.decide(
+                    "fits.unit", key, attempt
+                )
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(FaultPlanError, match="malformed"):
+            FaultPlan.from_dict({"specs": [{"site": "s"}]})  # no seed, no kind arg
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": 1, "specs": [{"site": "s"}]})
+
+    def test_deserialized_specs_are_validated(self):
+        obj = self._plan().to_dict()
+        obj["specs"][0]["kind"] = "explode"
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.from_dict(obj)
+
+
+class TestFaultPoint:
+    def test_no_plan_is_a_passthrough(self):
+        marker = object()
+        assert fault_point("anywhere", key="k", value=marker) is marker
+        assert fault_events() == ()
+
+    def test_error_fault_raises_and_logs_an_event(self):
+        plan = FaultPlan(SEED, (FaultSpec(site="s", kind="error"),))
+        with active_plan(plan):
+            with pytest.raises(InjectedFault, match="injected fault at s"):
+                fault_point("s", key="unit-1")
+        assert fault_events() == (
+            FaultEvent(site="s", key="unit-1", kind="error", attempt=0),
+        )
+
+    def test_kill_fault_raises_in_a_non_worker_process(self):
+        # os._exit is licensed only inside pool workers; in the test
+        # process a kill fault must surface as an exception instead.
+        plan = FaultPlan(SEED, (FaultSpec(site="s", kind="kill"),))
+        with active_plan(plan):
+            with pytest.raises(InjectedWorkerDeath):
+                fault_point("s", key="unit-1")
+
+    def test_delay_fault_returns_the_value(self):
+        plan = FaultPlan(SEED, (FaultSpec(site="s", kind="delay", delay_s=0.0),))
+        with active_plan(plan):
+            assert fault_point("s", key="k", value=42) == 42
+        assert fault_events()[0].kind == "delay"
+
+    def test_attempt_number_suppresses_transient_faults(self):
+        plan = FaultPlan(SEED, (FaultSpec(site="s", kind="error"),))
+        with active_plan(plan):
+            with pytest.raises(InjectedFault):
+                fault_point("s", key="k")
+            with task_attempt(1):
+                assert fault_point("s", key="k", value="ok") == "ok"
+
+    def test_fault_log_identical_on_consecutive_runs(self):
+        """The headline acceptance check, at the fault-point grain."""
+        plan = FaultPlan(
+            SEED,
+            (
+                FaultSpec(site="fits.unit", kind="error", rate=0.4),
+                FaultSpec(site="placebo.refit", kind="delay", rate=0.3),
+            ),
+        )
+
+        def workload() -> tuple[FaultEvent, ...]:
+            clear_events()
+            with active_plan(plan):
+                for i in range(60):
+                    try:
+                        fault_point("fits.unit", key=f"AS{i}/jnb")
+                    except InjectedFault:
+                        pass
+                    fault_point("placebo.refit", key=f"AS{i}/jnb", value=i)
+            return fault_events()
+
+        first, second = workload(), workload()
+        assert first == second
+        assert len(first) > 0
+
+
+class TestCorruptions:
+    def _spec(self, op: str) -> FaultSpec:
+        return FaultSpec(site="s", kind="corrupt", corruption=op)
+
+    def test_truncate_text_cuts_the_back_half_deterministically(self):
+        plan = FaultPlan(SEED, (self._spec("truncate_text"),))
+        text = "header\n" + "".join(f"row{i},1.5\n" for i in range(40))
+        a = _corrupt(plan, plan.specs[0], "s", "file.csv", text)
+        b = _corrupt(plan, plan.specs[0], "s", "file.csv", text)
+        assert a == b
+        assert len(text) // 2 <= len(a) < len(text)
+        assert text.startswith(a)
+
+    def test_garble_row_mangles_exactly_one_data_row(self):
+        plan = FaultPlan(SEED, (self._spec("garble_row"),))
+        text = "asn,rtt\n" + "\n".join(f"{i},{i}.5" for i in range(20))
+        a = _corrupt(plan, plan.specs[0], "s", "file.csv", text)
+        assert a == _corrupt(plan, plan.specs[0], "s", "file.csv", text)
+        clean_lines, garbled_lines = text.split("\n"), a.split("\n")
+        assert garbled_lines[0] == clean_lines[0]  # header untouched
+        changed = [
+            i for i, (x, y) in enumerate(zip(clean_lines, garbled_lines)) if x != y
+        ]
+        assert len(changed) == 1
+        assert garbled_lines[changed[0]].endswith("###garbled###")
+
+    def test_nan_cell_poisons_exactly_one_cell(self):
+        plan = FaultPlan(SEED, (self._spec("nan_cell"),))
+        panel = Panel(
+            times=tuple(range(6)),
+            units=("AS1/x", "AS2/x", "AS3/x"),
+            matrix=np.arange(18, dtype=float).reshape(6, 3),
+        )
+        a = _corrupt(plan, plan.specs[0], "s", "panel", panel)
+        b = _corrupt(plan, plan.specs[0], "s", "panel", panel)
+        assert isinstance(a, Panel)
+        assert a.times == panel.times and a.units == panel.units
+        assert not np.isnan(panel.matrix).any()  # the input is untouched
+        assert np.isnan(a.matrix).sum() == 1
+        assert np.argwhere(np.isnan(a.matrix)).tolist() == (
+            np.argwhere(np.isnan(b.matrix)).tolist()
+        )
+
+    def test_corruption_site_varies_with_key(self):
+        plan = FaultPlan(SEED, (self._spec("nan_cell"),))
+        panel = Panel(
+            times=tuple(range(10)),
+            units=tuple(f"AS{i}/x" for i in range(10)),
+            matrix=np.zeros((10, 10)),
+        )
+        cells = {
+            tuple(np.argwhere(np.isnan(
+                _corrupt(plan, plan.specs[0], "s", f"key{i}", panel).matrix
+            ))[0])
+            for i in range(20)
+        }
+        assert len(cells) > 1

@@ -1,0 +1,216 @@
+"""Tests for the executor retry path and broken-pool recovery.
+
+Satellite contracts: transient failures succeed within ``max_attempts``
+with the exact backoff schedule (asserted against a fake clock); fatal
+errors never retry; exhausted retries chain the worker traceback as
+``__cause__``; and a worker death without retries surfaces as an
+:class:`~repro.errors.ExecutionError` naming the backend and the task
+index, with ``BrokenProcessPool`` as its cause — never as a bare
+``BrokenProcessPool`` escaping the pool.
+"""
+
+import os
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.chaos import FaultPlan, FaultSpec, active_plan, clear_events, fault_point
+from repro.errors import (
+    ExecutionError,
+    InjectedFault,
+    PipelineError,
+    TaskTimeoutError,
+    is_transient,
+)
+from repro.obs.capture import WorkerTraceback
+from repro.obs.metrics import get_metrics
+from repro.pipeline.executor import (
+    ProcessPoolBackend,
+    RetryPolicy,
+    SerialExecutor,
+    get_executor,
+)
+
+SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_log():
+    clear_events()
+    yield
+    clear_events()
+
+
+def _counter_value(name: str) -> float:
+    return get_metrics().counter(name).value
+
+
+# -- module-level task functions (pool workers must unpickle them) ------------
+
+
+def _exit_now(x: int) -> int:
+    os._exit(1)
+
+
+def _always_injected(x: int) -> int:
+    raise InjectedFault(f"always fails on {x}")
+
+
+def _always_pipeline_error(x: int) -> int:
+    raise PipelineError(f"domain bug on {x}")
+
+
+def _through_fault_point(x: int) -> int:
+    fault_point("retry.test", key=f"item-{x}")
+    return x * 10
+
+
+class TestIsTransient:
+    def test_taxonomy(self):
+        assert is_transient(InjectedFault("x"))
+        assert is_transient(TaskTimeoutError("x"))
+        assert is_transient(TimeoutError("x"))
+        assert is_transient(BrokenProcessPool("x"))
+        assert not is_transient(PipelineError("x"))
+        assert not is_transient(ValueError("x"))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ExecutionError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ExecutionError):
+            RetryPolicy(timeout=0.0)
+
+    def test_delay_is_capped_exponential_with_deterministic_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.2)
+        for index in (0, 7):
+            bases = [min(0.1 * 2**k, 0.5) for k in range(5)]
+            delays = [policy.delay(k, index) for k in range(5)]
+            assert delays == [policy.delay(k, index) for k in range(5)]
+            for base, d in zip(bases, delays):
+                assert base <= d <= base * 1.2
+        # Jitter decorrelates tasks: same attempt, different waits.
+        assert policy.delay(0, 0) != policy.delay(0, 1)
+
+
+class TestSerialRetries:
+    def test_backoff_sequence_on_a_fake_clock(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.3)
+        sleeps: list[float] = []
+        failures = {"left": 2}
+
+        def flaky(x: int) -> int:
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise InjectedFault("transient")
+            return x + 1
+
+        before = _counter_value("task_retries_total")
+        ex = SerialExecutor(retry=policy, sleep=sleeps.append)
+        assert ex.map(flaky, [41]) == [42]
+        assert sleeps == [policy.delay(0, 0), policy.delay(1, 0)]
+        assert _counter_value("task_retries_total") == before + 2
+
+    def test_fatal_errors_never_retry(self):
+        sleeps: list[float] = []
+        ex = SerialExecutor(retry=RetryPolicy(max_attempts=5), sleep=sleeps.append)
+        with pytest.raises(PipelineError, match="domain bug"):
+            ex.map(_always_pipeline_error, [1])
+        assert sleeps == []
+
+    def test_exhausted_retries_reraise_the_last_error(self):
+        sleeps: list[float] = []
+        ex = SerialExecutor(retry=RetryPolicy(max_attempts=3), sleep=sleeps.append)
+        with pytest.raises(InjectedFault, match="always fails"):
+            ex.map(_always_injected, [1])
+        assert len(sleeps) == 2  # two retries, then give up
+
+    def test_no_policy_means_single_attempt(self):
+        with pytest.raises(InjectedFault):
+            SerialExecutor().map(_always_injected, [1])
+
+    def test_chaos_attempt_number_reaches_the_task(self):
+        # A fire_attempts=1 fault fails attempt 0; the retry runs at
+        # attempt 1, where the plan stands down — the executor and the
+        # chaos runtime agree on what "attempt" means.
+        plan = FaultPlan(SEED, (FaultSpec(site="retry.test", kind="error"),))
+        ex = SerialExecutor(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0), sleep=lambda s: None
+        )
+        with active_plan(plan):
+            assert ex.map(_through_fault_point, [1, 2, 3]) == [10, 20, 30]
+
+
+class TestPoolWorkerDeath:
+    def test_worker_death_without_retries_names_backend_and_task(self):
+        # Satellite regression: a worker hard-exiting must not leak a
+        # bare BrokenProcessPool out of map().
+        with get_executor(2) as ex:
+            with pytest.raises(
+                ExecutionError,
+                match=r"ProcessPoolBackend: worker process died.*task 0 of 3",
+            ) as excinfo:
+                ex.map(_exit_now, [1, 2, 3])
+        assert isinstance(excinfo.value.__cause__, BrokenProcessPool)
+
+    def test_pool_survives_a_chaos_kill_with_retries(self):
+        plan = FaultPlan(
+            SEED,
+            (FaultSpec(site="retry.test", kind="kill", match="item-2"),),
+        )
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        rebuilds = _counter_value("pool_rebuilds_total")
+        with ProcessPoolBackend(2, retry=policy, sleep=lambda s: None) as ex:
+            with active_plan(plan):
+                assert ex.map(_through_fault_point, [1, 2, 3, 4]) == [
+                    10, 20, 30, 40,
+                ]
+        assert _counter_value("pool_rebuilds_total") >= rebuilds + 1
+
+    def test_exhausted_pool_retries_chain_the_worker_traceback(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with ProcessPoolBackend(2, retry=policy, sleep=lambda s: None) as ex:
+            with pytest.raises(InjectedFault, match="always fails") as excinfo:
+                ex.map(_always_injected, [5])
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, WorkerTraceback)
+        assert "InjectedFault" in str(cause)
+
+
+def _stall(x: float) -> float:
+    fault_point("retry.stall", key="only")
+    return x
+
+
+class TestDeadlines:
+    def test_overdue_task_is_retried_and_recovers(self):
+        # The fault delays attempt 0 past the deadline; attempt 1 runs
+        # clean and beats it.
+        plan = FaultPlan(
+            SEED,
+            (FaultSpec(site="retry.stall", kind="delay", delay_s=5.0),),
+        )
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, timeout=0.5)
+        timeouts = _counter_value("tasks_timed_out_total")
+        with ProcessPoolBackend(2, retry=policy, sleep=lambda s: None) as ex:
+            with active_plan(plan):
+                assert ex.map(_stall, [1.5]) == [1.5]
+        assert _counter_value("tasks_timed_out_total") >= timeouts + 1
+
+    def test_exhausted_deadline_raises_task_timeout(self):
+        plan = FaultPlan(
+            SEED,
+            (
+                FaultSpec(
+                    site="retry.stall", kind="delay", delay_s=1.0, fire_attempts=99
+                ),
+            ),
+        )
+        policy = RetryPolicy(max_attempts=1, timeout=0.2)
+        with ProcessPoolBackend(2, retry=policy) as ex:
+            with active_plan(plan):
+                with pytest.raises(TaskTimeoutError, match="deadline"):
+                    ex.map(_stall, [1.0])
