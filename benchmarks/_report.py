@@ -33,7 +33,9 @@ def write_report(
 
     *data*, when given, must provide ``wall_seconds``, ``speedup``, and
     ``rows``; ``name`` and a ``timestamp`` (unix seconds) are filled in
-    here and the record lands at ``results/<name>.json``.
+    here and the record lands at ``results/<name>.json``.  Any further
+    keys (e.g. ``n_cores``/``n_jobs``, which make a scaling regression
+    attributable to the machine it ran on) pass through verbatim.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
@@ -48,8 +50,11 @@ def write_report(
             "wall_seconds": float(data["wall_seconds"]),
             "speedup": None if data["speedup"] is None else float(data["speedup"]),
             "rows": int(data["rows"]),
-            "timestamp": time.time(),
         }
+        for key, value in data.items():
+            if key not in record:
+                record[key] = value
+        record["timestamp"] = time.time()
         json_path = RESULTS_DIR / f"{name}.json"
         json_path.write_text(json.dumps(record, indent=2) + "\n")
     print()

@@ -295,6 +295,8 @@ def pivot_grid(
     columns: str,
     values: str,
     agg: str = "mean",
+    sort_index: bool = False,
+    grid_factory: "Callable[[tuple[int, int], list[Any], list[Any]], np.ndarray] | None" = None,
 ) -> tuple[list[Any], list[Any], np.ndarray]:
     """The core of :func:`pivot`: ``(row_keys, col_keys, grid)``.
 
@@ -304,6 +306,19 @@ def pivot_grid(
     kernel and scattered with a single fancy-indexed assignment —
     :func:`repro.synthcontrol.build_panel` reads the grid directly
     instead of round-tripping through a wide frame.
+
+    With *sort_index* the row keys come back sorted by value (object
+    keys by ``str``, matching :meth:`Frame.sort_by`): the row codes are
+    remapped through the sort permutation *before* the scatter, so the
+    grid lands already ordered — there is no post-hoc row-gather copy.
+
+    *grid_factory*, when given, allocates the grid:
+    ``factory(shape, row_keys, col_keys)`` must return a float64 array
+    of ``shape`` (its contents need not be initialised — the NaN fill
+    happens here).  This is how the panel build seals its matrix
+    directly into a shared-memory block instead of a fresh allocation
+    that would need a final copy.  The factory is only consulted for a
+    non-empty grid; a degenerate pivot falls back to a normal array.
     """
     agg_fn = _BUILTINS.get(agg)
     if agg_fn is None:
@@ -312,7 +327,28 @@ def pivot_grid(
     col_codes, col_keys = frame.column(columns).factorize()
     vals = frame.numeric(values)
 
-    grid = np.full((len(row_keys), len(col_keys)), np.nan)
+    if sort_index and row_keys:
+        if frame.column(index).kind == KIND_OBJECT:
+            sort_keys = np.array([str(v) for v in row_keys])
+        else:
+            sort_keys = np.asarray(row_keys)
+        order = np.argsort(sort_keys, kind="stable")
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order), dtype=np.int64)
+        row_codes = rank[row_codes]
+        row_keys = [row_keys[i] for i in order]
+
+    shape = (len(row_keys), len(col_keys))
+    if grid_factory is not None and min(shape) > 0:
+        grid = grid_factory(shape, row_keys, col_keys)
+        if grid.shape != shape or grid.dtype != np.float64:
+            raise FrameError(
+                f"grid_factory returned {grid.dtype} array of shape "
+                f"{grid.shape}; expected float64 of {shape}"
+            )
+        grid.fill(np.nan)
+    else:
+        grid = np.full(shape, np.nan)
     if frame.num_rows:
         combined = row_codes * max(len(col_keys), 1) + col_codes
         # One stable argsort (radix on int64 codes) both orders the rows by

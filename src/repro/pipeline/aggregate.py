@@ -35,11 +35,19 @@ def daily_median_rtt(frame: Frame) -> Frame:
     )
 
 
-def rtt_panel(frame: Frame, period: str = "day", outcome: str = "rtt_ms") -> Panel:
+def rtt_panel(
+    frame: Frame,
+    period: str = "day",
+    outcome: str = "rtt_ms",
+    matrix_factory=None,
+) -> Panel:
     """Pivot a measurement frame into a (periods x units) median-outcome panel.
 
     *outcome* defaults to RTT; pass ``"download_mbps"`` for the
-    throughput variant of the analysis.
+    throughput variant of the analysis.  *matrix_factory* is forwarded
+    to :func:`repro.synthcontrol.donor.build_panel` — the parallel
+    study uses it to seal the panel matrix directly into a
+    shared-memory block.
     """
     if period not in ("day", "time_hour"):
         raise FrameError(f"unknown period column {period!r}")
@@ -47,7 +55,12 @@ def rtt_panel(frame: Frame, period: str = "day", outcome: str = "rtt_ms") -> Pan
         raise FrameError(f"measurement frame has no outcome column {outcome!r}")
     with span("panel", rows=frame.num_rows, period=period, outcome=outcome) as sp:
         panel = build_panel(
-            frame, unit="unit", time=period, outcome=outcome, agg="median"
+            frame,
+            unit="unit",
+            time=period,
+            outcome=outcome,
+            agg="median",
+            matrix_factory=matrix_factory,
         )
         sp.set(times=panel.n_times, units=panel.n_units)
     logger.debug(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 from pathlib import Path
 from typing import Any
 
@@ -206,12 +207,21 @@ class StudyCheckpoint:
             self._append({"kind": "skip", "unit": unit, "reason": reason})
 
     def close(self) -> None:
-        """Flush and close the journal file."""
+        """Flush, fsync, and close the journal file (idempotent).
+
+        ``flush`` alone survives a killed *process* but not a crashed
+        *host*: the records would still sit in the page cache.  The
+        ``fsync`` makes every journaled unit durable against power loss
+        before the descriptor closes.
+        """
+        if self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
         self._file.close()
 
     def __enter__(self) -> "StudyCheckpoint":
         return self
 
-    def __exit__(self, *exc_info: Any) -> bool:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
-        return False

@@ -245,6 +245,8 @@ class ProcessPoolBackend:
         n_jobs: int,
         retry: RetryPolicy | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
     ) -> None:
         if n_jobs < 2:
             raise ExecutionError(
@@ -253,7 +255,16 @@ class ProcessPoolBackend:
         self.n_jobs = n_jobs
         self.retry = retry
         self._sleep = sleep
-        self._pool = ProcessPoolExecutor(max_workers=n_jobs)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.n_jobs,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
 
     def map(
         self,
@@ -286,7 +297,9 @@ class ProcessPoolBackend:
         ).inc()
         logger.warning("process pool broke (worker died); rebuilding")
         self._pool.shutdown(wait=False, cancel_futures=True)
-        self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+        # The replacement pool keeps the initializer, so respawned
+        # workers re-attach any shared-memory panel before taking work.
+        self._pool = self._make_pool()
 
     def close(self) -> None:
         """Shut the pool down and reclaim the worker processes."""
@@ -486,13 +499,23 @@ Executor = SerialExecutor | ProcessPoolBackend
 
 
 def get_executor(
-    n_jobs: int | None = 1, retry: RetryPolicy | None = None
+    n_jobs: int | None = 1,
+    retry: RetryPolicy | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> Executor:
-    """The backend for an ``n_jobs`` request (use as a context manager)."""
+    """The backend for an ``n_jobs`` request (use as a context manager).
+
+    *initializer*/*initargs* run once per worker process (and again in
+    every worker of a rebuilt pool); the serial backend ignores them —
+    serial callers already share the parent's address space.
+    """
     resolved = resolve_n_jobs(n_jobs)
     if resolved == 1:
         return SerialExecutor(retry=retry)
-    return ProcessPoolBackend(resolved, retry=retry)
+    return ProcessPoolBackend(
+        resolved, retry=retry, initializer=initializer, initargs=initargs
+    )
 
 
 def parallel_map(

@@ -1,0 +1,276 @@
+"""Shared-memory panel storage for zero-copy process-pool fan-out.
+
+The process-pool study used to pickle the full :class:`~repro.synthcontrol.donor.Panel`
+into every per-unit task, so the transport cost grew as
+``O(tasks x panel_bytes)`` and the parallel study ran *slower* than
+serial at CI scale.  This module moves the panel's numeric storage onto
+:mod:`multiprocessing.shared_memory` so a task ships only a tiny named
+reference:
+
+- :class:`SharedPanelOwner` — the parent-side lifecycle handle.  It
+  allocates one named block laid out as ``[meta length][pickled times /
+  units / shape][float64 matrix]``, exposes the matrix region as a
+  writable numpy view (so :func:`~repro.synthcontrol.donor.build_panel`
+  can scatter the pivot directly into the block — no seal-time copy),
+  and unlinks the block exactly once however the study exits.
+- :class:`SharedPanelRef` — the picklable worker-side reference: just
+  the block name.  ``load()`` attaches by name and reconstructs a
+  read-only zero-copy :class:`~repro.synthcontrol.donor.Panel` view,
+  memoised per process so a pooled worker running hundreds of unit
+  tasks attaches (and unpickles the metadata) once.
+
+Lifecycle rules the study pipeline relies on:
+
+- the block is independent of any process pool, so a
+  ``BrokenProcessPool`` rebuild needs no re-publication — respawned
+  workers attach lazily by name;
+- ``unlink`` removes the name immediately while live mappings (the
+  parent's panel view, attached workers) stay valid until they are
+  dropped, so teardown never races the last fits;
+- every created block is tracked in :func:`live_panel_blocks` until it
+  is unlinked, which is what the leak tests assert drains to empty.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.synthcontrol.donor import Panel
+
+#: Byte alignment of the matrix region within the block (numpy is happy
+#: with any alignment, but 64 keeps the matrix cache-line aligned).
+_ALIGN = 64
+
+#: Block-name prefix; also how the leak tests recognise our blocks in
+#: ``/dev/shm``.  Kept short: POSIX shm names are limited (NAME_MAX).
+NAME_PREFIX = "rpr-panel-"
+
+#: Names created by this process and not yet unlinked.
+_LIVE: set[str] = set()
+
+#: Per-process attach cache: block name -> (mapping, reconstructed panel).
+#: Pool workers run many tasks against the same panel; the first task
+#: attaches and unpickles the metadata, the rest hit this dict.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, Panel]] = {}
+
+
+def live_panel_blocks() -> tuple[str, ...]:
+    """Names of blocks this process created and has not unlinked yet."""
+    return tuple(sorted(_LIVE))
+
+
+def _evict_attached(keep: str | None = None) -> None:
+    """Drop cached attachments other than *keep*.
+
+    Studies use one panel block at a time, so when a worker sees a new
+    name the previous study's mapping is dead weight.  A mapping whose
+    panel view is still referenced elsewhere raises ``BufferError`` on
+    close; it is kept (closing would invalidate live numpy views) and
+    retried on the next eviction.
+    """
+    for name in list(_ATTACHED):
+        if name == keep:
+            continue
+        shm, panel = _ATTACHED.pop(name)
+        del panel  # drop the cache's own view before closing the mapping
+        try:
+            shm.close()
+        except BufferError:  # a view escaped; the mapping must outlive it
+            _ATTACHED[name] = (shm, _panel_from_block(shm))
+
+
+def _pack_meta(times: tuple, units: tuple[str, ...], shape: tuple[int, int]) -> bytes:
+    return pickle.dumps(
+        {"times": times, "units": units, "shape": shape},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _matrix_offset(meta_len: int) -> int:
+    header = 8 + meta_len
+    return header + (-header) % _ALIGN
+
+
+def _panel_from_block(shm: shared_memory.SharedMemory) -> Panel:
+    """Reconstruct the Panel stored in *shm* as a zero-copy view."""
+    meta_len = int.from_bytes(bytes(shm.buf[:8]), "little")
+    if not 0 < meta_len <= shm.size - 8:
+        raise PipelineError(
+            f"shared panel block {shm.name!r} has a corrupt header "
+            f"(meta_len={meta_len}, size={shm.size})"
+        )
+    meta = pickle.loads(bytes(shm.buf[8 : 8 + meta_len]))
+    shape = tuple(meta["shape"])
+    matrix = np.ndarray(
+        shape, dtype=np.float64, buffer=shm.buf, offset=_matrix_offset(meta_len)
+    )
+    return Panel(times=tuple(meta["times"]), units=tuple(meta["units"]), matrix=matrix)
+
+
+@dataclass(frozen=True)
+class SharedPanelRef:
+    """A picklable, zero-copy reference to a panel in a named shared block.
+
+    This is all a process-pool task carries: attaching by *name* in the
+    worker reconstructs the full panel without copying the matrix.
+    """
+
+    name: str
+
+    def load(self) -> Panel:
+        """Attach (memoised per process) and return the panel view."""
+        hit = _ATTACHED.get(self.name)
+        if hit is not None:
+            return hit[1]
+        _evict_attached(keep=self.name)
+        try:
+            shm = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:
+            raise PipelineError(
+                f"shared panel block {self.name!r} does not exist "
+                "(already unlinked, or never published in this host)"
+            ) from None
+        panel = _panel_from_block(shm)
+        _ATTACHED[self.name] = (shm, panel)
+        return panel
+
+
+def attach_shared_panel(ref: SharedPanelRef) -> None:
+    """Process-pool initializer: map the shared panel before any task.
+
+    Passed as the pool's ``initializer`` so every worker — including the
+    respawned workers of a rebuilt pool after ``BrokenProcessPool`` —
+    pays the attach-and-unpickle cost once, off the task critical path.
+    """
+    ref.load()
+
+
+class SharedPanelOwner:
+    """Parent-side owner of one shared panel block.
+
+    Create with :meth:`allocate` (then fill :attr:`matrix` in place —
+    the pivot scatters straight into the block) or :meth:`from_panel`
+    (copies an existing matrix in).  Call :meth:`close` exactly once
+    per study — it is idempotent — to unlink the name; live views keep
+    working until their owners drop them.
+    """
+
+    def __init__(
+        self, times: tuple, units: tuple[str, ...], shape: tuple[int, int]
+    ) -> None:
+        n_times, n_units = (int(shape[0]), int(shape[1]))
+        if n_times <= 0 or n_units <= 0:
+            raise PipelineError(
+                f"shared panel needs a non-empty matrix, got shape {shape}"
+            )
+        if len(times) != n_times or len(units) != n_units:
+            raise PipelineError(
+                f"panel labels do not match matrix shape {shape}: "
+                f"{len(times)} times, {len(units)} units"
+            )
+        meta = _pack_meta(tuple(times), tuple(units), (n_times, n_units))
+        offset = _matrix_offset(len(meta))
+        nbytes = offset + n_times * n_units * 8
+        name = NAME_PREFIX + secrets.token_hex(8)
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            name=name, create=True, size=nbytes
+        )
+        self._shm.buf[:8] = len(meta).to_bytes(8, "little")
+        self._shm.buf[8 : 8 + len(meta)] = meta
+        self._matrix = np.ndarray(
+            (n_times, n_units), dtype=np.float64, buffer=self._shm.buf, offset=offset
+        )
+        self._panel = Panel(times=tuple(times), units=tuple(units), matrix=self._matrix)
+        _LIVE.add(name)
+
+    @classmethod
+    def allocate(
+        cls, shape: tuple[int, int], times: tuple, units: tuple[str, ...]
+    ) -> "SharedPanelOwner":
+        """A block whose (uninitialised) matrix the caller fills in place."""
+        return cls(times=times, units=units, shape=shape)
+
+    @classmethod
+    def from_panel(cls, panel: Panel) -> "SharedPanelOwner":
+        """Publish an existing panel (one matrix copy into the block)."""
+        owner = cls(times=panel.times, units=panel.units, shape=panel.matrix.shape)
+        np.copyto(owner.matrix, panel.matrix)
+        return owner
+
+    @property
+    def name(self) -> str:
+        """The block's name (its cross-process address)."""
+        if self._shm is None:
+            raise PipelineError("shared panel block already closed")
+        return self._shm.name
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Writable float64 view of the matrix region inside the block."""
+        if self._shm is None:
+            raise PipelineError("shared panel block already closed")
+        return self._matrix
+
+    @property
+    def panel(self) -> Panel:
+        """The panel, backed zero-copy by the block (parent-side use)."""
+        if self._shm is None:
+            raise PipelineError("shared panel block already closed")
+        return self._panel
+
+    @property
+    def ref(self) -> SharedPanelRef:
+        """The picklable reference tasks carry instead of the panel."""
+        return SharedPanelRef(name=self.name)
+
+    def close(self) -> None:
+        """Unlink the block (idempotent); live views stay valid.
+
+        The name disappears immediately — a later attach fails — while
+        existing mappings (the parent's panel view, worker caches)
+        survive until dropped, exactly the POSIX ``shm_unlink``
+        contract the study teardown needs.
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        # Drop our own views first — otherwise the mapping could never
+        # be released even when no caller holds one.
+        self._matrix = None  # type: ignore[assignment]
+        self._panel = None  # type: ignore[assignment]
+        _LIVE.discard(shm.name)
+        hit = _ATTACHED.pop(shm.name, None)
+        if hit is not None:
+            cached, cached_panel = hit
+            del cached_panel
+            try:
+                cached.close()
+            except BufferError:
+                # A caller still holds the cached view; keep the mapping
+                # alive so the view stays valid (the name goes away below
+                # regardless, so nothing outlives this process).
+                _ATTACHED[shm.name] = (cached, _panel_from_block(cached))
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink race
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            # The study's panel view is usually still alive here; the
+            # mapping is released when the last view dies (the name is
+            # already gone, so nothing leaks past this process's exit).
+            self._zombie = shm
+
+    def __enter__(self) -> "SharedPanelOwner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False

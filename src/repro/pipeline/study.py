@@ -29,7 +29,8 @@ from repro.obs import child_seconds, get_metrics, span
 from repro.obs.metrics import COUNT_BUCKETS
 from repro.pipeline.aggregate import rtt_panel
 from repro.pipeline.crossing import TreatmentAssignment, assign_treatment
-from repro.pipeline.executor import RetryPolicy, get_executor
+from repro.pipeline.executor import RetryPolicy, get_executor, resolve_n_jobs
+from repro.pipeline.shm import SharedPanelOwner, SharedPanelRef, attach_shared_panel
 from repro.synthcontrol.donor import Panel, select_donors
 from repro.synthcontrol.placebo import placebo_test
 
@@ -219,42 +220,53 @@ class StudyResult:
 
 @dataclass(frozen=True)
 class _UnitTask:
-    """One treated unit's fit work, picklable for process-pool workers."""
+    """One treated unit's fit work, picklable for process-pool workers.
+
+    ``panel`` is a :class:`SharedPanelRef` when a process pool runs the
+    task — the pickled payload is then the unit label, a few scalars,
+    and a block name, not the panel matrix — and an in-process
+    :class:`Panel` on the serial path.  ``fit_kwargs`` is a tuple of
+    sorted items (not a dict) so this frozen dataclass is actually
+    hashable and workers cannot mutate shared fit parameters.
+    """
 
     unit: str
     pre_periods: int
     post_periods: int
-    panel: Panel
+    panel: Panel | SharedPanelRef
     excluded: tuple[str, ...]
     max_donor_missing: float
     method: str
     max_placebos: int | None
-    fit_kwargs: dict
+    fit_kwargs: tuple[tuple[str, object], ...]
 
 
 def _analyse_unit(task: _UnitTask) -> StudyRow | tuple[str, str]:
     """Fit one treated unit: a :class:`StudyRow`, or ``(unit, reason)``."""
     metrics = get_metrics()
+    panel = (
+        task.panel.load() if isinstance(task.panel, SharedPanelRef) else task.panel
+    )
     with span("fits.unit", unit=task.unit) as sp:
         fault_point("fits.unit", key=task.unit)
         try:
             donors = select_donors(
-                task.panel,
+                panel,
                 task.unit,
                 excluded=task.excluded,
                 pre_periods=task.pre_periods,
                 max_missing=task.max_donor_missing,
             )
-            donor_matrix = np.column_stack([task.panel.series(d) for d in donors])
+            donor_matrix = np.column_stack([panel.series(d) for d in donors])
             summary = placebo_test(
-                task.panel.series(task.unit),
+                panel.series(task.unit),
                 donor_matrix,
                 task.pre_periods,
                 treated_name=task.unit,
                 donor_names=donors,
                 method=task.method,
                 max_placebos=task.max_placebos,
-                **task.fit_kwargs,
+                **dict(task.fit_kwargs),
             )
         except (DonorPoolError, EstimationError) as exc:
             logger.warning("skipping unit %s: %s", task.unit, exc)
@@ -353,85 +365,122 @@ def run_ixp_study(
         assignment = assign_treatment(measurements, ixp_name)
         assignment = fault_point("study.assignment", key=ixp_name, value=assignment)
         t1 = time.perf_counter()
-        panel = rtt_panel(measurements, period="day", outcome=outcome)
-        panel = fault_point("study.panel", key=ixp_name, value=panel)
-        t2 = time.perf_counter()
-        treated = assignment.treated_units
+        # With a process pool ahead, the panel matrix is allocated inside
+        # a named shared-memory block and the pivot scatters straight
+        # into it; tasks then carry a SharedPanelRef instead of the
+        # panel, so the pool pickles O(tasks) bytes, not
+        # O(tasks x panel).  Serial runs keep a plain in-process array.
+        workers = resolve_n_jobs(n_jobs)
+        owner: SharedPanelOwner | None = None
 
-        fit_kwargs: dict[str, object] = {}
-        if method == "robust":
-            fit_kwargs = {"energy": energy, "ridge": ridge}
+        def _shared_matrix(shape, times, units):
+            nonlocal owner
+            owner = SharedPanelOwner.allocate(shape, times, units)
+            return owner.matrix
 
-        # Cheap shape screens run inline; only real fit work is fanned out.
-        plan: list[tuple[str, str] | _UnitTask] = []
-        for unit in treated:
-            parse_unit_label(unit)  # fail loudly on malformed labels
-            first_hour = assignment.first_crossing_hour[unit]
-            first_day = int(first_hour // 24)
-            try:
-                pre_periods = _pre_period_count(panel, first_day)
-            except EstimationError as exc:
-                plan.append((unit, str(exc)))
-                continue
-            post_periods = panel.n_times - pre_periods
-            if pre_periods < min_pre_periods:
-                plan.append((unit, f"only {pre_periods} pre-treatment days"))
-                continue
-            if post_periods < min_post_periods:
-                plan.append((unit, f"only {post_periods} post-treatment days"))
-                continue
-            plan.append(
-                _UnitTask(
-                    unit=unit,
-                    pre_periods=pre_periods,
-                    post_periods=post_periods,
-                    panel=panel,
-                    excluded=tuple(treated),
-                    max_donor_missing=max_donor_missing,
-                    method=method,
-                    max_placebos=max_placebos,
-                    fit_kwargs=fit_kwargs,
-                )
-            )
-
-        fit_units = [step for step in plan if isinstance(step, _UnitTask)]
-        if len(plan) > len(fit_units):
-            get_metrics().counter(
-                "units_skipped_total", "treated units the study could not fit"
-            ).inc(len(plan) - len(fit_units))
-
-        # Units already journaled in a resumed checkpoint are served from
-        # the file; only the remainder is fitted.  The final row order is
-        # the plan's either way, so a resumed table is byte-identical.
         ckpt = None
-        completed: dict[str, StudyRow | tuple[str, str]] = {}
-        if checkpoint is not None:
-            from repro.pipeline.checkpoint import StudyCheckpoint
-
-            ckpt = StudyCheckpoint(
-                checkpoint,
-                ixp_name=ixp_name,
-                method=method,
-                outcome=outcome,
-                resume=resume,
-            )
-            completed = ckpt.completed
-        tasks = [t for t in fit_units if t.unit not in completed]
-
-        def _journal(index: int, result: StudyRow | tuple[str, str]) -> None:
-            if ckpt is not None:
-                ckpt.append_result(result)
-
         rows: list[StudyRow] = []
         skipped: list[tuple[str, str]] = []
         try:
+            panel = rtt_panel(
+                measurements,
+                period="day",
+                outcome=outcome,
+                matrix_factory=_shared_matrix if workers > 1 else None,
+            )
+            panel = fault_point("study.panel", key=ixp_name, value=panel)
+            if owner is not None and panel.matrix is not owner.matrix:
+                # A chaos fault swapped in a corrupted copy; re-publish it
+                # so pool workers analyse exactly what a serial run would —
+                # fault parity includes the corrupted bytes.
+                owner.close()
+                owner = SharedPanelOwner.from_panel(panel)
+                panel = owner.panel
+            t2 = time.perf_counter()
+            treated = assignment.treated_units
+
+            fit_kwargs: dict[str, object] = {}
+            if method == "robust":
+                fit_kwargs = {"energy": energy, "ridge": ridge}
+            frozen_kwargs = tuple(sorted(fit_kwargs.items()))
+            task_panel: Panel | SharedPanelRef = (
+                owner.ref if owner is not None else panel
+            )
+
+            # Cheap shape screens run inline; only real fit work is fanned out.
+            plan: list[tuple[str, str] | _UnitTask] = []
+            for unit in treated:
+                parse_unit_label(unit)  # fail loudly on malformed labels
+                first_hour = assignment.first_crossing_hour[unit]
+                first_day = int(first_hour // 24)
+                try:
+                    pre_periods = _pre_period_count(panel, first_day)
+                except EstimationError as exc:
+                    plan.append((unit, str(exc)))
+                    continue
+                post_periods = panel.n_times - pre_periods
+                if pre_periods < min_pre_periods:
+                    plan.append((unit, f"only {pre_periods} pre-treatment days"))
+                    continue
+                if post_periods < min_post_periods:
+                    plan.append((unit, f"only {post_periods} post-treatment days"))
+                    continue
+                plan.append(
+                    _UnitTask(
+                        unit=unit,
+                        pre_periods=pre_periods,
+                        post_periods=post_periods,
+                        panel=task_panel,
+                        excluded=tuple(treated),
+                        max_donor_missing=max_donor_missing,
+                        method=method,
+                        max_placebos=max_placebos,
+                        fit_kwargs=frozen_kwargs,
+                    )
+                )
+
+            fit_units = [step for step in plan if isinstance(step, _UnitTask)]
+            if len(plan) > len(fit_units):
+                get_metrics().counter(
+                    "units_skipped_total", "treated units the study could not fit"
+                ).inc(len(plan) - len(fit_units))
+
+            # Units already journaled in a resumed checkpoint are served from
+            # the file; only the remainder is fitted.  The final row order is
+            # the plan's either way, so a resumed table is byte-identical.
+            completed: dict[str, StudyRow | tuple[str, str]] = {}
+            if checkpoint is not None:
+                from repro.pipeline.checkpoint import StudyCheckpoint
+
+                ckpt = StudyCheckpoint(
+                    checkpoint,
+                    ixp_name=ixp_name,
+                    method=method,
+                    outcome=outcome,
+                    resume=resume,
+                )
+                completed = ckpt.completed
+            tasks = [t for t in fit_units if t.unit not in completed]
+
+            def _journal(index: int, result: StudyRow | tuple[str, str]) -> None:
+                if ckpt is not None:
+                    ckpt.append_result(result)
+
             with span(
                 "fits",
                 n_tasks=len(tasks),
                 n_jobs=n_jobs,
                 n_resumed=len(fit_units) - len(tasks),
             ):
-                with get_executor(n_jobs, retry=retry) as executor:
+                # Workers map the shared block at spawn (initializer),
+                # including the respawned workers of a pool rebuilt
+                # after BrokenProcessPool — the block outlives any pool.
+                with get_executor(
+                    n_jobs,
+                    retry=retry,
+                    initializer=attach_shared_panel if owner is not None else None,
+                    initargs=(owner.ref,) if owner is not None else (),
+                ) as executor:
                     outcomes = iter(
                         executor.map(_analyse_unit, tasks, on_result=_journal)
                     )
@@ -449,6 +498,8 @@ def run_ixp_study(
         finally:
             if ckpt is not None:
                 ckpt.close()
+            if owner is not None:
+                owner.close()
         t3 = time.perf_counter()
         study_sp.set(n_rows=len(rows), n_skipped=len(skipped))
 

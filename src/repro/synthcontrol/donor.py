@@ -11,14 +11,13 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from functools import cached_property
 from typing import Any
 
 import numpy as np
 
 from repro.errors import DonorPoolError
-from repro.frames.column import KIND_OBJECT
 from repro.frames.frame import Frame
 from repro.frames.groupby import pivot_grid
 from repro.obs import span
@@ -95,33 +94,42 @@ def build_panel(
     time: str,
     outcome: str,
     agg: str = "median",
+    matrix_factory: "Callable[[tuple[int, int], tuple[Any, ...], tuple[str, ...]], np.ndarray] | None" = None,
 ) -> Panel:
     """Pivot long-format rows into a times x units panel.
 
     Multiple measurements per (unit, time) cell are reduced with *agg*
     (default median, matching the paper's median-RTT outcome).  The
     grouped-median grid from :func:`repro.frames.groupby.pivot_grid` is
-    used directly — one scatter, one row reorder — instead of building
-    and re-reading a wide frame.
+    used directly, with the time sort folded into the scatter
+    (``sort_index=True``) so there is no final row-gather copy.
+
+    *matrix_factory*, when given, allocates the panel matrix:
+    ``factory(shape, times, units)`` receives the final sorted time
+    keys and stringified unit labels and must return a float64 array of
+    ``shape`` for the pivot to scatter into.  The study pipeline passes
+    a shared-memory allocator here so the panel seals directly into the
+    block process-pool workers attach to.
     """
+    units: tuple[str, ...] = ()
+
+    def _grid_factory(shape, row_keys, col_keys):
+        nonlocal units
+        units = tuple(str(k) for k in col_keys)
+        return matrix_factory(shape, tuple(row_keys), units)
+
     time_keys, unit_keys, grid = pivot_grid(
-        data, index=time, columns=unit, values=outcome, agg=agg
+        data,
+        index=time,
+        columns=unit,
+        values=outcome,
+        agg=agg,
+        sort_index=True,
+        grid_factory=_grid_factory if matrix_factory is not None else None,
     )
-    # Rows come out in first-appearance order; sort them by time value,
-    # stringifying object keys exactly like Frame.sort_by does.
-    if time_keys:
-        if data.column(time).kind == KIND_OBJECT:
-            sort_keys = np.array([str(v) for v in time_keys])
-        else:
-            sort_keys = np.asarray(time_keys)
-        order = np.argsort(sort_keys, kind="stable")
-        times = tuple(time_keys[i] for i in order)
-        matrix = grid[order]
-    else:
-        times = ()
-        matrix = grid
-    units = tuple(str(k) for k in unit_keys)
-    return Panel(times=times, units=units, matrix=matrix)
+    if not units:
+        units = tuple(str(k) for k in unit_keys)
+    return Panel(times=tuple(time_keys), units=units, matrix=grid)
 
 
 def select_donors(

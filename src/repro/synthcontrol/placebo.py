@@ -40,6 +40,7 @@ from repro.synthcontrol.result import PlaceboSummary, SyntheticControlFit
 from repro.synthcontrol.robust import (
     DenoiseCache,
     DonorFactorization,
+    denoise_leave_one_out,
     denoise_without_column,
     factor_donor_matrix,
     fit_from_denoised,
@@ -114,6 +115,7 @@ class _PlaceboContext:
     fact: DonorFactorization | None
     energy: float
     ridge: float
+    loo: tuple[tuple[np.ndarray, int], ...] | None = None
 
 
 def _placebo_refit(ctx: _PlaceboContext, col: int) -> tuple[str, float | None, str]:
@@ -148,9 +150,12 @@ def _placebo_refit_inner(
     try:
         if ctx.method == "robust":
             assert ctx.fact is not None
-            denoised, _rank = denoise_without_column(
-                ctx.fact, col, energy=ctx.energy
-            )
+            if ctx.loo is not None:
+                denoised, _rank = ctx.loo[col]
+            else:
+                denoised, _rank = denoise_without_column(
+                    ctx.fact, col, energy=ctx.energy
+                )
             rest_names = tuple(
                 n for i, n in enumerate(ctx.donor_names) if i != col
             )
@@ -235,6 +240,17 @@ def placebo_rmse_ratios(
                 else factor_donor_matrix(donors)
             )
 
+    from repro.pipeline.executor import get_executor, resolve_n_jobs
+
+    # Serial refits batch every leave-one-out SVD into a single 3-D
+    # numpy.linalg.svd call (bit-identical to the per-column downdate,
+    # one LAPACK sweep instead of J).  Fanned-out refits keep the
+    # per-column path: shipping the full denoised stack to each worker
+    # would cost more in pickling than the batched SVD saves.
+    loo: tuple[tuple[np.ndarray, int], ...] | None = None
+    if fact is not None and limit > 1 and resolve_n_jobs(n_jobs) == 1:
+        loo = denoise_leave_one_out(fact, energy=energy, limit=limit)
+
     ctx = _PlaceboContext(
         donors=donors,
         donor_names=tuple(donor_names),
@@ -245,9 +261,8 @@ def placebo_rmse_ratios(
         fact=fact,
         energy=energy,
         ridge=ridge,
+        loo=loo,
     )
-
-    from repro.pipeline.executor import get_executor
 
     with get_executor(n_jobs, retry=retry) as executor:
         outcomes = executor.map(

@@ -190,6 +190,58 @@ def denoise_without_column(
     return _rescale_denoised(denoised, col_means, p_obs), rank
 
 
+def denoise_leave_one_out(
+    fact: DonorFactorization,
+    energy: float = 0.99,
+    min_rank: int = 1,
+    limit: int | None = None,
+) -> tuple[tuple[np.ndarray, int], ...]:
+    """Every leave-one-donor-out de-noising from **one** batched SVD.
+
+    The placebo loop needs the denoised panel with column *j* deleted,
+    for every *j*.  Each of those reduces to the SVD of the small
+    ``k x (J-1)`` core ``S Vt'`` (see :func:`denoise_without_column`) —
+    and the cores all share one shape, so they stack into a
+    ``(J, k, J-1)`` array that a single :func:`numpy.linalg.svd` call
+    decomposes in one LAPACK sweep instead of J Python-level calls.
+    Per-matrix results are bit-identical to the one-at-a-time downdate
+    (the gufunc runs the same routine on the same bytes), so serial and
+    fanned-out placebo loops keep agreeing exactly.
+
+    Returns ``(denoised, rank)`` per column, for the first *limit*
+    columns (all of them when ``None``).
+    """
+    _check_energy(energy)
+    j = fact.n_donors
+    if j < 2:
+        raise DonorPoolError("cannot delete the only donor column")
+    n = j if limit is None else max(0, min(int(limit), j))
+    if n == 0:
+        return ()
+    if fact.s.sum() == 0:
+        return tuple(
+            (np.delete(fact.filled, col, axis=1), 0) for col in range(n)
+        )
+    svt = fact.s[:, None] * fact.vt
+    cores = np.stack([np.delete(svt, col, axis=1) for col in range(n)])
+    u_cores, s_subs, vt_subs = np.linalg.svd(cores, full_matrices=False)
+    total_observed = float(fact.finite_counts.sum())
+    out: list[tuple[np.ndarray, int]] = []
+    for col in range(n):
+        col_means = np.delete(fact.col_means, col)
+        s_sub = s_subs[col]
+        if s_sub.sum() == 0:
+            out.append((np.delete(fact.filled, col, axis=1), 0))
+            continue
+        rank = _rank_for_energy(s_sub, energy, min_rank)
+        u_sub = fact.u @ u_cores[col][:, :rank]
+        denoised = (u_sub * s_sub[:rank]) @ vt_subs[col][:rank]
+        observed = int(total_observed - fact.finite_counts[col])
+        p_obs = observed / (fact.n_times * (j - 1))
+        out.append((_rescale_denoised(denoised, col_means, p_obs), rank))
+    return tuple(out)
+
+
 def singular_value_threshold(
     matrix: np.ndarray, energy: float = 0.99, min_rank: int = 1
 ) -> tuple[np.ndarray, int]:

@@ -275,3 +275,32 @@ class TestCheckpointCli:
         )
         assert resumed.stdout == uninterrupted.stdout
         assert b"verdict" in resumed.stdout
+
+
+class TestCloseSemantics:
+    def _open(self, path) -> StudyCheckpoint:
+        return StudyCheckpoint(
+            path, ixp_name="NAPAfrica-JNB", method="robust", outcome="rtt_ms",
+        )
+
+    def test_close_is_idempotent(self, tmp_path):
+        ckpt = self._open(tmp_path / "ckpt.jsonl")
+        ckpt.close()
+        ckpt.close()  # second close must be a no-op, not a ValueError
+
+    def test_exit_after_explicit_close_is_harmless(self, tmp_path):
+        with self._open(tmp_path / "ckpt.jsonl") as ckpt:
+            ckpt.close()
+
+    def test_close_fsyncs_the_journal(self, tmp_path, monkeypatch):
+        import repro.pipeline.checkpoint as checkpoint_mod
+
+        synced: list[int] = []
+        monkeypatch.setattr(
+            checkpoint_mod.os, "fsync", lambda fd: synced.append(fd)
+        )
+        ckpt = self._open(tmp_path / "ckpt.jsonl")
+        ckpt.append_result(("AS1/x", "reason"))
+        ckpt.close()
+        ckpt.close()
+        assert len(synced) == 1  # exactly once: close after close is a no-op
