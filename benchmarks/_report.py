@@ -14,6 +14,7 @@ and tooling can track regressions without parsing the text tables.
 from __future__ import annotations
 
 import json
+import math
 import time
 from pathlib import Path
 from typing import Any
@@ -21,6 +22,13 @@ from typing import Any
 RESULTS_DIR = Path(__file__).parent / "results"
 
 DATA_KEYS = ("wall_seconds", "speedup", "rows")
+
+
+def _percentile(series: list[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation, no numpy dependency)."""
+    ordered = sorted(series)
+    idx = min(len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1))
+    return float(ordered[idx])
 
 
 def write_report(
@@ -54,6 +62,12 @@ def write_report(
         for key, value in data.items():
             if key not in record:
                 record[key] = value
+        # Streaming benchmarks report per-batch wall times; summarise
+        # their latency tails so CI history can track them as scalars.
+        batch_seconds = data.get("batch_seconds")
+        if batch_seconds:
+            record["batch_p50_s"] = _percentile(batch_seconds, 50)
+            record["batch_p99_s"] = _percentile(batch_seconds, 99)
         record["timestamp"] = time.time()
         json_path = RESULTS_DIR / f"{name}.json"
         json_path.write_text(json.dumps(record, indent=2) + "\n")

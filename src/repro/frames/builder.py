@@ -76,12 +76,35 @@ class ColumnBuilder:
 
     def append_chunk(self, values: Sequence[Any] | np.ndarray) -> None:
         """Append one chunk of values (coerced, never per-row Python later)."""
+        self.commit_chunk(*self.prepare_chunk(values))
+
+    def prepare_chunk(
+        self, values: Sequence[Any] | np.ndarray
+    ) -> tuple[np.ndarray, str]:
+        """Coerce and validate one chunk without storing it.
+
+        Everything that can fail — kind coercion, shape checks — happens
+        here, so :class:`FrameBuilder` can prepare a whole row-chunk
+        before committing any column of it: a bad chunk then leaves the
+        builder exactly as it was instead of half-appended (which would
+        silently misalign every later row).
+        """
         kind = self._declared if self._declared is not None else infer_kind(values)
-        chunk = _coerce(values, kind)
+        try:
+            chunk = _coerce(values, kind)
+        except (TypeError, ValueError) as exc:
+            raise FrameError(
+                f"chunk for column {self.name!r} does not coerce to "
+                f"declared kind {kind!r}: {exc}"
+            ) from exc
         if chunk.ndim != 1:
             raise FrameError(
                 f"chunk for column {self.name!r} must be 1-D, got shape {chunk.shape}"
             )
+        return chunk, kind
+
+    def commit_chunk(self, chunk: np.ndarray, kind: str) -> None:
+        """Store a chunk returned by :meth:`prepare_chunk` (cannot fail)."""
         self._chunks.append(chunk)
         self._chunk_kinds.append(kind)
         self._kind = kind if self._kind is None else _unify_kinds(self._kind, kind)
@@ -190,8 +213,16 @@ class FrameBuilder:
             raise ColumnMismatchError(
                 f"chunk columns have mismatched lengths {lengths}"
             )
-        for name in self._order:
-            self._builders[name].append_chunk(chunk[name])
+        # Two-phase append: prepare (which is where coercion can fail)
+        # every column first, then commit all of them.  A chunk that
+        # dies mid-coercion must not leave some columns longer than
+        # others — that misalignment would only surface rows later.
+        staged = [
+            (name, self._builders[name].prepare_chunk(chunk[name]))
+            for name in self._order
+        ]
+        for name, (values, kind) in staged:
+            self._builders[name].commit_chunk(values, kind)
         self._rows += distinct.pop() if distinct else 0
 
     def build(self, alloc: "Callable[[str, int], np.ndarray | None] | None" = None) -> Frame:

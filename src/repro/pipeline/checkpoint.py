@@ -14,6 +14,14 @@ The file format is one JSON object per line::
     {"kind": "header", "ixp": ..., "method": ..., "outcome": ...}
     {"kind": "row", "unit": ..., "rtt_delta_ms": ..., ...}
     {"kind": "skip", "unit": ..., "reason": ...}
+    {"kind": "batch", "index": ..., "rows": ...}
+
+``batch`` records are written by the streaming engine
+(:class:`repro.stream.StreamStudy`) after each fully ingested
+measurement batch; on resume the engine replays journaled batches into
+its state layer (skipping their live refits) and validates the row
+counts, so a stream killed mid-batch re-ingests exactly the unjournaled
+suffix.
 
 A ``kill -9`` can land mid-append, leaving a truncated final line.
 :func:`read_jsonl_tolerant` therefore drops a partial **last** record
@@ -152,6 +160,7 @@ class StudyCheckpoint:
     ) -> None:
         self.path = Path(path)
         self.completed: dict[str, StudyRow | tuple[str, str]] = {}
+        self.completed_batches: dict[int, int] = {}  # batch index -> row count
         header = {
             "kind": "header",
             "ixp": ixp_name,
@@ -190,6 +199,14 @@ class StudyCheckpoint:
                         f"{header[field]!r}; pass a fresh checkpoint path"
                     )
         for record in records[1:]:
+            if record.get("kind") == "batch":
+                try:
+                    self.completed_batches[int(record["index"])] = int(record["rows"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CheckpointError(
+                        f"unusable batch record {record!r}"
+                    ) from exc
+                continue
             result = _record_to_result(record)
             unit = result.unit if isinstance(result, StudyRow) else result[0]
             self.completed[unit] = result
@@ -205,6 +222,16 @@ class StudyCheckpoint:
         else:
             unit, reason = result
             self._append({"kind": "skip", "unit": unit, "reason": reason})
+
+    def append_batch(self, index: int, rows: int) -> None:
+        """Journal one fully ingested stream batch (flushed immediately).
+
+        A batch record only lands *after* the state layer has absorbed
+        the whole batch, so a kill mid-ingest leaves the batch
+        unjournaled and the resuming stream re-ingests it.
+        """
+        self._append({"kind": "batch", "index": int(index), "rows": int(rows)})
+        self.completed_batches[int(index)] = int(rows)
 
     def close(self) -> None:
         """Flush, fsync, and close the journal file (idempotent).

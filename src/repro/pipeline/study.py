@@ -19,8 +19,12 @@ import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.pipeline.checkpoint import StudyCheckpoint
 
 from repro.chaos.runtime import fault_point
 from repro.errors import DonorPoolError, EstimationError, PipelineError
@@ -299,6 +303,130 @@ def _analyse_unit(task: _UnitTask) -> StudyRow | tuple[str, str]:
         )
 
 
+def prepare_unit_plan(
+    panel: Panel,
+    assignment: TreatmentAssignment,
+    *,
+    min_pre_periods: int = 7,
+    min_post_periods: int = 3,
+    max_donor_missing: float = 0.5,
+    method: str = "robust",
+    max_placebos: int | None = None,
+    fit_kwargs: tuple[tuple[str, object], ...] = (),
+    task_panel: Panel | SharedPanelRef | None = None,
+) -> list[tuple[str, str] | _UnitTask]:
+    """Screen treated units into an ordered plan of fits and skips.
+
+    The cheap shape screens (label parse, pre/post-period counts) run
+    inline here; every surviving unit becomes a picklable
+    :class:`_UnitTask` carrying *task_panel* — the in-process panel by
+    default, a :class:`SharedPanelRef` when the fits will fan out.
+    Both the batch study and the streaming engine's finalize build
+    their plans here, which is what keeps their rows bit-identical:
+    given equal panels and assignments, the plans (and therefore every
+    downstream fit) are equal.
+    """
+    if task_panel is None:
+        task_panel = panel
+    treated = assignment.treated_units
+    plan: list[tuple[str, str] | _UnitTask] = []
+    for unit in treated:
+        parse_unit_label(unit)  # fail loudly on malformed labels
+        first_hour = assignment.first_crossing_hour[unit]
+        first_day = int(first_hour // 24)
+        try:
+            pre_periods = _pre_period_count(panel, first_day)
+        except EstimationError as exc:
+            plan.append((unit, str(exc)))
+            continue
+        post_periods = panel.n_times - pre_periods
+        if pre_periods < min_pre_periods:
+            plan.append((unit, f"only {pre_periods} pre-treatment days"))
+            continue
+        if post_periods < min_post_periods:
+            plan.append((unit, f"only {post_periods} post-treatment days"))
+            continue
+        plan.append(
+            _UnitTask(
+                unit=unit,
+                pre_periods=pre_periods,
+                post_periods=post_periods,
+                panel=task_panel,
+                excluded=tuple(treated),
+                max_donor_missing=max_donor_missing,
+                method=method,
+                max_placebos=max_placebos,
+                fit_kwargs=fit_kwargs,
+            )
+        )
+    n_planned_skips = sum(1 for step in plan if not isinstance(step, _UnitTask))
+    if n_planned_skips:
+        get_metrics().counter(
+            "units_skipped_total", "treated units the study could not fit"
+        ).inc(n_planned_skips)
+    return plan
+
+
+def execute_unit_plan(
+    plan: list[tuple[str, str] | _UnitTask],
+    *,
+    n_jobs: int | None = 1,
+    retry: RetryPolicy | None = None,
+    owner: SharedPanelOwner | None = None,
+    checkpoint: "StudyCheckpoint | None" = None,
+) -> tuple[list[StudyRow], list[tuple[str, str]]]:
+    """Run a unit plan's fits and merge outcomes back into plan order.
+
+    *checkpoint*, when given, is an **open**
+    :class:`~repro.pipeline.checkpoint.StudyCheckpoint` (the caller
+    owns its lifecycle): units already journaled are served from
+    ``checkpoint.completed`` and each fresh outcome is appended the
+    moment it lands.  Fan-out follows the batch study's contract —
+    order-stable results, shared-memory attach via *owner* — so serial
+    and pooled runs return identical rows.
+    """
+    fit_units = [step for step in plan if isinstance(step, _UnitTask)]
+    completed: dict[str, StudyRow | tuple[str, str]] = (
+        checkpoint.completed if checkpoint is not None else {}
+    )
+    tasks = [t for t in fit_units if t.unit not in completed]
+
+    def _journal(index: int, result: StudyRow | tuple[str, str]) -> None:
+        if checkpoint is not None:
+            checkpoint.append_result(result)
+
+    rows: list[StudyRow] = []
+    skipped: list[tuple[str, str]] = []
+    with span(
+        "fits",
+        n_tasks=len(tasks),
+        n_jobs=n_jobs,
+        n_resumed=len(fit_units) - len(tasks),
+    ):
+        # Workers map the shared block at spawn (initializer),
+        # including the respawned workers of a pool rebuilt
+        # after BrokenProcessPool — the block outlives any pool.
+        with get_executor(
+            n_jobs,
+            retry=retry,
+            initializer=attach_shared_panel if owner is not None else None,
+            initargs=(owner.ref,) if owner is not None else (),
+        ) as executor:
+            outcomes = iter(executor.map(_analyse_unit, tasks, on_result=_journal))
+        for step in plan:
+            if isinstance(step, _UnitTask):
+                result = completed.get(step.unit)
+                if result is None:
+                    result = next(outcomes)
+            else:
+                result = step
+            if isinstance(result, StudyRow):
+                rows.append(result)
+            else:
+                skipped.append(result)
+    return rows, skipped
+
+
 def run_ixp_study(
     measurements: Frame,
     ixp_name: str,
@@ -397,58 +525,27 @@ def run_ixp_study(
                 owner = SharedPanelOwner.from_panel(panel)
                 panel = owner.panel
             t2 = time.perf_counter()
-            treated = assignment.treated_units
 
             fit_kwargs: dict[str, object] = {}
             if method == "robust":
                 fit_kwargs = {"energy": energy, "ridge": ridge}
-            frozen_kwargs = tuple(sorted(fit_kwargs.items()))
-            task_panel: Panel | SharedPanelRef = (
-                owner.ref if owner is not None else panel
-            )
 
             # Cheap shape screens run inline; only real fit work is fanned out.
-            plan: list[tuple[str, str] | _UnitTask] = []
-            for unit in treated:
-                parse_unit_label(unit)  # fail loudly on malformed labels
-                first_hour = assignment.first_crossing_hour[unit]
-                first_day = int(first_hour // 24)
-                try:
-                    pre_periods = _pre_period_count(panel, first_day)
-                except EstimationError as exc:
-                    plan.append((unit, str(exc)))
-                    continue
-                post_periods = panel.n_times - pre_periods
-                if pre_periods < min_pre_periods:
-                    plan.append((unit, f"only {pre_periods} pre-treatment days"))
-                    continue
-                if post_periods < min_post_periods:
-                    plan.append((unit, f"only {post_periods} post-treatment days"))
-                    continue
-                plan.append(
-                    _UnitTask(
-                        unit=unit,
-                        pre_periods=pre_periods,
-                        post_periods=post_periods,
-                        panel=task_panel,
-                        excluded=tuple(treated),
-                        max_donor_missing=max_donor_missing,
-                        method=method,
-                        max_placebos=max_placebos,
-                        fit_kwargs=frozen_kwargs,
-                    )
-                )
-
-            fit_units = [step for step in plan if isinstance(step, _UnitTask)]
-            if len(plan) > len(fit_units):
-                get_metrics().counter(
-                    "units_skipped_total", "treated units the study could not fit"
-                ).inc(len(plan) - len(fit_units))
+            plan = prepare_unit_plan(
+                panel,
+                assignment,
+                min_pre_periods=min_pre_periods,
+                min_post_periods=min_post_periods,
+                max_donor_missing=max_donor_missing,
+                method=method,
+                max_placebos=max_placebos,
+                fit_kwargs=tuple(sorted(fit_kwargs.items())),
+                task_panel=owner.ref if owner is not None else panel,
+            )
 
             # Units already journaled in a resumed checkpoint are served from
             # the file; only the remainder is fitted.  The final row order is
             # the plan's either way, so a resumed table is byte-identical.
-            completed: dict[str, StudyRow | tuple[str, str]] = {}
             if checkpoint is not None:
                 from repro.pipeline.checkpoint import StudyCheckpoint
 
@@ -459,42 +556,9 @@ def run_ixp_study(
                     outcome=outcome,
                     resume=resume,
                 )
-                completed = ckpt.completed
-            tasks = [t for t in fit_units if t.unit not in completed]
-
-            def _journal(index: int, result: StudyRow | tuple[str, str]) -> None:
-                if ckpt is not None:
-                    ckpt.append_result(result)
-
-            with span(
-                "fits",
-                n_tasks=len(tasks),
-                n_jobs=n_jobs,
-                n_resumed=len(fit_units) - len(tasks),
-            ):
-                # Workers map the shared block at spawn (initializer),
-                # including the respawned workers of a pool rebuilt
-                # after BrokenProcessPool — the block outlives any pool.
-                with get_executor(
-                    n_jobs,
-                    retry=retry,
-                    initializer=attach_shared_panel if owner is not None else None,
-                    initargs=(owner.ref,) if owner is not None else (),
-                ) as executor:
-                    outcomes = iter(
-                        executor.map(_analyse_unit, tasks, on_result=_journal)
-                    )
-                for step in plan:
-                    if isinstance(step, _UnitTask):
-                        result = completed.get(step.unit)
-                        if result is None:
-                            result = next(outcomes)
-                    else:
-                        result = step
-                    if isinstance(result, StudyRow):
-                        rows.append(result)
-                    else:
-                        skipped.append(result)
+            rows, skipped = execute_unit_plan(
+                plan, n_jobs=n_jobs, retry=retry, owner=owner, checkpoint=ckpt
+            )
         finally:
             if ckpt is not None:
                 ckpt.close()

@@ -12,7 +12,8 @@
 
 from repro.synthcontrol.classic import classic_synthetic_control, fit_simplex_weights
 from repro.synthcontrol.diagnostics import FitDiagnostics, check_assumptions, diagnose
-from repro.synthcontrol.donor import Panel, build_panel, select_donors
+from repro.synthcontrol.donor import Panel, PanelUpdate, build_panel, select_donors
+from repro.synthcontrol.incremental import extend_factorization, live_placebo_ratios
 from repro.synthcontrol.placebo import (
     PlaceboRatios,
     placebo_rmse_ratios,
@@ -42,6 +43,7 @@ __all__ = [
     "DonorFactorization",
     "FitDiagnostics",
     "Panel",
+    "PanelUpdate",
     "PlaceboRatios",
     "PlaceboSummary",
     "RobustnessSummary",
@@ -52,11 +54,13 @@ __all__ = [
     "denoise_from_factorization",
     "denoise_without_column",
     "diagnose",
+    "extend_factorization",
     "factor_donor_matrix",
     "fit_from_denoised",
     "fit_simplex_weights",
     "in_time_placebo",
     "leave_one_donor_out",
+    "live_placebo_ratios",
     "placebo_rmse_ratios",
     "placebo_test",
     "ridge_weights",

@@ -87,6 +87,74 @@ class Panel:
         """Number of units."""
         return len(self.units)
 
+    def apply_batch(self, update: "PanelUpdate") -> "Panel":
+        """Extended panel with *update*'s cells scattered in — no rebuild.
+
+        The old matrix block-copies into its (possibly shifted) row
+        positions on the new axes, then the dirty cells land with one
+        flat-index scatter — the same idiom :func:`pivot_grid` uses, on
+        a batch-sized cell list instead of the whole history.  Existing
+        units must keep their column positions (new units append on the
+        right) and every existing time must survive into the new axis;
+        cells not named by the update keep their old value, new cells
+        default to NaN.
+        """
+        if tuple(update.units[: self.n_units]) != self.units:
+            raise DonorPoolError(
+                "apply_batch: existing units must keep their column positions"
+            )
+        n_times, n_units = len(update.times), len(update.units)
+        matrix = np.full((n_times, n_units), np.nan)
+        if self.n_times:
+            position = {t: i for i, t in enumerate(update.times)}
+            try:
+                old_rows = np.array([position[t] for t in self.times], dtype=np.int64)
+            except KeyError as exc:
+                raise DonorPoolError(
+                    f"apply_batch: time {exc.args[0]!r} missing from the new axis"
+                ) from None
+            matrix[old_rows[:, None], np.arange(self.n_units)] = self.matrix
+        if len(update.row_index):
+            flat = (
+                np.asarray(update.row_index, dtype=np.int64) * n_units
+                + np.asarray(update.col_index, dtype=np.int64)
+            )
+            matrix.flat[flat] = update.cells
+        return Panel(times=tuple(update.times), units=tuple(update.units), matrix=matrix)
+
+
+@dataclass(frozen=True)
+class PanelUpdate:
+    """One ingestion batch's worth of panel changes.
+
+    Produced by the streaming state layer
+    (:class:`repro.stream.PanelAccumulator`) and consumed by
+    :meth:`Panel.apply_batch`: the full new axes plus the dirty
+    ⟨time, unit⟩ cells with their recomputed aggregates.
+
+    Attributes
+    ----------
+    times:
+        The complete new time axis, sorted.
+    units:
+        The complete new unit axis; a superset of the old one with the
+        old prefix unchanged.
+    row_index, col_index, cells:
+        Parallel arrays naming each dirty cell's position on the new
+        axes and its new value.
+    """
+
+    times: tuple[Any, ...]
+    units: tuple[str, ...]
+    row_index: np.ndarray = field(repr=False)
+    col_index: np.ndarray = field(repr=False)
+    cells: np.ndarray = field(repr=False)
+
+    @property
+    def n_dirty(self) -> int:
+        """Number of cells this update rewrites."""
+        return len(self.cells)
+
 
 def build_panel(
     data: Frame,

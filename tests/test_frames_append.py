@@ -1,0 +1,97 @@
+"""Unit tests for Column.append / Frame.append_frame and memo safety."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnMismatchError
+from repro.frames import Column, Frame, group_by
+
+
+def _col(name, values):
+    return Column(name, values)
+
+
+class TestColumnAppend:
+    def test_append_extends_factorize_memo(self):
+        a = _col("u", ["x", "y", "x"])
+        a.factorize()  # prime the memo
+        merged = a.append(_col("u", ["y", "z"]))
+        codes, uniques = merged.factorize()
+        fresh_codes, fresh_uniques = _col("u", ["x", "y", "x", "y", "z"]).factorize()
+        np.testing.assert_array_equal(codes, fresh_codes)
+        assert uniques == fresh_uniques
+
+    def test_append_without_memo_is_plain_concat(self):
+        a = _col("u", [1, 2])
+        merged = a.append(_col("u", [3]))
+        np.testing.assert_array_equal(merged.values, [1, 2, 3])
+        codes, uniques = merged.factorize()
+        np.testing.assert_array_equal(codes, [0, 1, 2])
+
+    def test_append_empty_other_keeps_memo(self):
+        a = _col("u", ["x", "y"])
+        codes0, uniques0 = a.factorize()
+        merged = a.append(_col("u", []))
+        codes, uniques = merged.factorize()
+        np.testing.assert_array_equal(codes, codes0)
+        assert uniques == uniques0
+
+    def test_append_kind_change_drops_memo(self):
+        a = _col("u", [1, 2])
+        a.factorize()
+        merged = a.append(_col("u", [2.5]))  # int + float widens
+        codes, uniques = merged.factorize()
+        fresh_codes, fresh_uniques = _col("u", [1.0, 2.0, 2.5]).factorize()
+        np.testing.assert_array_equal(codes, fresh_codes)
+        assert uniques == fresh_uniques
+
+    def test_append_shares_nan_code(self):
+        a = _col("u", [1.0, np.nan])
+        a.factorize()
+        merged = a.append(_col("u", [np.nan, 2.0]))
+        codes, uniques = merged.factorize()
+        fresh_codes, _ = _col("u", [1.0, np.nan, np.nan, 2.0]).factorize()
+        np.testing.assert_array_equal(codes, fresh_codes)
+        # both NaN rows map to one code
+        assert codes[1] == codes[2]
+
+    def test_mutation_after_factorize_raises(self):
+        # The memo freezes the storage: silent staleness becomes a loud
+        # ValueError at the mutation site instead of wrong groups later.
+        a = _col("u", np.array([1.0, 2.0]))
+        a.factorize()
+        with pytest.raises(ValueError):
+            a.values[0] = 9.0
+
+
+class TestFrameAppend:
+    def test_append_frame_preserves_group_by_after_factorize(self):
+        # The satellite regression: factorize -> append -> group_by must
+        # see the appended rows, not stale cached codes.
+        f1 = Frame.from_dict({"u": ["a", "b"], "x": [1.0, 2.0]})
+        f1.column("u").factorize()
+        merged = f1.append_frame(Frame.from_dict({"u": ["b", "c"], "x": [3.0, 4.0]}))
+        out = group_by(merged, "u").aggregate(x_sum=("x", "sum"))
+        by_unit = dict(zip(out["u"], out["x_sum"]))
+        assert by_unit == {"a": 1.0, "b": 5.0, "c": 4.0}
+
+    def test_append_frame_column_mismatch(self):
+        f1 = Frame.from_dict({"u": ["a"], "x": [1.0]})
+        with pytest.raises(ColumnMismatchError, match="append"):
+            f1.append_frame(Frame.from_dict({"u": ["b"]}))
+
+    def test_append_to_empty_frame(self):
+        other = Frame.from_dict({"u": ["a"], "x": [1.0]})
+        merged = Frame().append_frame(other)
+        assert merged.num_rows == 1
+        assert merged.column_names == ["u", "x"]
+
+    def test_encode_keys_after_append(self):
+        f1 = Frame.from_dict({"u": ["a", "b"], "d": [0, 0]})
+        f1.encode_keys(["u", "d"])  # prime both memos
+        merged = f1.append_frame(Frame.from_dict({"u": ["a"], "d": [1]}))
+        codes, keys = merged.encode_keys(["u", "d"])
+        fresh = Frame.from_dict({"u": ["a", "b", "a"], "d": [0, 0, 1]})
+        fresh_codes, fresh_keys = fresh.encode_keys(["u", "d"])
+        np.testing.assert_array_equal(codes, fresh_codes)
+        assert keys == fresh_keys

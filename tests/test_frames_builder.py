@@ -130,6 +130,28 @@ class TestFrameBuilder:
         frame = b.build()
         assert frame.column("x").kind == KIND_FLOAT
 
+    def test_failed_chunk_leaves_builder_unchanged(self):
+        # A chunk that fails validation must not partially land: a later
+        # valid chunk builds an aligned frame, not one with orphaned
+        # values in some columns.
+        b = FrameBuilder(["a", "b"], kinds={"a": KIND_FLOAT, "b": KIND_FLOAT})
+        b.append_chunk({"a": [1.0], "b": [2.0]})
+        with pytest.raises(FrameError):
+            b.append_chunk({"a": [3.0], "b": ["not a float"]})
+        assert b.num_rows == 1
+        b.append_chunk({"a": [4.0], "b": [5.0]})
+        frame = b.build()
+        assert frame.num_rows == 2
+        np.testing.assert_array_equal(frame["a"], [1.0, 4.0])
+        np.testing.assert_array_equal(frame["b"], [2.0, 5.0])
+
+    def test_error_names_missing_and_extra_columns(self):
+        b = FrameBuilder(["x", "y"])
+        with pytest.raises(FrameError, match="missing.*'y'"):
+            b.append_chunk({"x": [1], "z": [2]})
+        with pytest.raises(FrameError, match="unexpected.*'z'"):
+            b.append_chunk({"x": [1], "y": [2], "z": [3]})
+
 
 class TestSealIntoBuffer:
     def test_column_seals_into_caller_buffer_zero_copy(self):

@@ -1,0 +1,108 @@
+"""Unit tests for repro.stream.batches (the ingestion layer)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frames import Frame
+from repro.stream import MeasurementBatch, random_batches, replay_scenario, slice_frame
+
+
+def _frame(hours, extra=None):
+    data = {"time_hour": np.asarray(hours, dtype=float)}
+    data["unit"] = extra if extra is not None else [f"u{i}" for i in range(len(hours))]
+    return Frame.from_dict(data)
+
+
+class TestSliceFrame:
+    def test_union_of_slices_is_the_frame(self, small_frame):
+        batches = slice_frame(small_frame, n_batches=7)
+        assert sum(b.n_rows for b in batches) == small_frame.num_rows
+        streamed = np.sort(
+            np.concatenate([b.frame.numeric("time_hour") for b in batches])
+        )
+        np.testing.assert_array_equal(
+            streamed, np.sort(small_frame.numeric("time_hour"))
+        )
+
+    def test_batches_are_time_ordered_and_disjoint(self, small_frame):
+        batches = slice_frame(small_frame, n_batches=5)
+        for earlier, later in zip(batches, batches[1:]):
+            assert earlier.end_hour < later.start_hour or np.isclose(
+                earlier.end_hour, later.start_hour
+            )
+            assert earlier.index + 1 == later.index
+
+    def test_single_batch_is_whole_frame(self, small_frame):
+        (batch,) = slice_frame(small_frame, n_batches=1)
+        assert batch.n_rows == small_frame.num_rows
+        assert batch.index == 0
+
+    def test_rows_keep_original_relative_order(self):
+        frame = _frame([5.0, 1.0, 5.5, 1.5], ["a", "b", "c", "d"])
+        batches = slice_frame(frame, n_batches=2)
+        assert list(batches[0].frame["unit"]) == ["b", "d"]
+        assert list(batches[1].frame["unit"]) == ["a", "c"]
+
+    def test_batch_hours_width(self):
+        frame = _frame(np.arange(0.0, 100.0))
+        batches = slice_frame(frame, batch_hours=24.0)
+        assert len(batches) == 5  # 99-hour span, ceil(99/24) slices
+        assert batches[0].n_rows == 24  # hour 24 sits on the cut and goes right
+        for b in batches:
+            assert b.end_hour - b.start_hour <= 24.0
+
+    def test_empty_slices_renumber_contiguously(self):
+        # A gap in the middle of the hour range leaves interior slices
+        # empty; indices must stay dense for checkpoint bookkeeping.
+        frame = _frame([0.0, 1.0, 99.0, 100.0])
+        batches = slice_frame(frame, n_batches=10)
+        assert [b.index for b in batches] == list(range(len(batches)))
+        assert sum(b.n_rows for b in batches) == 4
+
+    def test_argument_validation(self, small_frame):
+        with pytest.raises(FrameError, match="exactly one"):
+            slice_frame(small_frame, n_batches=2, batch_hours=3.0)
+        with pytest.raises(FrameError, match="exactly one"):
+            slice_frame(small_frame)
+        with pytest.raises(FrameError, match="positive"):
+            slice_frame(small_frame, batch_hours=0)
+        with pytest.raises(FrameError, match=">= 1"):
+            slice_frame(small_frame, n_batches=0)
+        with pytest.raises(FrameError, match="empty"):
+            slice_frame(
+                Frame.from_dict({"time_hour": np.empty(0, dtype=float)}),
+                n_batches=2,
+            )
+
+
+class TestRandomBatches:
+    def test_deterministic_under_seed(self, small_frame):
+        a = random_batches(small_frame, n_batches=6, seed=42)
+        b = random_batches(small_frame, n_batches=6, seed=42)
+        assert [x.n_rows for x in a] == [x.n_rows for x in b]
+        assert [x.start_hour for x in a] == [x.start_hour for x in b]
+
+    def test_different_seeds_differ(self, small_frame):
+        a = random_batches(small_frame, n_batches=6, seed=1)
+        b = random_batches(small_frame, n_batches=6, seed=2)
+        assert [x.n_rows for x in a] != [x.n_rows for x in b]
+
+    def test_union_preserved(self, small_frame):
+        batches = random_batches(small_frame, n_batches=9, seed=5)
+        assert sum(b.n_rows for b in batches) == small_frame.num_rows
+
+
+class TestReplayScenario:
+    def test_replay_matches_measurements_frame(self, small_scenario, small_frame):
+        frame, batches = replay_scenario(small_scenario, rng=3, n_batches=4)
+        assert frame.num_rows == small_frame.num_rows
+        assert sum(b.n_rows for b in batches) == small_frame.num_rows
+        np.testing.assert_array_equal(
+            frame.numeric("rtt_ms"), small_frame.numeric("rtt_ms")
+        )
+
+    def test_batch_repr_hides_frame(self, small_frame):
+        (batch,) = slice_frame(small_frame, n_batches=1)
+        assert isinstance(batch, MeasurementBatch)
+        assert "frame=" not in repr(batch)

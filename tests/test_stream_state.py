@@ -1,0 +1,123 @@
+"""Parity tests for the incremental state layer against the batch stages.
+
+Every prefix of the stream must reproduce the batch pipeline's output
+on the same rows: the accumulated panel equals ``rtt_panel`` and the
+accumulated assignment equals ``assign_treatment``, computed from
+scratch over the union of the batches ingested so far.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frames import Frame
+from repro.pipeline.aggregate import rtt_panel
+from repro.pipeline.crossing import assign_treatment
+from repro.stream import (
+    AssignmentAccumulator,
+    PanelAccumulator,
+    random_batches,
+    slice_frame,
+)
+
+
+def _prefix_frame(batches, n):
+    merged = batches[0].frame
+    for b in batches[1:n]:
+        merged = merged.concat(b.frame)
+    return merged
+
+
+def _assert_panels_equal(got, want):
+    assert tuple(got.times) == tuple(want.times)
+    assert sorted(got.units) == sorted(want.units)
+    for unit in want.units:
+        np.testing.assert_array_equal(
+            got.series(unit), want.series(unit), err_msg=unit
+        )
+
+
+class TestPanelAccumulator:
+    @pytest.mark.parametrize("n_batches", [1, 4, 9])
+    def test_every_prefix_matches_rtt_panel(self, small_frame, n_batches):
+        batches = slice_frame(small_frame, n_batches=n_batches)
+        acc = PanelAccumulator()
+        for i, batch in enumerate(batches, start=1):
+            delta = acc.apply(batch.frame)
+            assert delta.n_dirty_cells >= len(delta.dirty_units)
+            _assert_panels_equal(acc.panel, rtt_panel(_prefix_frame(batches, i)))
+
+    def test_random_split_matches(self, small_frame):
+        batches = random_batches(small_frame, n_batches=6, seed=11)
+        acc = PanelAccumulator()
+        for batch in batches:
+            acc.apply(batch.frame)
+        _assert_panels_equal(acc.panel, rtt_panel(small_frame))
+
+    def test_mid_day_batch_boundary_marks_old_times_edited(self, small_frame):
+        # Hour-width slices revisit the same day across batches, so the
+        # second slice of a day must report edited_old_times (the warm
+        # SVD path keys off this).
+        batches = slice_frame(small_frame, batch_hours=6.0)
+        acc = PanelAccumulator()
+        acc.apply(batches[0].frame)
+        delta = acc.apply(batches[1].frame)
+        assert delta.edited_old_times
+        assert delta.n_new_times == 0
+
+    def test_fresh_day_batch_is_append_only(self, small_frame):
+        batches = slice_frame(small_frame, batch_hours=24.0)
+        acc = PanelAccumulator()
+        acc.apply(batches[0].frame)
+        # find a batch entirely inside a later day
+        for batch in batches[1:]:
+            if int(batch.start_hour // 24) > int(batches[0].end_hour // 24):
+                delta = acc.apply(batch.frame)
+                assert delta.n_new_times >= 1
+                break
+
+    def test_empty_frame_is_noop(self, small_frame):
+        acc = PanelAccumulator()
+        acc.apply(small_frame)
+        before = acc.panel
+        delta = acc.apply(Frame())
+        assert delta.dirty_units == ()
+        assert acc.panel is before
+
+    def test_row_count_tracks_ingested(self, small_frame):
+        batches = slice_frame(small_frame, n_batches=3)
+        acc = PanelAccumulator()
+        for batch in batches:
+            acc.apply(batch.frame)
+        assert acc.n_rows == small_frame.num_rows
+
+
+class TestAssignmentAccumulator:
+    @pytest.mark.parametrize("n_batches", [1, 4, 9])
+    def test_every_prefix_matches_assign_treatment(
+        self, small_scenario, small_frame, n_batches
+    ):
+        ixp = small_scenario.ixp_name
+        batches = slice_frame(small_frame, n_batches=n_batches)
+        acc = AssignmentAccumulator(ixp)
+        for i, batch in enumerate(batches, start=1):
+            acc.apply(batch.frame)
+            want = assign_treatment(_prefix_frame(batches, i), ixp)
+            got = acc.assignment()
+            assert got.first_crossing_hour == want.first_crossing_hour
+            assert got.never_crossed == want.never_crossed
+            assert got.treated_units == want.treated_units
+
+    def test_random_split_matches(self, small_scenario, small_frame):
+        ixp = small_scenario.ixp_name
+        acc = AssignmentAccumulator(ixp)
+        for batch in random_batches(small_frame, n_batches=7, seed=23):
+            acc.apply(batch.frame)
+        want = assign_treatment(small_frame, ixp)
+        got = acc.assignment()
+        assert got == want
+
+    def test_dirty_units_cover_batch_units(self, small_scenario, small_frame):
+        (batch,) = slice_frame(small_frame, n_batches=1)
+        acc = AssignmentAccumulator(small_scenario.ixp_name)
+        touched = acc.apply(batch.frame)
+        assert set(touched) == set(str(u) for u in set(small_frame["unit"]))

@@ -1,0 +1,213 @@
+"""Streaming-equivalence tests: the engine's bit-parity contract.
+
+Whatever the batch split — one batch, per-hour slices, random seeded
+widths — and whether finalize runs serial or over a process pool, the
+streamed study's final ``to_frame()`` CSV must be byte-identical to the
+batch ``run_ixp_study``'s on the same measurements.  The same holds for
+a stream killed mid-feed and resumed from its checkpoint, including a
+journal truncated mid-record by the kill.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec, active_plan
+from repro.errors import CheckpointError, InjectedFault, PipelineError
+from repro.frames.io import to_csv_text
+from repro.pipeline import run_ixp_study
+from repro.stream import StreamStudy, random_batches, slice_frame
+
+
+@pytest.fixture(scope="module")
+def reference(small_frame, small_scenario):
+    """The batch study every streamed run must reproduce."""
+    return run_ixp_study(small_frame, small_scenario.ixp_name)
+
+
+@pytest.fixture(scope="module")
+def reference_csv(reference):
+    return to_csv_text(reference.to_frame())
+
+
+def _assert_parity(result, reference, reference_csv):
+    assert to_csv_text(result.to_frame()) == reference_csv
+    assert result.skipped == reference.skipped
+    assert result.assignment == reference.assignment
+
+
+class TestStreamingEquivalence:
+    def test_single_batch(self, small_frame, small_scenario, reference, reference_csv):
+        study = StreamStudy(small_scenario.ixp_name)
+        out = study.run(slice_frame(small_frame, n_batches=1))
+        _assert_parity(out.result, reference, reference_csv)
+
+    def test_equal_width_batches_with_live_refits(
+        self, small_frame, small_scenario, reference, reference_csv
+    ):
+        study = StreamStudy(small_scenario.ixp_name)
+        out = study.run(slice_frame(small_frame, n_batches=4))
+        _assert_parity(out.result, reference, reference_csv)
+        assert len(out.reports) == 4
+
+    def test_per_hour_batches(
+        self, small_frame, small_scenario, reference, reference_csv
+    ):
+        study = StreamStudy(small_scenario.ixp_name, live_refits=False)
+        batches = slice_frame(small_frame, batch_hours=1.0)
+        assert len(batches) > 100  # genuinely fine-grained
+        out = study.run(batches)
+        _assert_parity(out.result, reference, reference_csv)
+
+    @pytest.mark.parametrize("seed", [13, 47, 101])
+    def test_random_batch_sizes(
+        self, small_frame, small_scenario, reference, reference_csv, seed
+    ):
+        study = StreamStudy(small_scenario.ixp_name, live_refits=False)
+        out = study.run(random_batches(small_frame, n_batches=6, seed=seed))
+        _assert_parity(out.result, reference, reference_csv)
+
+    def test_parallel_finalize(
+        self, small_frame, small_scenario, reference, reference_csv
+    ):
+        study = StreamStudy(small_scenario.ixp_name, n_jobs=4, live_refits=False)
+        out = study.run(slice_frame(small_frame, n_batches=5))
+        _assert_parity(out.result, reference, reference_csv)
+
+    def test_finalize_without_batches_rejected(self, small_scenario):
+        with pytest.raises(PipelineError, match="no ingested batches"):
+            StreamStudy(small_scenario.ixp_name).finalize()
+
+
+class TestLiveResult:
+    def test_live_rows_converge_to_final_units(self, small_frame, small_scenario):
+        study = StreamStudy(small_scenario.ixp_name)
+        batches = slice_frame(small_frame, n_batches=4)
+        for batch in batches:
+            study.ingest(batch)
+        live = study.live_result()
+        final = study.finalize()
+        # After the last batch the live view covers the same treated
+        # units; its rows are advisory (warm-path numerics), so compare
+        # membership, not floats.
+        assert {r.unit for r in live.rows} | {u for u, _ in live.skipped} == {
+            r.unit for r in final.rows
+        } | {u for u, _ in final.skipped}
+
+    def test_reports_count_refits(self, small_frame, small_scenario):
+        study = StreamStudy(small_scenario.ixp_name)
+        out = study.run(slice_frame(small_frame, batch_hours=24.0))
+        total_warm = sum(r.warm_refits for r in out.reports)
+        total_cold = sum(r.cold_refits for r in out.reports)
+        assert total_warm > 0  # day-aligned growth exercises the warm path
+        assert total_cold > 0  # first fit of each unit is necessarily cold
+
+    def test_placebo_inference_is_amortized(self, small_frame, small_scenario):
+        study = StreamStudy(small_scenario.ixp_name)  # live_placebo_every=4
+        out = study.run(slice_frame(small_frame, batch_hours=24.0))
+        refits = sum(r.n_refits for r in out.reports)
+        refreshes = sum(r.placebo_refreshes for r in out.reports)
+        assert 0 < refreshes < refits  # ensembles rebuilt, but not per batch
+        # Between rebuilds the cached ensemble still yields a p-value.
+        live = study.live_result()
+        assert all(0.0 <= row.p_value <= 1.0 for row in live.rows)
+
+    def test_placebo_every_one_rebuilds_each_refit(
+        self, small_frame, small_scenario
+    ):
+        study = StreamStudy(small_scenario.ixp_name, live_placebo_every=1)
+        out = study.run(slice_frame(small_frame, batch_hours=24.0))
+        refits = sum(r.n_refits for r in out.reports)
+        refreshes = sum(r.placebo_refreshes for r in out.reports)
+        assert refits > 0
+        # Every refit that reached the factorization (warm or cold)
+        # rebuilds its ensemble when amortization is off.
+        assert refreshes == sum(r.warm_refits + r.cold_refits for r in out.reports)
+
+
+class TestResume:
+    def test_resume_after_partial_ingest(
+        self, tmp_path, small_frame, small_scenario, reference, reference_csv
+    ):
+        path = tmp_path / "stream.jsonl"
+        batches = slice_frame(small_frame, n_batches=5)
+        first = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, live_refits=False
+        )
+        for batch in batches[:3]:
+            first.ingest(batch)
+        first.close()  # simulates the process dying between batches
+
+        second = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, resume=True, live_refits=False
+        )
+        reports = [second.ingest(b) for b in batches]
+        assert [r.replayed for r in reports] == [True, True, True, False, False]
+        _assert_parity(second.finalize(), reference, reference_csv)
+
+    def test_resume_after_byte_truncation(
+        self, tmp_path, small_frame, small_scenario, reference, reference_csv
+    ):
+        # kill -9 mid-append: chop the journal mid-record and resume.
+        path = tmp_path / "stream.jsonl"
+        batches = slice_frame(small_frame, n_batches=5)
+        first = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, live_refits=False
+        )
+        for batch in batches:
+            first.ingest(batch)
+        first.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size // 2)
+
+        second = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, resume=True, live_refits=False
+        )
+        for batch in batches:
+            second.ingest(batch)
+        _assert_parity(second.finalize(), reference, reference_csv)
+
+    def test_mismatched_feed_detected(self, tmp_path, small_frame, small_scenario):
+        path = tmp_path / "stream.jsonl"
+        batches = slice_frame(small_frame, n_batches=5)
+        first = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, live_refits=False
+        )
+        for batch in batches:
+            first.ingest(batch)
+        first.close()
+        second = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, resume=True, live_refits=False
+        )
+        with pytest.raises(CheckpointError, match="does not match"):
+            for batch in slice_frame(small_frame, n_batches=7):
+                second.ingest(batch)
+
+    def test_chaos_kill_mid_stream_then_resume(
+        self, tmp_path, small_frame, small_scenario, reference, reference_csv
+    ):
+        # An injected fault kills ingestion at batch 2; the journal holds
+        # batches 0-1 only.  Resuming replays them and ingests the rest,
+        # and the finalized rows are byte-identical to the batch study's.
+        path = tmp_path / "stream.jsonl"
+        batches = slice_frame(small_frame, n_batches=5)
+        plan = FaultPlan(
+            7, (FaultSpec(site="stream.batch", kind="error", match="2"),)
+        )
+        first = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, live_refits=False
+        )
+        with active_plan(plan):
+            with pytest.raises(InjectedFault):
+                for batch in batches:
+                    first.ingest(batch)
+        first.close()
+        assert [r.index for r in first.reports] == [0, 1]
+
+        second = StreamStudy(
+            small_scenario.ixp_name, checkpoint=path, resume=True, live_refits=False
+        )
+        reports = [second.ingest(b) for b in batches]
+        assert [r.replayed for r in reports] == [True, True, False, False, False]
+        _assert_parity(second.finalize(), reference, reference_csv)
