@@ -9,6 +9,13 @@ Performance benchmarks additionally pass ``data`` — machine-readable
 numbers written alongside the table as ``results/<name>.json`` with the
 keys ``{name, wall_seconds, speedup, rows, timestamp}`` — so CI history
 and tooling can track regressions without parsing the text tables.
+
+Run as a script, ``python benchmarks/_report.py collate`` merges every
+``results/*.json`` into one speedup-trajectory table — printed, and
+written to ``results/trajectory.json`` so CI can upload a single
+artifact.  Entries produced on a single-core runner are flagged: their
+wall-clock floor assertions were disarmed, so their speedups are
+recorded-but-unasserted numbers, not guarantees.
 """
 
 from __future__ import annotations
@@ -74,3 +81,77 @@ def write_report(
     print()
     print(text)
     return path
+
+
+def collate(results_dir: Path = RESULTS_DIR) -> dict[str, Any]:
+    """Merge every ``results/*.json`` into one speedup-trajectory record.
+
+    Returns (and writes to ``results/trajectory.json``) ``{"entries":
+    [...]}`` where each entry carries ``name``, ``speedup``, ``rows``,
+    ``n_cores``, ``timestamp``, and ``floor_disarmed`` — true when the
+    record came off a single-core runner (or predates core reporting),
+    where the wall-clock floor assertions could not arm and the speedup
+    is a recorded number, not an enforced one.
+    """
+    entries: list[dict[str, Any]] = []
+    for path in sorted(results_dir.glob("*.json")):
+        if path.name == "trajectory.json":
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path.name}: {exc}")
+            continue
+        n_cores = record.get("n_cores")
+        entries.append(
+            {
+                "name": record.get("name", path.stem),
+                "speedup": record.get("speedup"),
+                "rows": record.get("rows"),
+                "n_cores": n_cores,
+                "timestamp": record.get("timestamp"),
+                "floor_disarmed": n_cores is None or int(n_cores) < 2,
+            }
+        )
+    trajectory = {"entries": entries}
+    out = results_dir / "trajectory.json"
+    out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return trajectory
+
+
+def _format_trajectory(trajectory: dict[str, Any]) -> str:
+    header = f"{'name':<28} {'speedup':>8} {'rows':>12} {'cores':>6}  flags"
+    lines = [header, "-" * len(header)]
+    for e in trajectory["entries"]:
+        speedup = "-" if e["speedup"] is None else f"{e['speedup']:.1f}x"
+        rows = "-" if e["rows"] is None else f"{e['rows']:,}"
+        cores = "-" if e["n_cores"] is None else str(e["n_cores"])
+        flags = "floor disarmed" if e["floor_disarmed"] else ""
+        lines.append(f"{e['name']:<28} {speedup:>8} {rows:>12} {cores:>6}  {flags}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_collate = sub.add_parser(
+        "collate", help="merge results/*.json into results/trajectory.json"
+    )
+    p_collate.add_argument(
+        "--results-dir",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory holding the per-benchmark JSON records",
+    )
+    args = parser.parse_args(argv)
+    trajectory = collate(args.results_dir)
+    print(_format_trajectory(trajectory))
+    print(f"\n{len(trajectory['entries'])} records -> "
+          f"{args.results_dir / 'trajectory.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Experiment P8 — the cross-unit batched fit engine, end to end.
+
+Times the **whole** Table-1 reproduction at 10x-paper scale (30 donor
+ASes, 60 days, user populations scaled 10x, >1M speed tests): generate
+the measurement stream into a shared-memory Frame arena, assign
+treatment, build the panel, and fit every treated unit through the
+cross-unit batched SVD engine.  The baseline is the seed's end-to-end
+path, staged the way the repo originally ran it — scalar per-object
+generation, row-wise assignment and panel pivot, and one full
+de-noising SVD per donor per unit with no reuse — and the fast path
+must beat it by at least 10x wall-clock.
+
+The timing claim rests on a parity claim, asserted first: the batched
+engine's table is row-for-row identical to the unbatched fits, serial
+and ``n_jobs=4``, on the identical frame.  (Scalar and columnar
+*generation* consume noise streams in different orders, so the
+generation halves are compared by wall-clock only — their fit-layer
+parity is covered where the inputs are bit-identical.)
+
+Smoke mode (``ANALYSIS_BENCH_SMOKE=1``, used by CI's scaling job) runs
+a reduced scenario and checks the parity assertions and the arena
+drain, not the wall-clock ratio.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _report import write_report
+
+from repro.mplatform import SpeedTestGenerator, measurements_frame
+from repro.netsim import build_table1_scenario
+from repro.pipeline import rowwise, run_ixp_study
+from repro.pipeline.aggregate import rtt_panel
+from repro.pipeline.crossing import assign_treatment
+from repro.pipeline.shm import SharedFrameArena, live_arena_blocks
+from repro.synthcontrol import robust_synthetic_control, select_donors
+
+MIN_SPEEDUP = 10.0
+SMOKE = os.environ.get("ANALYSIS_BENCH_SMOKE") == "1"
+N_JOBS = 4
+
+
+def _scenario():
+    if SMOKE:
+        return build_table1_scenario(
+            n_donor_ases=10, duration_days=14, join_day=7, seed=2
+        )
+    return build_table1_scenario(
+        n_donor_ases=30, duration_days=60, join_day=30, seed=2, user_scale=10.0
+    )
+
+
+def _seed_style_fits(panel, result):
+    """The seed's fit loop: per unit, one full de-noising SVD per donor."""
+    excluded = [r.unit for r in result.rows] + [u for u, _ in result.skipped]
+    for row in result.rows:
+        donors = select_donors(
+            panel, row.unit, excluded=excluded, pre_periods=row.pre_periods
+        )
+        matrix = np.column_stack([panel.series(d) for d in donors])
+        treated = panel.series(row.unit)
+        robust_synthetic_control(
+            treated, matrix, row.pre_periods, donor_names=donors
+        )
+        for col in range(matrix.shape[1]):
+            rest = np.delete(matrix, col, axis=1)
+            rest_names = [n for i, n in enumerate(donors) if i != col]
+            robust_synthetic_control(
+                matrix[:, col], rest, row.pre_periods, donor_names=rest_names
+            )
+
+
+def test_table1_end_to_end(benchmark):
+    scenario = _scenario()
+
+    # --- fast path: arena generation + batched fits, one timed pass -------
+    def fast_e2e():
+        arena = SharedFrameArena(tag="bench-p8")
+        try:
+            frame = measurements_frame(scenario, rng=3, arena=arena)
+            result = run_ixp_study(frame, scenario.ixp_name)
+        finally:
+            arena.close()
+        return frame, result
+
+    t0 = time.perf_counter()
+    frame, fast = benchmark.pedantic(fast_e2e, rounds=1, iterations=1)
+    fast_s = time.perf_counter() - t0
+    assert live_arena_blocks() == (), "the arena must drain /dev/shm"
+
+    # --- parity before any timing claim -----------------------------------
+    assert len(fast.rows) >= 4, "need a multi-unit table"
+    unbatched = run_ixp_study(frame, scenario.ixp_name, batch_fits=False)
+    assert fast.rows == unbatched.rows
+    assert fast.skipped == unbatched.skipped
+    pooled = run_ixp_study(frame, scenario.ixp_name, n_jobs=N_JOBS)
+    assert fast.rows == pooled.rows
+    assert fast.skipped == pooled.skipped
+    assert live_arena_blocks() == ()
+
+    # --- seed-style baseline, staged --------------------------------------
+    t0 = time.perf_counter()
+    scalar_frame = SpeedTestGenerator(scenario).generate_frame(rng=3, mode="scalar")
+    scalar_gen_s = time.perf_counter() - t0
+    assert scalar_frame.num_rows == frame.num_rows, "modes plan identical cells"
+
+    t0 = time.perf_counter()
+    rowwise.assign_treatment(frame, scenario.ixp_name)
+    rowwise.build_panel(frame, unit="unit", time="day", outcome="rtt_ms")
+    rowwise_s = time.perf_counter() - t0
+
+    assignment = assign_treatment(frame, scenario.ixp_name)
+    panel = rtt_panel(frame, period="day")
+    del assignment
+    t0 = time.perf_counter()
+    _seed_style_fits(panel, fast)
+    naive_fit_s = time.perf_counter() - t0
+
+    baseline_s = scalar_gen_s + rowwise_s + naive_fit_s
+    speedup = baseline_s / fast_s if fast_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+
+    if not SMOKE:
+        assert frame.num_rows > 1_000_000, "10x scale should exceed a million tests"
+        assert speedup >= MIN_SPEEDUP, (
+            f"end-to-end fast path only {speedup:.1f}x faster "
+            f"({fast_s:.2f}s vs seed-style {baseline_s:.2f}s)"
+        )
+
+    lines = [
+        f"runner cores:                    {cores}",
+        f"scale:                           {'smoke' if SMOKE else 'bench'}",
+        f"rows generated and analysed:     {frame.num_rows:,}",
+        f"fast path end-to-end:            {fast_s:.2f} s",
+        f"  (arena generation + assignment + panel + batched fits)",
+        f"seed-style baseline, staged:",
+        f"  scalar generation:             {scalar_gen_s:.2f} s",
+        f"  row-wise assignment + panel:   {rowwise_s:.2f} s",
+        f"  per-donor full-SVD fits:       {naive_fit_s:.2f} s",
+        f"  total:                         {baseline_s:.2f} s  ({speedup:.1f}x)",
+        "",
+        f"units analysed: {len(fast.rows)};",
+        "batched == unbatched == n_jobs=4 rows, bit-for-bit;",
+        "/dev/shm drained after every run;",
+        f"threshold: >= {MIN_SPEEDUP:.0f}x end-to-end"
+        + (" (smoke mode: parity only)." if SMOKE else "."),
+    ]
+    write_report(
+        "P8_table1_e2e",
+        "P8: cross-unit batched fit engine — end-to-end Table 1 vs the seed path",
+        "\n".join(lines),
+        data={
+            "wall_seconds": fast_s,
+            "speedup": speedup,
+            "rows": frame.num_rows,
+            "n_cores": cores,
+            "n_jobs": N_JOBS,
+            "baseline_seconds": baseline_s,
+            "scalar_generation_seconds": scalar_gen_s,
+            "rowwise_analysis_seconds": rowwise_s,
+            "naive_fit_seconds": naive_fit_s,
+            "smoke": SMOKE,
+        },
+    )

@@ -77,6 +77,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         retry=_retry_policy(args),
         checkpoint=args.checkpoint,
         resume=args.resume,
+        batch_fits=not args.no_batch_fits,
+        share_frames=args.shared_frames,
     )
     print(output.format_report())
     _maybe_print_timings(args, output.result)
@@ -144,19 +146,29 @@ def _cmd_import(args: argparse.Namespace) -> int:
         prefixes = {args.ixp: [Prefix.parse(p) for p in args.prefix]}
     import time
 
-    t0 = time.perf_counter()
-    frame = import_csv(args.csv, prefixes)
-    import_seconds = time.perf_counter() - t0
-    print(f"imported {frame.num_rows} measurements from {args.csv}")
-    result = run_ixp_study(
-        frame,
-        args.ixp,
-        n_jobs=args.jobs,
-        generation_seconds=import_seconds,
-        retry=_retry_policy(args),
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-    )
+    arena = None
+    if args.shared_frames:
+        from repro.pipeline.shm import SharedFrameArena
+
+        arena = SharedFrameArena(tag="import")
+    try:
+        t0 = time.perf_counter()
+        frame = import_csv(args.csv, prefixes, arena=arena)
+        import_seconds = time.perf_counter() - t0
+        print(f"imported {frame.num_rows} measurements from {args.csv}")
+        result = run_ixp_study(
+            frame,
+            args.ixp,
+            n_jobs=args.jobs,
+            generation_seconds=import_seconds,
+            retry=_retry_policy(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            batch_fits=not args.no_batch_fits,
+        )
+    finally:
+        if arena is not None:
+            arena.close()
     print(result.format_table())
     if result.skipped:
         print()
@@ -185,10 +197,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             join_day=args.days // 2,
             seed=args.seed,
         )
-    frame = measurements_frame(
-        scenario, rng=args.measurement_seed, mode=args.mode
-    )
-    write_csv(frame, args.out)
+    arena = None
+    if args.shared_frames:
+        from repro.pipeline.shm import SharedFrameArena
+
+        arena = SharedFrameArena(tag="simulate")
+    try:
+        frame = measurements_frame(
+            scenario, rng=args.measurement_seed, mode=args.mode, arena=arena
+        )
+        write_csv(frame, args.out)
+    finally:
+        if arena is not None:
+            arena.close()
     print(
         f"wrote {frame.num_rows} measurements "
         f"({args.scenario}, {args.days} days, mode={args.mode}) to {args.out}"
@@ -229,6 +250,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         live_refits=not args.no_live_refits,
+        batch_fits=not args.no_batch_fits,
     )
     with study:
         for batch in batches:
@@ -367,6 +389,25 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_fits_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-batch-fits",
+        action="store_true",
+        help="disable the cross-unit batched fit engine (one SVD per unit "
+        "instead of one stacked SVD per matrix shape); rows are "
+        "bit-identical either way",
+    )
+
+
+def _add_shared_frames_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shared-frames",
+        action="store_true",
+        help="seal generated/imported float columns into shared-memory "
+        "blocks (zero-copy hand-off to pooled fits)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -387,6 +428,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1.add_argument("--donors", type=int, default=25, help="donor ASes")
     p_table1.add_argument("--seed", type=int, default=2, help="world seed")
     _add_jobs_argument(p_table1)
+    _add_batch_fits_argument(p_table1)
+    _add_shared_frames_argument(p_table1)
     _add_resilience_arguments(p_table1)
     _add_timings_argument(p_table1)
     _add_obs_arguments(p_table1)
@@ -404,6 +447,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="peering-LAN prefix (repeatable) for hop-IP matching",
     )
     _add_jobs_argument(p_import)
+    _add_batch_fits_argument(p_import)
+    _add_shared_frames_argument(p_import)
     _add_resilience_arguments(p_import)
     _add_timings_argument(p_import)
     _add_obs_arguments(p_import)
@@ -431,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="generation path (batch = columnar fast path)",
     )
     p_sim.add_argument("--out", required=True, help="output CSV path")
+    _add_shared_frames_argument(p_sim)
     _add_obs_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -468,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the batch study and fail unless the rows match exactly",
     )
     _add_jobs_argument(p_stream)
+    _add_batch_fits_argument(p_stream)
     _add_resilience_arguments(p_stream)
     _add_obs_arguments(p_stream)
     p_stream.set_defaults(func=_cmd_stream)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import csv
 import io
+from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
@@ -53,13 +54,20 @@ def _parse_cell(text: str | None) -> Any:
     return text
 
 
-def _parse_column(name: str, raw: list[str | None]) -> Column:
+def _parse_column(
+    name: str,
+    raw: list[str | None],
+    alloc: Callable[[str, int], np.ndarray] | None = None,
+) -> Column:
     """Bulk-parse one column of raw CSV cells.
 
     Missing cells are ``None``/``""``.  Homogeneous numeric and bool
     columns are converted with one numpy cast; anything mixed falls back
     to the per-cell parser (object kind, inferred like the historical
-    row-wise reader).
+    row-wise reader).  *alloc* — the
+    :meth:`~repro.pipeline.shm.SharedFrameArena.column_alloc` hook —
+    provides the float column's destination buffer, so an imported
+    frame's numeric storage can land directly in shared memory.
     """
     n = len(raw)
     missing = np.array([c is None or c == "" for c in raw], dtype=bool)
@@ -81,7 +89,8 @@ def _parse_column(name: str, raw: list[str | None]) -> Column:
         except ValueError:
             parsed = None
         if parsed is not None:
-            values = np.full(n, np.nan)
+            values = alloc(name, n) if alloc is not None else np.empty(n)
+            values.fill(np.nan)
             values[~missing] = parsed
             return Column(name, values, kind=KIND_FLOAT)
     lowered = [c.lower() for c in present]
@@ -96,18 +105,26 @@ def _parse_column(name: str, raw: list[str | None]) -> Column:
     return Column(name, [_parse_cell(c) for c in raw])
 
 
-def read_csv(path: str | Path) -> Frame:
+def read_csv(
+    path: str | Path,
+    alloc: Callable[[str, int], np.ndarray] | None = None,
+) -> Frame:
     """Read a CSV file with a header row into a frame."""
     with open(path, newline="") as f:
-        return read_csv_text(f.read())
+        return read_csv_text(f.read(), alloc=alloc)
 
 
-def read_csv_text(text: str) -> Frame:
+def read_csv_text(
+    text: str,
+    alloc: Callable[[str, int], np.ndarray] | None = None,
+) -> Frame:
     """Parse CSV content (header row required) into a frame.
 
     Rows with fewer cells than the header are padded with missing
     values; rows with *more* cells raise :class:`FrameError` (the
-    surplus cells have no column to land in).
+    surplus cells have no column to land in).  *alloc* routes float
+    columns into caller-provided buffers (shared-memory arenas); see
+    :func:`_parse_column`.
     """
     reader = csv.reader(io.StringIO(text))
     rows = list(reader)
@@ -128,7 +145,8 @@ def read_csv_text(text: str) -> Frame:
             row = row + [None] * (width - len(row))
         raw.append(row)
     cols = [
-        _parse_column(name, [r[j] for r in raw]) for j, name in enumerate(header)
+        _parse_column(name, [r[j] for r in raw], alloc=alloc)
+        for j, name in enumerate(header)
     ]
     return Frame(cols)
 

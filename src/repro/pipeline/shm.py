@@ -1,4 +1,4 @@
-"""Shared-memory panel storage for zero-copy process-pool fan-out.
+"""Shared-memory storage for zero-copy process-pool fan-out.
 
 The process-pool study used to pickle the full :class:`~repro.synthcontrol.donor.Panel`
 into every per-unit task, so the transport cost grew as
@@ -29,12 +29,25 @@ Lifecycle rules the study pipeline relies on:
   dropped, so teardown never races the last fits;
 - every created block is tracked in :func:`live_panel_blocks` until it
   is unlinked, which is what the leak tests assert drains to empty.
+
+:class:`SharedFrameArena` generalizes the same contract from one panel
+matrix to arbitrary named float64 arrays: measurement-frame columns
+(sealed straight out of :meth:`repro.frames.builder.FrameBuilder.build`
+via its ``alloc=`` hook, or a CSV import's float columns) and the
+batched fit engine's pre-factored slabs all live in arena blocks that
+workers attach zero-copy through picklable :class:`SharedArrayRef`\\ s.
+The arena follows the panel block's lifecycle rules exactly: leak
+tracking (:func:`live_arena_blocks`), idempotent ``BufferError``-safe
+close, and attach-by-name that survives ``BrokenProcessPool`` pool
+rebuilds.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import secrets
+from collections.abc import Callable
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -269,6 +282,210 @@ class SharedPanelOwner:
             self._zombie = shm
 
     def __enter__(self) -> "SharedPanelOwner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+
+#: Block-name prefix for arena arrays (distinct from panel blocks so the
+#: leak tests can tell the two populations apart in ``/dev/shm``).
+ARENA_PREFIX = "rpr-arena-"
+
+#: Arena block names created by this process and not yet unlinked.
+_LIVE_ARENA: set[str] = set()
+
+#: Per-process attach cache for arena arrays: name -> (mapping, view).
+#: A pooled worker touches the same slab blocks on every task; the
+#: first load attaches, the rest hit this dict.  Entries die with the
+#: worker process (pools are per-study), so no eviction policy is
+#: needed beyond the owner-side pop in :meth:`SharedFrameArena.close`.
+_ATTACHED_ARRAYS: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def live_arena_blocks() -> tuple[str, ...]:
+    """Arena block names this process created and has not unlinked yet."""
+    return tuple(sorted(_LIVE_ARENA))
+
+
+def _defuse_handle(shm: shared_memory.SharedMemory) -> None:
+    """Release a block handle without unmapping under live numpy views.
+
+    ``SharedMemory.close()`` (also run by ``__del__``) unmaps
+    unconditionally on interpreters where numpy views hold no buffer
+    export — any view still alive would then read freed pages.  Detaching
+    the private ``_mmap``/``_buf``/``_fd`` fields makes ``close()`` a
+    no-op: the descriptor is closed here, and the ``mmap`` object —
+    referenced by every view's ``.base`` — unmaps itself when the last
+    view is collected.  Falls back to a plain ``close()`` when the
+    fields are absent (a non-CPython layout), accepting the eager unmap.
+    """
+    if not hasattr(shm, "_mmap"):  # pragma: no cover - unexpected layout
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        return
+    shm._mmap = None
+    shm._buf = None
+    fd = getattr(shm, "_fd", -1)
+    shm._fd = -1
+    if fd is not None and fd >= 0:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed elsewhere
+            pass
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A picklable, zero-copy reference to one float64 array in a named block.
+
+    Unlike the panel block there is no in-band header: the shape rides
+    in the (tiny) pickled reference, so the block holds raw float64
+    data only and a worker-side :meth:`load` is a bare attach plus an
+    ``np.ndarray`` view.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+
+    def load(self) -> np.ndarray:
+        """Attach (memoised per process) and return the array view."""
+        hit = _ATTACHED_ARRAYS.get(self.name)
+        if hit is not None:
+            if hit[1].shape != tuple(self.shape):
+                raise PipelineError(
+                    f"shared array block {self.name!r} is attached with "
+                    f"shape {hit[1].shape} but was requested as {self.shape}"
+                )
+            return hit[1]
+        try:
+            shm = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:
+            raise PipelineError(
+                f"shared array block {self.name!r} does not exist "
+                "(already unlinked, or never published in this host)"
+            ) from None
+        nbytes = int(np.prod(self.shape, dtype=np.int64)) * 8
+        if shm.size < nbytes:
+            shm.close()
+            raise PipelineError(
+                f"shared array block {self.name!r} holds {shm.size} bytes "
+                f"but shape {self.shape} needs {nbytes}"
+            )
+        view = np.ndarray(self.shape, dtype=np.float64, buffer=shm.buf)
+        _ATTACHED_ARRAYS[self.name] = (shm, view)
+        return view
+
+
+class SharedFrameArena:
+    """Parent-side owner of a set of named float64 shared-memory blocks.
+
+    One arena per pipeline stage (a generated measurement frame, a CSV
+    import, a study's pre-factored fit slabs): every
+    :meth:`allocate` call creates one named block whose uninitialised
+    array view the caller fills in place — frame columns seal straight
+    into it through :meth:`column_alloc`, the pivot/fit engines write
+    slabs directly.  :meth:`close` unlinks every block exactly once
+    (idempotent); live views — the parent's own arrays, attached
+    workers — stay valid until dropped, the same POSIX ``shm_unlink``
+    contract :class:`SharedPanelOwner` relies on.
+    """
+
+    def __init__(self, tag: str = "frame") -> None:
+        self._tag = str(tag)
+        self._blocks: list[tuple[str, shared_memory.SharedMemory, SharedArrayRef]] = []
+        self._closed = False
+
+    def allocate(self, label: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A new named block's uninitialised float64 view of *shape*.
+
+        *label* is bookkeeping only (diagnostics and :meth:`ref`
+        lookup); the block name is random.  Zero-length arrays are
+        valid (the block is padded to one byte — ``shared_memory``
+        rejects empty blocks).
+        """
+        if self._closed:
+            raise PipelineError(f"arena {self._tag!r} is already closed")
+        shape = tuple(int(n) for n in shape)
+        if any(n < 0 for n in shape):
+            raise PipelineError(f"arena array {label!r} has negative shape {shape}")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * 8
+        name = ARENA_PREFIX + secrets.token_hex(8)
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+        _LIVE_ARENA.add(name)
+        ref = SharedArrayRef(name=name, shape=shape)
+        view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+        # The parent reads (and fills) through the attach cache too, so
+        # a later ref.load() in-process is the same view, not a second
+        # mapping of the same block.
+        _ATTACHED_ARRAYS[name] = (shm, view)
+        self._blocks.append((str(label), shm, ref))
+        return view
+
+    def column_alloc(self, tag: str) -> "Callable[[str, int], np.ndarray]":
+        """An ``alloc(name, length)`` hook for ``FrameBuilder.build``.
+
+        Each float column the builder seals lands in its own arena
+        block labelled ``<tag>.<column>`` — the frame's numeric storage
+        then lives in shared memory with no seal-time copy.
+        """
+
+        def alloc(name: str, length: int) -> np.ndarray:
+            return self.allocate(f"{tag}.{name}", (length,))
+
+        return alloc
+
+    def ref(self, label: str) -> SharedArrayRef:
+        """The picklable reference of the first block labelled *label*."""
+        for block_label, _shm, ref in self._blocks:
+            if block_label == label:
+                return ref
+        raise PipelineError(f"arena {self._tag!r} has no array labelled {label!r}")
+
+    def refs(self) -> tuple[tuple[str, SharedArrayRef], ...]:
+        """Every block's ``(label, ref)``, in allocation order."""
+        return tuple((label, ref) for label, _shm, ref in self._blocks)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Block names still owned by this arena."""
+        return tuple(shm.name for _label, shm, _ref in self._blocks)
+
+    def close(self) -> None:
+        """Unlink every block (idempotent); live views stay valid.
+
+        Sealed frame columns and prefactor slabs routinely outlive the
+        arena (a generated frame is *used* after generation finishes),
+        and numpy views do not register buffer exports, so an eager
+        ``SharedMemory.close()`` would silently unmap pages under them.
+        Instead each handle is *defused*: the name is unlinked (the
+        ``/dev/shm`` entry disappears — what the leak tests assert) and
+        the descriptor closed, while the mapping itself stays owned by
+        the views through their ``ndarray.base -> mmap`` chain and is
+        unmapped by the garbage collector when the last view dies.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        blocks, self._blocks = self._blocks, []
+        for _label, shm, _ref in blocks:
+            _LIVE_ARENA.discard(shm.name)
+            hit = _ATTACHED_ARRAYS.pop(shm.name, None)
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink race
+                pass
+            _defuse_handle(shm)
+            if hit is not None and hit[0] is not shm:
+                # ref.load() re-attached after a cache eviction: a second,
+                # independent mapping of the same block gets the same
+                # treatment so its views stay valid too.
+                _defuse_handle(hit[0])
+
+    def __enter__(self) -> "SharedFrameArena":
         return self
 
     def __exit__(self, *exc_info: object) -> bool:

@@ -34,9 +34,24 @@ from repro.obs.metrics import COUNT_BUCKETS
 from repro.pipeline.aggregate import rtt_panel
 from repro.pipeline.crossing import TreatmentAssignment, assign_treatment
 from repro.pipeline.executor import RetryPolicy, get_executor, resolve_n_jobs
-from repro.pipeline.shm import SharedPanelOwner, SharedPanelRef, attach_shared_panel
+from repro.pipeline.prefactor import (
+    PrefactorSlabs,
+    UnitPrefactor,
+    clear_active_prefactors,
+    get_prefactor,
+    prefactor_unit_plan,
+    publish_prefactors,
+    set_active_prefactors,
+)
+from repro.pipeline.shm import (
+    SharedFrameArena,
+    SharedPanelOwner,
+    SharedPanelRef,
+    attach_shared_panel,
+)
 from repro.synthcontrol.donor import Panel, select_donors
 from repro.synthcontrol.placebo import placebo_test
+from repro.synthcontrol.robust import DenoiseCache
 
 logger = logging.getLogger(__name__)
 
@@ -262,6 +277,17 @@ def _analyse_unit(task: _UnitTask) -> StudyRow | tuple[str, str]:
                 max_missing=task.max_donor_missing,
             )
             donor_matrix = np.column_stack([panel.series(d) for d in donors])
+            # A prefactor computed by the planning pass supplies this
+            # unit's SVD work ready-made (bit-identical to computing it
+            # here); it is only trusted when its donor selection matches
+            # ours exactly — any drift means the panel changed and the
+            # fit silently recomputes.
+            cache = loo = None
+            pf = get_prefactor(task.unit) if task.method == "robust" else None
+            if pf is not None and pf.donors == tuple(donors):
+                cache = DenoiseCache()
+                cache.seed(donor_matrix, pf.fact)
+                loo = pf.loo
             summary = placebo_test(
                 panel.series(task.unit),
                 donor_matrix,
@@ -270,6 +296,8 @@ def _analyse_unit(task: _UnitTask) -> StudyRow | tuple[str, str]:
                 donor_names=donors,
                 method=task.method,
                 max_placebos=task.max_placebos,
+                cache=cache,
+                loo=loo,
                 **dict(task.fit_kwargs),
             )
         except (DonorPoolError, EstimationError) as exc:
@@ -367,6 +395,21 @@ def prepare_unit_plan(
     return plan
 
 
+def _attach_study_state(
+    panel_ref: SharedPanelRef | None, slabs: PrefactorSlabs | None
+) -> None:
+    """Process-pool initializer: map the panel and prefactor slabs.
+
+    Runs once per worker — including the respawned workers of a pool
+    rebuilt after ``BrokenProcessPool`` — so both the panel attach and
+    the slab attach stay off the task critical path.
+    """
+    if panel_ref is not None:
+        attach_shared_panel(panel_ref)
+    if slabs is not None:
+        set_active_prefactors(slabs.load())
+
+
 def execute_unit_plan(
     plan: list[tuple[str, str] | _UnitTask],
     *,
@@ -374,6 +417,7 @@ def execute_unit_plan(
     retry: RetryPolicy | None = None,
     owner: SharedPanelOwner | None = None,
     checkpoint: "StudyCheckpoint | None" = None,
+    batch_fits: bool = True,
 ) -> tuple[list[StudyRow], list[tuple[str, str]]]:
     """Run a unit plan's fits and merge outcomes back into plan order.
 
@@ -384,6 +428,15 @@ def execute_unit_plan(
     moment it lands.  Fan-out follows the batch study's contract —
     order-stable results, shared-memory attach via *owner* — so serial
     and pooled runs return identical rows.
+
+    With *batch_fits* (the default), a planning pass batch-factors
+    every robust unit's donor matrix across units first — one stacked
+    SVD per matrix shape (:func:`~repro.pipeline.prefactor.prefactor_unit_plan`)
+    — and the fits reuse those factorizations: installed directly in
+    the serial process, shipped to pooled workers as shared-memory
+    slabs.  Rows are bit-identical with the flag on or off; turn it off
+    to pin down a suspected batching interaction or to trade peak
+    memory (the stacked slabs) for per-unit SVD time.
     """
     fit_units = [step for step in plan if isinstance(step, _UnitTask)]
     completed: dict[str, StudyRow | tuple[str, str]] = (
@@ -397,33 +450,65 @@ def execute_unit_plan(
 
     rows: list[StudyRow] = []
     skipped: list[tuple[str, str]] = []
+    workers = resolve_n_jobs(n_jobs)
+    arena: SharedFrameArena | None = None
     with span(
         "fits",
         n_tasks=len(tasks),
         n_jobs=n_jobs,
         n_resumed=len(fit_units) - len(tasks),
     ):
-        # Workers map the shared block at spawn (initializer),
-        # including the respawned workers of a pool rebuilt
-        # after BrokenProcessPool — the block outlives any pool.
-        with get_executor(
-            n_jobs,
-            retry=retry,
-            initializer=attach_shared_panel if owner is not None else None,
-            initargs=(owner.ref,) if owner is not None else (),
-        ) as executor:
-            outcomes = iter(executor.map(_analyse_unit, tasks, on_result=_journal))
-        for step in plan:
-            if isinstance(step, _UnitTask):
-                result = completed.get(step.unit)
-                if result is None:
-                    result = next(outcomes)
-            else:
-                result = step
-            if isinstance(result, StudyRow):
-                rows.append(result)
-            else:
-                skipped.append(result)
+        try:
+            prefactors: dict[str, UnitPrefactor] | None = None
+            if batch_fits and tasks:
+                first = tasks[0].panel
+                plan_panel = (
+                    owner.panel
+                    if owner is not None
+                    else first.load()
+                    if isinstance(first, SharedPanelRef)
+                    else first
+                )
+                prefactors = prefactor_unit_plan(plan_panel, tasks) or None
+            # Workers map the shared blocks at spawn (initializer),
+            # including the respawned workers of a pool rebuilt
+            # after BrokenProcessPool — the blocks outlive any pool.
+            initializer = attach_shared_panel if owner is not None else None
+            initargs: tuple = (owner.ref,) if owner is not None else ()
+            if prefactors is not None:
+                if workers > 1:
+                    arena = SharedFrameArena(tag="prefactor")
+                    initializer = _attach_study_state
+                    initargs = (
+                        owner.ref if owner is not None else None,
+                        publish_prefactors(prefactors, arena),
+                    )
+                else:
+                    set_active_prefactors(prefactors)
+            with get_executor(
+                n_jobs,
+                retry=retry,
+                initializer=initializer,
+                initargs=initargs,
+            ) as executor:
+                outcomes = iter(
+                    executor.map(_analyse_unit, tasks, on_result=_journal)
+                )
+            for step in plan:
+                if isinstance(step, _UnitTask):
+                    result = completed.get(step.unit)
+                    if result is None:
+                        result = next(outcomes)
+                else:
+                    result = step
+                if isinstance(result, StudyRow):
+                    rows.append(result)
+                else:
+                    skipped.append(result)
+        finally:
+            clear_active_prefactors()
+            if arena is not None:
+                arena.close()
     return rows, skipped
 
 
@@ -443,6 +528,7 @@ def run_ixp_study(
     retry: RetryPolicy | None = None,
     checkpoint: str | Path | None = None,
     resume: bool = False,
+    batch_fits: bool = True,
 ) -> StudyResult:
     """Run the full IXP case study on a measurement frame.
 
@@ -480,6 +566,10 @@ def run_ixp_study(
         With *checkpoint*: load previously finished units from the file
         and fit only the rest.  The resumed result is byte-identical to
         an uninterrupted run's.
+    batch_fits:
+        Batch donor-matrix SVDs across treated units before fitting
+        (see :func:`execute_unit_plan`); on by default, bit-identical
+        rows either way.
     """
     logger.info(
         "running IXP study on %d measurements (ixp=%s, method=%s, n_jobs=%s)",
@@ -557,7 +647,12 @@ def run_ixp_study(
                     resume=resume,
                 )
             rows, skipped = execute_unit_plan(
-                plan, n_jobs=n_jobs, retry=retry, owner=owner, checkpoint=ckpt
+                plan,
+                n_jobs=n_jobs,
+                retry=retry,
+                owner=owner,
+                checkpoint=ckpt,
+                batch_fits=batch_fits,
             )
         finally:
             if ckpt is not None:

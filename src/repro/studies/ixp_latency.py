@@ -86,6 +86,8 @@ def run_table1_experiment(
     retry: RetryPolicy | None = None,
     checkpoint: str | Path | None = None,
     resume: bool = False,
+    batch_fits: bool = True,
+    share_frames: bool = False,
 ) -> IxpStudyOutput:
     """Run the full case study at the given scale.
 
@@ -95,33 +97,47 @@ def run_table1_experiment(
     number in the table; *retry*, *checkpoint*, and *resume* pass
     through to :func:`run_ixp_study` (the world and measurements are
     regenerated on resume — only the per-unit fits are journaled).
+    *batch_fits* (default on) batches donor-matrix SVDs across treated
+    units; *share_frames* generates the measurement frame straight into
+    a shared-memory :class:`~repro.pipeline.shm.SharedFrameArena` —
+    numbers are bit-identical either way.
     """
-    with span(
-        "experiment.table1", donors=n_donor_ases, days=duration_days, seed=seed
-    ):
-        t0 = time.perf_counter()
-        scenario = build_table1_scenario(
-            n_donor_ases=n_donor_ases,
-            duration_days=duration_days,
-            join_day=join_day,
-            seed=seed,
-        )
-        measurements = measurements_frame(scenario, rng=measurement_seed)
-        generation_seconds = time.perf_counter() - t0
-        result = run_ixp_study(
-            measurements,
-            scenario.ixp_name,
-            method=method,
-            n_jobs=n_jobs,
-            generation_seconds=generation_seconds,
-            retry=retry,
-            checkpoint=checkpoint,
-            resume=resume,
-        )
-        truth = {
-            f"AS{asn}/{city}": scenario.true_effect(asn, city)
-            for asn, city in scenario.treated_units
-        }
+    from repro.pipeline.shm import SharedFrameArena
+
+    arena = SharedFrameArena(tag="table1") if share_frames else None
+    try:
+        with span(
+            "experiment.table1", donors=n_donor_ases, days=duration_days, seed=seed
+        ):
+            t0 = time.perf_counter()
+            scenario = build_table1_scenario(
+                n_donor_ases=n_donor_ases,
+                duration_days=duration_days,
+                join_day=join_day,
+                seed=seed,
+            )
+            measurements = measurements_frame(
+                scenario, rng=measurement_seed, arena=arena
+            )
+            generation_seconds = time.perf_counter() - t0
+            result = run_ixp_study(
+                measurements,
+                scenario.ixp_name,
+                method=method,
+                n_jobs=n_jobs,
+                generation_seconds=generation_seconds,
+                retry=retry,
+                checkpoint=checkpoint,
+                resume=resume,
+                batch_fits=batch_fits,
+            )
+            truth = {
+                f"AS{asn}/{city}": scenario.true_effect(asn, city)
+                for asn, city in scenario.treated_units
+            }
+    finally:
+        if arena is not None:
+            arena.close()
     return IxpStudyOutput(
         result=result,
         truth=truth,

@@ -203,6 +203,7 @@ def placebo_rmse_ratios(
     n_jobs: int | None = 1,
     cache: DenoiseCache | None = None,
     retry: "RetryPolicy | None" = None,
+    loo: tuple[tuple[np.ndarray, int], ...] | None = None,
     **fit_kwargs: object,
 ) -> PlaceboRatios:
     """RMSE ratios from treating each donor as a pseudo-treated unit.
@@ -216,7 +217,10 @@ def placebo_rmse_ratios(
     *n_jobs* fans refits out over a process pool (results are identical
     to the serial run, in donor order).  For the robust method, the
     donor matrix is imputed and factored once — optionally through a
-    shared *cache* — and every refit reuses that SVD.
+    shared *cache* — and every refit reuses that SVD.  A caller that
+    already holds the leave-one-out de-noisings (the cross-unit batched
+    fit engine) passes them as *loo* — bit-identical values skip the
+    per-study SVD entirely; ignored for the classic method.
     """
     _fitter(method)  # reject unknown methods before any work
     donors = np.asarray(donors, dtype=float)
@@ -246,10 +250,17 @@ def placebo_rmse_ratios(
     # numpy.linalg.svd call (bit-identical to the per-column downdate,
     # one LAPACK sweep instead of J).  Fanned-out refits keep the
     # per-column path: shipping the full denoised stack to each worker
-    # would cost more in pickling than the batched SVD saves.
-    loo: tuple[tuple[np.ndarray, int], ...] | None = None
-    if fact is not None and limit > 1 and resolve_n_jobs(n_jobs) == 1:
+    # would cost more in pickling than the batched SVD saves.  A
+    # caller-provided batch (already computed, possibly shared-memory
+    # backed) is used as-is on either path.
+    if fact is None or limit <= 1:
+        loo = None
+    elif loo is not None:
+        loo = tuple(loo[:limit])
+    elif resolve_n_jobs(n_jobs) == 1:
         loo = denoise_leave_one_out(fact, energy=energy, limit=limit)
+    else:
+        loo = None
 
     ctx = _PlaceboContext(
         donors=donors,
@@ -291,6 +302,7 @@ def placebo_test(
     n_jobs: int | None = 1,
     cache: DenoiseCache | None = None,
     retry: "RetryPolicy | None" = None,
+    loo: tuple[tuple[np.ndarray, int], ...] | None = None,
     **fit_kwargs: object,
 ) -> PlaceboSummary:
     """Fit the treated unit and compute its placebo-based p-value.
@@ -300,7 +312,9 @@ def placebo_test(
     small p means few untreated paths diverged as sharply.  *n_jobs*
     parallelises the placebo refits; *cache* (created per call when
     omitted) lets the treated fit and every placebo share the donor
-    matrix's de-noising work.
+    matrix's de-noising work; *loo*, when the caller pre-computed the
+    leave-one-out batch (the cross-unit fit engine), removes the last
+    per-unit SVD from this call entirely.
     """
     if donor_names is None:
         donor_names = [f"donor_{i}" for i in range(donors.shape[1])]
@@ -341,6 +355,7 @@ def placebo_test(
         n_jobs=n_jobs,
         cache=cache,
         retry=retry,
+        loo=loo,
         **fit_kwargs,
     )
     if not ratios:

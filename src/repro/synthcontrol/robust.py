@@ -84,24 +84,53 @@ class DonorFactorization:
         return self.filled.shape[1]
 
 
-def factor_donor_matrix(matrix: np.ndarray) -> DonorFactorization:
-    """Impute and factor a donor matrix once, for repeated de-noising."""
+def _validate_donor_matrix(matrix: np.ndarray) -> np.ndarray:
     matrix = np.asarray(matrix, dtype=float)
     if matrix.ndim != 2 or matrix.shape[1] == 0:
         raise DonorPoolError(
             f"donor matrix must be 2-D with >= 1 column, got shape {matrix.shape}"
         )
+    return matrix
+
+
+def _impute_columns(
+    matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mean-impute a donor matrix: ``(filled, col_means, finite_counts)``.
+
+    Bit-identical to the historical per-column Python loop.  Fully
+    observed columns reduce in one vectorized pass: summing each row of
+    the C-contiguous transpose applies numpy's pairwise summation to the
+    same contiguous values, in the same order, as ``col[ok].mean()`` did
+    per column.  Columns *with* missing cells keep a gather per column —
+    the masked gather is exactly the array the old loop averaged, and
+    any shortcut that sums zeros in place of the NaNs would change the
+    pairwise rounding.
+    """
     filled = matrix.copy()
-    col_means = np.zeros(filled.shape[1])
-    finite_counts = np.zeros(filled.shape[1], dtype=int)
-    for j in range(filled.shape[1]):
-        col = filled[:, j]
-        ok = np.isfinite(col)
-        if not ok.any():
-            raise DonorPoolError(f"donor column {j} is entirely missing")
-        col_means[j] = col[ok].mean()
-        finite_counts[j] = int(ok.sum())
-        col[~ok] = col_means[j]
+    mask = np.isfinite(filled)
+    finite_counts = mask.sum(axis=0)
+    if not finite_counts.all():
+        j_bad = int(np.flatnonzero(finite_counts == 0)[0])
+        raise DonorPoolError(f"donor column {j_bad} is entirely missing")
+    n_times = filled.shape[0]
+    ft = np.ascontiguousarray(filled.T)
+    col_means = np.empty(filled.shape[1])
+    complete = finite_counts == n_times
+    if complete.any():
+        col_means[complete] = ft[complete].sum(axis=1) / n_times
+    for j in np.flatnonzero(~complete):
+        col_means[j] = ft[j][mask[:, j]].mean()
+    if not complete.all():
+        miss_r, miss_c = np.nonzero(~mask)
+        filled[miss_r, miss_c] = col_means[miss_c]
+    return filled, col_means, finite_counts
+
+
+def factor_donor_matrix(matrix: np.ndarray) -> DonorFactorization:
+    """Impute and factor a donor matrix once, for repeated de-noising."""
+    matrix = _validate_donor_matrix(matrix)
+    filled, col_means, finite_counts = _impute_columns(matrix)
     u, s, vt = np.linalg.svd(filled, full_matrices=False)
     return DonorFactorization(
         filled=filled,
@@ -111,6 +140,45 @@ def factor_donor_matrix(matrix: np.ndarray) -> DonorFactorization:
         s=s,
         vt=vt,
     )
+
+
+def factor_donor_matrices(
+    matrices: Sequence[np.ndarray],
+) -> list[DonorFactorization]:
+    """Factor many donor matrices with one stacked SVD per shape group.
+
+    The cross-unit half of the batched fit engine: donor matrices from
+    different treated units usually share one ``(T, J)`` shape (every
+    unit screens the same donor pool), so their mean-imputed panels
+    stack into a ``(G, T, J)`` array that a single
+    :func:`numpy.linalg.svd` call decomposes in one gufunc sweep —
+    LAPACK runs once per matrix either way, on the same bytes, so each
+    returned factorization is bit-identical to
+    :func:`factor_donor_matrix` on the same matrix.  Mixed shapes are
+    grouped; a group of one degenerates to the single-matrix call.
+    """
+    mats = [_validate_donor_matrix(m) for m in matrices]
+    imputed = [_impute_columns(m) for m in mats]
+    facts: list[DonorFactorization | None] = [None] * len(mats)
+    groups: dict[tuple[int, int], list[int]] = {}
+    for i, m in enumerate(mats):
+        groups.setdefault(m.shape, []).append(i)
+    for shape, members in groups.items():
+        stack = np.empty((len(members), *shape))
+        for pos, i in enumerate(members):
+            stack[pos] = imputed[i][0]
+        u, s, vt = np.linalg.svd(stack, full_matrices=False)
+        for pos, i in enumerate(members):
+            filled, col_means, finite_counts = imputed[i]
+            facts[i] = DonorFactorization(
+                filled=filled,
+                col_means=col_means,
+                finite_counts=finite_counts,
+                u=u[pos],
+                s=s[pos],
+                vt=vt[pos],
+            )
+    return [fact for fact in facts if fact is not None]
 
 
 def _rank_for_energy(s: np.ndarray, energy: float, min_rank: int) -> int:
@@ -190,6 +258,57 @@ def denoise_without_column(
     return _rescale_denoised(denoised, col_means, p_obs), rank
 
 
+def _loo_count(fact: DonorFactorization, limit: int | None) -> int:
+    """How many leading leave-one-out columns the caller wants."""
+    j = fact.n_donors
+    if j < 2:
+        raise DonorPoolError("cannot delete the only donor column")
+    return j if limit is None else max(0, min(int(limit), j))
+
+
+def _loo_cores(fact: DonorFactorization, n: int) -> np.ndarray:
+    """The first *n* leave-one-out cores ``S Vt'`` as one ``(n, k, J-1)`` fill.
+
+    One fancy-index gather replaces the historical
+    ``np.stack([np.delete(svt, col, axis=1) ...])`` loop — the same
+    values land in the same positions without J Python-level copies.
+    """
+    svt = fact.s[:, None] * fact.vt
+    j = fact.n_donors
+    cols = np.arange(n)[:, None]
+    keep = np.arange(j - 1)[None, :]
+    # Row c keeps columns [0..c-1, c+1..J-1]: shift indices >= c up by one.
+    return np.ascontiguousarray(svt[:, keep + (keep >= cols)].swapaxes(0, 1))
+
+
+def _loo_finalize(
+    fact: DonorFactorization,
+    u_cores: np.ndarray,
+    s_subs: np.ndarray,
+    vt_subs: np.ndarray,
+    n: int,
+    energy: float,
+    min_rank: int,
+) -> tuple[tuple[np.ndarray, int], ...]:
+    """Threshold and rescale each decomposed core back to a denoised panel."""
+    j = fact.n_donors
+    total_observed = float(fact.finite_counts.sum())
+    out: list[tuple[np.ndarray, int]] = []
+    for col in range(n):
+        col_means = np.delete(fact.col_means, col)
+        s_sub = s_subs[col]
+        if s_sub.sum() == 0:
+            out.append((np.delete(fact.filled, col, axis=1), 0))
+            continue
+        rank = _rank_for_energy(s_sub, energy, min_rank)
+        u_sub = fact.u @ u_cores[col][:, :rank]
+        denoised = (u_sub * s_sub[:rank]) @ vt_subs[col][:rank]
+        observed = int(total_observed - fact.finite_counts[col])
+        p_obs = observed / (fact.n_times * (j - 1))
+        out.append((_rescale_denoised(denoised, col_means, p_obs), rank))
+    return tuple(out)
+
+
 def denoise_leave_one_out(
     fact: DonorFactorization,
     energy: float = 0.99,
@@ -212,34 +331,70 @@ def denoise_leave_one_out(
     columns (all of them when ``None``).
     """
     _check_energy(energy)
-    j = fact.n_donors
-    if j < 2:
-        raise DonorPoolError("cannot delete the only donor column")
-    n = j if limit is None else max(0, min(int(limit), j))
+    n = _loo_count(fact, limit)
     if n == 0:
         return ()
     if fact.s.sum() == 0:
         return tuple(
             (np.delete(fact.filled, col, axis=1), 0) for col in range(n)
         )
-    svt = fact.s[:, None] * fact.vt
-    cores = np.stack([np.delete(svt, col, axis=1) for col in range(n)])
+    cores = _loo_cores(fact, n)
     u_cores, s_subs, vt_subs = np.linalg.svd(cores, full_matrices=False)
-    total_observed = float(fact.finite_counts.sum())
-    out: list[tuple[np.ndarray, int]] = []
-    for col in range(n):
-        col_means = np.delete(fact.col_means, col)
-        s_sub = s_subs[col]
-        if s_sub.sum() == 0:
-            out.append((np.delete(fact.filled, col, axis=1), 0))
-            continue
-        rank = _rank_for_energy(s_sub, energy, min_rank)
-        u_sub = fact.u @ u_cores[col][:, :rank]
-        denoised = (u_sub * s_sub[:rank]) @ vt_subs[col][:rank]
-        observed = int(total_observed - fact.finite_counts[col])
-        p_obs = observed / (fact.n_times * (j - 1))
-        out.append((_rescale_denoised(denoised, col_means, p_obs), rank))
-    return tuple(out)
+    return _loo_finalize(fact, u_cores, s_subs, vt_subs, n, energy, min_rank)
+
+
+def denoise_leave_one_out_many(
+    facts: Sequence[DonorFactorization],
+    energy: float = 0.99,
+    min_rank: int = 1,
+    limit: int | None = None,
+) -> list[tuple[tuple[np.ndarray, int], ...]]:
+    """Leave-one-out de-noisings for many units from one SVD per core shape.
+
+    The cross-unit extension of :func:`denoise_leave_one_out`: units
+    whose cores share a ``(k, J-1)`` shape concatenate into one tall
+    stack for a single gufunc :func:`numpy.linalg.svd` call, and each
+    unit's slice finalizes exactly as the within-unit batch would —
+    per-unit results are bit-identical to calling
+    :func:`denoise_leave_one_out` once per factorization.  Units with a
+    zero spectrum take the same no-SVD fallback as the single-unit
+    path.
+    """
+    _check_energy(energy)
+    counts = [_loo_count(fact, limit) for fact in facts]
+    results: list[tuple[tuple[np.ndarray, int], ...] | None] = [None] * len(facts)
+    groups: dict[tuple[int, int], list[int]] = {}
+    for i, (fact, n) in enumerate(zip(facts, counts)):
+        if n == 0:
+            results[i] = ()
+        elif fact.s.sum() == 0:
+            results[i] = tuple(
+                (np.delete(fact.filled, col, axis=1), 0) for col in range(n)
+            )
+        else:
+            core_shape = (len(fact.s), fact.n_donors - 1)
+            groups.setdefault(core_shape, []).append(i)
+    for shape, members in groups.items():
+        stack = np.empty((sum(counts[i] for i in members), *shape))
+        offset = 0
+        for i in members:
+            stack[offset : offset + counts[i]] = _loo_cores(facts[i], counts[i])
+            offset += counts[i]
+        u_cores, s_subs, vt_subs = np.linalg.svd(stack, full_matrices=False)
+        offset = 0
+        for i in members:
+            n = counts[i]
+            results[i] = _loo_finalize(
+                facts[i],
+                u_cores[offset : offset + n],
+                s_subs[offset : offset + n],
+                vt_subs[offset : offset + n],
+                n,
+                energy,
+                min_rank,
+            )
+            offset += n
+    return [r for r in results if r is not None]
 
 
 def singular_value_threshold(
@@ -286,6 +441,16 @@ class DenoiseCache:
             fact = factor_donor_matrix(matrix)
             self._factorizations[key] = fact
         return fact
+
+    def seed(self, matrix: np.ndarray, fact: DonorFactorization) -> None:
+        """Pre-load *matrix*'s factorization (e.g. from a batched sweep).
+
+        The batched fit engine factors every unit's donor matrix up
+        front (:func:`factor_donor_matrices`); seeding the cache lets
+        :func:`robust_synthetic_control` and the placebo loop reuse
+        those SVDs through the existing cache lookups, no new code path.
+        """
+        self._factorizations[self._key(matrix)] = fact
 
     def denoise(
         self, matrix: np.ndarray, energy: float = 0.99, min_rank: int = 1
