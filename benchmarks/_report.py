@@ -111,6 +111,9 @@ def collate(results_dir: Path = RESULTS_DIR) -> dict[str, Any]:
                 "n_cores": n_cores,
                 "timestamp": record.get("timestamp"),
                 "floor_disarmed": n_cores is None or int(n_cores) < 2,
+                # Overhead benchmarks (P4/P6/P9) record the measured
+                # feature cost so CI history can watch it creep.
+                "overhead_pct": record.get("overhead_pct"),
             }
         )
     trajectory = {"entries": entries}
@@ -120,14 +123,25 @@ def collate(results_dir: Path = RESULTS_DIR) -> dict[str, Any]:
 
 
 def _format_trajectory(trajectory: dict[str, Any]) -> str:
-    header = f"{'name':<28} {'speedup':>8} {'rows':>12} {'cores':>6}  flags"
+    header = (
+        f"{'name':<28} {'speedup':>8} {'rows':>12} {'cores':>6} "
+        f"{'overhead':>9}  flags"
+    )
     lines = [header, "-" * len(header)]
     for e in trajectory["entries"]:
         speedup = "-" if e["speedup"] is None else f"{e['speedup']:.1f}x"
         rows = "-" if e["rows"] is None else f"{e['rows']:,}"
         cores = "-" if e["n_cores"] is None else str(e["n_cores"])
+        overhead = (
+            "-"
+            if e.get("overhead_pct") is None
+            else f"{e['overhead_pct']:+.1f}%"
+        )
         flags = "floor disarmed" if e["floor_disarmed"] else ""
-        lines.append(f"{e['name']:<28} {speedup:>8} {rows:>12} {cores:>6}  {flags}")
+        lines.append(
+            f"{e['name']:<28} {speedup:>8} {rows:>12} {cores:>6} "
+            f"{overhead:>9}  {flags}"
+        )
     return "\n".join(lines)
 
 

@@ -137,5 +137,6 @@ def test_fault_point_overhead():
             "wall_seconds": live_s,
             "speedup": baseline_s / live_s if live_s > 0 else None,
             "rows": frame.num_rows,
+            "overhead_pct": overhead * 100,
         },
     )

@@ -117,5 +117,6 @@ def test_tracing_overhead():
             "wall_seconds": enabled_s,
             "speedup": disabled_s / enabled_s if enabled_s > 0 else None,
             "rows": frame.num_rows,
+            "overhead_pct": overhead * 100,
         },
     )

@@ -27,14 +27,26 @@ Commands
     split), printing a per-batch progress line and the final table;
     ``--parity-check`` re-runs the batch study on the same measurements
     and fails unless the rows match exactly.
+``report``
+    Offline profiling analysis of an exported ``--trace`` file: the
+    top-K self-time hotspot table, the critical path, optionally the
+    span tree, and ``--folded FILE`` writes folded stacks for standard
+    flame-graph tooling.
 
 Observability
 -------------
 ``table1``, ``import``, ``simulate``, and ``stream`` accept
 ``--trace FILE.jsonl``
 (hierarchical span trace of the run) and ``--metrics FILE.prom``
-(Prometheus-style metrics dump).  The top-level ``--log-level`` flag
-turns on structured stderr logging for all of ``repro``.
+(Prometheus-style metrics dump); ``table1`` and ``stream`` add
+``--sample-resources SECONDS`` (a background sampler recording RSS,
+live shared-memory bytes, checkpoint size, executor queue depth, and
+GC pressure into the metrics output).  ``stream`` additionally accepts
+``--serve-telemetry PORT``: a live loopback HTTP endpoint serving
+``/metrics``, ``/health``, and ``/live`` for the duration of the run
+(``--telemetry-linger`` keeps it up after the final table for scrapes).
+The top-level ``--log-level`` flag turns on structured stderr logging
+for all of ``repro``.
 
 Fault tolerance
 ---------------
@@ -65,21 +77,34 @@ def _retry_policy(args: argparse.Namespace):
     return RetryPolicy(max_attempts=max(retries, 1), timeout=timeout)
 
 
+def _maybe_sampler(args: argparse.Namespace):
+    """A running ResourceSampler context per ``--sample-resources``, or a no-op."""
+    import contextlib
+
+    interval = getattr(args, "sample_resources", None)
+    if not interval:
+        return contextlib.nullcontext()
+    from repro.obs.resources import ResourceSampler
+
+    return ResourceSampler(interval_s=interval)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.studies import run_table1_experiment
 
-    output = run_table1_experiment(
-        n_donor_ases=args.donors,
-        duration_days=args.days,
-        join_day=args.days // 2,
-        seed=args.seed,
-        n_jobs=args.jobs,
-        retry=_retry_policy(args),
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-        batch_fits=not args.no_batch_fits,
-        share_frames=args.shared_frames,
-    )
+    with _maybe_sampler(args):
+        output = run_table1_experiment(
+            n_donor_ases=args.donors,
+            duration_days=args.days,
+            join_day=args.days // 2,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            retry=_retry_policy(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            batch_fits=not args.no_batch_fits,
+            share_frames=args.shared_frames,
+        )
     print(output.format_report())
     _maybe_print_timings(args, output.result)
     _write_obs_outputs(args)
@@ -243,6 +268,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"(ixp={scenario.ixp_name})",
         file=sys.stderr,
     )
+    publisher = None
+    server = None
+    if args.serve_telemetry is not None:
+        from repro.obs.serve import TelemetryPublisher, TelemetryServer
+
+        publisher = TelemetryPublisher()
+        server = TelemetryServer(publisher, port=args.serve_telemetry).start()
+        print(
+            f"telemetry endpoint: {server.url()} "
+            f"(/metrics /health /live)",
+            file=sys.stderr,
+        )
     study = StreamStudy(
         scenario.ixp_name,
         n_jobs=args.jobs,
@@ -251,20 +288,26 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         resume=args.resume,
         live_refits=not args.no_live_refits,
         batch_fits=not args.no_batch_fits,
+        telemetry=publisher,
     )
-    with study:
-        for batch in batches:
-            report = study.ingest(batch)
-            tag = " (replayed)" if report.replayed else ""
-            print(
-                f"batch {report.index:>3}: {report.n_rows:>7} rows, "
-                f"{report.n_dirty_units:>3} dirty units, "
-                f"{report.n_refits:>3} refits "
-                f"({report.warm_refits} warm / {report.cold_refits} cold), "
-                f"{report.seconds:.3f}s{tag}",
-                file=sys.stderr,
-            )
-        result = study.finalize()
+    try:
+        with _maybe_sampler(args), study:
+            for batch in batches:
+                report = study.ingest(batch)
+                tag = " (replayed)" if report.replayed else ""
+                print(
+                    f"batch {report.index:>3}: {report.n_rows:>7} rows, "
+                    f"{report.n_dirty_units:>3} dirty units, "
+                    f"{report.n_refits:>3} refits "
+                    f"({report.warm_refits} warm / {report.cold_refits} cold), "
+                    f"{report.seconds:.3f}s{tag}",
+                    file=sys.stderr,
+                )
+            result = study.finalize()
+    except BaseException:
+        if server is not None:
+            server.stop()
+        raise
     print(result.format_table())
     if result.skipped:
         print()
@@ -286,7 +329,46 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             )
             exit_code = 1
     _write_obs_outputs(args)
+    if server is not None:
+        if args.telemetry_linger > 0:
+            import time
+
+            print(
+                f"telemetry endpoint lingering {args.telemetry_linger:g}s "
+                f"at {server.url()}",
+                file=sys.stderr,
+            )
+            time.sleep(args.telemetry_linger)
+        server.stop()
     return exit_code
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_jsonl, render_trace
+    from repro.obs.profile import (
+        export_folded,
+        format_critical_path,
+        format_hotspots,
+    )
+
+    records = load_jsonl(args.trace)
+    print(f"{len(records)} spans from {args.trace}\n")
+    print(f"top {args.top} hotspots by self time")
+    print(format_hotspots(records, top=args.top))
+    print()
+    print("critical path (longest root, longest child at every level)")
+    print(format_critical_path(records))
+    if args.tree:
+        print()
+        print("span tree")
+        print(render_trace(records, max_spans=args.max_spans))
+    if args.folded:
+        n = export_folded(args.folded, records)
+        print(
+            f"\nwrote {n} folded stacks to {args.folded} "
+            f"(feed to flamegraph.pl / speedscope / inferno)",
+        )
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -343,6 +425,18 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "--metrics",
         metavar="FILE.prom",
         help="write a Prometheus-style metrics dump to this path",
+    )
+
+
+def _add_sampler_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sample-resources",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sample RSS, live shared-memory bytes, checkpoint size, "
+        "executor queue depth, and GC stats on this interval into the "
+        "metrics output (observation only; rows are unchanged)",
     )
 
 
@@ -433,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_arguments(p_table1)
     _add_timings_argument(p_table1)
     _add_obs_arguments(p_table1)
+    _add_sampler_argument(p_table1)
     p_table1.set_defaults(func=_cmd_table1)
 
     p_studies = sub.add_parser("studies", help="run every boxed-example experiment")
@@ -513,11 +608,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the batch study and fail unless the rows match exactly",
     )
+    p_stream.add_argument(
+        "--serve-telemetry",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /health, and /live on this loopback port "
+        "for the duration of the run (0 picks a free port)",
+    )
+    p_stream.add_argument(
+        "--telemetry-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --serve-telemetry: keep the endpoint up this long "
+        "after the final table (lets scrapers catch the end state)",
+    )
     _add_jobs_argument(p_stream)
     _add_batch_fits_argument(p_stream)
     _add_resilience_arguments(p_stream)
     _add_obs_arguments(p_stream)
+    _add_sampler_argument(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_report = sub.add_parser(
+        "report", help="profile an exported span trace (hotspots, flame graph)"
+    )
+    p_report.add_argument(
+        "--trace", required=True, metavar="FILE.jsonl", help="trace to analyse"
+    )
+    p_report.add_argument(
+        "--top", type=int, default=10, metavar="K", help="hotspot rows to show"
+    )
+    p_report.add_argument(
+        "--tree", action="store_true", help="also print the span tree"
+    )
+    p_report.add_argument(
+        "--max-spans",
+        type=int,
+        default=200,
+        metavar="N",
+        help="with --tree: truncate the tree past this many spans",
+    )
+    p_report.add_argument(
+        "--folded",
+        metavar="FILE",
+        default=None,
+        help="write folded stacks (flame-graph input) to this path",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_validate = sub.add_parser("validate", help="identify a DAG's strategies")
     p_validate.add_argument("dag_file", help="dagitty-like DAG text file")

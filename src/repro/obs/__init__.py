@@ -8,12 +8,20 @@ the reproduction's own pipeline:
   (``span``/``traced``), JSONL export, and order-stable cross-process
   merge, so a parallel study's trace has the same tree shape as the
   serial one;
-- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
-  histograms with a Prometheus-style text dump and worker snapshots;
+- :mod:`repro.obs.metrics` — counters, gauges, timestamped gauge
+  series, and fixed-bucket histograms with a Prometheus-style text dump
+  and order-deterministic worker-snapshot merging;
 - :mod:`repro.obs.capture` — the worker-side shim the executor uses to
   ship spans/metrics/tracebacks home with each result;
 - :mod:`repro.obs.report` — aligned text rendering of span trees
   (shared by the CLI and the benchmark harness);
+- :mod:`repro.obs.profile` — self-time, hotspot, critical-path, and
+  folded-stack (flame graph) analysis over recorded traces;
+- :mod:`repro.obs.resources` — a background sampler recording RSS,
+  live shared-memory bytes, checkpoint size, executor queue depth, and
+  GC pressure into timestamped gauge series;
+- :mod:`repro.obs.serve` — the live telemetry endpoint
+  (``/metrics``, ``/health``, ``/live``) over a stream's publisher;
 - :mod:`repro.obs.logs` — stdlib-logging wiring (`NullHandler` at the
   package root, a ``--log-level`` configurator for the CLI).
 """
@@ -30,12 +38,26 @@ from repro.obs.metrics import (
     SECONDS_BUCKETS,
     Counter,
     Gauge,
+    GaugeSeries,
     Histogram,
     MetricsRegistry,
     get_metrics,
+    merge_epoch,
     set_metrics,
 )
+from repro.obs.profile import (
+    Hotspot,
+    critical_path,
+    export_folded,
+    folded_stacks,
+    format_critical_path,
+    format_hotspots,
+    hotspots,
+    self_times,
+)
 from repro.obs.report import render_trace, span_counts
+from repro.obs.resources import ResourceSample, ResourceSampler, take_resource_sample
+from repro.obs.serve import TelemetryPublisher, TelemetryServer, fault_load
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -56,29 +78,45 @@ __all__ = [
     "COUNT_BUCKETS",
     "Counter",
     "Gauge",
+    "GaugeSeries",
     "Histogram",
+    "Hotspot",
     "MetricsRegistry",
+    "ResourceSample",
+    "ResourceSampler",
     "SECONDS_BUCKETS",
     "SpanRecord",
+    "TelemetryPublisher",
+    "TelemetryServer",
     "Tracer",
     "WorkerOutcome",
     "WorkerTraceback",
     "absorb_outcome",
     "child_seconds",
     "configure_logging",
+    "critical_path",
     "current_span_id",
+    "export_folded",
     "export_jsonl",
+    "fault_load",
+    "folded_stacks",
+    "format_critical_path",
+    "format_hotspots",
     "get_metrics",
     "get_tracer",
+    "hotspots",
     "install_null_handler",
     "load_jsonl",
+    "merge_epoch",
     "merge_worker_records",
     "render_trace",
     "run_captured",
+    "self_times",
     "set_metrics",
     "set_tracing",
     "span",
     "span_counts",
+    "take_resource_sample",
     "to_jsonl_lines",
     "traced",
     "tracing_disabled",

@@ -85,23 +85,27 @@ def run_captured(
         tracer.records = saved_records
 
 
-def merge_outcome_observability(outcome: WorkerOutcome) -> None:
+def merge_outcome_observability(
+    outcome: WorkerOutcome, task_order: tuple | None = None
+) -> None:
     """Fold one outcome's spans, metrics, and fault events in — no raise.
 
     The executor uses this for the failed attempts of a retried task:
     their observations belong in the parent's trace (a serial run would
     have recorded them inline) even though their exceptions were
-    swallowed by the retry.
+    swallowed by the retry.  *task_order* (``(epoch, index)`` from the
+    executor) makes the gauge merge order-independent — see
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge`.
     """
     from repro.chaos.runtime import record_events
 
     merge_worker_records(outcome.spans)
-    get_metrics().merge(outcome.metrics)
+    get_metrics().merge(outcome.metrics, task_order=task_order)
     if outcome.faults:
         record_events(outcome.faults)
 
 
-def absorb_outcome(outcome: WorkerOutcome) -> Any:
+def absorb_outcome(outcome: WorkerOutcome, task_order: tuple | None = None) -> Any:
     """Merge one worker outcome into this process; return its value.
 
     Spans land under the caller's current span in buffer order; metrics
@@ -110,7 +114,7 @@ def absorb_outcome(outcome: WorkerOutcome) -> Any:
     :class:`WorkerTraceback` chained as its cause, so the worker-side
     stack survives the process boundary.
     """
-    merge_outcome_observability(outcome)
+    merge_outcome_observability(outcome, task_order=task_order)
     if outcome.exception is not None:
         raise outcome.exception from WorkerTraceback(
             "worker-side traceback:\n" + outcome.traceback_text

@@ -10,8 +10,23 @@ Instruments are get-or-create by name through the process-wide
 registry (:func:`get_metrics`); worker processes record into their own
 registry per task, :meth:`MetricsRegistry.snapshot` makes the state
 picklable, and :meth:`MetricsRegistry.merge` folds worker snapshots
-back into the parent — counters and histograms add, gauges last-write-
-win — so serial and parallel runs report identical totals.
+back into the parent — counters and histograms add, gauges resolve by
+**task order** — so serial and parallel runs report identical values.
+
+Gauge merge determinism: a bare ``merge(snapshot)`` is last-write-wins
+in *call* order, which is only deterministic if every caller merges in
+task order.  The executor therefore passes ``task_order=(epoch, index)``
+(one :func:`merge_epoch` per fan-out, the task index within it) and the
+registry keeps, per gauge, the highest task order merged so far: a
+snapshot merged late — because its task *completed* late, e.g. after
+retries — can no longer clobber a logically-later task's value.  This
+mirrors the span graft's task-order contract in
+:mod:`repro.obs.capture`.
+
+:class:`GaugeSeries` extends the gauge with a bounded, timestamped
+sample history — what the resource sampler
+(:mod:`repro.obs.resources`) records — rendered as a plain gauge (its
+latest value) in the exposition text.
 
 Deliberately not implemented: metric labels (beyond the histogram's
 ``le``) and exemplars.  Stage identity lives in the trace; metrics
@@ -20,7 +35,11 @@ stay cheap aggregates.
 
 from __future__ import annotations
 
+import itertools
+import threading
+import time
 from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ReproError
@@ -63,17 +82,65 @@ class Counter:
 
 @dataclass
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins).
+
+    ``merge_order`` is the task order of the last *merged* write (see
+    the module docstring); a direct :meth:`set` clears it, because a
+    local write is by definition more recent than any shipped snapshot.
+    """
 
     name: str
     help: str = ""
     value: float = 0.0
     touched: bool = False
+    merge_order: tuple | None = None
 
     def set(self, value: float) -> None:
         """Record the current value."""
         self.value = float(value)
         self.touched = True
+        self.merge_order = None
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One timestamped observation in a :class:`GaugeSeries`."""
+
+    unix_time: float
+    value: float
+
+
+class GaugeSeries:
+    """A gauge that also keeps a bounded, timestamped sample history.
+
+    The resource sampler records into these; ``render()`` exposes only
+    the latest value (as a plain gauge), while :meth:`points` hands the
+    history to the telemetry endpoint and to tests.  The deque bound
+    keeps week-long runs from accumulating unbounded sample memory.
+    """
+
+    def __init__(self, name: str, help: str = "", capacity: int = 4096) -> None:
+        self.name = name
+        self.help = help
+        self._points: deque[SeriesPoint] = deque(maxlen=capacity)
+
+    def record(self, value: float, unix_time: float | None = None) -> None:
+        """Append one sample (stamped now unless *unix_time* is given)."""
+        when = time.time() if unix_time is None else float(unix_time)
+        self._points.append(SeriesPoint(when, float(value)))
+
+    def points(self) -> tuple[SeriesPoint, ...]:
+        """The retained samples, oldest first."""
+        return tuple(self._points)
+
+    @property
+    def value(self) -> float:
+        """The most recent sample (0.0 if none recorded yet)."""
+        return self._points[-1].value if self._points else 0.0
+
+    @property
+    def touched(self) -> bool:
+        return bool(self._points)
 
 
 class Histogram:
@@ -107,15 +174,28 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create home for every instrument in one process/worker."""
+    """Get-or-create home for every instrument in one process/worker.
+
+    A re-entrant lock guards instrument *creation* and whole-registry
+    reads (``snapshot``/``render``/``merge``): the telemetry server and
+    the resource sampler both touch the registry from their own threads
+    while the study writes to it.  Individual ``inc``/``set``/``observe``
+    calls stay lock-free — they mutate single floats/ints under the GIL
+    and sit on hot paths.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, GaugeSeries] = {}
+        self._lock = threading.RLock()
+
+    def _families(self) -> tuple[dict, ...]:
+        return (self._counters, self._gauges, self._histograms, self._series)
 
     def _claim(self, name: str, kind: dict) -> None:
-        for family in (self._counters, self._gauges, self._histograms):
+        for family in self._families():
             if family is not kind and name in family:
                 raise ReproError(f"metric {name!r} already registered as another type")
 
@@ -123,17 +203,36 @@ class MetricsRegistry:
         """The counter named *name* (created on first use)."""
         c = self._counters.get(name)
         if c is None:
-            self._claim(name, self._counters)
-            c = self._counters[name] = Counter(name, help)
+            with self._lock:
+                c = self._counters.get(name)
+                if c is None:
+                    self._claim(name, self._counters)
+                    c = self._counters[name] = Counter(name, help)
         return c
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         """The gauge named *name* (created on first use)."""
         g = self._gauges.get(name)
         if g is None:
-            self._claim(name, self._gauges)
-            g = self._gauges[name] = Gauge(name, help)
+            with self._lock:
+                g = self._gauges.get(name)
+                if g is None:
+                    self._claim(name, self._gauges)
+                    g = self._gauges[name] = Gauge(name, help)
         return g
+
+    def series(
+        self, name: str, help: str = "", capacity: int = 4096
+    ) -> GaugeSeries:
+        """The timestamped gauge series named *name* (created on first use)."""
+        s = self._series.get(name)
+        if s is None:
+            with self._lock:
+                s = self._series.get(name)
+                if s is None:
+                    self._claim(name, self._series)
+                    s = self._series[name] = GaugeSeries(name, help, capacity)
+        return s
 
     def histogram(
         self,
@@ -144,9 +243,13 @@ class MetricsRegistry:
         """The histogram named *name* (buckets fixed by the first call)."""
         h = self._histograms.get(name)
         if h is None:
-            self._claim(name, self._histograms)
-            h = self._histograms[name] = Histogram(name, tuple(buckets), help)
-        elif tuple(float(b) for b in buckets) != h.buckets:
+            with self._lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    self._claim(name, self._histograms)
+                    h = self._histograms[name] = Histogram(name, tuple(buckets), help)
+                    return h
+        if tuple(float(b) for b in buckets) != h.buckets:
             raise ReproError(
                 f"histogram {name!r} re-registered with different buckets"
             )
@@ -154,48 +257,79 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Forget every instrument (tests)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._series.clear()
 
     # -- cross-process shipping ------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A picklable copy of the registry state (for worker results)."""
-        return {
-            "counters": {
-                n: (c.help, c.value) for n, c in self._counters.items()
-            },
-            "gauges": {
-                n: (g.help, g.value)
-                for n, g in self._gauges.items()
-                if g.touched
-            },
-            "histograms": {
-                n: (h.help, h.buckets, tuple(h.counts), h.sum, h.count)
-                for n, h in self._histograms.items()
-            },
-        }
+        """A picklable copy of the registry state (for worker results).
 
-    def merge(self, snapshot: dict) -> None:
-        """Fold a worker snapshot in: counters/histograms add, gauges overwrite."""
-        for name, (help_, value) in snapshot.get("counters", {}).items():
-            self.counter(name, help_).inc(value)
-        for name, (help_, value) in snapshot.get("gauges", {}).items():
-            self.gauge(name, help_).set(value)
-        for name, (help_, buckets, counts, sum_, count) in snapshot.get(
-            "histograms", {}
-        ).items():
-            h = self.histogram(name, buckets, help_)
-            for i, c in enumerate(counts):
-                h.counts[i] += c
-            h.sum += sum_
-            h.count += count
+        Gauge series are deliberately absent: they are parent-process
+        resource samples, never produced inside workers.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    n: (c.help, c.value) for n, c in self._counters.items()
+                },
+                "gauges": {
+                    n: (g.help, g.value)
+                    for n, g in self._gauges.items()
+                    if g.touched
+                },
+                "histograms": {
+                    n: (h.help, h.buckets, tuple(h.counts), h.sum, h.count)
+                    for n, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict, task_order: tuple | None = None) -> None:
+        """Fold a worker snapshot in: counters/histograms add, gauges resolve.
+
+        With *task_order* (any comparable tuple, e.g. ``(epoch, index)``)
+        a gauge is overwritten only when this snapshot's order is >= the
+        order that produced the gauge's current value, so the outcome is
+        the task-order-maximal write no matter when each task finished.
+        Without it, behaviour stays last-write-wins (callers merging in
+        a known order).
+        """
+        with self._lock:
+            for name, (help_, value) in snapshot.get("counters", {}).items():
+                self.counter(name, help_).inc(value)
+            for name, (help_, value) in snapshot.get("gauges", {}).items():
+                g = self.gauge(name, help_)
+                if task_order is None:
+                    g.set(value)
+                elif g.merge_order is None or task_order >= g.merge_order:
+                    g.value = float(value)
+                    g.touched = True
+                    g.merge_order = task_order
+            for name, (help_, buckets, counts, sum_, count) in snapshot.get(
+                "histograms", {}
+            ).items():
+                h = self.histogram(name, buckets, help_)
+                for i, c in enumerate(counts):
+                    h.counts[i] += c
+                h.sum += sum_
+                h.count += count
 
     # -- exposition ------------------------------------------------------------
 
     def render(self) -> str:
-        """Prometheus-style text exposition of every instrument, sorted."""
+        """Prometheus-style text exposition of every instrument, sorted.
+
+        Gauge series appear as plain gauges carrying their latest
+        sample; untouched series (zero samples) are omitted so enabling
+        the sampler without it ever firing changes nothing.
+        """
+        with self._lock:
+            return self._render_locked()
+
+    def _render_locked(self) -> str:
         lines: list[str] = []
         for name in sorted(self._counters):
             c = self._counters[name]
@@ -203,8 +337,12 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {c.help}")
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {_fmt(c.value)}")
-        for name in sorted(self._gauges):
-            g = self._gauges[name]
+        exposable_gauges = dict(self._gauges)
+        for name, s in self._series.items():
+            if s.touched and name not in exposable_gauges:
+                exposable_gauges[name] = s
+        for name in sorted(exposable_gauges):
+            g = exposable_gauges[name]
             if g.help:
                 lines.append(f"# HELP {name} {g.help}")
             lines.append(f"# TYPE {name} gauge")
@@ -232,6 +370,19 @@ def _fmt(value: float) -> str:
 
 
 _registry = MetricsRegistry()
+
+_merge_epochs = itertools.count()
+
+
+def merge_epoch() -> int:
+    """The next merge-epoch number (process-wide, monotonically increasing).
+
+    Each executor fan-out claims one epoch and merges its outcomes with
+    ``task_order=(epoch, index)``, so gauges from a *later* map call
+    always outrank gauges from an earlier one even though both use
+    small task indices.
+    """
+    return next(_merge_epochs)
 
 
 def get_metrics() -> MetricsRegistry:

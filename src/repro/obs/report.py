@@ -22,7 +22,9 @@ def _attr_text(attrs: dict) -> str:
 
 
 def render_trace(
-    records: Sequence[SpanRecord], max_spans: int | None = None
+    records: Sequence[SpanRecord],
+    max_spans: int | None = None,
+    hotspots: int | None = None,
 ) -> str:
     """An aligned text tree of a span forest.
 
@@ -30,6 +32,8 @@ def render_trace(
     serial path and the order-stable worker merge produce in task
     order).  *max_spans* truncates huge traces, noting how many spans
     were elided — silent truncation would read as full coverage.
+    *hotspots* appends a top-K self-time table
+    (:func:`repro.obs.profile.format_hotspots`) under the tree.
     """
     if not records:
         return "(empty trace)"
@@ -62,6 +66,12 @@ def render_trace(
     ]
     if elided:
         out.append(f"... {elided} more spans elided")
+    if hotspots is not None:
+        from repro.obs.profile import format_hotspots
+
+        out.append("")
+        out.append(f"top {hotspots} hotspots by self time")
+        out.append(format_hotspots(records, top=hotspots))
     return "\n".join(out)
 
 

@@ -1,0 +1,301 @@
+"""A live telemetry endpoint for long-running (streaming) studies.
+
+The paper's §4 wants measurement campaigns that are *inspectable while
+they run* — context recorded at collection time, not reconstructed
+afterwards.  This module is that surface for our own runs:
+
+- :class:`TelemetryPublisher` — a small, thread-safe bounded ring
+  buffer the :class:`~repro.stream.StreamStudy` publishes into: one
+  entry per ingested batch (the :class:`~repro.stream.engine.BatchReport`,
+  a metrics snapshot, and a ``live_result()`` summary) plus the final
+  result when the stream finalizes.  It also derives the run's health
+  (``ok`` / ``degraded`` / ``stalled``) from batch recency and the
+  fault counters.
+- :class:`TelemetryServer` — an opt-in stdlib ``http.server`` endpoint
+  (``--serve-telemetry PORT``) over a publisher, serving
+
+  - ``/metrics`` — Prometheus text via the registry's existing
+    ``render()`` (rendered at request time, so mid-run scrapes see live
+    counters),
+  - ``/health``  — the JSON health verdict (HTTP 503 unless ``ok``, so
+    load-balancer-style checks need no JSON parsing), and
+  - ``/live``    — JSON: recent batch reports, warm/cold/placebo
+    counters, and the current verdict rows.
+
+Both are strictly read-only observers: publishing copies plain data
+under a lock, request handling never touches study state, and rows are
+bit-identical with the endpoint on or off (the P9 benchmark pins
+this, polling all three routes mid-run).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.metrics import get_metrics
+
+#: Counters whose growth marks a run as fault-afflicted.  Injected
+#: chaos faults, executor retries, pool rebuilds, and blown deadlines
+#: all count — each is an event a serial healthy run would not produce.
+FAULT_COUNTERS: tuple[str, ...] = (
+    "faults_injected_total",
+    "task_retries_total",
+    "pool_rebuilds_total",
+    "tasks_timed_out_total",
+)
+
+
+def fault_load() -> float:
+    """The current sum of the fault counters in the active registry."""
+    registry = get_metrics()
+    return sum(registry.counter(name).value for name in FAULT_COUNTERS)
+
+
+def _result_summary(result: Any) -> dict:
+    """A JSON-ready summary of a (live or final) ``StudyResult``."""
+    return {
+        "rows": [asdict(row) for row in result.rows],
+        "skipped": [
+            {"unit": unit, "reason": reason} for unit, reason in result.skipped
+        ],
+    }
+
+
+class TelemetryPublisher:
+    """Bounded, thread-safe ring buffer of a stream's telemetry entries.
+
+    *capacity* bounds the retained batch entries (a week-long stream
+    must not accumulate per-batch summaries without bound); health and
+    the final result are scalars, kept regardless.  *clock* is
+    injectable for deterministic health tests.
+    """
+
+    def __init__(
+        self, capacity: int = 64, clock: Callable[[], float] = time.time
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"publisher capacity must be >= 1, got {capacity}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self.started_unix = clock()
+        self._last_batch_unix: float | None = None
+        self._faults_at_last_batch = fault_load()
+        self._final: dict | None = None
+
+    def publish_batch(self, report: Any, live_summary: dict | None = None) -> None:
+        """Record one ingested batch (its report + optional live summary).
+
+        Publishing a batch also re-baselines the fault counters: a
+        batch that lands *after* a fault means the run recovered, so
+        only faults *since* the newest batch mark it degraded.
+        """
+        entry = {
+            "kind": "batch",
+            "unix_time": self._clock(),
+            "report": asdict(report),
+        }
+        if live_summary is not None:
+            entry["live"] = live_summary
+        with self._lock:
+            self._entries.append(entry)
+            self._last_batch_unix = entry["unix_time"]
+            self._faults_at_last_batch = fault_load()
+
+    def publish_final(self, result: Any) -> None:
+        """Record the finalized study result (the stream is done)."""
+        with self._lock:
+            self._final = {
+                "kind": "final",
+                "unix_time": self._clock(),
+                "result": _result_summary(result),
+            }
+
+    def entries(self) -> list[dict]:
+        """The retained batch entries, oldest first (copies)."""
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    def health(self, stall_after_s: float = 300.0) -> dict:
+        """The run's health verdict, derived — never self-reported.
+
+        ``stalled``  — no batch for *stall_after_s* seconds (measured
+        from the newest batch, or from publisher creation while the
+        first batch is still pending) and the stream has not finalized;
+        ``degraded`` — the fault counters grew since the newest batch;
+        ``ok``       — otherwise.  Stalled outranks degraded: a wedged
+        run is worse news than a recovering one.
+        """
+        with self._lock:
+            last = self._last_batch_unix
+            baseline = self._faults_at_last_batch
+            final = self._final
+            n_batches = len(self._entries)
+        now = self._clock()
+        since_last = now - (last if last is not None else self.started_unix)
+        faults_total = fault_load()
+        faults_since = max(0.0, faults_total - baseline)
+        if final is not None:
+            status = "ok"
+        elif since_last > stall_after_s:
+            status = "stalled"
+        elif faults_since > 0:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "finalized": final is not None,
+            "batches_seen": n_batches,
+            "seconds_since_last_batch": since_last,
+            "faults_total": faults_total,
+            "faults_since_last_batch": faults_since,
+        }
+
+    def live_view(self, stall_after_s: float = 300.0) -> dict:
+        """The ``/live`` payload: recent batches + current verdict rows."""
+        entries = self.entries()
+        with self._lock:
+            final = None if self._final is None else dict(self._final)
+        latest_live: dict | None = None
+        for entry in reversed(entries):
+            if "live" in entry:
+                latest_live = entry["live"]
+                break
+        current = final["result"] if final is not None else latest_live
+        return {
+            "ixp_batches": [e["report"] for e in entries],
+            "warm_refits": sum(e["report"]["warm_refits"] for e in entries),
+            "cold_refits": sum(e["report"]["cold_refits"] for e in entries),
+            "placebo_refreshes": sum(
+                e["report"]["placebo_refreshes"] for e in entries
+            ),
+            "verdict": current,
+            "finalized": final is not None,
+            "health": self.health(stall_after_s),
+        }
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """GET-only handler over the server's publisher; silent access log."""
+
+    server: "_TelemetryHTTPServer"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging would interleave with study output
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        publisher = self.server.publisher
+        stall = self.server.stall_after_s
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4",
+                    get_metrics().render().encode(),
+                )
+            elif path == "/health":
+                health = publisher.health(stall)
+                self._send(
+                    200 if health["status"] == "ok" else 503,
+                    "application/json",
+                    json.dumps(health).encode(),
+                )
+            elif path == "/live":
+                self._send(
+                    200,
+                    "application/json",
+                    json.dumps(publisher.live_view(stall)).encode(),
+                )
+            else:
+                self._send(
+                    404,
+                    "application/json",
+                    json.dumps(
+                        {"error": f"unknown path {path!r}",
+                         "routes": ["/metrics", "/health", "/live"]}
+                    ).encode(),
+                )
+        except BrokenPipeError:  # poller went away mid-response
+            pass
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    publisher: TelemetryPublisher
+    stall_after_s: float
+
+
+class TelemetryServer:
+    """An opt-in HTTP endpoint serving a publisher's telemetry.
+
+    Binds immediately (``port=0`` picks a free port — tests use this),
+    serves from a daemon thread after :meth:`start`, and binds to
+    loopback by default: this is an operator's local inspection hatch,
+    not a public API.  Use as a context manager or ``start()``/``stop()``.
+    """
+
+    def __init__(
+        self,
+        publisher: TelemetryPublisher,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stall_after_s: float = 300.0,
+    ) -> None:
+        self.publisher = publisher
+        self._httpd = _TelemetryHTTPServer((host, port), _TelemetryHandler)
+        self._httpd.publisher = publisher
+        self._httpd.stall_after_s = float(stall_after_s)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with 0)."""
+        return self._httpd.server_address[1]
+
+    def url(self, path: str = "") -> str:
+        """The endpoint's base URL (plus *path*, if given)."""
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}{path}"
+
+    def start(self) -> "TelemetryServer":
+        """Start serving from a daemon thread (no-op if running)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.stop()
+        return False

@@ -184,7 +184,27 @@ class _SpanHandle:
             attrs=self.attrs,
         )
         _tracer.records.append(self.record)
+        _observe_span_duration(self.name, self.duration_s)
         return False
+
+
+def _observe_span_duration(name: str, duration_s: float) -> None:
+    """The span→histogram bridge: every closed span feeds a latency histogram.
+
+    ``--metrics`` output then carries per-stage latency *distributions*
+    (``span_seconds_fits_unit_bucket{le=...}``), not just counters.  The
+    bridge rides the tracing kill switch — it only runs from
+    ``_SpanHandle.__exit__``, which never executes while tracing is
+    disabled — and worker spans feed their *worker's* registry, whose
+    histograms merge additively into the parent, so serial and parallel
+    runs agree on every bucket's observation count.
+    """
+    from repro.obs.metrics import get_metrics
+
+    get_metrics().histogram(
+        "span_seconds_" + name.replace(".", "_").replace("-", "_"),
+        help=f"wall-clock seconds of {name!r} spans",
+    ).observe(duration_s)
 
 
 class _NullSpan:

@@ -44,6 +44,33 @@ from repro.pipeline.study import StudyRow
 
 logger = logging.getLogger(__name__)
 
+#: Paths of journals currently open in this process, for the resource
+#: sampler's checkpoint-size gauge.  Registered on open, dropped on
+#: close; a path can be re-registered by a resuming run.
+_LIVE_JOURNALS: set[Path] = set()
+
+
+def live_checkpoint_paths() -> tuple[Path, ...]:
+    """Paths of checkpoint journals currently open in this process."""
+    return tuple(sorted(_LIVE_JOURNALS))
+
+
+def live_checkpoint_bytes() -> int:
+    """Total on-disk bytes of the currently open checkpoint journals.
+
+    Reads sizes from the filesystem (journals are append-and-flush, so
+    ``stat`` is accurate to the last flush); a journal deleted out from
+    under its writer counts as zero rather than raising.
+    """
+    total = 0
+    for path in list(_LIVE_JOURNALS):
+        try:
+            total += path.stat().st_size
+        except OSError:
+            pass
+    return total
+
+
 _ROW_FIELDS = (
     "unit",
     "rtt_delta_ms",
@@ -178,6 +205,7 @@ class StudyCheckpoint:
         else:
             self._file = open(self.path, "w")
             self._append(header)
+        _LIVE_JOURNALS.add(self.path)
         logger.info(
             "checkpoint %s: %d completed units loaded",
             self.path, len(self.completed),
@@ -241,6 +269,7 @@ class StudyCheckpoint:
         ``fsync`` makes every journaled unit durable against power loss
         before the descriptor closes.
         """
+        _LIVE_JOURNALS.discard(self.path)
         if self._file.closed:
             return
         self._file.flush()

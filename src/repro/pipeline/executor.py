@@ -53,6 +53,7 @@ import logging
 import os
 import time
 import traceback
+import weakref
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -69,7 +70,7 @@ from repro.obs.capture import (
     merge_outcome_observability,
     run_captured,
 )
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import get_metrics, merge_epoch
 
 logger = logging.getLogger(__name__)
 
@@ -151,6 +152,28 @@ def _count_retry() -> None:
     get_metrics().counter(
         "task_retries_total", "transiently failed tasks re-run by a backend"
     ).inc()
+
+
+#: Live process-pool backends, for the resource sampler's executor gauges.
+#: A WeakSet so a backend that is dropped without ``close()`` (tests,
+#: exceptions) never pins itself in memory or reports phantom workers.
+_LIVE_BACKENDS: "weakref.WeakSet[ProcessPoolBackend]" = weakref.WeakSet()
+
+
+def live_executor_stats() -> dict[str, int]:
+    """Aggregate queue depth and worker liveness across live pool backends.
+
+    ``queue_depth`` counts tasks submitted but not yet settled (retries
+    requeue, so a task mid-retry still counts); ``workers_alive`` counts
+    spawned worker processes currently alive.  Serial execution reports
+    zeros — there is no queue and no workers to watch.
+    """
+    queue_depth = 0
+    workers_alive = 0
+    for backend in list(_LIVE_BACKENDS):
+        queue_depth += backend.pending_tasks
+        workers_alive += backend.alive_workers()
+    return {"queue_depth": queue_depth, "workers_alive": workers_alive}
 
 
 class SerialExecutor:
@@ -258,6 +281,20 @@ class ProcessPoolBackend:
         self._initializer = initializer
         self._initargs = initargs
         self._pool = self._make_pool()
+        #: Tasks submitted to this backend and not yet settled (updated
+        #: by the in-flight ``_MapState``; read by the resource sampler).
+        self.pending_tasks = 0
+        _LIVE_BACKENDS.add(self)
+
+    def alive_workers(self) -> int:
+        """How many of this pool's spawned worker processes are alive.
+
+        Workers spawn lazily, so this reads 0 before the first task and
+        can dip mid-run when chaos kills a worker — exactly the signal
+        the sampler wants.
+        """
+        processes = getattr(self._pool, "_processes", None) or {}
+        return sum(1 for p in list(processes.values()) if p.is_alive())
 
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -304,6 +341,8 @@ class ProcessPoolBackend:
     def close(self) -> None:
         """Shut the pool down and reclaim the worker processes."""
         self._pool.shutdown(wait=True)
+        self.pending_tasks = 0
+        _LIVE_BACKENDS.discard(self)
 
     def __enter__(self) -> "ProcessPoolBackend":
         return self
@@ -376,6 +415,8 @@ class _MapState:
                 self._handle_breakage(broken)
             if self.timeout is not None:
                 self._expire_overdue()
+            self.backend.pending_tasks = len(self.index_of)
+        self.backend.pending_tasks = 0
 
     def _submit(self, index: int) -> None:
         payload = (
@@ -386,6 +427,7 @@ class _MapState:
         )
         future = self.backend._pool.submit(_run_captured_payload, payload)
         self.index_of[future] = index
+        self.backend.pending_tasks = len(self.index_of)
         if self.timeout is not None:
             self.deadline[future] = time.monotonic() + self.timeout
 
@@ -466,16 +508,26 @@ class _MapState:
             )
 
     def collect(self) -> list:
-        """Merge observability and assemble results in input order."""
+        """Merge observability and assemble results in input order.
+
+        Every merge carries ``task_order=(epoch, index)`` — one merge
+        epoch per map call — so the registry's gauge resolution is the
+        task-order-maximal write regardless of completion order, and a
+        second map's task 0 still outranks the first map's last task.
+        Failed attempts of a retried task share the final attempt's
+        order; merging them first keeps the final value on top.
+        """
+        epoch = merge_epoch()
         results: list = []
         for index in range(len(self.work)):
+            order = (epoch, index)
             attempts = self.buffers[index]
             for earlier in attempts[:-1]:
-                merge_outcome_observability(earlier)
+                merge_outcome_observability(earlier, task_order=order)
             last = attempts[-1]
             exc = last.exception
             if isinstance(exc, BrokenProcessPool):
-                merge_outcome_observability(last)
+                merge_outcome_observability(last, task_order=order)
                 raise ExecutionError(
                     f"ProcessPoolBackend: worker process died while running "
                     f"task {index} of {len(self.work)} "
@@ -484,14 +536,14 @@ class _MapState:
             if exc is not None and not last.traceback_text:
                 # Parent-side synthetic failures (timeouts) have no
                 # worker traceback to chain.
-                merge_outcome_observability(last)
+                merge_outcome_observability(last, task_order=order)
                 raise exc
             if exc is not None:
                 logger.error(
                     "worker task %d failed: %r\n%s",
                     index, exc, last.traceback_text,
                 )
-            results.append(absorb_outcome(last))
+            results.append(absorb_outcome(last, task_order=order))
         return results
 
 

@@ -64,8 +64,10 @@ _ALIGN = 64
 #: ``/dev/shm``.  Kept short: POSIX shm names are limited (NAME_MAX).
 NAME_PREFIX = "rpr-panel-"
 
-#: Names created by this process and not yet unlinked.
-_LIVE: set[str] = set()
+#: Names created by this process and not yet unlinked, with their block
+#: sizes in bytes (``SharedMemory.size``) so the resource sampler can
+#: report live ``/dev/shm`` byte totals without stat-ing the filesystem.
+_LIVE: dict[str, int] = {}
 
 #: Per-process attach cache: block name -> (mapping, reconstructed panel).
 #: Pool workers run many tasks against the same panel; the first task
@@ -200,7 +202,7 @@ class SharedPanelOwner:
             (n_times, n_units), dtype=np.float64, buffer=self._shm.buf, offset=offset
         )
         self._panel = Panel(times=tuple(times), units=tuple(units), matrix=self._matrix)
-        _LIVE.add(name)
+        _LIVE[name] = self._shm.size
 
     @classmethod
     def allocate(
@@ -257,7 +259,7 @@ class SharedPanelOwner:
         # be released even when no caller holds one.
         self._matrix = None  # type: ignore[assignment]
         self._panel = None  # type: ignore[assignment]
-        _LIVE.discard(shm.name)
+        _LIVE.pop(shm.name, None)
         hit = _ATTACHED.pop(shm.name, None)
         if hit is not None:
             cached, cached_panel = hit
@@ -293,8 +295,9 @@ class SharedPanelOwner:
 #: leak tests can tell the two populations apart in ``/dev/shm``).
 ARENA_PREFIX = "rpr-arena-"
 
-#: Arena block names created by this process and not yet unlinked.
-_LIVE_ARENA: set[str] = set()
+#: Arena block names created by this process and not yet unlinked, with
+#: their block sizes in bytes (same contract as ``_LIVE`` above).
+_LIVE_ARENA: dict[str, int] = {}
 
 #: Per-process attach cache for arena arrays: name -> (mapping, view).
 #: A pooled worker touches the same slab blocks on every task; the
@@ -307,6 +310,24 @@ _ATTACHED_ARRAYS: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 def live_arena_blocks() -> tuple[str, ...]:
     """Arena block names this process created and has not unlinked yet."""
     return tuple(sorted(_LIVE_ARENA))
+
+
+def live_shm_bytes() -> int:
+    """Total bytes of live panel + arena blocks this process owns.
+
+    This is the byte-exact ``/dev/shm`` footprint of the blocks in
+    :func:`live_panel_blocks` / :func:`live_arena_blocks` (each block's
+    ``SharedMemory.size``), which the resource sampler records and the
+    leak tests cross-check against the filesystem.  The dicts are
+    copied before summing: the sampler thread reads while the study
+    thread allocates.
+    """
+    return sum(dict(_LIVE).values()) + sum(dict(_LIVE_ARENA).values())
+
+
+def live_shm_blocks() -> int:
+    """How many live panel + arena blocks this process owns."""
+    return len(_LIVE) + len(_LIVE_ARENA)
 
 
 def _defuse_handle(shm: shared_memory.SharedMemory) -> None:
@@ -415,7 +436,7 @@ class SharedFrameArena:
         nbytes = int(np.prod(shape, dtype=np.int64)) * 8
         name = ARENA_PREFIX + secrets.token_hex(8)
         shm = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
-        _LIVE_ARENA.add(name)
+        _LIVE_ARENA[name] = shm.size
         ref = SharedArrayRef(name=name, shape=shape)
         view = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
         # The parent reads (and fills) through the attach cache too, so
@@ -472,7 +493,7 @@ class SharedFrameArena:
         self._closed = True
         blocks, self._blocks = self._blocks, []
         for _label, shm, _ref in blocks:
-            _LIVE_ARENA.discard(shm.name)
+            _LIVE_ARENA.pop(shm.name, None)
             hit = _ATTACHED_ARRAYS.pop(shm.name, None)
             try:
                 shm.unlink()

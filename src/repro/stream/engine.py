@@ -63,6 +63,18 @@ class BatchReport:
     placebo_refreshes: int = 0
 
 
+def _live_summary(result: StudyResult) -> dict:
+    """A JSON-ready view of a live (advisory) result for telemetry."""
+    from dataclasses import asdict
+
+    return {
+        "rows": [asdict(row) for row in result.rows],
+        "skipped": [
+            {"unit": unit, "reason": reason} for unit, reason in result.skipped
+        ],
+    }
+
+
 @dataclass(frozen=True)
 class StreamOutcome:
     """A finished stream: the finalized study plus per-batch reports."""
@@ -102,6 +114,7 @@ class StreamStudy:
         live_refits: bool = True,
         live_placebo_every: int = 4,
         batch_fits: bool = True,
+        telemetry: object | None = None,
     ) -> None:
         self.ixp_name = ixp_name
         self._method = method
@@ -129,6 +142,12 @@ class StreamStudy:
             placebo_every=live_placebo_every,
         )
         self.reports: list[BatchReport] = []
+        #: Telemetry sink, duck-typed to
+        #: :class:`repro.obs.serve.TelemetryPublisher` (``publish_batch``
+        #: / ``publish_final``).  Publication is observation only — it
+        #: runs after the batch's state and journal writes, so rows are
+        #: identical with telemetry on or off.
+        self._telemetry = telemetry
         self._ckpt: StudyCheckpoint | None = None
         if checkpoint is not None:
             self._ckpt = StudyCheckpoint(
@@ -219,6 +238,12 @@ class StreamStudy:
             placebo_refreshes=self._refitter.placebo_refreshes - placebo0,
         )
         self.reports.append(report)
+        if self._telemetry is not None:
+            live = self.live_result() if self._live else None
+            self._telemetry.publish_batch(
+                report,
+                live_summary=None if live is None else _live_summary(live),
+            )
         return report
 
     def live_result(self) -> StudyResult:
@@ -291,9 +316,12 @@ class StreamStudy:
             if owner is not None:
                 owner.close()
             self.close()
-        return StudyResult(
+        result = StudyResult(
             rows=tuple(rows), assignment=assignment, skipped=tuple(skipped)
         )
+        if self._telemetry is not None:
+            self._telemetry.publish_final(result)
+        return result
 
     def run(self, batches) -> StreamOutcome:
         """Ingest a whole feed, finalize, and return both views."""

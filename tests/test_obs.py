@@ -16,8 +16,9 @@ import logging
 
 import pytest
 
+from repro.chaos import current_attempt
 from repro.cli import main
-from repro.errors import PipelineError, ReproError
+from repro.errors import InjectedFault, PipelineError, ReproError
 from repro.obs import (
     Histogram,
     MetricsRegistry,
@@ -36,7 +37,12 @@ from repro.obs import (
     traced,
     tracing_disabled,
 )
-from repro.pipeline import ProcessPoolBackend, run_ixp_study
+from repro.pipeline import (
+    ProcessPoolBackend,
+    RetryPolicy,
+    SerialExecutor,
+    run_ixp_study,
+)
 from repro.pipeline.crossing import assign_treatment
 from repro.pipeline.study import StudyRow, parse_unit_label
 
@@ -221,6 +227,155 @@ class TestMetrics:
         assert 'h_bucket{le="1"} 1' in text
         assert 'h_bucket{le="+Inf"} 1' in text  # cumulative
         assert "h_count 1" in text
+
+
+# -- gauge merge ordering (bugfix) --------------------------------------------
+
+
+def _gauge_snapshot(value: float) -> dict:
+    worker = MetricsRegistry()
+    worker.gauge("depth", "queue depth").set(value)
+    return worker.snapshot()
+
+
+class TestGaugeMergeOrder:
+    """Gauge merges resolve by task order, not arrival order.
+
+    Regression for the order-dependent merge: a pooled run used to leave
+    whichever worker snapshot *arrived* last in the gauge, so `--jobs 4`
+    could disagree with serial (and with itself) run-to-run.
+    """
+
+    def test_arrival_order_does_not_matter(self):
+        a = MetricsRegistry()
+        a.merge(_gauge_snapshot(1.0), task_order=(0, 0))
+        a.merge(_gauge_snapshot(2.0), task_order=(0, 1))
+        b = MetricsRegistry()
+        b.merge(_gauge_snapshot(2.0), task_order=(0, 1))  # arrives first
+        b.merge(_gauge_snapshot(1.0), task_order=(0, 0))  # stale, loses
+        assert a.gauge("depth").value == b.gauge("depth").value == 2.0
+
+    def test_later_epoch_outranks_earlier_map_call(self):
+        # The first task of a second map call must beat the last task of
+        # the first call, whatever their per-call indices say.
+        reg = MetricsRegistry()
+        reg.merge(_gauge_snapshot(1.0), task_order=(0, 99))
+        reg.merge(_gauge_snapshot(2.0), task_order=(1, 0))
+        assert reg.gauge("depth").value == 2.0
+
+    def test_equal_order_lets_final_attempt_win(self):
+        # A retried task's attempts share one task order; the final
+        # attempt merges last and must overwrite the doomed one.
+        reg = MetricsRegistry()
+        reg.merge(_gauge_snapshot(-1.0), task_order=(0, 2))
+        reg.merge(_gauge_snapshot(4.0), task_order=(0, 2))
+        assert reg.gauge("depth").value == 4.0
+
+    def test_direct_set_clears_merge_order(self):
+        reg = MetricsRegistry()
+        reg.merge(_gauge_snapshot(5.0), task_order=(3, 7))
+        reg.gauge("depth").set(9.0)  # a fresh serial write wins outright
+        assert reg.gauge("depth").merge_order is None
+        # ...and the next merge epoch starts from a clean slate.
+        reg.merge(_gauge_snapshot(1.0), task_order=(0, 0))
+        assert reg.gauge("depth").value == 1.0
+
+    def test_merge_without_order_keeps_legacy_last_write(self):
+        reg = MetricsRegistry()
+        reg.merge(_gauge_snapshot(1.0))
+        reg.merge(_gauge_snapshot(2.0))
+        assert reg.gauge("depth").value == 2.0
+
+
+def _gauge_last_task(x: int) -> int:
+    get_metrics().gauge("last_task", "last task index seen").set(x)
+    return x
+
+
+def _flaky_gauge_task(x: int) -> int:
+    if x == 2 and current_attempt() == 0:
+        get_metrics().gauge("last_task").set(-1.0)  # doomed attempt's write
+        raise InjectedFault("first attempt dies")
+    get_metrics().gauge("last_task").set(x)
+    return x
+
+
+class TestGaugeParityAcrossBackends:
+    def _final_gauge(self, backend: str, fn, retry=None) -> float:
+        set_metrics(MetricsRegistry())
+        items = [0, 1, 2, 3, 4, 5, 6, 7]
+        if backend == "serial":
+            assert SerialExecutor(retry=retry).map(fn, items) == items
+        else:
+            with ProcessPoolBackend(n_jobs=4, retry=retry) as pool:
+                assert pool.map(fn, items) == items
+        return get_metrics().gauge("last_task").value
+
+    def test_pooled_gauge_matches_serial(self):
+        serial = self._final_gauge("serial", _gauge_last_task)
+        pooled = self._final_gauge("pool", _gauge_last_task)
+        assert serial == pooled == 7.0
+
+    def test_parity_survives_retries(self):
+        retry = RetryPolicy(max_attempts=2, base_delay=0, jitter=0)
+        serial = self._final_gauge("serial", _flaky_gauge_task, retry=retry)
+        pooled = self._final_gauge("pool", _flaky_gauge_task, retry=retry)
+        assert serial == pooled == 7.0
+
+
+# -- span -> histogram bridge -------------------------------------------------
+
+
+def _span_histograms(snapshot: dict) -> dict[str, tuple]:
+    """name -> (buckets, observation count) for every bridge histogram.
+
+    Wall-clock durations land in whatever bucket the scheduler dictates,
+    so parity is over the deterministic part: which histograms exist,
+    their bucket layout, and how many spans each observed.
+    """
+    return {
+        name: (buckets, count)
+        for name, (_help, buckets, _counts, _sum, count) in snapshot[
+            "histograms"
+        ].items()
+        if name.startswith("span_seconds_")
+    }
+
+
+class TestSpanHistogramBridge:
+    def test_span_close_feeds_latency_histogram(self):
+        with span("fits.unit"):
+            pass
+        with span("fits.unit"):
+            pass
+        h = get_metrics().histogram("span_seconds_fits_unit")
+        assert h.count == 2
+        assert h.sum >= 0
+
+    def test_names_are_sanitized(self):
+        with span("a.b-c"):
+            pass
+        assert get_metrics().histogram("span_seconds_a_b_c").count == 1
+
+    def test_bridge_rides_the_tracing_kill_switch(self):
+        with tracing_disabled():
+            with span("invisible"):
+                pass
+        assert _span_histograms(get_metrics().snapshot()) == {}
+
+    def test_serial_and_pooled_buckets_identical(self, small_frame, small_scenario):
+        ixp = small_scenario.ixp_name
+
+        def bridge_counts(n_jobs):
+            set_metrics(MetricsRegistry())
+            get_tracer().reset()
+            run_ixp_study(small_frame, ixp, n_jobs=n_jobs)
+            return _span_histograms(get_metrics().snapshot())
+
+        serial = bridge_counts(1)
+        pooled = bridge_counts(4)
+        assert serial  # the study produced spans, so the bridge fired
+        assert serial == pooled  # same names, buckets, and counts
 
 
 # -- cross-process capture ----------------------------------------------------

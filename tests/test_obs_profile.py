@@ -1,0 +1,202 @@
+"""Tests for the profiling analysis layer (``repro.obs.profile``).
+
+Built on synthetic span trees with hand-computable self times, so every
+assertion is exact: self-time partitioning, hotspot ranking, the
+critical-path walk, folded-stack weights, the ``render_trace`` hotspot
+wiring, and the CLI ``report`` subcommand over an exported trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecord,
+    get_tracer,
+    render_trace,
+    set_metrics,
+    set_tracing,
+    span,
+)
+from repro.obs.profile import (
+    Hotspot,
+    critical_path,
+    export_folded,
+    folded_stacks,
+    format_critical_path,
+    format_hotspots,
+    hotspots,
+    self_times,
+)
+from repro.obs.trace import export_jsonl
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    get_tracer().reset()
+    set_tracing(True)
+    saved = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(saved)
+    get_tracer().reset()
+    set_tracing(True)
+
+
+def _rec(name, span_id, parent_id, duration_s, start=0.0):
+    return SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        start_unix=start,
+        duration_s=duration_s,
+    )
+
+
+@pytest.fixture()
+def tree():
+    """root(1.0s) -> [a(0.6s) -> b(0.2s), a(0.3s)] — exact self times."""
+    return [
+        _rec("root", 1, None, 1.0),
+        _rec("a", 2, 1, 0.6),
+        _rec("b", 3, 2, 0.2),
+        _rec("a", 4, 1, 0.3),
+    ]
+
+
+class TestSelfTimes:
+    def test_duration_minus_children(self, tree):
+        selfs = self_times(tree)
+        assert selfs[1] == pytest.approx(0.1)  # 1.0 - (0.6 + 0.3)
+        assert selfs[2] == pytest.approx(0.4)  # 0.6 - 0.2
+        assert selfs[3] == pytest.approx(0.2)
+        assert selfs[4] == pytest.approx(0.3)
+
+    def test_negative_difference_clamps_to_zero(self):
+        # Child clocks can overshoot the parent's by rounding; self time
+        # must never go negative.
+        records = [_rec("p", 1, None, 0.1), _rec("c", 2, 1, 0.11)]
+        assert self_times(records)[1] == 0.0
+
+    def test_orphan_parent_treated_as_root(self):
+        # parent_id pointing outside the record set (truncated trace).
+        records = [_rec("x", 5, 99, 0.5)]
+        assert self_times(records)[5] == pytest.approx(0.5)
+
+
+class TestHotspots:
+    def test_ranked_by_self_time_with_name_tiebreak(self, tree):
+        spots = hotspots(tree)
+        assert spots == [
+            Hotspot("a", 2, pytest.approx(0.9), pytest.approx(0.7)),
+            Hotspot("b", 1, pytest.approx(0.2), pytest.approx(0.2)),
+            Hotspot("root", 1, pytest.approx(1.0), pytest.approx(0.1)),
+        ]
+
+    def test_top_truncates(self, tree):
+        assert [s.name for s in hotspots(tree, top=1)] == ["a"]
+
+    def test_format_notes_elided_names(self, tree):
+        text = format_hotspots(tree, top=2)
+        assert "a" in text and "b" in text
+        assert "1 more span names below the top 2" in text
+
+    def test_empty(self):
+        assert hotspots([]) == []
+        assert format_hotspots([]) == "(empty trace)"
+
+
+class TestCriticalPath:
+    def test_longest_chain(self, tree):
+        path = critical_path(tree)
+        assert [r.name for r, _ in path] == ["root", "a", "b"]
+        assert [r.span_id for r, _ in path] == [1, 2, 3]
+        assert path[1][1] == pytest.approx(0.4)  # self time rides along
+
+    def test_picks_longest_root(self, tree):
+        other_root = _rec("slow_root", 10, None, 2.0)
+        path = critical_path(tree + [other_root])
+        assert [r.name for r, _ in path] == ["slow_root"]
+
+    def test_empty(self):
+        assert critical_path([]) == []
+        assert format_critical_path([]) == "(empty trace)"
+
+    def test_format_shows_total_and_self(self, tree):
+        text = format_critical_path(tree)
+        assert "root" in text and "total" in text and "self" in text
+
+
+class TestFoldedStacks:
+    def test_weights_are_self_time_microseconds(self, tree):
+        folded = folded_stacks(tree)
+        assert folded == {
+            "root": 100_000,
+            "root;a": 700_000,  # both same-stack 'a' spans accumulate
+            "root;a;b": 200_000,
+        }
+
+    def test_zero_weight_stacks_dropped(self):
+        records = [_rec("p", 1, None, 0.5), _rec("c", 2, 1, 0.5)]
+        folded = folded_stacks(records)
+        assert "p" not in folded  # self time exactly 0
+        assert folded["p;c"] == 500_000
+
+    def test_export_is_sorted_and_counts_lines(self, tmp_path, tree):
+        out = tmp_path / "trace.folded"
+        assert export_folded(out, tree) == 3
+        lines = out.read_text().splitlines()
+        assert lines == sorted(lines)
+        assert "root;a;b 200000" in lines
+
+    def test_export_defaults_to_live_tracer(self, tmp_path):
+        with span("outer"):
+            with span("inner"):
+                pass
+        out = tmp_path / "live.folded"
+        n = export_folded(out)
+        text = out.read_text()
+        assert n >= 1
+        assert "outer" in text
+
+
+class TestRenderTraceHotspots:
+    def test_hotspot_table_appended(self, tree):
+        text = render_trace(tree, hotspots=2)
+        assert "top 2 hotspots by self time" in text
+        assert "root" in text.splitlines()[0]
+
+    def test_default_omits_table(self, tree):
+        assert "hotspots" not in render_trace(tree)
+
+
+class TestReportCommand:
+    def test_report_over_exported_trace(self, tmp_path, capsys):
+        with span("study"):
+            with span("fits.unit", unit="AS1"):
+                pass
+        trace = tmp_path / "t.jsonl"
+        export_jsonl(trace)
+        folded = tmp_path / "t.folded"
+        rc = main(
+            [
+                "report",
+                "--trace", str(trace),
+                "--top", "5",
+                "--tree",
+                "--folded", str(folded),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 spans from" in out
+        assert "hotspots by self time" in out
+        assert "critical path" in out
+        assert "span tree" in out
+        assert folded.exists()
+
+    def test_report_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["report", "--trace", str(tmp_path / "absent.jsonl")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,181 @@
+"""Tests for the resource sampler (``repro.obs.resources``).
+
+The acceptance-critical pin lives here: the sampler's shared-memory
+byte accounting must match the leak tracker *and* the actual
+``/dev/shm`` file sizes at every sample point, and drain to zero when
+the owners close.  The rest covers the sample fields, the gauge-series
+plumbing, the executor hooks, checkpoint-size tracking, and the
+thread lifecycle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.obs import GaugeSeries, MetricsRegistry, get_metrics, set_metrics
+from repro.obs.resources import (
+    SERIES,
+    ResourceSampler,
+    read_rss_bytes,
+    take_resource_sample,
+)
+from repro.pipeline.checkpoint import StudyCheckpoint, live_checkpoint_bytes
+from repro.pipeline.executor import ProcessPoolBackend, live_executor_stats
+from repro.pipeline.shm import (
+    SharedFrameArena,
+    SharedPanelOwner,
+    live_shm_blocks,
+    live_shm_bytes,
+)
+from repro.synthcontrol.donor import Panel
+
+import numpy as np
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    saved = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(saved)
+
+
+def _shm_file_bytes(names):
+    return sum(os.stat(f"/dev/shm/{name}").st_size for name in names)
+
+
+class TestPrimitives:
+    def test_rss_positive(self):
+        assert read_rss_bytes() > 1024 * 1024  # a python process is > 1 MiB
+
+    def test_sample_fields_sane(self):
+        sample = take_resource_sample(unix_time=123.0)
+        assert sample.unix_time == 123.0
+        assert sample.rss_bytes > 0
+        assert sample.shm_bytes == 0 and sample.shm_blocks == 0
+        assert sample.checkpoint_bytes == 0
+        assert sample.queue_depth == 0 and sample.workers_alive == 0
+        assert sample.gc_objects >= 0
+        assert sample.gc_collections >= 0
+
+
+class TestShmAccounting:
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="no /dev/shm on this host"
+    )
+    def test_sampler_bytes_match_tracker_and_filesystem(self):
+        # The acceptance pin: at every sample point, the sampler's
+        # shm_bytes equals both the leak tracker's total and the stat'd
+        # sizes of the live blocks' /dev/shm files — and drains to 0.
+        sampler = ResourceSampler(interval_s=60)  # manual sampling only
+        arena = SharedFrameArena(tag="test")
+        panel = Panel(
+            times=(0.0, 1.0),
+            units=("a", "b", "c"),
+            matrix=np.zeros((2, 3)),
+        )
+        owner = None
+        try:
+            for shape in [(1024,), (256, 8)]:
+                arena.allocate(f"blk{shape}", shape)
+                sample = sampler.sample_once()
+                names = list(arena.names)
+                assert sample.shm_bytes == live_shm_bytes()
+                assert sample.shm_bytes == _shm_file_bytes(names)
+                assert sample.shm_blocks == live_shm_blocks() == len(names)
+            owner = SharedPanelOwner.from_panel(panel)
+            sample = sampler.sample_once()
+            names = list(arena.names) + [owner.name]
+            assert sample.shm_bytes == live_shm_bytes() == _shm_file_bytes(names)
+            assert sample.shm_blocks == 3
+        finally:
+            arena.close()
+            if owner is not None:
+                owner.close()
+        final = sampler.sample_once()
+        assert final.shm_bytes == 0 and final.shm_blocks == 0
+
+    def test_series_recorded_into_registry(self):
+        sampler = ResourceSampler(interval_s=60)
+        sampler.sample_once()
+        sampler.sample_once()
+        registry = get_metrics()
+        for name, _help, _attr in SERIES:
+            series = registry.series(name)
+            assert isinstance(series, GaugeSeries)
+            assert len(series.points()) == 2
+        text = registry.render()
+        assert "process_rss_bytes" in text
+        assert "shm_live_bytes 0" in text
+
+    def test_zero_samples_leave_registry_untouched(self):
+        before = get_metrics().render()
+        ResourceSampler(interval_s=60)  # constructed, never sampled
+        assert get_metrics().render() == before
+
+
+class TestCheckpointAccounting:
+    def test_journal_bytes_live_then_zero(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert live_checkpoint_bytes() == 0
+        ckpt = StudyCheckpoint(path, ixp_name="X", method="robust", outcome="rtt_ms")
+        try:
+            assert live_checkpoint_bytes() == path.stat().st_size > 0
+            ckpt.append_batch(0, 100)
+            assert live_checkpoint_bytes() == path.stat().st_size
+            assert take_resource_sample().checkpoint_bytes == path.stat().st_size
+        finally:
+            ckpt.close()
+        assert live_checkpoint_bytes() == 0
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestExecutorStats:
+    def test_zero_without_backends(self):
+        assert live_executor_stats() == {"queue_depth": 0, "workers_alive": 0}
+
+    def test_pool_reports_workers_then_drains(self):
+        with ProcessPoolBackend(n_jobs=2) as pool:
+            assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+            stats = live_executor_stats()
+            assert stats["workers_alive"] >= 1  # spawned by the map
+            assert stats["queue_depth"] == 0  # everything settled
+        assert live_executor_stats() == {"queue_depth": 0, "workers_alive": 0}
+
+
+class TestSamplerLifecycle:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            ResourceSampler(interval_s=0)
+
+    def test_thread_samples_on_interval(self):
+        seen = []
+        with ResourceSampler(interval_s=0.01, on_sample=seen.append) as sampler:
+            deadline = time.monotonic() + 5.0
+            while len(sampler.samples) < 3 and time.monotonic() < deadline:
+                time.sleep(0.005)
+        # stop() adds one final sample on top of the interval ticks.
+        assert len(sampler.samples) >= 4
+        assert seen == sampler.samples
+        assert all(s.rss_bytes > 0 for s in sampler.samples)
+
+    def test_start_stop_idempotent(self):
+        sampler = ResourceSampler(interval_s=5)
+        sampler.start()
+        sampler.start()
+        sampler.stop()
+        n = len(sampler.samples)
+        sampler.stop()  # no second final sample
+        assert len(sampler.samples) == n == 1
+
+    def test_explicit_registry_respected(self):
+        private = MetricsRegistry()
+        sampler = ResourceSampler(interval_s=60, registry=private)
+        sampler.sample_once()
+        assert private.series("process_rss_bytes").touched
+        assert not get_metrics().series("process_rss_bytes").touched

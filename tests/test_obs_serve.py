@@ -1,0 +1,279 @@
+"""Tests for the live telemetry endpoint (``repro.obs.serve``).
+
+Covers the publisher ring buffer, the derived health verdict under a
+fake clock, the HTTP surface (all three routes, content types, the 503
+health contract, 404s), the ``StreamStudy`` integration (published
+batches and final result, rows bit-identical with telemetry on), and
+the chaos scenario from the issue: a stream killed mid-batch must
+report degraded — while ``/metrics`` and ``/live`` keep serving — and
+recover after resume, with fault counters matching the chaos fault log.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec, active_plan
+from repro.chaos.runtime import clear_events, fault_events
+from repro.errors import InjectedFault
+from repro.frames.io import to_csv_text
+from repro.obs import MetricsRegistry, get_metrics, get_tracer, set_metrics
+from repro.obs.serve import TelemetryPublisher, TelemetryServer, fault_load
+from repro.pipeline import run_ixp_study
+from repro.stream import StreamStudy, slice_frame
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    get_tracer().reset()
+    clear_events()
+    saved = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(saved)
+    clear_events()
+    get_tracer().reset()
+
+
+@dataclass(frozen=True)
+class FakeReport:
+    """The BatchReport fields the publisher and /live consume."""
+
+    index: int
+    n_rows: int = 10
+    warm_refits: int = 1
+    cold_refits: int = 0
+    placebo_refreshes: int = 2
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _get(url: str):
+    """GET returning (status, content_type, body) — 4xx/5xx included."""
+    try:
+        with urllib.request.urlopen(url) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read()
+
+
+class TestPublisher:
+    def test_ring_buffer_bounded(self):
+        pub = TelemetryPublisher(capacity=3)
+        for i in range(5):
+            pub.publish_batch(FakeReport(index=i))
+        entries = pub.entries()
+        assert [e["report"]["index"] for e in entries] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TelemetryPublisher(capacity=0)
+
+    def test_live_view_aggregates_and_prefers_final(self):
+        pub = TelemetryPublisher()
+        pub.publish_batch(FakeReport(index=0), live_summary={"rows": [], "skipped": []})
+        pub.publish_batch(
+            FakeReport(index=1), live_summary={"rows": [{"unit": "A"}], "skipped": []}
+        )
+        view = pub.live_view()
+        assert view["warm_refits"] == 2
+        assert view["placebo_refreshes"] == 4
+        assert view["verdict"] == {"rows": [{"unit": "A"}], "skipped": []}
+        assert view["finalized"] is False
+
+
+class TestHealth:
+    def test_ok_then_stalled_by_recency(self):
+        clock = FakeClock()
+        pub = TelemetryPublisher(clock=clock)
+        pub.publish_batch(FakeReport(index=0))
+        assert pub.health(stall_after_s=300)["status"] == "ok"
+        clock.now += 301
+        health = pub.health(stall_after_s=300)
+        assert health["status"] == "stalled"
+        assert health["seconds_since_last_batch"] == pytest.approx(301)
+
+    def test_stalled_before_first_batch_uses_start_time(self):
+        clock = FakeClock()
+        pub = TelemetryPublisher(clock=clock)
+        clock.now += 301
+        assert pub.health(stall_after_s=300)["status"] == "stalled"
+
+    def test_degraded_by_fault_counters_then_recovers(self):
+        pub = TelemetryPublisher(clock=FakeClock())
+        pub.publish_batch(FakeReport(index=0))
+        get_metrics().counter("faults_injected_total").inc()
+        health = pub.health()
+        assert health["status"] == "degraded"
+        assert health["faults_since_last_batch"] == 1
+        # The next clean batch re-baselines: the run recovered.
+        pub.publish_batch(FakeReport(index=1))
+        health = pub.health()
+        assert health["status"] == "ok"
+        assert health["faults_total"] == 1
+        assert health["faults_since_last_batch"] == 0
+
+    def test_finalized_run_is_ok_even_when_stale(self):
+        clock = FakeClock()
+        pub = TelemetryPublisher(clock=clock)
+        pub.publish_batch(FakeReport(index=0))
+
+        class _Result:
+            rows = ()
+            skipped = ()
+
+        pub.publish_final(_Result())
+        clock.now += 10_000
+        assert pub.health(stall_after_s=300)["status"] == "ok"
+
+    def test_fault_load_sums_all_fault_counters(self):
+        get_metrics().counter("task_retries_total").inc(2)
+        get_metrics().counter("pool_rebuilds_total").inc()
+        assert fault_load() == 3
+
+
+class TestHTTPSurface:
+    def test_all_routes_serve(self):
+        pub = TelemetryPublisher()
+        pub.publish_batch(FakeReport(index=0))
+        get_metrics().counter("demo_total", "demo").inc(5)
+        with TelemetryServer(pub) as server:
+            status, ctype, body = _get(server.url("/metrics"))
+            assert status == 200 and ctype.startswith("text/plain")
+            assert "demo_total 5" in body.decode()
+
+            status, ctype, body = _get(server.url("/health"))
+            assert status == 200 and ctype == "application/json"
+            assert json.loads(body)["status"] == "ok"
+
+            status, _, body = _get(server.url("/live"))
+            assert status == 200
+            view = json.loads(body)
+            assert [e["index"] for e in view["ixp_batches"]] == [0]
+
+            status, _, body = _get(server.url("/nope"))
+            assert status == 404
+            assert "/metrics" in json.loads(body)["routes"][0]
+
+    def test_unhealthy_is_http_503(self):
+        pub = TelemetryPublisher()
+        pub.publish_batch(FakeReport(index=0))
+        get_metrics().counter("faults_injected_total").inc()
+        with TelemetryServer(pub) as server:
+            status, _, body = _get(server.url("/health"))
+            assert status == 503
+            assert json.loads(body)["status"] == "degraded"
+
+    def test_port_zero_resolves_and_stop_is_idempotent(self):
+        server = TelemetryServer(TelemetryPublisher())
+        assert server.port > 0
+        server.start()
+        server.stop()
+        server.stop()
+
+
+class TestStreamIntegration:
+    def test_stream_publishes_batches_and_final(self, small_frame, small_scenario):
+        pub = TelemetryPublisher()
+        study = StreamStudy(small_scenario.ixp_name, telemetry=pub)
+        out = study.run(slice_frame(small_frame, n_batches=3))
+        entries = pub.entries()
+        assert [e["report"]["index"] for e in entries] == [0, 1, 2]
+        assert all("live" in e for e in entries)  # live refits were on
+        view = pub.live_view()
+        assert view["finalized"] is True
+        assert view["verdict"]["rows"] == [
+            {**row.__dict__} for row in out.result.rows
+        ]
+        assert pub.health()["status"] == "ok"
+
+    def test_rows_bit_identical_with_telemetry_on(self, small_frame, small_scenario):
+        reference = run_ixp_study(small_frame, small_scenario.ixp_name)
+        pub = TelemetryPublisher()
+        with TelemetryServer(pub) as server:
+            study = StreamStudy(small_scenario.ixp_name, telemetry=pub)
+            out = study.run(slice_frame(small_frame, n_batches=4))
+            # Poll mid-lifecycle too: a scrape must not perturb results.
+            assert _get(server.url("/live"))[0] == 200
+        assert to_csv_text(out.result.to_frame()) == to_csv_text(
+            reference.to_frame()
+        )
+        assert out.result.skipped == reference.skipped
+
+
+class TestChaosEndpoint:
+    def test_degraded_then_recovered_across_kill_and_resume(
+        self, tmp_path, small_frame, small_scenario
+    ):
+        reference = run_ixp_study(small_frame, small_scenario.ixp_name)
+        path = tmp_path / "stream.jsonl"
+        batches = slice_frame(small_frame, n_batches=5)
+        plan = FaultPlan(
+            7, (FaultSpec(site="stream.batch", kind="error", match="2"),)
+        )
+        pub = TelemetryPublisher()
+        with TelemetryServer(pub) as server:
+            first = StreamStudy(
+                small_scenario.ixp_name,
+                checkpoint=path,
+                live_refits=False,
+                telemetry=pub,
+            )
+            with active_plan(plan):
+                with pytest.raises(InjectedFault):
+                    for batch in batches:
+                        first.ingest(batch)
+            first.close()
+
+            # Mid-fault: /health reports degraded (HTTP 503)...
+            status, _, body = _get(server.url("/health"))
+            health = json.loads(body)
+            assert status == 503
+            assert health["status"] == "degraded"
+            assert health["faults_since_last_batch"] == 1
+            # ...with fault counters matching the chaos fault log...
+            assert health["faults_total"] == len(fault_events()) == 1
+            assert fault_events()[0].site == "stream.batch"
+            # ...while /metrics and /live keep serving.
+            status, _, body = _get(server.url("/metrics"))
+            assert status == 200
+            assert "faults_injected_total 1" in body.decode()
+            status, _, body = _get(server.url("/live"))
+            assert status == 200
+            assert [e["index"] for e in json.loads(body)["ixp_batches"]] == [0, 1]
+
+            # Resume with the plan disarmed: replay + fresh suffix.
+            second = StreamStudy(
+                small_scenario.ixp_name,
+                checkpoint=path,
+                resume=True,
+                live_refits=False,
+                telemetry=pub,
+            )
+            for batch in batches:
+                second.ingest(batch)
+            result = second.finalize()
+
+            status, _, body = _get(server.url("/health"))
+            health = json.loads(body)
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["finalized"] is True
+            assert health["faults_since_last_batch"] == 0
+            status, _, body = _get(server.url("/live"))
+            view = json.loads(body)
+            assert view["finalized"] is True
+            assert len(view["verdict"]["rows"]) == len(reference.rows)
+
+        assert to_csv_text(result.to_frame()) == to_csv_text(reference.to_frame())
+        assert result.skipped == reference.skipped
