@@ -28,7 +28,11 @@ from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-DATA_KEYS = ("wall_seconds", "speedup", "rows")
+#: Keys every benchmark data record must provide.  ``speedup`` is NOT
+#: required: benchmarks whose headline number is something else (e.g.
+#: the campaign's refits-to-convergence) omit it, and collate renders
+#: the gap as ``n/a`` rather than refusing the record.
+DATA_KEYS = ("wall_seconds", "rows")
 
 
 def _percentile(series: list[float], q: float) -> float:
@@ -46,11 +50,12 @@ def write_report(
 ) -> Path:
     """Persist one benchmark's output table (and optional JSON) and echo it.
 
-    *data*, when given, must provide ``wall_seconds``, ``speedup``, and
-    ``rows``; ``name`` and a ``timestamp`` (unix seconds) are filled in
-    here and the record lands at ``results/<name>.json``.  Any further
-    keys (e.g. ``n_cores``/``n_jobs``, which make a scaling regression
-    attributable to the machine it ran on) pass through verbatim.
+    *data*, when given, must provide ``wall_seconds`` and ``rows``;
+    ``speedup`` is optional (absent or None both land as JSON null) and
+    ``name`` plus a ``timestamp`` (unix seconds) are filled in here, the
+    record landing at ``results/<name>.json``.  Any further keys (e.g.
+    ``n_cores``/``n_jobs``, which make a scaling regression attributable
+    to the machine it ran on) pass through verbatim.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
@@ -60,10 +65,11 @@ def write_report(
         missing = [k for k in DATA_KEYS if k not in data]
         if missing:
             raise ValueError(f"benchmark data for {name!r} is missing {missing}")
+        speedup = data.get("speedup")
         record = {
             "name": name,
             "wall_seconds": float(data["wall_seconds"]),
-            "speedup": None if data["speedup"] is None else float(data["speedup"]),
+            "speedup": None if speedup is None else float(speedup),
             "rows": int(data["rows"]),
         }
         for key, value in data.items():
@@ -129,7 +135,7 @@ def _format_trajectory(trajectory: dict[str, Any]) -> str:
     )
     lines = [header, "-" * len(header)]
     for e in trajectory["entries"]:
-        speedup = "-" if e["speedup"] is None else f"{e['speedup']:.1f}x"
+        speedup = "n/a" if e["speedup"] is None else f"{e['speedup']:.1f}x"
         rows = "-" if e["rows"] is None else f"{e['rows']:,}"
         cores = "-" if e["n_cores"] is None else str(e["n_cores"])
         overhead = (

@@ -1,0 +1,164 @@
+"""Experiment P10 — adaptive vs uniform campaign budget allocation.
+
+The campaign engine's reason to exist, measured: across a heterogeneous
+scenario fleet (different perturbation kinds and adoption scales, so
+different placebo-noise levels), the Zeph-style adaptive allocator
+reaches **all scenarios converged** — every placebo-ratio CI at or
+under tolerance — with measurably fewer placebo refits than the
+uniform "keep re-running everything" baseline at the same total
+budget and the same accuracy bar (both stop at the same CI
+tolerance; the verdict tables come from the same fit machinery).
+
+``refits_until_converged()`` reads the allocation trace: the cumulative
+refits granted up to the first round after which every scenario's
+``converged_after`` flag is set.  Uniform spends rounds on already-
+converged scenarios (no freezing), so its convergence point lands
+later — that gap is the paper's Sisyphus tax, quantified.
+
+Smoke mode (``ANALYSIS_BENCH_SMOKE=1``, CI) runs a 4-scenario fleet;
+full mode runs a 10-scenario fleet at the paper-scale study size and
+writes the P10 results JSON.  The JSON deliberately has no ``speedup``
+key — the headline metric is refit savings, and the collate path
+renders the gap as ``n/a``.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import write_report
+
+from repro.campaign import ScenarioSpec, run_campaign
+
+SMOKE = os.environ.get("ANALYSIS_BENCH_SMOKE") == "1"
+
+N_JOBS = 4
+TOL = 0.6
+
+
+def _fleet():
+    """A placebo-noise-heterogeneous fleet: the allocator's habitat.
+
+    The adoption-sweep points run at reduced/raised ``user_scale`` —
+    fewer or more tests per cell, so wider or tighter placebo spreads —
+    which is exactly the variance gradient adaptive allocation exploits.
+    """
+    if SMOKE:
+        days, donors, names = 12, 10, 4
+    else:
+        days, donors, names = 40, 25, 10
+    kinds = [
+        "baseline", "congestion-shock", "adoption-sweep", "adoption-sweep",
+        "depeering", "outage", "route-leak", "staggered-join",
+        "adoption-sweep", "baseline",
+    ][:names]
+    scales = [1.0, 1.0, 0.6, 1.4, 1.0, 1.0, 1.0, 1.0, 0.5, 1.0][:names]
+    return tuple(
+        ScenarioSpec(
+            name=f"{kind}-{i:02d}",
+            kind=kind,
+            seed=i,
+            measurement_seed=100 + i,
+            n_donor_ases=donors,
+            duration_days=days,
+            user_scale=scale,
+        )
+        for i, (kind, scale) in enumerate(zip(kinds, scales))
+    )
+
+
+def test_campaign_adaptive_vs_uniform(benchmark):
+    specs = _fleet()
+    budget = 240 if SMOKE else 1600
+
+    t0 = time.perf_counter()
+    adaptive = benchmark.pedantic(
+        lambda: run_campaign(
+            specs, budget=budget, allocation="adaptive", tol=TOL, n_jobs=N_JOBS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    adaptive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    uniform = run_campaign(
+        specs, budget=budget, allocation="uniform", tol=TOL, n_jobs=N_JOBS
+    )
+    uniform_s = time.perf_counter() - t0
+
+    # Same fleet, same budget, same convergence bar: the verdict tables
+    # must agree on what was measured (units, skips, effects) — the
+    # allocators differ only in where the refit budget went.
+    assert [v.scenario for v in adaptive.verdicts] == [
+        v.scenario for v in uniform.verdicts
+    ]
+    for a, u in zip(adaptive.verdicts, uniform.verdicts):
+        assert (a.n_units, a.n_skipped) == (u.n_units, u.n_skipped)
+        assert a.mean_delta_ms == u.mean_delta_ms
+
+    adaptive_conv = adaptive.refits_until_converged()
+    uniform_conv = uniform.refits_until_converged()
+
+    # The headline assertion: adaptive reaches all-scenarios-converged
+    # in strictly fewer refits than uniform at the same total budget.
+    assert adaptive_conv is not None, (
+        f"adaptive never converged within {budget} refits"
+    )
+    assert adaptive.all_converged
+    effective_uniform = uniform_conv if uniform_conv is not None else budget
+    assert adaptive_conv < effective_uniform, (
+        f"adaptive took {adaptive_conv} refits to converge vs uniform's "
+        f"{uniform_conv} (budget {budget})"
+    )
+    # Freezing also stops the spend itself: adaptive leaves budget on
+    # the table once every CI is tight.
+    assert adaptive.total_refits <= uniform.total_refits
+
+    saving = 1.0 - adaptive_conv / effective_uniform
+    n_rows = sum(v.n_units for v in adaptive.verdicts)
+    uniform_text = (
+        str(uniform_conv) if uniform_conv is not None
+        else f"never (>{budget})"
+    )
+    lines = [
+        f"scale:                      {'smoke' if SMOKE else 'bench'}",
+        f"scenarios:                  {len(specs)}",
+        f"budget (placebo refits):    {budget}",
+        f"CI tolerance:               {TOL}",
+        "",
+        f"adaptive refits to all-converged: {adaptive_conv}",
+        f"uniform refits to all-converged:  {uniform_text}",
+        f"refit saving:                     {saving:.0%}",
+        f"adaptive spent / uniform spent:   "
+        f"{adaptive.total_refits} / {uniform.total_refits}",
+        f"adaptive wall: {adaptive_s:.2f} s, uniform wall: {uniform_s:.2f} s",
+        "",
+        "verdict tables agree on every unit and effect estimate; the",
+        "allocators differ only in where the refit budget went.",
+        "",
+        adaptive.format_campaign_table(),
+    ]
+    write_report(
+        "P10_campaign_adaptive",
+        "P10: campaign engine — adaptive vs uniform refit budgets",
+        "\n".join(lines),
+        data={
+            "wall_seconds": adaptive_s,
+            "rows": n_rows,
+            "n_cores": os.cpu_count() or 1,
+            "n_jobs": N_JOBS,
+            "n_scenarios": len(specs),
+            "budget": budget,
+            "tol": TOL,
+            "adaptive_refits_to_converged": adaptive_conv,
+            "uniform_refits_to_converged": uniform_conv,
+            "adaptive_refits_spent": adaptive.total_refits,
+            "uniform_refits_spent": uniform.total_refits,
+            "refit_saving_pct": round(100 * saving, 1),
+            "smoke": SMOKE,
+        },
+    )

@@ -1,0 +1,255 @@
+"""Zeph-style adaptive placebo-refit budget allocation.
+
+Zeph assigns probing budget to each agent in proportion to expected
+discovery; here the "discovery" a refit buys is a tighter placebo-ratio
+null distribution, so each round hands refits to scenarios in
+proportion to the width of their current placebo-ratio confidence
+interval.  Scenarios whose interval has collapsed below tolerance are
+frozen (they get exactly zero — the anti-Sisyphus move: stop re-running
+a study that has already converged), while every still-live scenario is
+guaranteed a starvation floor.  All arithmetic is deterministic: ties
+break on a seeded hash, never on dict order or wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.chaos.plan import hash01
+from repro.errors import PipelineError
+
+#: Proportional weight standing in for an infinite CI width (scenarios
+#: with < 2 surviving ratios): large enough to dominate any converged
+#: fleet, finite so proportions stay well-defined.
+UNKNOWN_WIDTH_WEIGHT = 1e6
+
+
+def placebo_ci_width(ratios: list[float], z: float = 1.96) -> float:
+    """Width of the normal-approximation CI on the mean placebo ratio.
+
+    ``2 * z * s / sqrt(n)`` with the sample standard deviation
+    (``ddof=1``).  Fewer than two finite ratios means the null
+    distribution is still unmeasured: the width is ``inf`` so the
+    allocator treats the scenario as maximally uncertain.  Computed with
+    ``math`` on sorted values so the result is independent of the order
+    refits completed in.
+    """
+    finite = sorted(r for r in ratios if math.isfinite(r))
+    n = len(finite)
+    if n < 2:
+        return math.inf
+    mean = math.fsum(finite) / n
+    var = math.fsum((r - mean) ** 2 for r in finite) / (n - 1)
+    return 2.0 * z * math.sqrt(var) / math.sqrt(n)
+
+
+@dataclass(frozen=True)
+class ScenarioStat:
+    """One scenario's allocator-visible state at the top of a round."""
+
+    name: str
+    ci_width: float
+    remaining: int
+    converged: bool
+    n_ratios: int = 0
+
+    def __post_init__(self) -> None:
+        if self.remaining < 0:
+            raise PipelineError(
+                f"scenario {self.name!r} has negative remaining refits"
+            )
+
+
+@dataclass(frozen=True)
+class AllocationRound:
+    """One round of the allocation trace.
+
+    ``widths``/``converged`` snapshot the allocator inputs; the
+    ``*_after`` fields are re-evaluated once the round's refits land, so
+    the trace alone answers "when did each scenario converge" (the P10
+    benchmark's refits-to-converged metric reads exactly this).
+    """
+
+    index: int
+    allocations: dict[str, int]
+    widths: dict[str, float]
+    converged: dict[str, bool]
+    spent_before: int
+    granted: int
+    widths_after: dict[str, float] = field(default_factory=dict)
+    converged_after: dict[str, bool] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (infinities encoded as the string ``"inf"``)."""
+
+        def enc(widths: dict[str, float]) -> dict[str, object]:
+            return {
+                k: ("inf" if math.isinf(v) else v)
+                for k, v in sorted(widths.items())
+            }
+
+        return {
+            "index": self.index,
+            "allocations": dict(sorted(self.allocations.items())),
+            "widths": enc(self.widths),
+            "converged": dict(sorted(self.converged.items())),
+            "spent_before": self.spent_before,
+            "granted": self.granted,
+            "widths_after": enc(self.widths_after),
+            "converged_after": dict(sorted(self.converged_after.items())),
+        }
+
+
+def _tie_key(seed: int, name: str) -> tuple[float, str]:
+    return (hash01(seed, "alloc-tie", name), name)
+
+
+def _cap_and_redistribute(
+    grants: dict[str, int],
+    remaining: dict[str, int],
+    order: list[str],
+) -> dict[str, int]:
+    """Clamp each grant to the scenario's remaining queue, pushing the
+    freed units to the next scenarios in *order* that still have room.
+
+    Stops when nothing can absorb more (total grant then undershoots —
+    the queue is simply exhausted).
+    """
+    freed = 0
+    for name in grants:
+        over = grants[name] - remaining[name]
+        if over > 0:
+            grants[name] = remaining[name]
+            freed += over
+    while freed > 0:
+        progressed = False
+        for name in order:
+            if freed == 0:
+                break
+            room = remaining[name] - grants[name]
+            if room > 0:
+                grants[name] += 1
+                freed -= 1
+                progressed = True
+        if not progressed:
+            break
+    return grants
+
+
+def allocate_round(
+    stats: list[ScenarioStat],
+    budget: int,
+    *,
+    floor: int = 1,
+    seed: int = 0,
+) -> dict[str, int]:
+    """Allocate *budget* refits across scenarios for one adaptive round.
+
+    Live scenarios (not converged, queue not exhausted) first each
+    receive the starvation floor, then the rest of the budget is split
+    in proportion to CI width by largest-remainder apportionment.
+    Converged scenarios receive exactly zero.  Ties — equal weights,
+    equal fractional remainders, or a budget too small to floor every
+    live scenario — break on ``hash01(seed, "alloc-tie", name)`` and
+    then name, so the result is a pure function of ``(stats, budget,
+    floor, seed)``.
+
+    Returns ``{name: refits}`` over *all* scenarios in *stats* (zeros
+    included).  The grand total is ``min(budget, sum remaining over
+    live scenarios)``.
+    """
+    if budget < 0:
+        raise PipelineError(f"round budget must be >= 0, got {budget}")
+    names = [s.name for s in stats]
+    if len(set(names)) != len(names):
+        raise PipelineError("duplicate scenario names in allocator stats")
+
+    grants = {s.name: 0 for s in stats}
+    live = sorted(
+        (s for s in stats if not s.converged and s.remaining > 0),
+        key=lambda s: s.name,
+    )
+    if not live or budget == 0:
+        return grants
+
+    remaining = {s.name: s.remaining for s in live}
+    weights = {
+        s.name: (
+            s.ci_width if math.isfinite(s.ci_width) else UNKNOWN_WIDTH_WEIGHT
+        )
+        for s in live
+    }
+
+    # Starvation floor: every live scenario gets min(floor, remaining)
+    # before proportionality kicks in.  When the budget can't cover all
+    # floors, the most uncertain scenarios (seeded tie-break) go first.
+    left = budget
+    floor_order = sorted(
+        live, key=lambda s: (-weights[s.name], *_tie_key(seed, s.name))
+    )
+    for s in floor_order:
+        if left == 0:
+            break
+        give = min(floor, remaining[s.name], left)
+        grants[s.name] += give
+        left -= give
+
+    # Largest-remainder proportional split of what's left.
+    total_w = math.fsum(weights.values())
+    if left > 0:
+        if total_w <= 0.0:
+            # All widths zero (possible with tol=0 and identical
+            # ratios): fall back to an equal split.
+            weights = {name: 1.0 for name in weights}
+            total_w = float(len(weights))
+        shares = {
+            name: left * weights[name] / total_w for name in weights
+        }
+        floors = {name: int(math.floor(shares[name])) for name in shares}
+        for name, whole in floors.items():
+            grants[name] += whole
+        leftover = left - sum(floors.values())
+        frac_order = sorted(
+            shares,
+            key=lambda name: (-(shares[name] - floors[name]), *_tie_key(seed, name)),
+        )
+        for name in frac_order[:leftover]:
+            grants[name] += 1
+
+    # Clamp to each queue and push freed units to still-hungry
+    # scenarios, most uncertain first.
+    order = sorted(remaining, key=lambda name: (-weights[name], *_tie_key(seed, name)))
+    live_grants = _cap_and_redistribute(
+        {name: grants[name] for name in remaining}, remaining, order
+    )
+    grants.update(live_grants)
+    return grants
+
+
+def uniform_round(stats: list[ScenarioStat], budget: int) -> dict[str, int]:
+    """The Sisyphus baseline: equal split, no freezing, no adaptivity.
+
+    Every scenario with queue left gets the same share regardless of how
+    converged it is — the "keep re-running the same study" strategy the
+    paper complains about.  Leftover units (budget not divisible) go to
+    the first names in lexicographic order.
+    """
+    if budget < 0:
+        raise PipelineError(f"round budget must be >= 0, got {budget}")
+    grants = {s.name: 0 for s in stats}
+    open_stats = sorted(
+        (s for s in stats if s.remaining > 0), key=lambda s: s.name
+    )
+    if not open_stats or budget == 0:
+        return grants
+    remaining = {s.name: s.remaining for s in open_stats}
+    share, leftover = divmod(budget, len(open_stats))
+    for i, s in enumerate(open_stats):
+        grants[s.name] = share + (1 if i < leftover else 0)
+    order = list(remaining)
+    live_grants = _cap_and_redistribute(
+        {name: grants[name] for name in remaining}, remaining, order
+    )
+    grants.update(live_grants)
+    return grants

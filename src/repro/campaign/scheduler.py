@@ -1,0 +1,1050 @@
+"""The campaign scheduler: many scenarios, one pool, adaptive budget.
+
+Runs a fleet of :class:`~repro.campaign.spec.ScenarioSpec`s as one
+campaign on the existing executor/retry/checkpoint/shared-memory stack:
+
+- **Stage A** builds each scenario's world and measurement frame (into
+  a per-scenario :class:`~repro.pipeline.shm.SharedFrameArena`, closed
+  as soon as the panel is pivoted out), screens treated units with the
+  batch study's own :func:`~repro.pipeline.study.prepare_unit_plan`,
+  and opens one checkpoint journal per scenario.
+- **Stage B** interleaves every scenario's base unit fits round-robin
+  onto one shared executor — scenario B's fits don't wait for scenario
+  A's, and a single process pool serves the whole campaign.
+- **Stage C** spends the placebo-refit budget in rounds: the
+  :mod:`~repro.campaign.allocator` hands each round's refits to
+  scenarios in proportion to their current placebo-ratio CI width
+  (Zeph-style), freezing converged scenarios, and each round's grants
+  are interleaved onto the same pool.
+- The **verdict table** generalizes Table 1 across scenarios; each
+  scenario's rows are built with exactly the batch study's p-value
+  convention, so a campaign given enough budget to exhaust every
+  placebo queue reproduces ``run_ixp_study``'s rows bit-for-bit.
+
+Determinism contract: the verdict table is a pure function of the spec
+fleet and the campaign parameters — identical across ``--jobs`` values,
+scenario-order permutations, and kill/resume boundaries.  Everything
+order-dependent (allocation, refit queues, tie-breaks) is derived from
+sorted scenario names and seeded hashes, never from completion order.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.campaign.allocator import (
+    AllocationRound,
+    ScenarioStat,
+    allocate_round,
+    placebo_ci_width,
+    uniform_round,
+)
+from repro.campaign.spec import ScenarioSpec, build_scenario
+from repro.chaos.runtime import current_attempt, fault_point, task_attempt
+from repro.errors import (
+    CheckpointError,
+    DonorPoolError,
+    EstimationError,
+    PipelineError,
+    TransientError,
+)
+from repro.estimators.bootstrap import permutation_p_value
+from repro.mplatform.speedtest import measurements_frame
+from repro.obs import span
+from repro.obs.metrics import get_metrics
+from repro.pipeline.aggregate import rtt_panel
+from repro.pipeline.checkpoint import StudyCheckpoint
+from repro.pipeline.crossing import assign_treatment
+from repro.pipeline.executor import RetryPolicy, get_executor, resolve_n_jobs
+from repro.pipeline.shm import SharedFrameArena, SharedPanelOwner, SharedPanelRef
+from repro.pipeline.study import (
+    StudyResult,
+    StudyRow,
+    _UnitTask,
+    prepare_unit_plan,
+)
+from repro.stream.state import ingest_frame
+from repro.studies.ixp_latency import scenario_truth
+from repro.synthcontrol.donor import Panel, select_donors
+from repro.synthcontrol.placebo import _PlaceboContext, _placebo_refit_inner
+from repro.synthcontrol.robust import DenoiseCache, robust_synthetic_control
+
+
+# ---------------------------------------------------------------------------
+# Worker-side task payloads and entry points
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignUnitFit:
+    """One base fit's journald state: everything but the p-value.
+
+    The p-value is *not* here by design — it is a function of however
+    many placebo refits the budget ended up granting, recomputed from
+    the refit ledger whenever the verdict table is built.
+    """
+
+    unit: str
+    effect: float
+    rmse_ratio: float
+    pre_periods: int
+    post_periods: int
+    donors: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _BaseFitTask:
+    """One scenario-qualified base unit fit, picklable for the pool."""
+
+    scenario: str
+    unit: str
+    pre_periods: int
+    post_periods: int
+    panel: Panel | SharedPanelRef
+    excluded: tuple[str, ...]
+    max_donor_missing: float
+    energy: float
+    ridge: float
+
+
+@dataclass(frozen=True)
+class _RefitTask:
+    """One placebo refit (scenario, unit, leave-one-out column)."""
+
+    scenario: str
+    unit: str
+    col: int
+    donors: tuple[str, ...]
+    pre_periods: int
+    panel: Panel | SharedPanelRef
+    energy: float
+    ridge: float
+    min_pre_rmse: float = 1e-9
+
+
+#: Per-worker-process content-keyed SVD cache: every refit of the same
+#: (scenario, unit) donor matrix reuses one factorization.  Recreated
+#: when it grows past the bound so a long campaign cannot leak SVDs.
+_WORKER_CACHE = DenoiseCache()
+_WORKER_CACHE_CAP = 64
+
+
+def _worker_cache() -> DenoiseCache:
+    global _WORKER_CACHE
+    if len(_WORKER_CACHE._factorizations) > _WORKER_CACHE_CAP:
+        _WORKER_CACHE = DenoiseCache()
+    return _WORKER_CACHE
+
+
+def _task_panel(panel: Panel | SharedPanelRef) -> Panel:
+    return panel.load() if isinstance(panel, SharedPanelRef) else panel
+
+
+def _campaign_unit_fit(task: _BaseFitTask) -> CampaignUnitFit | tuple[str, str]:
+    """Fit one unit's synthetic control (no placebos): fit or skip.
+
+    Mirrors :func:`repro.pipeline.study._analyse_unit` exactly — same
+    donor screen, same cached robust fit — minus the placebo loop,
+    which the budget allocator owns.  The fault key is scenario-
+    qualified (``"<scenario>/<unit>"``) so chaos plans can target one
+    scenario's fits without touching its neighbours'.
+    """
+    metrics = get_metrics()
+    panel = _task_panel(task.panel)
+    with span("fits.unit", unit=task.unit, scenario=task.scenario) as sp:
+        fault_point("fits.unit", key=f"{task.scenario}/{task.unit}")
+        try:
+            donors = select_donors(
+                panel,
+                task.unit,
+                excluded=task.excluded,
+                pre_periods=task.pre_periods,
+                max_missing=task.max_donor_missing,
+            )
+            donor_matrix = np.column_stack([panel.series(d) for d in donors])
+            # placebo_test creates a DenoiseCache when given none, so the
+            # treated fit here takes the identical cached code path.
+            fit = robust_synthetic_control(
+                panel.series(task.unit),
+                donor_matrix,
+                task.pre_periods,
+                treated_name=task.unit,
+                donor_names=donors,
+                energy=task.energy,
+                ridge=task.ridge,
+                cache=DenoiseCache(),
+            )
+        except (DonorPoolError, EstimationError) as exc:
+            sp.set(status="skipped", reason=str(exc))
+            metrics.counter(
+                "units_skipped_total", "treated units the study could not fit"
+            ).inc()
+            return (task.unit, str(exc))
+        sp.set(status="ok", n_donors=len(donors))
+        metrics.counter(
+            "units_analysed_total", "treated units with a fitted StudyRow"
+        ).inc()
+        return CampaignUnitFit(
+            unit=task.unit,
+            effect=float(fit.effect),
+            rmse_ratio=float(fit.rmse_ratio),
+            pre_periods=task.pre_periods,
+            post_periods=task.post_periods,
+            donors=tuple(donors),
+        )
+
+
+def _campaign_refit(task: _RefitTask) -> tuple[str, float | None, str]:
+    """One placebo refit: ``(donor_name, ratio | None, skip_reason)``.
+
+    Runs the same pure inner refit as the batch study's placebo loop
+    (:func:`~repro.synthcontrol.placebo._placebo_refit_inner` over a
+    leave-one-out de-noising of the full factorization), so a campaign
+    that exhausts a unit's queue produces the batch study's exact
+    ratios.
+    """
+    metrics = get_metrics()
+    panel = _task_panel(task.panel)
+    donor = task.donors[task.col]
+    with span(
+        "placebo", donor=donor, scenario=task.scenario, unit=task.unit
+    ) as sp:
+        fault_point(
+            "campaign.refit", key=f"{task.scenario}/{task.unit}/{donor}"
+        )
+        matrix = np.column_stack([panel.series(d) for d in task.donors])
+        fact = _worker_cache().factorization(matrix)
+        ctx = _PlaceboContext(
+            donors=matrix,
+            donor_names=task.donors,
+            pre_periods=task.pre_periods,
+            min_pre_rmse=task.min_pre_rmse,
+            method="robust",
+            fit_kwargs={},
+            fact=fact,
+            energy=task.energy,
+            ridge=task.ridge,
+            loo=None,
+        )
+        name, ratio, reason = _placebo_refit_inner(ctx, task.col)
+        sp.set(ok=ratio is not None)
+        metrics.counter("placebos_total", "placebo refits attempted").inc()
+        if ratio is None:
+            sp.set(reason=reason)
+            metrics.counter(
+                "placebos_skipped_total", "placebo refits that failed estimation"
+            ).inc()
+    return name, ratio, reason
+
+
+# ---------------------------------------------------------------------------
+# Parent-side per-scenario state
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ScenarioState:
+    spec: ScenarioSpec
+    truth: dict[str, float]
+    assignment: Any
+    panel: Panel
+    owner: SharedPanelOwner | None
+    plan: list
+    checkpoint: StudyCheckpoint | None
+    fits: dict[str, CampaignUnitFit] = field(default_factory=dict)
+    fit_skips: dict[str, str] = field(default_factory=dict)
+    #: Every possible refit, in deterministic queue order; the budget
+    #: walks this list front to back, so "which refits ran" is a pure
+    #: function of how much budget this scenario received.
+    queue: list[tuple[str, int]] = field(default_factory=list)
+    #: Refit ledger: (unit, col) -> (donor, ratio | None, reason).
+    done: dict[tuple[str, int], tuple[str, float | None, str]] = field(
+        default_factory=dict
+    )
+    next_index: int = 0
+    frozen: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def remaining(self) -> int:
+        return len(self.queue) - self.next_index
+
+    @property
+    def executed(self) -> int:
+        return self.next_index
+
+    def ratio_values(self) -> list[float]:
+        """Surviving ratios from the *granted* queue prefix, pooled.
+
+        Deliberately bounded by ``next_index`` rather than the whole
+        ledger: on resume the journal already holds refits from rounds
+        that haven't replayed yet, and feeding those to the allocator
+        early would change the allocation sequence — the replay must see
+        exactly what the original run saw at each round boundary.
+        """
+        vals: list[float] = []
+        for key in self.queue[: self.next_index]:
+            rec = self.done.get(key)
+            if rec is not None and rec[1] is not None and math.isfinite(rec[1]):
+                vals.append(rec[1])
+        return vals
+
+    def task_panel(self) -> Panel | SharedPanelRef:
+        return self.owner.ref if self.owner is not None else self.panel
+
+
+def _build_refit_queue(state: _ScenarioState) -> list[tuple[str, int]]:
+    """The scenario's refit queue: round-robin over units, then columns.
+
+    Breadth-first across units (column 0 of every unit before column 1
+    of any) so a small budget still samples every unit's null
+    distribution instead of exhausting the first unit's donors.
+    """
+    units = [
+        step.unit
+        for step in state.plan
+        if isinstance(step, _UnitTask) and step.unit in state.fits
+    ]
+    max_cols = max(
+        (len(state.fits[u].donors) for u in units), default=0
+    )
+    queue: list[tuple[str, int]] = []
+    for col in range(max_cols):
+        for unit in units:
+            if col < len(state.fits[unit].donors):
+                queue.append((unit, col))
+    return queue
+
+
+def _interleave(per_scenario: list[list[Any]]) -> list[Any]:
+    """Round-robin merge: element 0 of each list, then element 1, ..."""
+    merged: list[Any] = []
+    for i in range(max((len(lst) for lst in per_scenario), default=0)):
+        for lst in per_scenario:
+            if i < len(lst):
+                merged.append(lst[i])
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Campaign result types
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioVerdict:
+    """One verdict-table row: a scenario's Table-1 summary."""
+
+    scenario: str
+    kind: str
+    seed: int
+    n_units: int
+    n_skipped: int
+    mean_delta_ms: float
+    mean_true_ms: float
+    n_significant: int
+    consistent_effect: bool
+    placebo_refits: int
+    ci_width: float
+    converged: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        if math.isinf(self.ci_width):
+            data["ci_width"] = "inf"
+        return data
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a campaign produced, verdicts in scenario-name order."""
+
+    verdicts: tuple[ScenarioVerdict, ...]
+    studies: dict[str, StudyResult]
+    trace: tuple[AllocationRound, ...]
+    total_refits: int
+    budget: int
+    allocation: str
+
+    def format_campaign_table(self) -> str:
+        """The cross-scenario verdict table (fixed-width, byte-stable).
+
+        Float formatting goes through ``%``-style fixed precision, so
+        two runs that produced equal numbers render equal bytes — the
+        determinism tests diff this string directly.
+        """
+        header = (
+            f"{'scenario':<24} {'kind':<16} {'units':>5} {'skip':>4} "
+            f"{'Δ est (ms)':>10} {'Δ true (ms)':>11} {'sig':>3} "
+            f"{'consistent':>10} {'refits':>6} {'ci width':>8} {'conv':>4}"
+        )
+        lines = [header, "-" * len(header)]
+        for v in self.verdicts:
+            width = "inf" if math.isinf(v.ci_width) else f"{v.ci_width:.3f}"
+            est = "n/a" if math.isnan(v.mean_delta_ms) else f"{v.mean_delta_ms:+.2f}"
+            true = "n/a" if math.isnan(v.mean_true_ms) else f"{v.mean_true_ms:+.2f}"
+            lines.append(
+                f"{v.scenario:<24} {v.kind:<16} {v.n_units:>5} {v.n_skipped:>4} "
+                f"{est:>10} {true:>11} {v.n_significant:>3} "
+                f"{'yes' if v.consistent_effect else 'no':>10} "
+                f"{v.placebo_refits:>6} {width:>8} "
+                f"{'yes' if v.converged else 'no':>4}"
+            )
+        lines.append("")
+        lines.append(
+            f"budget: {self.total_refits}/{self.budget} placebo refits spent "
+            f"({self.allocation} allocation, {len(self.trace)} rounds)"
+        )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Verdict rows as CSV (one line per scenario)."""
+        buf = io.StringIO()
+        fields = [
+            "scenario", "kind", "seed", "n_units", "n_skipped",
+            "mean_delta_ms", "mean_true_ms", "n_significant",
+            "consistent_effect", "placebo_refits", "ci_width", "converged",
+        ]
+        writer = csv.DictWriter(buf, fieldnames=fields, lineterminator="\n")
+        writer.writeheader()
+        for v in self.verdicts:
+            writer.writerow(v.to_dict())
+        return buf.getvalue()
+
+    def to_json(self) -> str:
+        """Verdicts, allocation trace, and totals as a JSON document."""
+        return json.dumps(
+            {
+                "allocation": self.allocation,
+                "budget": self.budget,
+                "total_refits": self.total_refits,
+                "verdicts": [v.to_dict() for v in self.verdicts],
+                "trace": [r.to_dict() for r in self.trace],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @property
+    def all_converged(self) -> bool:
+        """Every scenario frozen or fully sampled."""
+        return all(v.converged for v in self.verdicts)
+
+    def refits_until_converged(self) -> int | None:
+        """Budget spent up to the first all-converged round (trace-derived).
+
+        ``None`` when the fleet never fully converged within budget —
+        the P10 benchmark compares this number between adaptive and
+        uniform allocation.
+        """
+        spent = 0
+        for rnd in self.trace:
+            spent += rnd.granted
+            if rnd.converged_after and all(rnd.converged_after.values()):
+                return spent
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+def _ingest_scenario(
+    frame: Any,
+    ixp_name: str,
+    spec: ScenarioSpec,
+    retry: RetryPolicy | None,
+) -> tuple[Any, Panel]:
+    """Stream one scenario's frame through the accumulators, with retry.
+
+    The per-batch ``stream.batch`` fault point fires in the *parent*
+    process (stage A is not fanned out), so the executor's retry loop
+    can't cover it — this replicates the same attempt semantics: a
+    transient fault restarts the ingest at the next attempt number,
+    where ``fire_attempts=1`` faults stand down.
+    """
+    max_attempts = retry.max_attempts if retry is not None else 1
+    base_attempt = current_attempt()
+
+    def on_batch(batch: Any) -> None:
+        fault_point("stream.batch", key=f"{spec.name}/{batch.index}")
+
+    for attempt in range(max_attempts):
+        with task_attempt(base_attempt + attempt):
+            try:
+                return ingest_frame(
+                    frame,
+                    ixp_name,
+                    n_batches=spec.ingest_batches,
+                    on_batch=on_batch,
+                )
+            except TransientError:
+                if attempt + 1 >= max_attempts:
+                    raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _campaign_manifest(
+    specs: list[ScenarioSpec],
+    budget: int,
+    allocation: str,
+    tol: float,
+    round_refits: int,
+    floor: int,
+    min_ratios: int,
+    alloc_seed: int,
+) -> dict[str, Any]:
+    return {
+        "kind": "campaign",
+        "specs": [s.to_dict() for s in sorted(specs, key=lambda s: s.name)],
+        "budget": budget,
+        "allocation": allocation,
+        "tol": tol,
+        "round_refits": round_refits,
+        "floor": floor,
+        "min_ratios": min_ratios,
+        "alloc_seed": alloc_seed,
+    }
+
+
+def run_campaign(
+    specs: list[ScenarioSpec] | tuple[ScenarioSpec, ...],
+    *,
+    budget: int = 200,
+    allocation: str = "adaptive",
+    tol: float = 0.25,
+    min_ratios: int = 4,
+    round_refits: int | None = None,
+    floor: int = 1,
+    alloc_seed: int = 0,
+    n_jobs: int | None = 1,
+    retry: RetryPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    telemetry: Any = None,
+    min_pre_periods: int = 7,
+    min_post_periods: int = 3,
+    max_donor_missing: float = 0.5,
+    energy: float = 0.99,
+    ridge: float = 1e-2,
+) -> CampaignResult:
+    """Run a multi-scenario campaign under an adaptive refit budget.
+
+    Parameters
+    ----------
+    specs:
+        The scenario fleet.  Processed in sorted-name order, so any
+        input permutation yields the identical campaign.
+    budget:
+        Total placebo refits the campaign may spend across scenarios.
+    allocation:
+        ``"adaptive"`` (Zeph-style CI-width-proportional with freezing)
+        or ``"uniform"`` (the blind equal-split baseline).
+    tol, min_ratios:
+        A scenario freezes once it holds at least *min_ratios* surviving
+        ratios and its pooled CI width is at or below *tol*.
+    round_refits:
+        Refits granted per allocation round (default: 4 per scenario).
+    floor:
+        Minimum refits per live scenario per round (starvation floor).
+    alloc_seed:
+        Seed for the allocator's deterministic tie-breaks.
+    n_jobs:
+        Worker processes shared by *all* scenarios' fits and refits
+        (one pool for the campaign, not one per scenario).
+    retry:
+        Executor retry policy; also covers stage A's parent-side
+        streamed-ingest fault points.
+    checkpoint_dir, resume:
+        Directory holding one JSONL journal per scenario plus a
+        ``campaign.json`` manifest; with *resume*, journaled base fits
+        and refits are served from the files and the rounds replay
+        deterministically around them, so the resumed verdict table is
+        byte-identical to an uninterrupted run's.
+    telemetry:
+        A :class:`~repro.obs.serve.TelemetryMux` (or ``None``); each
+        scenario publishes its round reports into its own named channel.
+    """
+    specs = sorted(specs, key=lambda s: s.name)
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise PipelineError(f"duplicate scenario names in campaign: {dupes}")
+    if budget < 0:
+        raise PipelineError(f"campaign budget must be >= 0, got {budget}")
+    if allocation not in ("adaptive", "uniform"):
+        raise PipelineError(
+            f"allocation must be 'adaptive' or 'uniform', got {allocation!r}"
+        )
+    if round_refits is None:
+        round_refits = max(4 * len(specs), 1)
+    if round_refits < 1:
+        raise PipelineError(f"round_refits must be >= 1, got {round_refits}")
+
+    ckpt_dir: Path | None = None
+    if checkpoint_dir is not None:
+        ckpt_dir = Path(checkpoint_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        manifest = _campaign_manifest(
+            specs, budget, allocation, tol, round_refits, floor, min_ratios,
+            alloc_seed,
+        )
+        manifest_path = ckpt_dir / "campaign.json"
+        if resume and manifest_path.exists():
+            previous = json.loads(manifest_path.read_text())
+            if previous != manifest:
+                raise CheckpointError(
+                    f"{manifest_path}: campaign manifest does not match this "
+                    "run's fleet/parameters; pass a fresh checkpoint directory"
+                )
+        else:
+            manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+    metrics = get_metrics()
+    workers = resolve_n_jobs(n_jobs)
+    states: list[_ScenarioState] = []
+    executor = None
+    spent = 0
+    trace: list[AllocationRound] = []
+    try:
+        with span(
+            "campaign",
+            n_scenarios=len(specs),
+            budget=budget,
+            allocation=allocation,
+            n_jobs=workers,
+        ):
+            # ------------------------------------------------- stage A
+            for i, spec in enumerate(specs):
+                with span("campaign.scenario", scenario=spec.name, kind=spec.kind):
+                    scenario = build_scenario(spec)
+                    arena = SharedFrameArena(tag=f"c{i}")
+                    try:
+                        frame = measurements_frame(
+                            scenario, rng=spec.measurement_seed, arena=arena
+                        )
+                        if spec.ingest_batches > 1:
+                            assignment, panel = _ingest_scenario(
+                                frame, scenario.ixp_name, spec, retry
+                            )
+                        else:
+                            assignment = assign_treatment(frame, scenario.ixp_name)
+                            panel = rtt_panel(frame, period="day", outcome="rtt_ms")
+                    finally:
+                        # The frame's columns are views into arena blocks;
+                        # drop them before closing so the unmap succeeds.
+                        frame = None
+                        arena.close()
+                    owner = (
+                        SharedPanelOwner.from_panel(panel) if workers > 1 else None
+                    )
+                    if owner is not None:
+                        panel = owner.panel
+                    ckpt = None
+                    if ckpt_dir is not None:
+                        ckpt = StudyCheckpoint(
+                            ckpt_dir / f"{spec.name}.jsonl",
+                            ixp_name=f"campaign:{spec.name}",
+                            method="robust",
+                            outcome="rtt_ms",
+                            resume=resume,
+                        )
+                    state = _ScenarioState(
+                        spec=spec,
+                        truth=scenario_truth(scenario),
+                        assignment=assignment,
+                        panel=panel,
+                        owner=owner,
+                        plan=prepare_unit_plan(
+                            panel,
+                            assignment,
+                            min_pre_periods=min_pre_periods,
+                            min_post_periods=min_post_periods,
+                            max_donor_missing=max_donor_missing,
+                            method="robust",
+                            fit_kwargs=tuple(
+                                sorted({"energy": energy, "ridge": ridge}.items())
+                            ),
+                        ),
+                        checkpoint=ckpt,
+                    )
+                    states.append(state)
+
+            executor = get_executor(n_jobs, retry=retry)
+
+            # ------------------------------------------------- stage B
+            per_scenario_tasks: list[list[_BaseFitTask]] = []
+            for state in states:
+                tasks = []
+                for step in state.plan:
+                    if not isinstance(step, _UnitTask):
+                        state.fit_skips[step[0]] = step[1]
+                        continue
+                    cached = (
+                        state.checkpoint.completed_fits.get(step.unit)
+                        if state.checkpoint is not None
+                        else None
+                    )
+                    if cached is not None:
+                        state.fits[step.unit] = CampaignUnitFit(
+                            unit=cached["unit"],
+                            effect=cached["effect"],
+                            rmse_ratio=cached["rmse_ratio"],
+                            pre_periods=cached["pre_periods"],
+                            post_periods=cached["post_periods"],
+                            donors=tuple(cached["donors"]),
+                        )
+                        continue
+                    skip = (
+                        state.checkpoint.completed.get(step.unit)
+                        if state.checkpoint is not None
+                        else None
+                    )
+                    if isinstance(skip, tuple):
+                        state.fit_skips[skip[0]] = skip[1]
+                        continue
+                    tasks.append(
+                        _BaseFitTask(
+                            scenario=state.name,
+                            unit=step.unit,
+                            pre_periods=step.pre_periods,
+                            post_periods=step.post_periods,
+                            panel=state.task_panel(),
+                            excluded=step.excluded,
+                            max_donor_missing=max_donor_missing,
+                            energy=energy,
+                            ridge=ridge,
+                        )
+                    )
+                per_scenario_tasks.append(tasks)
+            fit_tasks = _interleave(per_scenario_tasks)
+            by_name = {state.name: state for state in states}
+
+            def _journal_fit(index: int, result: Any) -> None:
+                task = fit_tasks[index]
+                state = by_name[task.scenario]
+                if state.checkpoint is None:
+                    return
+                if isinstance(result, CampaignUnitFit):
+                    state.checkpoint.append_unit_fit(
+                        result.unit,
+                        result.effect,
+                        result.rmse_ratio,
+                        result.pre_periods,
+                        result.post_periods,
+                        list(result.donors),
+                    )
+                else:
+                    state.checkpoint.append_result(result)
+
+            with span("campaign.fits", n_tasks=len(fit_tasks)):
+                outcomes = executor.map(
+                    _campaign_unit_fit, fit_tasks, on_result=_journal_fit
+                )
+            for task, outcome in zip(fit_tasks, outcomes):
+                state = by_name[task.scenario]
+                if isinstance(outcome, CampaignUnitFit):
+                    state.fits[outcome.unit] = outcome
+                else:
+                    state.fit_skips[outcome[0]] = outcome[1]
+            for state in states:
+                state.queue = _build_refit_queue(state)
+                if state.checkpoint is not None:
+                    state.done.update(state.checkpoint.completed_refits)
+
+            # ------------------------------------------------- stage C
+            round_index = 0
+            while spent < budget:
+                stats = [
+                    ScenarioStat(
+                        name=state.name,
+                        ci_width=placebo_ci_width(state.ratio_values()),
+                        remaining=state.remaining,
+                        converged=state.frozen,
+                        n_ratios=len(state.ratio_values()),
+                    )
+                    for state in states
+                ]
+                k = min(round_refits, budget - spent)
+                if allocation == "adaptive":
+                    grants = allocate_round(
+                        stats, k, floor=floor, seed=alloc_seed
+                    )
+                else:
+                    grants = uniform_round(stats, k)
+                granted = sum(grants.values())
+                if granted == 0:
+                    break
+
+                per_scenario_refits: list[list[_RefitTask]] = []
+                for state in states:
+                    give = grants.get(state.name, 0)
+                    tasks = []
+                    for unit, col in state.queue[
+                        state.next_index : state.next_index + give
+                    ]:
+                        fit = state.fits[unit]
+                        tasks.append(
+                            _RefitTask(
+                                scenario=state.name,
+                                unit=unit,
+                                col=col,
+                                donors=fit.donors,
+                                pre_periods=fit.pre_periods,
+                                panel=state.task_panel(),
+                                energy=energy,
+                                ridge=ridge,
+                            )
+                        )
+                    state.next_index += give
+                    per_scenario_refits.append(tasks)
+                round_tasks = _interleave(per_scenario_refits)
+                fresh = [
+                    t for t in round_tasks
+                    if (t.unit, t.col) not in by_name[t.scenario].done
+                ]
+
+                def _journal_refit(index: int, result: Any) -> None:
+                    task = fresh[index]
+                    state = by_name[task.scenario]
+                    if state.checkpoint is None:
+                        return
+                    name, ratio, reason = result
+                    state.checkpoint.append_placebo(
+                        task.unit, task.col, name, ratio, reason
+                    )
+
+                with span(
+                    "campaign.round",
+                    index=round_index,
+                    granted=granted,
+                    n_fresh=len(fresh),
+                    allocations=json.dumps(
+                        dict(sorted(grants.items())), sort_keys=True
+                    ),
+                ):
+                    results = executor.map(
+                        _campaign_refit, fresh, on_result=_journal_refit
+                    )
+                for task, result in zip(fresh, results):
+                    by_name[task.scenario].done[(task.unit, task.col)] = result
+                spent += granted
+                metrics.counter(
+                    "campaign_refits_total",
+                    "placebo refits granted by the campaign allocator",
+                ).inc(granted)
+
+                widths_after: dict[str, float] = {}
+                converged_after: dict[str, bool] = {}
+                for state in states:
+                    width = placebo_ci_width(state.ratio_values())
+                    widths_after[state.name] = width
+                    if (
+                        not state.frozen
+                        and len(state.ratio_values()) >= min_ratios
+                        and math.isfinite(width)
+                        and width <= tol
+                    ):
+                        if allocation == "adaptive":
+                            state.frozen = True
+                            metrics.counter(
+                                "campaign_scenarios_frozen_total",
+                                "scenarios frozen by the adaptive allocator",
+                            ).inc()
+                    # The trace's convergence flag is evaluated for both
+                    # allocation modes (uniform never *acts* on it) so
+                    # adaptive-vs-uniform comparisons read one field.
+                    converged_after[state.name] = (
+                        state.remaining == 0
+                        or (
+                            len(state.ratio_values()) >= min_ratios
+                            and math.isfinite(width)
+                            and width <= tol
+                        )
+                    )
+                trace.append(
+                    AllocationRound(
+                        index=round_index,
+                        allocations={n: grants.get(n, 0) for n in names},
+                        widths={s.name: s.ci_width for s in stats},
+                        converged={s.name: s.converged for s in stats},
+                        spent_before=spent - granted,
+                        granted=granted,
+                        widths_after=widths_after,
+                        converged_after=converged_after,
+                    )
+                )
+                if telemetry is not None:
+                    for state in states:
+                        telemetry.publisher(state.name).publish_batch(
+                            CampaignRoundReport(
+                                round_index=round_index,
+                                scenario=state.name,
+                                granted=grants.get(state.name, 0),
+                                executed=state.executed,
+                                remaining=state.remaining,
+                                ci_width=(
+                                    None
+                                    if math.isinf(widths_after[state.name])
+                                    else widths_after[state.name]
+                                ),
+                                converged=converged_after[state.name],
+                            )
+                        )
+                round_index += 1
+
+            # ------------------------------------------------- verdicts
+            verdicts: list[ScenarioVerdict] = []
+            studies: dict[str, StudyResult] = {}
+            for state in states:
+                study = _scenario_study(state)
+                studies[state.name] = study
+                width = placebo_ci_width(state.ratio_values())
+                deltas = [r.rtt_delta_ms for r in study.rows]
+                trues = [
+                    state.truth[r.unit]
+                    for r in study.rows
+                    if r.unit in state.truth
+                ]
+                verdicts.append(
+                    ScenarioVerdict(
+                        scenario=state.name,
+                        kind=state.spec.kind,
+                        seed=state.spec.seed,
+                        n_units=len(study.rows),
+                        n_skipped=len(study.skipped),
+                        mean_delta_ms=(
+                            float(np.mean(deltas)) if deltas else math.nan
+                        ),
+                        mean_true_ms=(
+                            float(np.mean(trues)) if trues else math.nan
+                        ),
+                        n_significant=sum(
+                            1 for r in study.rows if r.p_value < 0.10
+                        ),
+                        consistent_effect=study.consistent_effect,
+                        placebo_refits=state.executed,
+                        ci_width=width,
+                        converged=(
+                            state.remaining == 0
+                            or (
+                                len(state.ratio_values()) >= min_ratios
+                                and math.isfinite(width)
+                                and width <= tol
+                            )
+                        ),
+                    )
+                )
+                if telemetry is not None:
+                    telemetry.publisher(state.name).publish_final(study)
+    finally:
+        if executor is not None:
+            executor.close()
+        for state in states:
+            if state.checkpoint is not None:
+                state.checkpoint.close()
+            if state.owner is not None:
+                state.owner.close()
+    return CampaignResult(
+        verdicts=tuple(verdicts),
+        studies=studies,
+        trace=tuple(trace),
+        total_refits=spent,
+        budget=budget,
+        allocation=allocation,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignRoundReport:
+    """Per-scenario telemetry payload published after each round."""
+
+    round_index: int
+    scenario: str
+    granted: int
+    executed: int
+    remaining: int
+    ci_width: float | None
+    converged: bool
+
+
+def _scenario_study(state: _ScenarioState) -> StudyResult:
+    """Assemble one scenario's StudyResult from its fit/refit ledgers.
+
+    Follows the plan order and the batch study's conventions exactly:
+    surviving ratios enter the p-value in donor-column order under the
+    add-one ``greater`` permutation convention, and a unit whose entire
+    queue was spent without one surviving placebo becomes a skip with
+    ``placebo_test``'s verbatim reason string.
+    """
+    rows: list[StudyRow] = []
+    skipped: list[tuple[str, str]] = []
+    for step in state.plan:
+        if not isinstance(step, _UnitTask):
+            skipped.append(step)
+            continue
+        reason = state.fit_skips.get(step.unit)
+        if reason is not None:
+            skipped.append((step.unit, reason))
+            continue
+        fit = state.fits[step.unit]
+        attempted = [
+            (col, state.done[(step.unit, col)])
+            for col in range(len(fit.donors))
+            if (step.unit, col) in state.done
+        ]
+        values = [
+            ratio for _, (_, ratio, _) in attempted if ratio is not None
+        ]
+        n_failed = sum(1 for _, (_, ratio, _) in attempted if ratio is None)
+        if not values and len(attempted) == len(fit.donors) and fit.donors:
+            # The batch study's placebo_test raises DonorPoolError here;
+            # its message is replicated verbatim for parity.
+            skipped.append(
+                (
+                    step.unit,
+                    f"no placebo fits succeeded for {step.unit!r} "
+                    f"({n_failed} skipped); donor pool too small",
+                )
+            )
+            continue
+        if values:
+            p = permutation_p_value(
+                fit.rmse_ratio,
+                np.asarray(values, dtype=float),
+                alternative="greater",
+            )
+        else:
+            # Budget-starved unit: none of its refits ran before the
+            # campaign's budget (or its scenario's freeze) cut in — a
+            # state the unbudgeted study can't reach.  With an empty
+            # null the add-one convention gives (1+0)/(1+0): no
+            # evidence, never significance.
+            p = 1.0
+        rows.append(
+            StudyRow(
+                unit=step.unit,
+                rtt_delta_ms=fit.effect,
+                rmse_ratio=fit.rmse_ratio,
+                p_value=float(p),
+                pre_periods=fit.pre_periods,
+                post_periods=fit.post_periods,
+                n_donors=len(fit.donors),
+                n_placebos=len(values),
+                n_placebos_skipped=n_failed,
+            )
+        )
+    return StudyResult(
+        rows=tuple(rows),
+        assignment=state.assignment,
+        skipped=tuple(skipped),
+        timings=None,
+    )

@@ -32,6 +32,18 @@ Commands
     top-K self-time hotspot table, the critical path, optionally the
     span tree, and ``--folded FILE`` writes folded stacks for standard
     flame-graph tooling.
+``campaign``
+    Run a multi-scenario measurement campaign: a fleet of seeded
+    scenario perturbations (``--scenarios N`` for a default fleet, or a
+    campaign file path for a declarative one) interleaved on one shared
+    worker pool, with the placebo-refit budget allocated adaptively
+    toward the scenarios whose effect estimates are still uncertain
+    (``--allocation uniform`` disables this — the Sisyphus baseline).
+    Prints the cross-scenario verdict table; ``--export-csv`` /
+    ``--export-json`` write machine-readable copies, ``--checkpoint
+    DIR`` / ``--resume`` journal per-scenario progress, and
+    ``--serve-telemetry PORT`` multiplexes per-scenario health under
+    one endpoint.
 
 Observability
 -------------
@@ -343,6 +355,94 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import default_fleet, load_campaign, run_campaign
+
+    # --scenarios is either a fleet size or a campaign-file path; flags
+    # given on the command line override the file's campaign section,
+    # which overrides the engine defaults.
+    budget = args.budget
+    allocation = args.allocation
+    tol = args.tol
+    round_refits = args.round_refits
+    try:
+        n_scenarios = int(args.scenarios)
+    except ValueError:
+        config = load_campaign(args.scenarios)
+        specs = config.scenarios
+        budget = budget if budget is not None else config.budget
+        allocation = allocation if allocation is not None else config.allocation
+        tol = tol if tol is not None else config.tol
+        round_refits = (
+            round_refits if round_refits is not None else config.round_refits
+        )
+    else:
+        specs = default_fleet(
+            n_scenarios,
+            seed=args.seed,
+            duration_days=args.days,
+            n_donor_ases=args.donors,
+        )
+    print(
+        f"campaign: {len(specs)} scenarios "
+        f"({', '.join(s.name for s in sorted(specs, key=lambda s: s.name))})",
+        file=sys.stderr,
+    )
+    telemetry = None
+    server = None
+    if args.serve_telemetry is not None:
+        from repro.obs.serve import TelemetryMux, TelemetryServer
+
+        telemetry = TelemetryMux()
+        server = TelemetryServer(telemetry, port=args.serve_telemetry).start()
+        print(
+            f"telemetry endpoint: {server.url()} "
+            f"(/metrics /health /live; per-scenario channels under /live)",
+            file=sys.stderr,
+        )
+    try:
+        with _maybe_sampler(args):
+            result = run_campaign(
+                specs,
+                budget=budget if budget is not None else 200,
+                allocation=allocation if allocation is not None else "adaptive",
+                tol=tol if tol is not None else 0.25,
+                round_refits=round_refits,
+                alloc_seed=args.alloc_seed,
+                n_jobs=args.jobs,
+                retry=_retry_policy(args),
+                checkpoint_dir=args.checkpoint,
+                resume=args.resume,
+                telemetry=telemetry,
+            )
+    except BaseException:
+        if server is not None:
+            server.stop()
+        raise
+    print(result.format_campaign_table())
+    if args.export_csv:
+        with open(args.export_csv, "w") as f:
+            f.write(result.to_csv())
+        print(f"wrote verdict table to {args.export_csv}", file=sys.stderr)
+    if args.export_json:
+        with open(args.export_json, "w") as f:
+            f.write(result.to_json())
+        print(f"wrote campaign JSON to {args.export_json}", file=sys.stderr)
+    _write_obs_outputs(args)
+    if server is not None:
+        if args.telemetry_linger > 0:
+            import time
+
+            print(
+                f"telemetry endpoint lingering {args.telemetry_linger:g}s "
+                f"at {server.url()}",
+                file=sys.stderr,
+            )
+            time.sleep(args.telemetry_linger)
+        server.stop()
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import load_jsonl, render_trace
     from repro.obs.profile import (
@@ -630,6 +730,125 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(p_stream)
     _add_sampler_argument(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a multi-scenario campaign with adaptive refit budgeting",
+    )
+    p_campaign.add_argument(
+        "--scenarios",
+        default="4",
+        metavar="N|FILE",
+        help="fleet size (an integer cycles the registered scenario kinds) "
+        "or a campaign file (YAML with PyYAML installed, JSON always)",
+    )
+    p_campaign.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total placebo-refit budget across the fleet (default 200, "
+        "or the campaign file's value)",
+    )
+    p_campaign.add_argument(
+        "--allocation",
+        choices=("adaptive", "uniform"),
+        default=None,
+        help="budget policy: 'adaptive' spends rounds where placebo CIs "
+        "are still wide and freezes converged scenarios; 'uniform' splits "
+        "every round evenly (the Sisyphus baseline)",
+    )
+    p_campaign.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        metavar="WIDTH",
+        help="convergence tolerance on the placebo-ratio CI width "
+        "(default 0.25)",
+    )
+    p_campaign.add_argument(
+        "--round-refits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refits granted per allocation round (default: 4 per scenario)",
+    )
+    p_campaign.add_argument(
+        "--alloc-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for the allocator's deterministic tie-breaks",
+    )
+    p_campaign.add_argument(
+        "--days", type=int, default=20, help="window length (default fleet)"
+    )
+    p_campaign.add_argument(
+        "--donors", type=int, default=12, help="donor ASes (default fleet)"
+    )
+    p_campaign.add_argument(
+        "--seed", type=int, default=0, help="base world seed (default fleet)"
+    )
+    p_campaign.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per fit task (1 = no retries)",
+    )
+    p_campaign.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline (process pool only)",
+    )
+    p_campaign.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="journal per-scenario progress (one JSONL per scenario plus a "
+        "campaign manifest) under this directory",
+    )
+    p_campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: replay journaled fits/refits and continue; "
+        "output is byte-identical to an uninterrupted run",
+    )
+    p_campaign.add_argument(
+        "--serve-telemetry",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /health, and /live on this loopback port, "
+        "multiplexing every scenario's channel under one endpoint "
+        "(0 picks a free port)",
+    )
+    p_campaign.add_argument(
+        "--telemetry-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --serve-telemetry: keep the endpoint up this long "
+        "after the verdict table",
+    )
+    p_campaign.add_argument(
+        "--export-csv",
+        metavar="FILE.csv",
+        default=None,
+        help="also write the verdict table as CSV",
+    )
+    p_campaign.add_argument(
+        "--export-json",
+        metavar="FILE.json",
+        default=None,
+        help="also write the verdicts + allocation trace as JSON",
+    )
+    _add_jobs_argument(p_campaign)
+    _add_obs_arguments(p_campaign)
+    _add_sampler_argument(p_campaign)
+    p_campaign.set_defaults(func=_cmd_campaign)
 
     p_report = sub.add_parser(
         "report", help="profile an exported span trace (hotspots, flame graph)"

@@ -57,7 +57,12 @@ from repro.obs.profile import (
 )
 from repro.obs.report import render_trace, span_counts
 from repro.obs.resources import ResourceSample, ResourceSampler, take_resource_sample
-from repro.obs.serve import TelemetryPublisher, TelemetryServer, fault_load
+from repro.obs.serve import (
+    TelemetryMux,
+    TelemetryPublisher,
+    TelemetryServer,
+    fault_load,
+)
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -86,6 +91,7 @@ __all__ = [
     "ResourceSampler",
     "SECONDS_BUCKETS",
     "SpanRecord",
+    "TelemetryMux",
     "TelemetryPublisher",
     "TelemetryServer",
     "Tracer",

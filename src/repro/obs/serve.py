@@ -170,15 +170,96 @@ class TelemetryPublisher:
                 latest_live = entry["live"]
                 break
         current = final["result"] if final is not None else latest_live
+        # Non-stream publishers (the campaign mux's channels) publish
+        # reports without the refit counters; they sum as zero rather
+        # than constraining every report shape to the stream's.
         return {
             "ixp_batches": [e["report"] for e in entries],
-            "warm_refits": sum(e["report"]["warm_refits"] for e in entries),
-            "cold_refits": sum(e["report"]["cold_refits"] for e in entries),
+            "warm_refits": sum(
+                e["report"].get("warm_refits", 0) for e in entries
+            ),
+            "cold_refits": sum(
+                e["report"].get("cold_refits", 0) for e in entries
+            ),
             "placebo_refreshes": sum(
-                e["report"]["placebo_refreshes"] for e in entries
+                e["report"].get("placebo_refreshes", 0) for e in entries
             ),
             "verdict": current,
             "finalized": final is not None,
+            "health": self.health(stall_after_s),
+        }
+
+
+#: Health statuses from worst to best; a mux reports its worst channel.
+_HEALTH_RANK = ("stalled", "degraded", "ok")
+
+
+class TelemetryMux:
+    """One endpoint multiplexing many per-scenario publishers.
+
+    A campaign runs N scenarios but should expose *one* telemetry
+    surface: the mux hands each scenario its own named
+    :class:`TelemetryPublisher` (created on demand, so scenarios can
+    register lazily) and aggregates them behind the same duck-typed
+    ``health()`` / ``live_view()`` the :class:`TelemetryServer` handler
+    calls — the server code does not know whether it serves one stream
+    or a whole fleet.
+
+    Aggregate health is the *worst* channel's status (``stalled`` >
+    ``degraded`` > ``ok``): one wedged scenario means the campaign needs
+    attention no matter how healthy its neighbours are.
+    """
+
+    def __init__(
+        self, capacity: int = 64, clock: Callable[[], float] = time.time
+    ) -> None:
+        self._capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._publishers: dict[str, TelemetryPublisher] = {}
+
+    def publisher(self, name: str) -> TelemetryPublisher:
+        """The named channel's publisher (created on first use)."""
+        with self._lock:
+            pub = self._publishers.get(name)
+            if pub is None:
+                pub = TelemetryPublisher(
+                    capacity=self._capacity, clock=self._clock
+                )
+                self._publishers[name] = pub
+            return pub
+
+    def channels(self) -> tuple[str, ...]:
+        """Registered channel names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._publishers))
+
+    def health(self, stall_after_s: float = 300.0) -> dict:
+        """Worst-of health across channels, with the per-channel detail."""
+        per = {
+            name: self.publisher(name).health(stall_after_s)
+            for name in self.channels()
+        }
+        if not per:
+            status = "ok"  # nothing registered yet: nothing is wedged
+        else:
+            status = min(
+                (h["status"] for h in per.values()),
+                key=_HEALTH_RANK.index,
+            )
+        return {
+            "status": status,
+            "n_channels": len(per),
+            "channels": per,
+        }
+
+    def live_view(self, stall_after_s: float = 300.0) -> dict:
+        """Per-channel live payloads under one JSON document."""
+        return {
+            "scenarios": {
+                name: self.publisher(name).live_view(stall_after_s)
+                for name in self.channels()
+            },
             "health": self.health(stall_after_s),
         }
 

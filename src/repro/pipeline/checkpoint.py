@@ -15,6 +15,8 @@ The file format is one JSON object per line::
     {"kind": "row", "unit": ..., "rtt_delta_ms": ..., ...}
     {"kind": "skip", "unit": ..., "reason": ...}
     {"kind": "batch", "index": ..., "rows": ...}
+    {"kind": "unitfit", "unit": ..., "effect": ..., "donors": [...], ...}
+    {"kind": "placebo", "unit": ..., "col": ..., "donor": ..., ...}
 
 ``batch`` records are written by the streaming engine
 (:class:`repro.stream.StreamStudy`) after each fully ingested
@@ -22,6 +24,13 @@ measurement batch; on resume the engine replays journaled batches into
 its state layer (skipping their live refits) and validates the row
 counts, so a stream killed mid-batch re-ingests exactly the unjournaled
 suffix.
+
+``unitfit`` and ``placebo`` records are written by the campaign
+scheduler (:mod:`repro.campaign`), which journals at a finer grain than
+the batch study: a unit's base fit and each individual placebo refit
+land separately, so an adaptive budget run resumes mid-*unit* — already
+-journaled refits are served from the file and only the unspent part of
+the budget is executed.
 
 A ``kill -9`` can land mid-append, leaving a truncated final line.
 :func:`read_jsonl_tolerant` therefore drops a partial **last** record
@@ -188,6 +197,10 @@ class StudyCheckpoint:
         self.path = Path(path)
         self.completed: dict[str, StudyRow | tuple[str, str]] = {}
         self.completed_batches: dict[int, int] = {}  # batch index -> row count
+        # Campaign-grain records: journaled base fits keyed by unit, and
+        # journaled placebo refits keyed by (unit, leave-one-out column).
+        self.completed_fits: dict[str, dict] = {}
+        self.completed_refits: dict[tuple[str, int], tuple[str, float | None, str]] = {}
         header = {
             "kind": "header",
             "ixp": ixp_name,
@@ -227,12 +240,43 @@ class StudyCheckpoint:
                         f"{header[field]!r}; pass a fresh checkpoint path"
                     )
         for record in records[1:]:
-            if record.get("kind") == "batch":
+            kind = record.get("kind")
+            if kind == "batch":
                 try:
                     self.completed_batches[int(record["index"])] = int(record["rows"])
                 except (KeyError, TypeError, ValueError) as exc:
                     raise CheckpointError(
                         f"unusable batch record {record!r}"
+                    ) from exc
+                continue
+            if kind == "unitfit":
+                try:
+                    self.completed_fits[str(record["unit"])] = {
+                        "unit": str(record["unit"]),
+                        "effect": float(record["effect"]),
+                        "rmse_ratio": float(record["rmse_ratio"]),
+                        "pre_periods": int(record["pre_periods"]),
+                        "post_periods": int(record["post_periods"]),
+                        "donors": [str(d) for d in record["donors"]],
+                    }
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CheckpointError(
+                        f"unusable unitfit record {record!r}: {exc}"
+                    ) from exc
+                continue
+            if kind == "placebo":
+                try:
+                    ratio = record["ratio"]
+                    self.completed_refits[
+                        (str(record["unit"]), int(record["col"]))
+                    ] = (
+                        str(record["donor"]),
+                        None if ratio is None else float(ratio),
+                        str(record.get("reason", "")),
+                    )
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CheckpointError(
+                        f"unusable placebo record {record!r}: {exc}"
                     ) from exc
                 continue
             result = _record_to_result(record)
@@ -250,6 +294,58 @@ class StudyCheckpoint:
         else:
             unit, reason = result
             self._append({"kind": "skip", "unit": unit, "reason": reason})
+
+    def append_unit_fit(
+        self,
+        unit: str,
+        effect: float,
+        rmse_ratio: float,
+        pre_periods: int,
+        post_periods: int,
+        donors: list[str],
+    ) -> None:
+        """Journal one completed base unit fit (flushed immediately)."""
+        record = {
+            "kind": "unitfit",
+            "unit": unit,
+            "effect": float(effect),
+            "rmse_ratio": float(rmse_ratio),
+            "pre_periods": int(pre_periods),
+            "post_periods": int(post_periods),
+            "donors": [str(d) for d in donors],
+        }
+        self._append(record)
+        self.completed_fits[unit] = {k: v for k, v in record.items() if k != "kind"}
+
+    def append_placebo(
+        self,
+        unit: str,
+        col: int,
+        donor: str,
+        ratio: float | None,
+        reason: str = "",
+    ) -> None:
+        """Journal one placebo refit outcome (flushed immediately).
+
+        *ratio* is ``None`` for a skipped refit, with *reason* carrying
+        the skip explanation — both round-trip exactly so a resumed
+        campaign reproduces the original run's placebo accounting.
+        """
+        self._append(
+            {
+                "kind": "placebo",
+                "unit": unit,
+                "col": int(col),
+                "donor": donor,
+                "ratio": None if ratio is None else float(ratio),
+                "reason": reason,
+            }
+        )
+        self.completed_refits[(unit, int(col))] = (
+            donor,
+            None if ratio is None else float(ratio),
+            reason,
+        )
 
     def append_batch(self, index: int, rows: int) -> None:
         """Journal one fully ingested stream batch (flushed immediately).

@@ -74,6 +74,13 @@ _LIVE: dict[str, int] = {}
 #: attaches and unpickles the metadata, the rest hit this dict.
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, Panel]] = {}
 
+#: Attach-cache capacity.  A single study uses one panel block, but a
+#: campaign interleaves many scenarios' tasks on one pool — evicting
+#: everything-but-current on each miss (the pre-campaign policy) would
+#: re-attach on nearly every task switch.  The cache instead holds the
+#: most recent blocks up to this bound and evicts oldest-attached first.
+_ATTACH_CAPACITY = 16
+
 
 def live_panel_blocks() -> tuple[str, ...]:
     """Names of blocks this process created and has not unlinked yet."""
@@ -81,15 +88,19 @@ def live_panel_blocks() -> tuple[str, ...]:
 
 
 def _evict_attached(keep: str | None = None) -> None:
-    """Drop cached attachments other than *keep*.
+    """Shrink the attach cache below capacity, never dropping *keep*.
 
-    Studies use one panel block at a time, so when a worker sees a new
-    name the previous study's mapping is dead weight.  A mapping whose
-    panel view is still referenced elsewhere raises ``BufferError`` on
-    close; it is kept (closing would invalidate live numpy views) and
-    retried on the next eviction.
+    Evicts in insertion (attach) order while the cache is over
+    ``_ATTACH_CAPACITY - 1`` entries, leaving room for the incoming
+    block; with one panel in play this degenerates to the old
+    evict-everything-else behaviour once the bound is hit.  A mapping
+    whose panel view is still referenced elsewhere raises
+    ``BufferError`` on close; it is kept (closing would invalidate live
+    numpy views) and retried on the next eviction.
     """
     for name in list(_ATTACHED):
+        if len(_ATTACHED) < _ATTACH_CAPACITY:
+            break
         if name == keep:
             continue
         shm, panel = _ATTACHED.pop(name)

@@ -26,7 +26,12 @@ from repro.stream.batches import (
 )
 from repro.stream.engine import BatchReport, StreamOutcome, StreamStudy
 from repro.stream.refit import LiveRefitter, UnitFitState
-from repro.stream.state import AssignmentAccumulator, PanelAccumulator, PanelDelta
+from repro.stream.state import (
+    AssignmentAccumulator,
+    PanelAccumulator,
+    PanelDelta,
+    ingest_frame,
+)
 
 __all__ = [
     "AssignmentAccumulator",
@@ -38,6 +43,7 @@ __all__ = [
     "StreamOutcome",
     "StreamStudy",
     "UnitFitState",
+    "ingest_frame",
     "random_batches",
     "replay_scenario",
     "slice_frame",

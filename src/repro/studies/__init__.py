@@ -42,7 +42,11 @@ from repro.studies.interference import (
     InterferenceStudyOutput,
     run_interference_experiment,
 )
-from repro.studies.ixp_latency import IxpStudyOutput, run_table1_experiment
+from repro.studies.ixp_latency import (
+    IxpStudyOutput,
+    run_table1_experiment,
+    scenario_truth,
+)
 from repro.studies.natural_experiment import (
     InstrumentStudyOutput,
     TRUE_ROUTE_EFFECT,
@@ -92,6 +96,7 @@ __all__ = [
     "run_reroute_experiment",
     "run_root_cause_experiment",
     "run_table1_experiment",
+    "scenario_truth",
     "speedtest_dag",
     "speedtest_model",
     "tag_based_correction",

@@ -21,6 +21,20 @@ from repro.pipeline.executor import RetryPolicy
 from repro.pipeline.study import StudyResult, run_ixp_study
 
 
+def scenario_truth(scenario: Scenario) -> dict[str, float]:
+    """Simulator ground truth per treated unit, keyed by unit label.
+
+    The label format (``AS{asn}/{city}``) matches
+    :func:`repro.pipeline.study.parse_unit_label`, so the dict joins
+    directly against estimated rows — used by both the Table-1
+    experiment and the campaign verdict table.
+    """
+    return {
+        f"AS{asn}/{city}": scenario.true_effect(asn, city)
+        for asn, city in scenario.treated_units
+    }
+
+
 @dataclass(frozen=True)
 class IxpStudyOutput:
     """Everything the Table-1 experiment produced.
@@ -131,10 +145,7 @@ def run_table1_experiment(
                 resume=resume,
                 batch_fits=batch_fits,
             )
-            truth = {
-                f"AS{asn}/{city}": scenario.true_effect(asn, city)
-                for asn, city in scenario.treated_units
-            }
+            truth = scenario_truth(scenario)
     finally:
         if arena is not None:
             arena.close()

@@ -1,0 +1,189 @@
+"""Ground-truth tests for the Zeph-style adaptive budget allocator.
+
+The allocator's contract, checked against hand-computable fleets:
+
+- refits go to scenarios in **proportion to CI width** — a scenario
+  with 10x the placebo variance draws proportionally more budget;
+- a **converged** scenario is frozen at exactly zero;
+- the **starvation floor** guarantees every live scenario at least one
+  refit per round (regression: proportionality must never starve a
+  narrow-but-unconverged scenario);
+- allocation is a **pure function** of ``(stats, budget, floor, seed)``
+  — ties break on a seeded hash, never dict order.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.campaign import (
+    ScenarioStat,
+    allocate_round,
+    placebo_ci_width,
+    uniform_round,
+)
+from repro.errors import PipelineError
+
+
+def _stat(name, width, remaining=1000, converged=False, n_ratios=8):
+    return ScenarioStat(
+        name=name, ci_width=width, remaining=remaining,
+        converged=converged, n_ratios=n_ratios,
+    )
+
+
+class TestPlaceboCiWidth:
+    def test_known_value(self):
+        # s = 1.0 for [-1, 1] (ddof=1: var = (1+1)/1 = 2 ... ) compute:
+        # mean 0, var = (1 + 1) / (2 - 1) = 2, s = sqrt(2), n = 2
+        expected = 2.0 * 1.96 * math.sqrt(2.0) / math.sqrt(2.0)
+        assert placebo_ci_width([-1.0, 1.0]) == pytest.approx(expected)
+
+    def test_fewer_than_two_finite_ratios_is_inf(self):
+        assert placebo_ci_width([]) == math.inf
+        assert placebo_ci_width([1.0]) == math.inf
+        assert placebo_ci_width([1.0, math.inf, math.nan]) == math.inf
+
+    def test_order_independent(self):
+        ratios = [0.8, 1.3, 2.7, 0.1, 1.05, 0.9]
+        assert placebo_ci_width(ratios) == placebo_ci_width(ratios[::-1])
+        assert placebo_ci_width(ratios) == placebo_ci_width(sorted(ratios))
+
+    def test_scales_linearly_with_spread(self):
+        base = [0.5, 1.0, 1.5, 2.0]
+        wide = [5 * r for r in base]
+        assert placebo_ci_width(wide) == pytest.approx(
+            5 * placebo_ci_width(base)
+        )
+
+
+class TestAdaptiveProportionality:
+    def test_ten_x_variance_draws_proportionally_more(self):
+        """The headline ground truth: 10x the CI width, ~10x the grant."""
+        stats = [_stat("noisy", 10.0), _stat("quiet", 1.0)]
+        grants = allocate_round(stats, budget=110, floor=0)
+        assert grants["noisy"] + grants["quiet"] == 110
+        assert grants["noisy"] == 100
+        assert grants["quiet"] == 10
+
+    def test_floor_then_proportional(self):
+        # floor=1 hands each live scenario 1, the remaining 110 - 2 =
+        # 108 splits 10:1 -> noisy ~98.2 -> 98, quiet ~9.8 -> 9, and
+        # the largest-remainder unit goes to quiet (0.8 > 0.2).
+        stats = [_stat("noisy", 10.0), _stat("quiet", 1.0)]
+        grants = allocate_round(stats, budget=110, floor=1)
+        assert grants == {"noisy": 99, "quiet": 11}
+
+    def test_unknown_width_dominates(self):
+        # A scenario with < 2 ratios (inf width) is maximally uncertain
+        # and should dwarf any measured-width neighbour.
+        stats = [_stat("unmeasured", math.inf, n_ratios=0), _stat("known", 2.0)]
+        grants = allocate_round(stats, budget=20, floor=1)
+        assert grants["unmeasured"] >= 18
+        assert grants["known"] >= 1  # floor still applies
+
+
+class TestFreezing:
+    def test_converged_scenario_gets_exactly_zero(self):
+        stats = [
+            _stat("open", 4.0),
+            _stat("frozen", 0.01, converged=True),
+        ]
+        grants = allocate_round(stats, budget=50, floor=1)
+        assert grants["frozen"] == 0
+        assert grants["open"] == 50
+
+    def test_all_converged_allocates_nothing(self):
+        stats = [
+            _stat("a", 0.1, converged=True),
+            _stat("b", 0.1, converged=True),
+        ]
+        assert allocate_round(stats, budget=50) == {"a": 0, "b": 0}
+
+    def test_exhausted_queue_gets_zero(self):
+        stats = [_stat("done", 9.0, remaining=0), _stat("open", 1.0)]
+        grants = allocate_round(stats, budget=10, floor=1)
+        assert grants == {"done": 0, "open": 10}
+
+
+class TestStarvationFloor:
+    def test_every_live_scenario_gets_at_least_one(self):
+        """Regression: extreme skew must not starve the narrow scenario."""
+        stats = [_stat("huge", 1e5), _stat("tiny", 1e-6), _stat("mid", 1.0)]
+        grants = allocate_round(stats, budget=30, floor=1)
+        assert all(grants[n] >= 1 for n in ("huge", "tiny", "mid"))
+        assert sum(grants.values()) == 30
+
+    def test_budget_below_floor_count_serves_most_uncertain_first(self):
+        stats = [_stat("a", 1.0), _stat("b", 100.0), _stat("c", 10.0)]
+        grants = allocate_round(stats, budget=2, floor=1)
+        assert sum(grants.values()) == 2
+        assert grants["b"] == 1  # widest
+        assert grants["c"] == 1  # second widest
+        assert grants["a"] == 0
+
+    def test_floor_capped_by_remaining(self):
+        stats = [_stat("thin", 50.0, remaining=2), _stat("fat", 1.0)]
+        grants = allocate_round(stats, budget=40, floor=5)
+        assert grants["thin"] == 2  # queue exhausted, excess redistributed
+        assert grants["fat"] == 38
+
+
+class TestDeterminism:
+    def test_pure_function_of_inputs(self):
+        stats = [_stat(f"s{i}", float(i + 1)) for i in range(6)]
+        a = allocate_round(stats, budget=37, floor=1, seed=5)
+        b = allocate_round(list(reversed(stats)), budget=37, floor=1, seed=5)
+        assert a == b
+
+    def test_seed_breaks_ties_reproducibly(self):
+        # Four identical scenarios, budget not divisible: the extra
+        # unit's recipient is seed-determined, not dict-order-determined.
+        stats = [_stat(n, 1.0) for n in ("a", "b", "c", "d")]
+        for seed in range(8):
+            first = allocate_round(stats, budget=6, floor=1, seed=seed)
+            again = allocate_round(stats, budget=6, floor=1, seed=seed)
+            assert first == again
+            assert sum(first.values()) == 6
+
+    def test_total_is_min_of_budget_and_live_queue(self):
+        stats = [_stat("a", 2.0, remaining=3), _stat("b", 1.0, remaining=4)]
+        assert sum(allocate_round(stats, budget=100).values()) == 7
+        assert sum(allocate_round(stats, budget=5).values()) == 5
+
+    def test_duplicate_names_rejected(self):
+        stats = [_stat("dup", 1.0), _stat("dup", 2.0)]
+        with pytest.raises(PipelineError, match="duplicate"):
+            allocate_round(stats, budget=4)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(PipelineError, match=">= 0"):
+            allocate_round([_stat("a", 1.0)], budget=-1)
+
+    def test_negative_remaining_rejected(self):
+        with pytest.raises(PipelineError, match="negative remaining"):
+            _stat("a", 1.0, remaining=-1)
+
+
+class TestUniformBaseline:
+    def test_equal_split_ignores_widths_and_convergence(self):
+        # The Sisyphus baseline keeps re-running converged scenarios.
+        stats = [
+            _stat("wide", 100.0),
+            _stat("narrow", 0.001),
+            _stat("converged", 0.0, converged=True),
+        ]
+        grants = uniform_round(stats, budget=9)
+        assert grants == {"wide": 3, "narrow": 3, "converged": 3}
+
+    def test_leftover_goes_to_first_names(self):
+        stats = [_stat(n, 1.0) for n in ("b", "a", "c")]
+        grants = uniform_round(stats, budget=7)
+        assert grants == {"a": 3, "b": 2, "c": 2}
+
+    def test_clamps_to_remaining(self):
+        stats = [_stat("thin", 1.0, remaining=1), _stat("fat", 1.0)]
+        grants = uniform_round(stats, budget=10)
+        assert grants == {"thin": 1, "fat": 9}

@@ -67,3 +67,62 @@ class TestWriteReport:
             report_module.write_report(
                 "b4", "Title", "body", data={"wall_seconds": 1.0}
             )
+
+    def test_speedup_key_optional(self, report_module, tmp_path):
+        # Benchmarks whose headline number is not a speedup (e.g. the
+        # campaign's refits-to-convergence) omit the key entirely.
+        report_module.write_report(
+            "b5",
+            "Title",
+            "body",
+            data={"wall_seconds": 0.5, "rows": 10, "refits": 42},
+        )
+        record = json.loads((tmp_path / "b5.json").read_text())
+        assert record["speedup"] is None
+        assert record["refits"] == 42
+
+
+class TestCollate:
+    @staticmethod
+    def _write(results_dir: Path, name: str, **record) -> None:
+        record.setdefault("name", name)
+        (results_dir / f"{name}.json").write_text(json.dumps(record))
+
+    def test_merges_records_and_writes_trajectory(
+        self, report_module, tmp_path
+    ):
+        self._write(
+            tmp_path, "fast", speedup=3.5, rows=100, n_cores=4, timestamp=1.0
+        )
+        self._write(
+            tmp_path, "slow", speedup=1.1, rows=50, n_cores=1, timestamp=2.0
+        )
+        trajectory = report_module.collate(tmp_path)
+        assert [e["name"] for e in trajectory["entries"]] == ["fast", "slow"]
+        assert trajectory["entries"][0]["floor_disarmed"] is False
+        assert trajectory["entries"][1]["floor_disarmed"] is True
+        on_disk = json.loads((tmp_path / "trajectory.json").read_text())
+        assert on_disk == trajectory
+
+    def test_missing_speedup_collates_as_none_and_renders_na(
+        self, report_module, tmp_path
+    ):
+        # A record with no speedup key at all (the campaign benchmark's
+        # shape) must survive collate and render as "n/a", not crash.
+        self._write(tmp_path, "campaign", rows=12, n_cores=4, timestamp=3.0)
+        trajectory = report_module.collate(tmp_path)
+        (entry,) = trajectory["entries"]
+        assert entry["speedup"] is None
+        table = report_module._format_trajectory(trajectory)
+        line = next(l for l in table.splitlines() if "campaign" in l)
+        assert "n/a" in line
+
+    def test_skips_unreadable_json_and_trajectory_file(
+        self, report_module, tmp_path, capsys
+    ):
+        self._write(tmp_path, "good", speedup=2.0, rows=5, n_cores=2)
+        (tmp_path / "broken.json").write_text("{not json")
+        (tmp_path / "trajectory.json").write_text('{"entries": []}')
+        trajectory = report_module.collate(tmp_path)
+        assert [e["name"] for e in trajectory["entries"]] == ["good"]
+        assert "skipping broken.json" in capsys.readouterr().out
